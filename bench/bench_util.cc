@@ -1,0 +1,143 @@
+#include "bench_util.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/cmp_system.hh"
+
+namespace zerodev::bench
+{
+
+namespace
+{
+
+std::uint64_t
+envOverride(const char *name, std::uint64_t dflt)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return dflt;
+    const unsigned long long parsed = std::strtoull(v, nullptr, 10);
+    return parsed == 0 ? dflt : parsed;
+}
+
+} // namespace
+
+std::uint64_t
+accessesPerCore(std::uint64_t dflt)
+{
+    return envOverride("ZERODEV_ACCESSES", dflt);
+}
+
+std::uint64_t
+serverAccessesPerCore(std::uint64_t dflt)
+{
+    return envOverride("ZERODEV_SERVER_ACCESSES", dflt);
+}
+
+RunResult
+runWorkload(const SystemConfig &cfg, const Workload &w,
+            std::uint64_t accesses)
+{
+    CmpSystem sys(cfg);
+    RunConfig rc;
+    rc.accessesPerCore = accesses;
+    return run(sys, w, rc);
+}
+
+Workload
+workloadFor(const AppProfile &p, std::uint32_t cores)
+{
+    if (p.suite == "cpu2017")
+        return Workload::rate(p, cores);
+    return Workload::multiThreaded(p, cores);
+}
+
+double
+perfMetric(const Workload &w, const RunResult &base, const RunResult &test)
+{
+    return w.multiProgrammed() ? weightedSpeedup(base, test)
+                               : speedup(base, test);
+}
+
+std::vector<SuiteRow>
+sweepSuite(const std::string &suite,
+           const std::function<SystemConfig()> &base_cfg,
+           const std::vector<std::function<SystemConfig()>> &test_cfgs,
+           std::uint64_t accesses)
+{
+    std::vector<SuiteRow> rows;
+    for (const AppProfile &p : suiteProfiles(suite)) {
+        const SystemConfig bcfg = base_cfg();
+        const Workload w = workloadFor(
+            p, bcfg.coresPerSocket * bcfg.sockets);
+        const RunResult base = runWorkload(bcfg, w, accesses);
+        SuiteRow row;
+        row.app = p.name;
+        for (const auto &make_cfg : test_cfgs) {
+            const RunResult test =
+                runWorkload(make_cfg(), w, accesses);
+            row.values.push_back(perfMetric(w, base, test));
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::vector<double>
+columnGeomeans(const std::vector<SuiteRow> &rows)
+{
+    if (rows.empty())
+        return {};
+    std::vector<double> out;
+    for (std::size_t c = 0; c < rows[0].values.size(); ++c) {
+        std::vector<double> col;
+        col.reserve(rows.size());
+        for (const auto &r : rows)
+            col.push_back(r.values[c]);
+        out.push_back(geomean(col));
+    }
+    return out;
+}
+
+std::vector<double>
+columnMins(const std::vector<SuiteRow> &rows)
+{
+    if (rows.empty())
+        return {};
+    std::vector<double> out;
+    for (std::size_t c = 0; c < rows[0].values.size(); ++c) {
+        std::vector<double> col;
+        col.reserve(rows.size());
+        for (const auto &r : rows)
+            col.push_back(r.values[c]);
+        out.push_back(minOf(col));
+    }
+    return out;
+}
+
+SystemConfig
+zdevEightCore(double ratio)
+{
+    SystemConfig cfg = makeEightCoreConfig();
+    applyZeroDev(cfg, ratio);
+    return cfg;
+}
+
+const std::vector<std::string> &
+mainSuites()
+{
+    static const std::vector<std::string> suites{
+        "parsec", "splash2x", "specomp", "fftw", "cpu2017"};
+    return suites;
+}
+
+void
+banner(const std::string &figure, const std::string &what)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", figure.c_str(), what.c_str());
+    std::printf("==============================================================\n");
+}
+
+} // namespace zerodev::bench

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: run-length control
+ * (overridable via the ZERODEV_ACCESSES environment variable), workload
+ * factories matching the paper's methodology (multi-threaded suites run
+ * 8 threads; SPEC CPU 2017 runs 8-way rate; server runs 128 threads),
+ * and per-suite sweep drivers that normalise against a baseline config.
+ */
+
+#ifndef ZERODEV_BENCH_BENCH_UTIL_HH
+#define ZERODEV_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
+#include "workload/workload.hh"
+
+namespace zerodev::bench
+{
+
+/** Accesses per core for 8-core runs (env ZERODEV_ACCESSES overrides). */
+std::uint64_t accessesPerCore(std::uint64_t dflt = 60000);
+
+/** Accesses per core for 128-core server runs. */
+std::uint64_t serverAccessesPerCore(std::uint64_t dflt = 8000);
+
+/** Run @p w on a fresh system configured by @p cfg. */
+RunResult runWorkload(const SystemConfig &cfg, const Workload &w,
+                      std::uint64_t accesses);
+
+/**
+ * The paper's methodology for an application profile: multi-threaded
+ * suites (PARSEC/SPLASH2X/SPEC OMP/FFTW/server) run one app with
+ * @p cores threads; SPEC CPU 2017 runs @p cores rate copies.
+ */
+Workload workloadFor(const AppProfile &p, std::uint32_t cores);
+
+/** Performance metric: execution-time speedup for multi-threaded
+ *  workloads, weighted speedup for multi-programmed ones. */
+double perfMetric(const Workload &w, const RunResult &base,
+                  const RunResult &test);
+
+/** Per-application sweep row. */
+struct SuiteRow
+{
+    std::string app;
+    std::vector<double> values; //!< one per test configuration
+};
+
+/**
+ * For every profile of @p suite: run the baseline config once and each
+ * test config once, recording perfMetric per test config.
+ * @param mutate_base applied to the base config (defaults: none)
+ */
+std::vector<SuiteRow>
+sweepSuite(const std::string &suite,
+           const std::function<SystemConfig()> &base_cfg,
+           const std::vector<std::function<SystemConfig()>> &test_cfgs,
+           std::uint64_t accesses);
+
+/** Column-wise geometric mean of a sweep. */
+std::vector<double> columnGeomeans(const std::vector<SuiteRow> &rows);
+
+/** Column-wise minimum of a sweep. */
+std::vector<double> columnMins(const std::vector<SuiteRow> &rows);
+
+/** Print the standard bench banner. */
+void banner(const std::string &figure, const std::string &what);
+
+/** 8-core ZeroDEV config (FPSS + dataLRU) with the given directory
+ *  ratio (0 = no sparse directory). */
+SystemConfig zdevEightCore(double ratio);
+
+/** The suites of the paper's per-suite figures. */
+const std::vector<std::string> &mainSuites();
+
+} // namespace zerodev::bench
+
+#endif // ZERODEV_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hot simulator structures:
+ * sparse directory lookup/allocate, LLC probe with two tag matches,
+ * private cache access, the bit-level entry encoders and the end-to-end
+ * per-access cost of the protocol engine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/config.hh"
+#include "core/cmp_system.hh"
+#include "directory/dir_formats.hh"
+#include "directory/sparse_directory.hh"
+#include "workload/workload.hh"
+
+namespace
+{
+
+using namespace zerodev;
+
+void
+BM_SparseDirFindHit(benchmark::State &state)
+{
+    SparseDirectory dir(8, 512, 8, false);
+    for (BlockAddr b = 0; b < 1024; ++b)
+        dir.alloc(b).entry->makeOwned(0);
+    BlockAddr b = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dir.find(b));
+        b = (b + 1) % 1024;
+    }
+}
+BENCHMARK(BM_SparseDirFindHit);
+
+void
+BM_SparseDirAllocFree(benchmark::State &state)
+{
+    SparseDirectory dir(8, 512, 8, false);
+    BlockAddr b = 0;
+    for (auto _ : state) {
+        DirAllocResult r = dir.alloc(b);
+        r.entry->makeOwned(0);
+        dir.free(b);
+        b = (b + 97) % (1u << 20);
+    }
+}
+BENCHMARK(BM_SparseDirAllocFree);
+
+void
+BM_LlcProbeTwoTag(benchmark::State &state)
+{
+    SystemConfig cfg = makeEightCoreConfig();
+    Llc llc(cfg);
+    DirEntry e;
+    e.addSharer(0);
+    for (BlockAddr b = 0; b < 256; ++b) {
+        llc.allocate(b, LlcLineKind::Data, false, DirEntry{});
+        llc.allocate(b, LlcLineKind::SpilledDe, false, e);
+    }
+    BlockAddr b = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(llc.probe(b));
+        b = (b + 1) % 256;
+    }
+}
+BENCHMARK(BM_LlcProbeTwoTag);
+
+void
+BM_EncodeDecodeSpilled(benchmark::State &state)
+{
+    DirEntry e;
+    e.addSharer(3);
+    e.addSharer(97);
+    for (auto _ : state) {
+        const BlockImage img = encodeSpilled(e, 128);
+        benchmark::DoNotOptimize(decodeSpilled(img, 128));
+    }
+}
+BENCHMARK(BM_EncodeDecodeSpilled);
+
+void
+BM_ProtocolAccessBaseline(benchmark::State &state)
+{
+    SystemConfig cfg = makeEightCoreConfig();
+    CmpSystem sys(cfg);
+    const Workload w = Workload::rate(profileByName("gcc.pp"), 8);
+    ThreadGenerator gen = w.makeGenerator(0);
+    Cycle t = 0;
+    for (auto _ : state) {
+        const MemAccess a = gen.next();
+        t = sys.access(0, a.type, a.block, t + a.gap);
+    }
+}
+BENCHMARK(BM_ProtocolAccessBaseline);
+
+void
+BM_ProtocolAccessZeroDev(benchmark::State &state)
+{
+    SystemConfig cfg = makeEightCoreConfig();
+    applyZeroDev(cfg, 0.0);
+    CmpSystem sys(cfg);
+    const Workload w = Workload::rate(profileByName("gcc.pp"), 8);
+    ThreadGenerator gen = w.makeGenerator(0);
+    Cycle t = 0;
+    for (auto _ : state) {
+        const MemAccess a = gen.next();
+        t = sys.access(0, a.type, a.block, t + a.gap);
+    }
+}
+BENCHMARK(BM_ProtocolAccessZeroDev);
+
+} // namespace
+
+BENCHMARK_MAIN();

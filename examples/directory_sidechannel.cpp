@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The motivating security scenario (Section I-A2): directory-conflict
+ * Prime+Probe. An attacker primes a sparse directory set with its own
+ * blocks; a victim access that maps to the same set evicts one of the
+ * attacker's entries, which invalidates the attacker's cached copy — a
+ * DEV the attacker can time on its next access. The victim's secret
+ * (which directory set it touched) leaks through the attacker's misses.
+ *
+ * Under ZeroDEV the victim's allocation goes to the LLC instead of
+ * evicting a live entry: the attacker's probe sees nothing, for either
+ * secret value — the core caches are isolated from directory evictions.
+ *
+ * This is a defensive demonstration of the vulnerability the paper sets
+ * out to close, on a deliberately tiny directory so one access suffices.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/config.hh"
+#include "core/cmp_system.hh"
+#include "workload/workload.hh"
+
+using namespace zerodev;
+
+namespace
+{
+
+/** A tiny 2-core system whose directory slices have a single set, so
+ *  priming one slice is trivial. */
+SystemConfig
+attackConfig(bool zerodev)
+{
+    SystemConfig cfg;
+    cfg.name = "attack";
+    cfg.coresPerSocket = 2;
+    cfg.l1i = CacheConfig{2 * 1024, 8, 3};
+    cfg.l1d = CacheConfig{2 * 1024, 8, 3};
+    cfg.l2 = CacheConfig{4 * 1024, 8, 8};
+    cfg.llcSizeBytes = 64 * 1024;
+    cfg.llcBanks = 2;
+    cfg.directory.sizeRatio = 0.125; // one 8-way set per slice
+    if (zerodev)
+        applyZeroDev(cfg, 0.125);
+    return cfg;
+}
+
+/** Attacker blocks: all map to directory slice 0 (block & 1 == 0). */
+BlockAddr
+attackerBlock(std::uint32_t i)
+{
+    return 2ull * 16 * (i + 1); // even -> slice 0
+}
+
+/** Victim block in slice `slice`. */
+BlockAddr
+victimBlock(std::uint32_t slice)
+{
+    return 4096ull + slice; // parity selects the slice
+}
+
+/** Run the Prime+Probe round; returns the number of attacker blocks
+ *  that were invalidated (the probe signal). */
+int
+primeProbe(bool zerodev, bool secret)
+{
+    CmpSystem sys(attackConfig(zerodev));
+    Cycle t = 0;
+
+    // Prime: the attacker (core 0) fills directory slice 0's only set.
+    for (std::uint32_t i = 0; i < 8; ++i)
+        t = sys.access(0, AccessType::Load, attackerBlock(i), t + 100);
+
+    // Victim (core 1) makes one secret-dependent access: slice 0 if the
+    // secret bit is set, slice 1 otherwise.
+    t = sys.access(1, AccessType::Load, victimBlock(secret ? 0 : 1),
+                   t + 1000);
+
+    // Probe: how many of the attacker's blocks are gone?
+    int signal = 0;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        if (sys.privateCache(0, 0).state(attackerBlock(i)) ==
+            MesiState::Invalid) {
+            ++signal;
+        }
+    }
+    return signal;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Directory Prime+Probe (Section I-A2 threat model)\n");
+    std::printf("--------------------------------------------------\n\n");
+
+    for (const bool zerodev : {false, true}) {
+        const int sig1 = primeProbe(zerodev, true);
+        const int sig0 = primeProbe(zerodev, false);
+        std::printf("%-22s probe signal: secret=1 -> %d, secret=0 -> "
+                    "%d   %s\n",
+                    zerodev ? "ZeroDEV (no DEVs):" : "baseline sparse:",
+                    sig1, sig0,
+                    sig1 != sig0 ? "[SECRET LEAKS]" : "[no leak]");
+    }
+
+    std::printf("\nThe baseline's directory eviction victim reveals "
+                "which directory set\nthe victim touched; ZeroDEV "
+                "accommodates the conflicting entry in the\nLLC, so the "
+                "attacker's cached blocks are never invalidated.\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * LLC line kinds and their mapping onto the paper's (V, D) state encoding.
+ *
+ * The baseline LLC uses three states: invalid (V=0,D=0), clean valid
+ * (V=1,D=0) and dirty valid (V=1,D=1). ZeroDEV repurposes the unused
+ * (V=0,D=1) encoding for lines that hold directory information: a whole
+ * LLC block holding a spilled directory entry, or a data block whose low
+ * bits have been overwritten by a fused directory entry (Section III-C).
+ */
+
+#ifndef ZERODEV_CACHE_BLOCK_STATE_HH
+#define ZERODEV_CACHE_BLOCK_STATE_HH
+
+#include <cstdint>
+
+namespace zerodev
+{
+
+/** What an LLC line currently holds. */
+enum class LlcLineKind : std::uint8_t
+{
+    Invalid,   //!< (V=0, D=0)
+    Data,      //!< (V=1, D=0/1) ordinary code/data block
+    SpilledDe, //!< (V=0, D=1, b0=1) whole block is a directory entry
+    FusedDe,   //!< (V=0, D=1, b0=0) data block with an embedded entry
+};
+
+/** Valid bit of the (V, D) pair for a given kind. */
+constexpr bool
+vBit(LlcLineKind k)
+{
+    return k == LlcLineKind::Data;
+}
+
+/** Dirty-state bit of the (V, D) pair; for Data lines it is the real
+ *  dirty flag and must be tracked separately. */
+constexpr bool
+dBitForDirKinds(LlcLineKind k)
+{
+    return k == LlcLineKind::SpilledDe || k == LlcLineKind::FusedDe;
+}
+
+/** True iff the line participates in directory tracking. */
+constexpr bool
+holdsDirEntry(LlcLineKind k)
+{
+    return k == LlcLineKind::SpilledDe || k == LlcLineKind::FusedDe;
+}
+
+const char *toString(LlcLineKind k);
+
+} // namespace zerodev
+
+#endif // ZERODEV_CACHE_BLOCK_STATE_HH

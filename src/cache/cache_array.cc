@@ -1,0 +1,15 @@
+/**
+ * @file
+ * CacheArray is header-only (it is a template); this translation unit
+ * exists to host non-template sanity checks exercised by the test suite.
+ */
+
+#include "cache/cache_array.hh"
+
+namespace zerodev
+{
+
+static_assert(setIndex(0x10, 16) == 0, "set index masks low bits");
+static_assert(tagOf(0x13, 16) == 1, "tag strips the index bits");
+
+} // namespace zerodev

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Generic set-associative tag/state array used by the private caches, the
+ * LLC banks and the sparse directory slices.
+ *
+ * CacheArray is a template over the line type. A line type must provide:
+ *   - member `std::uint64_t tag`
+ *   - member `std::uint64_t lastUse` (LRU stamp; managed by the array)
+ *   - method `bool occupied() const` (false iff the way is free)
+ *   - method `void reset()` (return the way to the free state)
+ */
+
+#ifndef ZERODEV_CACHE_CACHE_ARRAY_HH
+#define ZERODEV_CACHE_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace zerodev
+{
+
+/** Location of a line inside a CacheArray. */
+struct WayRef
+{
+    std::size_t set = 0;
+    std::uint32_t way = 0;
+    bool found = false;
+};
+
+template <typename LineT>
+class CacheArray
+{
+  public:
+    CacheArray(std::size_t sets, std::uint32_t ways)
+        : sets_(sets), ways_(ways), lines_(sets * ways)
+    {
+        if (sets == 0 || ways == 0)
+            fatal("cache array with zero sets or ways");
+    }
+
+    std::size_t numSets() const { return sets_; }
+    std::uint32_t numWays() const { return ways_; }
+
+    LineT &line(std::size_t set, std::uint32_t way)
+    {
+        return lines_[set * ways_ + way];
+    }
+
+    const LineT &line(std::size_t set, std::uint32_t way) const
+    {
+        return lines_[set * ways_ + way];
+    }
+
+    /**
+     * Find the line in @p set whose tag matches @p tag and which satisfies
+     * @p pred. The LLC can legitimately hold two lines with the same tag
+     * (a data block and its spilled directory entry, Section III-C1), so
+     * the predicate selects which one the caller wants.
+     */
+    template <typename Pred>
+    WayRef
+    find(std::size_t set, std::uint64_t tag, Pred &&pred) const
+    {
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            const LineT &l = line(set, w);
+            if (l.occupied() && l.tag == tag && pred(l))
+                return {set, w, true};
+        }
+        return {set, 0, false};
+    }
+
+    /** Find matching @p tag among occupied lines (no extra predicate). */
+    WayRef
+    find(std::size_t set, std::uint64_t tag) const
+    {
+        return find(set, tag, [](const LineT &) { return true; });
+    }
+
+    /** First free way in @p set, if any. */
+    WayRef
+    findFree(std::size_t set) const
+    {
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (!line(set, w).occupied())
+                return {set, w, true};
+        }
+        return {set, 0, false};
+    }
+
+    /** Mark @p way of @p set most recently used. */
+    void
+    touch(std::size_t set, std::uint32_t way)
+    {
+        line(set, way).lastUse = clock_.tick();
+    }
+
+    /**
+     * Pick a victim way in @p set: a free way if one exists, otherwise the
+     * least-recently-used line within the lowest non-empty priority class.
+     * @p classify maps a line to a class; lower classes are evicted first.
+     * Plain LRU is classify = [](auto&){ return 0; }.
+     */
+    template <typename Classify>
+    std::uint32_t
+    victim(std::size_t set, Classify &&classify) const
+    {
+        std::uint32_t best_way = 0;
+        int best_class = std::numeric_limits<int>::max();
+        std::uint64_t best_use = std::numeric_limits<std::uint64_t>::max();
+        bool found = false;
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            const LineT &l = line(set, w);
+            if (!l.occupied())
+                return w;
+            const int cls = classify(l);
+            if (cls < best_class ||
+                (cls == best_class && l.lastUse < best_use)) {
+                best_class = cls;
+                best_use = l.lastUse;
+                best_way = w;
+                found = true;
+            }
+        }
+        if (!found)
+            panic("victim(): classify rejected every line");
+        return best_way;
+    }
+
+    /** LRU victim with a single priority class. */
+    std::uint32_t
+    victimLru(std::size_t set) const
+    {
+        return victim(set, [](const LineT &) { return 0; });
+    }
+
+    /** Count occupied lines satisfying @p pred over the whole array. */
+    template <typename Pred>
+    std::uint64_t
+    count(Pred &&pred) const
+    {
+        std::uint64_t n = 0;
+        for (const LineT &l : lines_) {
+            if (l.occupied() && pred(l))
+                ++n;
+        }
+        return n;
+    }
+
+    /** Visit every occupied line: fn(set, way, line). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t s = 0; s < sets_; ++s) {
+            for (std::uint32_t w = 0; w < ways_; ++w) {
+                const LineT &l = line(s, w);
+                if (l.occupied())
+                    fn(s, w, l);
+            }
+        }
+    }
+
+  private:
+    std::size_t sets_;
+    std::uint32_t ways_;
+    std::vector<LineT> lines_;
+    LruClock clock_;
+};
+
+/** Set index for a non-banked array with power-of-two sets. */
+constexpr std::size_t
+setIndex(std::uint64_t block_addr, std::size_t sets)
+{
+    return static_cast<std::size_t>(block_addr & (sets - 1));
+}
+
+/** Tag for a non-banked array with power-of-two sets. */
+constexpr std::uint64_t
+tagOf(std::uint64_t block_addr, std::size_t sets)
+{
+    return block_addr / sets;
+}
+
+/** Home bank of a block in a banked structure. */
+constexpr std::uint32_t
+bankOf(std::uint64_t block_addr, std::uint32_t banks)
+{
+    return static_cast<std::uint32_t>(block_addr & (banks - 1));
+}
+
+/** Set index within a bank: banks strip the low bits first. */
+constexpr std::size_t
+bankSetIndex(std::uint64_t block_addr, std::uint32_t banks,
+             std::size_t sets_per_bank)
+{
+    return static_cast<std::size_t>((block_addr >> floorLog2(banks)) &
+                                    (sets_per_bank - 1));
+}
+
+/** Tag within a banked structure. */
+constexpr std::uint64_t
+bankTag(std::uint64_t block_addr, std::uint32_t banks,
+        std::size_t sets_per_bank)
+{
+    return (block_addr >> floorLog2(banks)) / sets_per_bank;
+}
+
+} // namespace zerodev
+
+#endif // ZERODEV_CACHE_CACHE_ARRAY_HH

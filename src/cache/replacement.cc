@@ -1,0 +1,57 @@
+#include "cache/replacement.hh"
+
+#include "cache/block_state.hh"
+#include "common/log.hh"
+
+namespace zerodev
+{
+
+const char *
+toString(LlcLineKind k)
+{
+    switch (k) {
+      case LlcLineKind::Invalid: return "Invalid";
+      case LlcLineKind::Data: return "Data";
+      case LlcLineKind::SpilledDe: return "SpilledDE";
+      case LlcLineKind::FusedDe: return "FusedDE";
+    }
+    return "?";
+}
+
+NruState::NruState(std::size_t sets, std::uint32_t ways)
+    : ways_(ways), ref_(sets * ways, false)
+{
+}
+
+void
+NruState::touch(std::size_t set, std::uint32_t way)
+{
+    ref_[idx(set, way)] = true;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!ref_[idx(set, w)])
+            return;
+    }
+    // Every bit set: clear all except the just-touched way.
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (w != way)
+            ref_[idx(set, w)] = false;
+    }
+}
+
+std::uint32_t
+NruState::victim(std::size_t set) const
+{
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!ref_[idx(set, w)])
+            return w;
+    }
+    panic("NRU set has every reference bit set");
+}
+
+void
+NruState::reset(std::size_t set, std::uint32_t way)
+{
+    ref_[idx(set, way)] = false;
+}
+
+} // namespace zerodev

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Replacement-policy building blocks.
+ *
+ * LRU ordering is realised with monotonically increasing use stamps stored
+ * per line; victim selection is a scan of the set (associativities here
+ * are at most 16, so a scan is both simple and fast). The Section III-D
+ * extensions (spLRU, dataLRU) are expressed as a priority class supplied
+ * by the caller: the victim is the LRU line within the lowest-priority
+ * non-empty class, so dataLRU evicts every ordinary block in a set before
+ * any spilled/fused entry.
+ *
+ * The sparse directory uses 1-bit NRU (Table I), provided by NruState.
+ */
+
+#ifndef ZERODEV_CACHE_REPLACEMENT_HH
+#define ZERODEV_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace zerodev
+{
+
+/** Monotonic stamp source backing LRU ordering for one cache array. */
+class LruClock
+{
+  public:
+    /** Next stamp; strictly increasing. */
+    std::uint64_t tick() { return ++now_; }
+
+    /** Current stamp (stamp of the most recent touch). */
+    std::uint64_t now() const { return now_; }
+
+  private:
+    std::uint64_t now_ = 0;
+};
+
+/**
+ * One-bit NRU state for a fixed number of ways, as used by the sparse
+ * directory slices. A touched way gets its reference bit set; when every
+ * bit in the set becomes set, all other bits are cleared. The victim is
+ * the lowest-indexed way with a clear bit.
+ */
+class NruState
+{
+  public:
+    NruState(std::size_t sets, std::uint32_t ways);
+
+    /** Mark @p way of @p set recently used. */
+    void touch(std::size_t set, std::uint32_t way);
+
+    /** Way to evict from @p set. */
+    std::uint32_t victim(std::size_t set) const;
+
+    /** Clear the reference bit (e.g. on invalidation). */
+    void reset(std::size_t set, std::uint32_t way);
+
+  private:
+    std::size_t idx(std::size_t set, std::uint32_t way) const
+    {
+        return set * ways_ + way;
+    }
+
+    std::uint32_t ways_;
+    std::vector<bool> ref_;
+};
+
+} // namespace zerodev
+
+#endif // ZERODEV_CACHE_REPLACEMENT_HH

@@ -1,0 +1,209 @@
+#include "coherence/llc_bank.hh"
+
+#include "common/log.hh"
+
+namespace zerodev
+{
+
+Llc::Llc(const SystemConfig &cfg)
+    : numBanks_(cfg.llcBanks),
+      setsPerBank_(cfg.llcSetsPerBank()),
+      ways_(cfg.llcWays),
+      tagCycles_(cfg.llcTagCycles),
+      dataCycles_(cfg.llcDataCycles),
+      totalBlocks_(cfg.llcBlocks()),
+      policy_(cfg.llcReplPolicy)
+{
+    banks_.reserve(numBanks_);
+    for (std::uint32_t b = 0; b < numBanks_; ++b)
+        banks_.emplace_back(setsPerBank_, ways_);
+}
+
+std::uint32_t
+Llc::bankOfBlock(BlockAddr block) const
+{
+    return bankOf(block, numBanks_);
+}
+
+LlcProbe
+Llc::probe(BlockAddr block)
+{
+    ++stats_.lookups;
+    LlcProbe p;
+    auto &bank = banks_[bankOfBlock(block)];
+    p.set = bankSetIndex(block, numBanks_, setsPerBank_);
+    const std::uint64_t tag = bankTag(block, numBanks_, setsPerBank_);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        LlcLine &l = bank.line(p.set, w);
+        if (!l.occupied() || l.tag != tag)
+            continue;
+        if (l.kind == LlcLineKind::SpilledDe) {
+            p.spilled = &l;
+            p.spilledWay = w;
+        } else {
+            p.data = &l;
+            p.dataWay = w;
+        }
+    }
+    return p;
+}
+
+void
+Llc::touchData(const LlcProbe &p)
+{
+    if (!p.data)
+        panic("touchData without a data line");
+    auto &bank = banks_[bankOfBlock(p.data->block)];
+    bank.touch(p.set, p.dataWay);
+    if (policy_ == LlcReplPolicy::SpLru && p.spilled) {
+        // spLRU: the spilled entry shadows its block at the MRU position,
+        // guaranteeing the block is evicted first (Section III-D1).
+        bank.touch(p.set, p.spilledWay);
+    }
+}
+
+void
+Llc::touchSpilled(const LlcProbe &p)
+{
+    if (!p.spilled)
+        panic("touchSpilled without a spilled line");
+    auto &bank = banks_[bankOfBlock(p.spilled->block)];
+    bank.touch(p.set, p.spilledWay);
+}
+
+int
+Llc::replClass(const LlcLine &l) const
+{
+    if (policy_ == LlcReplPolicy::DataLru && l.holdsDe()) {
+        // dataLRU: evict every ordinary data block in the set before any
+        // spilled or fused entry (Section III-D1).
+        return 1;
+    }
+    return 0;
+}
+
+LlcVictim
+Llc::allocate(BlockAddr block, LlcLineKind kind, bool dirty,
+              const DirEntry &de, std::int32_t exclude_way)
+{
+    if (kind == LlcLineKind::Invalid)
+        panic("allocating an Invalid LLC line");
+    auto &bank = banks_[bankOfBlock(block)];
+    const std::size_t set = bankSetIndex(block, numBanks_, setsPerBank_);
+    const std::uint64_t tag = bankTag(block, numBanks_, setsPerBank_);
+
+    // Victim selection with optional way exclusion.
+    std::uint32_t way = ways_;
+    {
+        std::uint32_t best_way = ways_;
+        int best_class = 0x7fffffff;
+        std::uint64_t best_use = ~0ull;
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (static_cast<std::int32_t>(w) == exclude_way)
+                continue;
+            const LlcLine &l = bank.line(set, w);
+            if (!l.occupied()) {
+                best_way = w;
+                best_class = -1;
+                break;
+            }
+            const int cls = replClass(l);
+            if (cls < best_class ||
+                (cls == best_class && l.lastUse < best_use)) {
+                best_class = cls;
+                best_use = l.lastUse;
+                best_way = w;
+            }
+        }
+        if (best_way == ways_)
+            panic("LLC allocation found no victim way");
+        way = best_way;
+    }
+
+    LlcLine &line = bank.line(set, way);
+    LlcVictim victim;
+    if (line.occupied()) {
+        victim.valid = true;
+        victim.kind = line.kind;
+        victim.block = line.block;
+        victim.dirty = line.dirty;
+        victim.de = line.de;
+        if (line.holdsDe()) {
+            ++stats_.deEvictions;
+            bumpDeLines(-1);
+        } else {
+            ++stats_.dataEvictions;
+            if (line.dirty)
+                ++stats_.dirtyWritebacks;
+        }
+        line.reset();
+    }
+
+    line.kind = kind;
+    line.tag = tag;
+    line.block = block;
+    line.dirty = dirty;
+    line.de = de;
+    bank.touch(set, way);
+    if (holdsDirEntry(kind)) {
+        bumpDeLines(+1);
+        if (kind == LlcLineKind::SpilledDe)
+            ++stats_.spillAllocs;
+    }
+    return victim;
+}
+
+void
+Llc::fuse(LlcLine &line, const DirEntry &de)
+{
+    if (line.kind != LlcLineKind::Data)
+        panic("fusing a %s line", toString(line.kind));
+    line.kind = LlcLineKind::FusedDe;
+    line.de = de;
+    ++stats_.fuseOps;
+    bumpDeLines(+1);
+}
+
+void
+Llc::unfuse(LlcLine &line)
+{
+    if (line.kind != LlcLineKind::FusedDe)
+        panic("unfusing a %s line", toString(line.kind));
+    line.kind = LlcLineKind::Data;
+    line.de.clear();
+    ++stats_.unfuseOps;
+    bumpDeLines(-1);
+}
+
+void
+Llc::invalidateLine(LlcLine &line)
+{
+    if (!line.occupied())
+        return;
+    if (line.holdsDe())
+        bumpDeLines(-1);
+    line.reset();
+}
+
+void
+Llc::bumpDeLines(std::int64_t delta)
+{
+    deLines_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(deLines_) + delta);
+    stats_.peakDeLines = std::max(stats_.peakDeLines, deLines_);
+}
+
+std::uint64_t
+Llc::dataLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto &bank : banks_) {
+        n += bank.count([](const LlcLine &l) {
+            return l.kind == LlcLineKind::Data ||
+                   l.kind == LlcLineKind::FusedDe;
+        });
+    }
+    return n;
+}
+
+} // namespace zerodev

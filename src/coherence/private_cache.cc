@@ -1,0 +1,177 @@
+#include "coherence/private_cache.hh"
+
+#include "common/log.hh"
+
+namespace zerodev
+{
+
+PrivateCache::PrivateCache(const SystemConfig &cfg, CoreId core)
+    : core_(core),
+      l1Cycles_(cfg.l1d.lookupCycles),
+      l2Cycles_(cfg.l2.lookupCycles),
+      l1i_(cfg.l1i.sets(cfg.blockBytes), cfg.l1i.ways),
+      l1d_(cfg.l1d.sets(cfg.blockBytes), cfg.l1d.ways),
+      l2_(cfg.l2.sets(cfg.blockBytes), cfg.l2.ways)
+{
+    (void)core_;
+}
+
+CoreLookup
+PrivateCache::access(AccessType type, BlockAddr block)
+{
+    switch (type) {
+      case AccessType::Load: ++stats_.loads; break;
+      case AccessType::Store: ++stats_.stores; break;
+      case AccessType::Ifetch: ++stats_.ifetches; break;
+    }
+
+    const std::size_t l2set = setIndex(block, l2_.numSets());
+    const std::uint64_t l2tag = tagOf(block, l2_.numSets());
+    const WayRef l2ref = l2_.find(l2set, l2tag);
+    if (!l2ref.found) {
+        ++stats_.misses;
+        return CoreLookup::Miss;
+    }
+    L2Line &l2line = l2_.line(l2set, l2ref.way);
+
+    if (type == AccessType::Store) {
+        if (l2line.state == MesiState::Shared) {
+            ++stats_.upgrades;
+            return CoreLookup::NeedUpgrade;
+        }
+        // Silent E->M upgrade; the directory cannot distinguish [22].
+        l2line.state = MesiState::Modified;
+    }
+
+    l2_.touch(l2set, l2ref.way);
+
+    auto &l1 = l1For(type);
+    const std::size_t l1set = setIndex(block, l1.numSets());
+    const std::uint64_t l1tag = tagOf(block, l1.numSets());
+    const WayRef l1ref = l1.find(l1set, l1tag);
+    if (l1ref.found) {
+        l1.touch(l1set, l1ref.way);
+        ++stats_.l1Hits;
+        return CoreLookup::L1Hit;
+    }
+    fillL1(type, block);
+    ++stats_.l2Hits;
+    return CoreLookup::L2Hit;
+}
+
+void
+PrivateCache::fillL1(AccessType type, BlockAddr block)
+{
+    auto &l1 = l1For(type);
+    const std::size_t set = setIndex(block, l1.numSets());
+    const std::uint32_t way = l1.victimLru(set);
+    L1Line &line = l1.line(set, way);
+    line.valid = true;
+    line.tag = tagOf(block, l1.numSets());
+    l1.touch(set, way);
+    // L1 evictions are silent: the L2 is inclusive and already tracks
+    // the block in the right state.
+}
+
+PrivateEviction
+PrivateCache::fill(AccessType type, BlockAddr block, MesiState state)
+{
+    if (state == MesiState::Invalid)
+        panic("filling a block in Invalid state");
+
+    PrivateEviction ev;
+    const std::size_t set = setIndex(block, l2_.numSets());
+    const std::uint64_t tag = tagOf(block, l2_.numSets());
+    WayRef ref = l2_.find(set, tag);
+    if (!ref.found) {
+        const std::uint32_t way = l2_.victimLru(set);
+        L2Line &vline = l2_.line(set, way);
+        if (vline.occupied()) {
+            ev.block = vline.block;
+            ev.state = vline.state;
+            ev.valid = true;
+            ++stats_.evictions;
+            dropFromL1s(vline.block);
+        }
+        vline.reset();
+        ref = {set, way, true};
+    }
+    L2Line &line = l2_.line(set, ref.way);
+    line.state = state;
+    line.tag = tag;
+    line.block = block;
+    l2_.touch(set, ref.way);
+    fillL1(type, block);
+    return ev;
+}
+
+MesiState
+PrivateCache::state(BlockAddr block) const
+{
+    const std::size_t set = setIndex(block, l2_.numSets());
+    const WayRef ref = l2_.find(set, tagOf(block, l2_.numSets()));
+    if (!ref.found)
+        return MesiState::Invalid;
+    return l2_.line(set, ref.way).state;
+}
+
+MesiState
+PrivateCache::invalidate(BlockAddr block, bool dev)
+{
+    const std::size_t set = setIndex(block, l2_.numSets());
+    const WayRef ref = l2_.find(set, tagOf(block, l2_.numSets()));
+    if (!ref.found)
+        return MesiState::Invalid;
+    L2Line &line = l2_.line(set, ref.way);
+    const MesiState prev = line.state;
+    line.reset();
+    dropFromL1s(block);
+    ++stats_.invalidationsReceived;
+    if (dev)
+        ++stats_.devInvalidations;
+    return prev;
+}
+
+MesiState
+PrivateCache::downgrade(BlockAddr block)
+{
+    const std::size_t set = setIndex(block, l2_.numSets());
+    const WayRef ref = l2_.find(set, tagOf(block, l2_.numSets()));
+    if (!ref.found)
+        panic("downgrade of absent block");
+    L2Line &line = l2_.line(set, ref.way);
+    const MesiState prev = line.state;
+    if (prev != MesiState::Modified && prev != MesiState::Exclusive)
+        panic("downgrade of a %s block", toString(prev));
+    line.state = MesiState::Shared;
+    return prev;
+}
+
+void
+PrivateCache::upgradeToModified(BlockAddr block)
+{
+    const std::size_t set = setIndex(block, l2_.numSets());
+    const WayRef ref = l2_.find(set, tagOf(block, l2_.numSets()));
+    if (!ref.found)
+        panic("upgrade of absent block");
+    l2_.line(set, ref.way).state = MesiState::Modified;
+}
+
+void
+PrivateCache::dropFromL1s(BlockAddr block)
+{
+    for (CacheArray<L1Line> *l1 : {&l1i_, &l1d_}) {
+        const std::size_t set = setIndex(block, l1->numSets());
+        const WayRef ref = l1->find(set, tagOf(block, l1->numSets()));
+        if (ref.found)
+            l1->line(set, ref.way).reset();
+    }
+}
+
+std::uint64_t
+PrivateCache::validBlocks() const
+{
+    return l2_.count([](const L2Line &) { return true; });
+}
+
+} // namespace zerodev

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The private cache hierarchy of one core: L1I + L1D backed by a unified
+ * L2 that is inclusive of both L1s (Table I geometry). Coherence is
+ * tracked at the L2: the directory sees one sharer per core, and an L2
+ * eviction (which back-invalidates the L1s) emits the eviction notice the
+ * baseline protocol relies on to keep the directory precise [24].
+ */
+
+#ifndef ZERODEV_COHERENCE_PRIVATE_CACHE_HH
+#define ZERODEV_COHERENCE_PRIVATE_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "cache/cache_array.hh"
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace zerodev
+{
+
+/** Where a core access was satisfied, or what it needs from the uncore. */
+enum class CoreLookup : std::uint8_t
+{
+    L1Hit,       //!< served by the L1 (includes silent E->M upgrades)
+    L2Hit,       //!< served by the L2, filled into the L1
+    NeedUpgrade, //!< block held in S, store needs M permission
+    Miss,        //!< not present: issue GetS/GetX to the home bank
+};
+
+/** An L2 eviction emitted while filling a new block. */
+struct PrivateEviction
+{
+    BlockAddr block = 0;
+    MesiState state = MesiState::Invalid; //!< state at eviction
+    bool valid = false;
+};
+
+/** Statistics of one core's private hierarchy. */
+struct PrivateCacheStats
+{
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t ifetches = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t upgrades = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidationsReceived = 0; //!< all external invs
+    std::uint64_t devInvalidations = 0;      //!< of which DEVs
+};
+
+class PrivateCache
+{
+  public:
+    PrivateCache(const SystemConfig &cfg, CoreId core);
+
+    /**
+     * Look up @p block for an access of @p type, updating L1/L2 recency
+     * and performing silent E->M upgrades on stores. Does not fill.
+     */
+    CoreLookup access(AccessType type, BlockAddr block);
+
+    /**
+     * Fill @p block into L2 (and the L1 selected by @p type) in @p state.
+     * Returns the L2 victim eviction, if a valid block was displaced.
+     */
+    PrivateEviction fill(AccessType type, BlockAddr block, MesiState state);
+
+    /** Current L2 state of @p block (Invalid if absent). */
+    MesiState state(BlockAddr block) const;
+
+    /** True iff the L2 holds @p block in any valid state. */
+    bool holds(BlockAddr block) const { return state(block) != MesiState::Invalid; }
+
+    /**
+     * Invalidate @p block (external request). Returns the state the
+     * block was in (so the caller can collect dirty data).
+     * @param dev true when the invalidation stems from a directory
+     *        entry eviction (DEV accounting).
+     */
+    MesiState invalidate(BlockAddr block, bool dev);
+
+    /** Downgrade @p block M/E -> S; returns the previous state. */
+    MesiState downgrade(BlockAddr block);
+
+    /** Grant M permission after an upgrade response. */
+    void upgradeToModified(BlockAddr block);
+
+    /** Total L2 lookup latency for a fill path (L1 + L2). */
+    std::uint32_t l1Cycles() const { return l1Cycles_; }
+    std::uint32_t l2Cycles() const { return l2Cycles_; }
+
+    const PrivateCacheStats &stats() const { return stats_; }
+    void clearStats() { stats_ = PrivateCacheStats{}; }
+
+    /** Number of valid L2 blocks (invariant checks). */
+    std::uint64_t validBlocks() const;
+
+    /** Visit every valid L2 block: fn(block, state). */
+    template <typename Fn>
+    void
+    forEachBlock(Fn &&fn) const
+    {
+        l2_.forEach([&](std::size_t, std::uint32_t, const L2Line &l) {
+            fn(l.block, l.state);
+        });
+    }
+
+  private:
+    struct L1Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+
+        bool occupied() const { return valid; }
+        void reset() { valid = false; }
+    };
+
+    struct L2Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        MesiState state = MesiState::Invalid;
+        BlockAddr block = 0;
+
+        bool occupied() const { return state != MesiState::Invalid; }
+        void reset() { state = MesiState::Invalid; }
+    };
+
+    CacheArray<L1Line> &l1For(AccessType type)
+    {
+        return type == AccessType::Ifetch ? l1i_ : l1d_;
+    }
+
+    /** Remove @p block from both L1s (inclusion on L2 eviction). */
+    void dropFromL1s(BlockAddr block);
+
+    /** Fill @p block into the L1 used by @p type. */
+    void fillL1(AccessType type, BlockAddr block);
+
+    CoreId core_;
+    std::uint32_t l1Cycles_;
+    std::uint32_t l2Cycles_;
+    CacheArray<L1Line> l1i_;
+    CacheArray<L1Line> l1d_;
+    CacheArray<L2Line> l2_;
+    PrivateCacheStats stats_;
+};
+
+} // namespace zerodev
+
+#endif // ZERODEV_COHERENCE_PRIVATE_CACHE_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the simulator.
+ */
+
+#ifndef ZERODEV_COMMON_BITOPS_HH
+#define ZERODEV_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace zerodev
+{
+
+/** True iff @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); v must be non-zero. */
+constexpr std::uint32_t
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<std::uint32_t>(std::countl_zero(v));
+}
+
+/** ceil(log2(v)); v must be non-zero. */
+constexpr std::uint32_t
+ceilLog2(std::uint64_t v)
+{
+    return v <= 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/** Extract bit field [lo, lo+len) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, std::uint32_t lo, std::uint32_t len)
+{
+    return len >= 64 ? (v >> lo) : ((v >> lo) & ((1ull << len) - 1));
+}
+
+/** Insert @p field into bits [lo, lo+len) of @p v, returning the result. */
+constexpr std::uint64_t
+insertBits(std::uint64_t v, std::uint32_t lo, std::uint32_t len,
+           std::uint64_t field)
+{
+    const std::uint64_t mask =
+        (len >= 64 ? ~0ull : ((1ull << len) - 1)) << lo;
+    return (v & ~mask) | ((field << lo) & mask);
+}
+
+} // namespace zerodev
+
+#endif // ZERODEV_COMMON_BITOPS_HH

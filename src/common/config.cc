@@ -1,0 +1,188 @@
+#include "common/config.hh"
+
+#include <cmath>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace zerodev
+{
+
+namespace
+{
+
+const char *
+name(AccessType t)
+{
+    switch (t) {
+      case AccessType::Load: return "Load";
+      case AccessType::Store: return "Store";
+      case AccessType::Ifetch: return "Ifetch";
+    }
+    return "?";
+}
+
+} // namespace
+
+const char *
+toString(AccessType t)
+{
+    return name(t);
+}
+
+const char *
+toString(DirState s)
+{
+    switch (s) {
+      case DirState::Invalid: return "I";
+      case DirState::Owned: return "M/E";
+      case DirState::Shared: return "S";
+    }
+    return "?";
+}
+
+const char *
+toString(MesiState s)
+{
+    switch (s) {
+      case MesiState::Invalid: return "I";
+      case MesiState::Shared: return "S";
+      case MesiState::Exclusive: return "E";
+      case MesiState::Modified: return "M";
+    }
+    return "?";
+}
+
+const char *
+toString(LlcFlavor f)
+{
+    switch (f) {
+      case LlcFlavor::NonInclusive: return "non-inclusive";
+      case LlcFlavor::Inclusive: return "inclusive";
+      case LlcFlavor::Epd: return "EPD";
+    }
+    return "?";
+}
+
+const char *
+toString(DirCachePolicy p)
+{
+    switch (p) {
+      case DirCachePolicy::None: return "none";
+      case DirCachePolicy::SpillAll: return "SpillAll";
+      case DirCachePolicy::Fpss: return "FPSS";
+      case DirCachePolicy::FuseAll: return "FuseAll";
+    }
+    return "?";
+}
+
+const char *
+toString(LlcReplPolicy p)
+{
+    switch (p) {
+      case LlcReplPolicy::Lru: return "LRU";
+      case LlcReplPolicy::SpLru: return "spLRU";
+      case LlcReplPolicy::DataLru: return "dataLRU";
+    }
+    return "?";
+}
+
+const char *
+toString(DirOrg o)
+{
+    switch (o) {
+      case DirOrg::SparseNru: return "sparse-NRU";
+      case DirOrg::Unbounded: return "unbounded";
+      case DirOrg::ZeroDev: return "ZeroDEV";
+      case DirOrg::SecDir: return "SecDir";
+      case DirOrg::MultiGrain: return "MgD";
+    }
+    return "?";
+}
+
+std::uint64_t
+SystemConfig::dirEntries() const
+{
+    const double entries =
+        directory.sizeRatio * static_cast<double>(privateL2Blocks());
+    return static_cast<std::uint64_t>(std::llround(entries));
+}
+
+std::uint64_t
+SystemConfig::dirSetsPerSlice() const
+{
+    const std::uint64_t entries = dirEntries();
+    if (entries == 0)
+        return 0;
+    const std::uint64_t per_slice =
+        entries / (static_cast<std::uint64_t>(directory.ways) * llcBanks);
+    return per_slice == 0 ? 1 : per_slice;
+}
+
+void
+SystemConfig::validate() const
+{
+    if (!isPowerOfTwo(blockBytes))
+        fatal("block size %u is not a power of two", blockBytes);
+    if (!isPowerOfTwo(llcBanks))
+        fatal("LLC bank count %u is not a power of two", llcBanks);
+    if (llcBlocks() % (static_cast<std::uint64_t>(llcWays) * llcBanks) != 0)
+        fatal("LLC geometry does not divide evenly");
+    if (coresPerSocket > kMaxCores)
+        fatal("%u cores exceed the %u-core sharer vector",
+              coresPerSocket, kMaxCores);
+    if (sockets > kMaxSockets)
+        fatal("%u sockets exceed the %u-socket limit", sockets, kMaxSockets);
+    if (dirOrg == DirOrg::ZeroDev &&
+        dirCachePolicy == DirCachePolicy::None) {
+        fatal("ZeroDEV requires a directory-entry caching policy");
+    }
+    if (dirOrg != DirOrg::ZeroDev && directory.sizeRatio <= 0.0 &&
+        dirOrg != DirOrg::Unbounded) {
+        fatal("a %s directory cannot be sized 0x", toString(dirOrg));
+    }
+}
+
+SystemConfig
+makeEightCoreConfig()
+{
+    SystemConfig cfg;
+    cfg.name = "8core";
+    // Every field already defaults to the Table I value.
+    return cfg;
+}
+
+SystemConfig
+makeServerConfig()
+{
+    SystemConfig cfg;
+    cfg.name = "128core-server";
+    cfg.coresPerSocket = 128;
+    cfg.l2 = CacheConfig{128 * 1024, 8, 8};
+    cfg.llcSizeBytes = 32ull * 1024 * 1024;
+    cfg.llcBanks = 128;
+    cfg.dram.channels = 8;
+    cfg.dram.ranksPerChannel = 2;
+    return cfg;
+}
+
+SystemConfig
+makeQuadSocketConfig()
+{
+    SystemConfig cfg = makeEightCoreConfig();
+    cfg.name = "4socket";
+    cfg.sockets = 4;
+    return cfg;
+}
+
+void
+applyZeroDev(SystemConfig &cfg, double dir_ratio)
+{
+    cfg.dirOrg = DirOrg::ZeroDev;
+    cfg.dirCachePolicy = DirCachePolicy::Fpss;
+    cfg.llcReplPolicy = LlcReplPolicy::DataLru;
+    cfg.directory.sizeRatio = dir_ratio;
+    cfg.directory.replacementDisabled = true;
+}
+
+} // namespace zerodev

@@ -1,0 +1,91 @@
+#include "common/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace zerodev
+{
+
+namespace
+{
+LogLevel gLevel = LogLevel::Warn;
+
+void
+vlog(const char *prefix, const char *fmt, std::va_list ap)
+{
+    std::fprintf(stderr, "%s", prefix);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+} // namespace
+
+void
+setLogLevel(LogLevel lvl)
+{
+    gLevel = lvl;
+}
+
+LogLevel
+logLevel()
+{
+    return gLevel;
+}
+
+void
+logMsg(LogLevel lvl, const char *fmt, ...)
+{
+    if (lvl < gLevel)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    const char *prefix = lvl == LogLevel::Debug ? "debug: "
+                       : lvl == LogLevel::Info  ? "info: "
+                       : lvl == LogLevel::Warn  ? "warn: "
+                                                : "error: ";
+    vlog(prefix, fmt, ap);
+    va_end(ap);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vlog("panic: ", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vlog("fatal: ", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (LogLevel::Info < gLevel)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    vlog("info: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (LogLevel::Warn < gLevel)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    vlog("warn: ", fmt, ap);
+    va_end(ap);
+}
+
+} // namespace zerodev

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Logging and error-exit helpers in the gem5 style: panic() for simulator
+ * bugs (aborts), fatal() for user errors (clean exit), warn()/inform() for
+ * status messages.
+ */
+
+#ifndef ZERODEV_COMMON_LOG_HH
+#define ZERODEV_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace zerodev
+{
+
+/** Severity of a log message. */
+enum class LogLevel
+{
+    Debug,
+    Info,
+    Warn,
+    Error,
+};
+
+/** Global log threshold; messages below it are suppressed. */
+void setLogLevel(LogLevel lvl);
+LogLevel logLevel();
+
+/** printf-style message at the given level. */
+void logMsg(LogLevel lvl, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * Abort the process: something happened that should never happen regardless
+ * of user input, i.e. a simulator bug.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exit the process with an error code: the simulation cannot continue due
+ * to a condition that is the user's fault (bad configuration, etc.).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Informative message users should know about but not worry about. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Something may not behave exactly as expected. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace zerodev
+
+#endif // ZERODEV_COMMON_LOG_HH

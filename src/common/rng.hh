@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * A small xoshiro256** engine is used instead of std::mt19937 so that the
+ * generated address streams are bit-identical across standard library
+ * implementations, which keeps every experiment reproducible.
+ */
+
+#ifndef ZERODEV_COMMON_RNG_HH
+#define ZERODEV_COMMON_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace zerodev
+{
+
+/** xoshiro256** 1.0 pseudo-random generator (public-domain algorithm). */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 so that nearby seeds give unrelated streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Approximate Zipf(s=@p skew) draw over [0, n): a cheap two-level
+     * scheme where a "hot" prefix of the range receives most draws.
+     * Used for reuse-skewed working sets; exact Zipf is not required.
+     */
+    std::uint64_t
+    zipfish(std::uint64_t n, double skew)
+    {
+        if (n <= 1)
+            return 0;
+        // Repeatedly halve the candidate range with probability `skew`,
+        // yielding a geometric concentration toward small indices.
+        std::uint64_t lo = 0, hi = n;
+        while (hi - lo > 1 && chance(skew))
+            hi = lo + (hi - lo + 1) / 2;
+        return lo + below(hi - lo);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace zerodev
+
+#endif // ZERODEV_COMMON_RNG_HH

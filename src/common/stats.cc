@@ -1,0 +1,162 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace zerodev
+{
+
+void
+StatDump::add(const std::string &name, double value)
+{
+    auto it = index_.find(name);
+    if (it != index_.end()) {
+        entries_[it->second].second = value;
+        return;
+    }
+    index_[name] = entries_.size();
+    entries_.emplace_back(name, value);
+}
+
+void
+StatDump::merge(const std::string &prefix, const StatDump &other)
+{
+    for (const auto &[name, value] : other.entries_)
+        add(prefix + name, value);
+}
+
+double
+StatDump::get(const std::string &name) const
+{
+    auto it = index_.find(name);
+    return it == index_.end() ? 0.0 : entries_[it->second].second;
+}
+
+bool
+StatDump::has(const std::string &name) const
+{
+    return index_.count(name) != 0;
+}
+
+std::string
+StatDump::toString() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : entries_)
+        os << name << " = " << value << "\n";
+    return os.str();
+}
+
+Histogram::Histogram(std::size_t buckets) : counts_(buckets + 1, 0)
+{
+    if (buckets == 0)
+        panic("histogram with zero buckets");
+}
+
+void
+Histogram::record(std::uint64_t v)
+{
+    const std::size_t idx =
+        v < counts_.size() - 1 ? static_cast<std::size_t>(v)
+                               : counts_.size() - 1;
+    ++counts_[idx];
+    ++samples_;
+    sum_ += v;
+}
+
+std::uint64_t
+Histogram::bucket(std::size_t v) const
+{
+    return v < counts_.size() ? counts_[v] : 0;
+}
+
+double
+Histogram::meanValue() const
+{
+    return samples_ == 0
+               ? 0.0
+               : static_cast<double>(sum_) / static_cast<double>(samples_);
+}
+
+std::uint64_t
+Histogram::percentile(double q) const
+{
+    if (samples_ == 0)
+        return 0;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(samples_));
+    std::uint64_t seen = 0;
+    for (std::size_t v = 0; v < counts_.size(); ++v) {
+        seen += counts_[v];
+        if (seen >= target && counts_[v] > 0)
+            return v;
+        if (seen >= target)
+            return v;
+    }
+    return counts_.size() - 1;
+}
+
+void
+Histogram::addTo(StatDump &dump, const std::string &prefix) const
+{
+    dump.add(prefix + ".samples", static_cast<double>(samples_));
+    dump.add(prefix + ".mean", meanValue());
+    dump.add(prefix + ".p50", static_cast<double>(percentile(0.50)));
+    dump.add(prefix + ".p99", static_cast<double>(percentile(0.99)));
+    for (std::size_t v = 0; v < counts_.size(); ++v) {
+        if (counts_[v] != 0) {
+            dump.add(prefix + ".bucket" + std::to_string(v),
+                     static_cast<double>(counts_[v]));
+        }
+    }
+}
+
+void
+Histogram::clear()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    samples_ = 0;
+    sum_ = 0;
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double logsum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            panic("geomean of non-positive value %f", x);
+        logsum += std::log(x);
+    }
+    return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+} // namespace zerodev

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Lightweight statistics support: named counter registries that components
+ * expose for dumping, plus scalar aggregation helpers (mean, geomean).
+ *
+ * Hot-path counters are plain uint64_t members of the owning component;
+ * the registry is only consulted when a report is produced, so statistics
+ * never cost anything during simulation.
+ */
+
+#ifndef ZERODEV_COMMON_STATS_HH
+#define ZERODEV_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace zerodev
+{
+
+/** An ordered name -> value map produced by a component when reporting. */
+class StatDump
+{
+  public:
+    /** Record a scalar statistic under @p name. */
+    void add(const std::string &name, double value);
+
+    /** Merge another dump in, prefixing every name with @p prefix. */
+    void merge(const std::string &prefix, const StatDump &other);
+
+    /** Value lookup; returns 0 if the name is absent. */
+    double get(const std::string &name) const;
+
+    /** True iff @p name has been recorded. */
+    bool has(const std::string &name) const;
+
+    /** All (name, value) pairs in insertion order. */
+    const std::vector<std::pair<std::string, double>> &entries() const
+    {
+        return entries_;
+    }
+
+    /** Render as "name = value" lines. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::pair<std::string, double>> entries_;
+    std::map<std::string, std::size_t> index_;
+};
+
+/**
+ * A fixed-bucket histogram for small-integer observations (sharer
+ * degrees, hop counts, residency quantiles). The last bucket absorbs
+ * overflow. Cheap enough for protocol hot paths (one add + one
+ * increment).
+ */
+class Histogram
+{
+  public:
+    /** @param buckets number of exact buckets before the overflow one */
+    explicit Histogram(std::size_t buckets);
+
+    /** Record one observation of value @p v. */
+    void record(std::uint64_t v);
+
+    std::uint64_t samples() const { return samples_; }
+
+    /** Count of observations equal to @p v (or >= buckets for the
+     *  overflow bucket). */
+    std::uint64_t bucket(std::size_t v) const;
+
+    /** Mean of all recorded observations. */
+    double meanValue() const;
+
+    /** Smallest value v such that at least @p q of the samples are
+     *  <= v (overflow bucket reported as bucket count). */
+    std::uint64_t percentile(double q) const;
+
+    /** Render into a dump under names "<prefix>.pN" / buckets. */
+    void addTo(StatDump &dump, const std::string &prefix) const;
+
+    void clear();
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t samples_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+/** Arithmetic mean; returns 0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean; every element must be positive. */
+double geomean(const std::vector<double> &xs);
+
+/** Minimum; returns 0 for an empty vector. */
+double minOf(const std::vector<double> &xs);
+
+/** Maximum; returns 0 for an empty vector. */
+double maxOf(const std::vector<double> &xs);
+
+} // namespace zerodev
+
+#endif // ZERODEV_COMMON_STATS_HH

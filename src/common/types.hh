@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fundamental scalar types and enumerations shared by every subsystem of
+ * the ZeroDEV simulator.
+ */
+
+#ifndef ZERODEV_COMMON_TYPES_HH
+#define ZERODEV_COMMON_TYPES_HH
+
+#include <bitset>
+#include <cstdint>
+#include <string>
+
+namespace zerodev
+{
+
+/** Byte address of a memory location. */
+using Addr = std::uint64_t;
+
+/** Block-granular address (byte address >> log2(blockBytes)). */
+using BlockAddr = std::uint64_t;
+
+/** Simulated clock cycle count (core clock domain, 4 GHz by default). */
+using Cycle = std::uint64_t;
+
+/** Core identifier within a socket. */
+using CoreId = std::uint32_t;
+
+/** Socket identifier within the system. */
+using SocketId = std::uint32_t;
+
+/** Maximum number of cores per socket supported by the full-map vectors. */
+constexpr std::uint32_t kMaxCores = 128;
+
+/** Maximum number of sockets supported by the socket-level directory. */
+constexpr std::uint32_t kMaxSockets = 8;
+
+/** Full-map sharer bit-vector over the cores of one socket. */
+using SharerSet = std::bitset<kMaxCores>;
+
+/** Full-map sharer bit-vector over sockets. */
+using SocketSet = std::bitset<kMaxSockets>;
+
+/** Sentinel for "no core". */
+constexpr CoreId kInvalidCore = ~0u;
+
+/** Kind of memory operation issued by a core. */
+enum class AccessType : std::uint8_t
+{
+    Load,    //!< data read
+    Store,   //!< data write
+    Ifetch,  //!< instruction fetch (fills in S state to accelerate sharing)
+};
+
+/** Human-readable name of an AccessType. */
+const char *toString(AccessType t);
+
+/**
+ * Stable MESI coherence state of a block as tracked by a directory entry.
+ *
+ * The directory cannot distinguish M from E (footnote 2 of the paper), so
+ * it only tracks the merged Owned (M/E) state versus Shared.
+ */
+enum class DirState : std::uint8_t
+{
+    Invalid,  //!< entry free
+    Owned,    //!< exactly one core caches the block in M or E
+    Shared,   //!< one or more cores cache the block in S
+};
+
+const char *toString(DirState s);
+
+/** MESI state of a block in a private (L1/L2) cache. */
+enum class MesiState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+const char *toString(MesiState s);
+
+/** LLC inclusion flavour (Section III-A, III-E, III-F of the paper). */
+enum class LlcFlavor : std::uint8_t
+{
+    NonInclusive,  //!< baseline: demand fills allocate in LLC and core caches
+    Inclusive,     //!< LLC eviction back-invalidates the core caches
+    Epd,           //!< exclusive private data: M/E blocks live only privately
+};
+
+const char *toString(LlcFlavor f);
+
+/** Directory-entry-in-LLC caching policy (Section III-C). */
+enum class DirCachePolicy : std::uint8_t
+{
+    None,      //!< baseline: directory entries are never cached in the LLC
+    SpillAll,  //!< every evicted entry occupies a full LLC block
+    Fpss,      //!< FusePrivateSpillShared: fuse M/E entries, spill S entries
+    FuseAll,   //!< fuse regardless of state; 3-hop reads to shared blocks
+};
+
+const char *toString(DirCachePolicy p);
+
+/** LLC replacement policy (baseline LRU plus the Section III-D extensions). */
+enum class LlcReplPolicy : std::uint8_t
+{
+    Lru,      //!< baseline least-recently-used
+    SpLru,    //!< spill-protect LRU: spilled entry shadows its block at MRU
+    DataLru,  //!< evict ordinary data blocks before any spilled/fused entry
+};
+
+const char *toString(LlcReplPolicy p);
+
+/** Which directory organisation a system instance runs. */
+enum class DirOrg : std::uint8_t
+{
+    SparseNru,   //!< baseline sparse directory, NRU replacement, DEVs allowed
+    Unbounded,   //!< infinite directory (no evictions ever)
+    ZeroDev,     //!< replacement-disabled sparse directory + LLC caching
+    SecDir,      //!< SecDir baseline: private + shared partitions
+    MultiGrain,  //!< Multi-grain Directory baseline: region + block entries
+};
+
+const char *toString(DirOrg o);
+
+} // namespace zerodev
+
+#endif // ZERODEV_COMMON_TYPES_HH

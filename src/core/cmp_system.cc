@@ -1,0 +1,331 @@
+#include "core/cmp_system.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+#include "directory/mgd.hh"
+#include "directory/secdir.hh"
+
+namespace zerodev
+{
+
+namespace
+{
+
+/** Round @p v down to a power of two (at least 1). */
+std::uint64_t
+floorPow2(std::uint64_t v)
+{
+    if (v <= 1)
+        return 1;
+    return 1ull << floorLog2(v);
+}
+
+} // namespace
+
+CmpSystem::Socket::Socket(const SystemConfig &cfg, SocketId sid)
+    : id(sid),
+      llc(cfg),
+      dram(cfg.dram, cfg.blockBytes),
+      mesh(std::max(cfg.coresPerSocket, cfg.llcBanks), cfg.meshHopCycles),
+      traffic(cfg.coresPerSocket)
+{
+    cores.reserve(cfg.coresPerSocket);
+    for (CoreId c = 0; c < cfg.coresPerSocket; ++c)
+        cores.emplace_back(cfg, c);
+}
+
+CmpSystem::CmpSystem(const SystemConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+    sockets_.reserve(cfg_.sockets);
+    for (SocketId s = 0; s < cfg_.sockets; ++s) {
+        auto sock = std::make_unique<Socket>(cfg_, s);
+        sock->sparseDir = buildSparseDir();
+        sock->dirOrg = buildDirOrg();
+        if (cfg_.sockets > 1) {
+            sock->socketDir = std::make_unique<SocketDirectory>(
+                cfg_.socketDirZeroDev
+                    ? SocketDirectory::Backing::DirEvictBit
+                    : SocketDirectory::Backing::MemoryBackup,
+                cfg_.socketDirCacheSets, cfg_.socketDirCacheWays,
+                sock->memStore);
+        }
+        sockets_.push_back(std::move(sock));
+    }
+}
+
+std::unique_ptr<SparseDirectory>
+CmpSystem::buildSparseDir() const
+{
+    if (cfg_.dirOrg != DirOrg::ZeroDev)
+        return nullptr;
+    if (cfg_.directory.sizeRatio <= 0.0)
+        return nullptr; // ZeroDEV with no sparse directory at all
+    const std::uint64_t sets = floorPow2(cfg_.dirSetsPerSlice());
+    return std::make_unique<SparseDirectory>(
+        cfg_.llcBanks, sets, cfg_.directory.ways,
+        /*replacement_disabled=*/true);
+}
+
+std::unique_ptr<DirOrgBase>
+CmpSystem::buildDirOrg() const
+{
+    const std::uint64_t sets = floorPow2(cfg_.dirSetsPerSlice());
+    switch (cfg_.dirOrg) {
+      case DirOrg::ZeroDev:
+        return nullptr;
+      case DirOrg::SparseNru:
+        return std::make_unique<SparseOrg>(SparseDirectory(
+            cfg_.llcBanks, sets, cfg_.directory.ways, false));
+      case DirOrg::Unbounded:
+        return std::make_unique<SparseOrg>(
+            SparseDirectory::makeUnbounded(cfg_.llcBanks));
+      case DirOrg::SecDir:
+        return std::make_unique<SecDir>(
+            cfg_.coresPerSocket, cfg_.llcBanks,
+            SecDirGeometry::forConfig(cfg_.coresPerSocket, sets,
+                                      cfg_.directory.ways));
+      case DirOrg::MultiGrain:
+        return std::make_unique<MultiGrainDirectory>(
+            cfg_.coresPerSocket, cfg_.llcBanks, sets, cfg_.directory.ways,
+            cfg_.mgd.regionBytes / cfg_.blockBytes);
+    }
+    panic("unknown directory organisation");
+}
+
+SocketId
+CmpSystem::homeSocket(BlockAddr block) const
+{
+    if (cfg_.sockets == 1)
+        return 0;
+    // 4 KB-granular home interleave (64 blocks): decorrelates the home
+    // socket from the LLC bank index bits.
+    return static_cast<SocketId>((block >> 6) & (cfg_.sockets - 1));
+}
+
+Cycle
+CmpSystem::meshCoreToBank(Socket &s, CoreId c, BlockAddr block) const
+{
+    return s.mesh.latency(s.mesh.tileOfCore(c),
+                          s.mesh.tileOfBank(s.llc.bankOfBlock(block)));
+}
+
+Cycle
+CmpSystem::meshBankToCore(Socket &s, BlockAddr block, CoreId c) const
+{
+    return meshCoreToBank(s, c, block);
+}
+
+Cycle
+CmpSystem::meshCoreToCore(Socket &s, CoreId a, CoreId b) const
+{
+    return s.mesh.latency(s.mesh.tileOfCore(a), s.mesh.tileOfCore(b));
+}
+
+Cycle
+CmpSystem::access(CoreId gcore, AccessType type, BlockAddr block,
+                  Cycle now)
+{
+    Socket &s = *sockets_[socketOfCore(gcore)];
+    const CoreId c = localCore(gcore);
+    PrivateCache &pc = s.cores[c];
+    ++proto_.accesses;
+
+    switch (pc.access(type, block)) {
+      case CoreLookup::L1Hit:
+        return finishAccess(AccessClass::L1Hit, now,
+                            now + pc.l1Cycles());
+      case CoreLookup::L2Hit:
+        return finishAccess(AccessClass::L2Hit, now,
+                            now + pc.l1Cycles() + pc.l2Cycles());
+      case CoreLookup::NeedUpgrade:
+        return finishAccess(AccessClass::Upgrade, now,
+                            handleUpgrade(s, c, block, now));
+      case CoreLookup::Miss: {
+        ++proto_.l2Misses;
+        const std::uint64_t mem_before =
+            proto_.classCount[static_cast<std::size_t>(
+                AccessClass::Memory)];
+        const std::uint64_t cor_before =
+            proto_.classCount[static_cast<std::size_t>(
+                AccessClass::Corrupted)];
+        const std::uint64_t three_before = proto_.threeHopReads;
+        const Cycle done = handleMiss(s, c, type, block, now);
+        // The flows tag Memory/Corrupted classes themselves; everything
+        // else is a 2-hop or 3-hop uncore transaction.
+        const bool tagged =
+            proto_.classCount[static_cast<std::size_t>(
+                AccessClass::Memory)] != mem_before ||
+            proto_.classCount[static_cast<std::size_t>(
+                AccessClass::Corrupted)] != cor_before;
+        if (tagged)
+            return done;
+        return finishAccess(proto_.threeHopReads != three_before
+                                ? AccessClass::ThreeHop
+                                : AccessClass::TwoHop,
+                            now, done);
+      }
+    }
+    panic("unreachable");
+}
+
+Tracking
+CmpSystem::peekTracking(SocketId sid, BlockAddr block) const
+{
+    const Socket &s = *sockets_[sid];
+    Tracking trk;
+    if (s.dirOrg) {
+        auto e = s.dirOrg->peek(block);
+        if (e) {
+            trk.where = TrackWhere::Org;
+            trk.entry = *e;
+        }
+        return trk;
+    }
+    if (s.sparseDir) {
+        if (const DirEntry *e = s.sparseDir->peek(block)) {
+            trk.where = TrackWhere::SparseDir;
+            trk.entry = *e;
+            return trk;
+        }
+    }
+    LlcProbe p = const_cast<Llc &>(s.llc).probe(block);
+    if (p.spilled) {
+        trk.where = TrackWhere::LlcSpilled;
+        trk.entry = p.spilled->de;
+    } else if (p.data && p.data->kind == LlcLineKind::FusedDe) {
+        trk.where = TrackWhere::LlcFused;
+        trk.entry = p.data->de;
+    }
+    return trk;
+}
+
+SocketDirEntry
+CmpSystem::peekSocketEntry(BlockAddr block) const
+{
+    const Socket &h = *sockets_[homeSocket(block)];
+    if (!h.socketDir)
+        return SocketDirEntry{};
+    return h.socketDir->peek(block);
+}
+
+std::uint64_t
+CmpSystem::totalTrafficBytes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : sockets_)
+        n += s->traffic.totalBytes();
+    return n;
+}
+
+DramStats
+CmpSystem::totalDramStats() const
+{
+    DramStats agg;
+    for (const auto &s : sockets_) {
+        const DramStats &d = s->dram.stats();
+        agg.reads += d.reads;
+        agg.writes += d.writes;
+        agg.rowHits += d.rowHits;
+        agg.rowMisses += d.rowMisses;
+        agg.rowConflicts += d.rowConflicts;
+        agg.deReads += d.deReads;
+        agg.deWrites += d.deWrites;
+    }
+    return agg;
+}
+
+const char *
+toString(AccessClass c)
+{
+    switch (c) {
+      case AccessClass::L1Hit: return "l1_hit";
+      case AccessClass::L2Hit: return "l2_hit";
+      case AccessClass::Upgrade: return "upgrade";
+      case AccessClass::TwoHop: return "two_hop";
+      case AccessClass::ThreeHop: return "three_hop";
+      case AccessClass::Memory: return "memory";
+      case AccessClass::Corrupted: return "corrupted";
+      case AccessClass::NumClasses: break;
+    }
+    return "?";
+}
+
+StatDump
+CmpSystem::report() const
+{
+    StatDump d;
+    d.add("accesses", static_cast<double>(proto_.accesses));
+    d.add("l2_misses", static_cast<double>(proto_.l2Misses));
+    d.add("dev_invalidations",
+          static_cast<double>(proto_.devInvalidations));
+    d.add("dev_owned_invalidations",
+          static_cast<double>(proto_.devOwnedInvalidations));
+    d.add("inclusion_invalidations",
+          static_cast<double>(proto_.inclusionInvalidations));
+    d.add("two_hop_reads", static_cast<double>(proto_.twoHopReads));
+    d.add("three_hop_reads", static_cast<double>(proto_.threeHopReads));
+    d.add("llc_de_evict_wbs", static_cast<double>(proto_.llcDeEvictWbs));
+    d.add("get_de_flows", static_cast<double>(proto_.getDeFlows));
+    d.add("denf_nacks", static_cast<double>(proto_.denfNacks));
+    d.add("corrupted_read_misses",
+          static_cast<double>(proto_.corruptedReadMisses));
+    d.add("corrupted_responses",
+          static_cast<double>(proto_.corruptedResponses));
+    d.add("socket_misses", static_cast<double>(proto_.socketMisses));
+    d.add("last_copy_restores",
+          static_cast<double>(proto_.lastCopyRestores));
+    d.add("traffic_bytes", static_cast<double>(totalTrafficBytes()));
+
+    const DramStats dram = totalDramStats();
+    d.add("dram.reads", static_cast<double>(dram.reads));
+    d.add("dram.writes", static_cast<double>(dram.writes));
+    d.add("dram.de_reads", static_cast<double>(dram.deReads));
+    d.add("dram.de_writes", static_cast<double>(dram.deWrites));
+
+    for (SocketId s = 0; s < cfg_.sockets; ++s) {
+        const std::string p = "s" + std::to_string(s) + ".";
+        const LlcStats &l = sockets_[s]->llc.stats();
+        d.add(p + "llc.data_evictions",
+              static_cast<double>(l.dataEvictions));
+        d.add(p + "llc.de_evictions", static_cast<double>(l.deEvictions));
+        d.add(p + "llc.spill_allocs", static_cast<double>(l.spillAllocs));
+        d.add(p + "llc.fuse_ops", static_cast<double>(l.fuseOps));
+        d.add(p + "llc.peak_de_lines",
+              static_cast<double>(l.peakDeLines));
+        d.add(p + "llc.de_lines",
+              static_cast<double>(sockets_[s]->llc.deLines()));
+        if (sockets_[s]->sparseDir) {
+            d.add(p + "dir.live",
+                  static_cast<double>(sockets_[s]->sparseDir->liveEntries()));
+            d.add(p + "dir.refusals",
+                  static_cast<double>(
+                      sockets_[s]->sparseDir->stats().refusals));
+        }
+        if (sockets_[s]->dirOrg) {
+            d.add(p + "dir.live",
+                  static_cast<double>(sockets_[s]->dirOrg->liveEntries()));
+            d.add(p + "dir.forced_invs",
+                  static_cast<double>(
+                      sockets_[s]->dirOrg->orgStats().forcedInvalidations));
+        }
+        d.add(p + "mem.corrupted_blocks",
+              static_cast<double>(sockets_[s]->memStore.corruptedBlocks()));
+    }
+    sharingDegree_.addTo(d, "sharing_degree");
+    devSize_.addTo(d, "dev_size");
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(AccessClass::NumClasses); ++i) {
+        const auto cls = static_cast<AccessClass>(i);
+        if (proto_.classCount[i] == 0)
+            continue;
+        const std::string p = std::string("latency.") + toString(cls);
+        d.add(p + ".count", static_cast<double>(proto_.classCount[i]));
+        d.add(p + ".mean", proto_.meanLatency(cls));
+    }
+    return d;
+}
+
+} // namespace zerodev

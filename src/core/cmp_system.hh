@@ -1,0 +1,389 @@
+/**
+ * @file
+ * The full CMP system model: per-core private hierarchies, banked shared
+ * LLC, coherence directory (in any of the paper's organisations), 2D mesh,
+ * DRAM, and — when configured — the complete ZeroDEV protocol with its
+ * directory-entry caching policies, LLC replacement extensions and
+ * entry-in-memory flows, for one or more sockets.
+ *
+ * The simulator is transaction-level: access() executes one memory
+ * operation of one core atomically (full functional protocol update) and
+ * returns its completion time, composed from array lookup latencies, mesh
+ * hops, inter-socket links, and DRAM bank timing. Transactions must be
+ * issued in globally non-decreasing time order (the Runner guarantees
+ * this), which makes the protocol race-free by construction; the races
+ * the paper reasons about (e.g. a forwarded socket having lost its
+ * directory entry to memory) appear as explicit protocol states instead.
+ */
+
+#ifndef ZERODEV_CORE_CMP_SYSTEM_HH
+#define ZERODEV_CORE_CMP_SYSTEM_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/llc_bank.hh"
+#include "coherence/private_cache.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "directory/dir_org.hh"
+#include "directory/sparse_directory.hh"
+#include "core/socket_dir.hh"
+#include "interconnect/mesh.hh"
+#include "interconnect/message.hh"
+#include "mem/dram.hh"
+#include "mem/memory_store.hh"
+
+namespace zerodev
+{
+
+/** Where a block's in-socket directory entry currently lives. */
+enum class TrackWhere : std::uint8_t
+{
+    None,       //!< untracked within the socket
+    SparseDir,  //!< dedicated sparse directory structure
+    LlcSpilled, //!< spilled line in the LLC
+    LlcFused,   //!< fused into the block's LLC line
+    Org,        //!< baseline organisation (sparse/unbounded/SecDir/MgD)
+};
+
+/** Snapshot of a block's tracking state within one socket. */
+struct Tracking
+{
+    TrackWhere where = TrackWhere::None;
+    DirEntry entry;
+
+    bool found() const { return where != TrackWhere::None; }
+};
+
+/** Service class of one completed access (latency accounting). */
+enum class AccessClass : std::uint8_t
+{
+    L1Hit,
+    L2Hit,
+    Upgrade,
+    TwoHop,      //!< uncore hit served by the home bank
+    ThreeHop,    //!< forwarded to an owner/sharer core
+    Memory,      //!< filled from DRAM
+    Corrupted,   //!< served through a corrupted-block flow
+    NumClasses,
+};
+
+const char *toString(AccessClass c);
+
+/** System-wide protocol counters. */
+struct ProtocolStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t l2Misses = 0;       //!< core cache misses (paper metric)
+    std::uint64_t devInvalidations = 0; //!< DEV blocks invalidated
+    std::uint64_t devOwnedInvalidations = 0; //!< of which M/E blocks
+    std::uint64_t inclusionInvalidations = 0; //!< inclusive back-invs
+    std::uint64_t threeHopReads = 0;
+    std::uint64_t twoHopReads = 0;
+    std::uint64_t llcDeEvictWbs = 0;  //!< WB_DE flows executed
+    std::uint64_t getDeFlows = 0;     //!< GET_DE core-eviction flows
+    std::uint64_t denfNacks = 0;      //!< racing-entry NACK flows
+    std::uint64_t corruptedReadMisses = 0; //!< LLC misses to corrupted mem
+    std::uint64_t corruptedResponses = 0;  //!< special corrupted responses
+    std::uint64_t socketMisses = 0;
+    std::uint64_t lastCopyRestores = 0; //!< memory un-corruption writes
+
+    /** Per-service-class access counts and total latency cycles. */
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(AccessClass::NumClasses)>
+        classCount{};
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(AccessClass::NumClasses)>
+        classCycles{};
+
+    double
+    meanLatency(AccessClass c) const
+    {
+        const auto i = static_cast<std::size_t>(c);
+        return classCount[i] == 0
+                   ? 0.0
+                   : static_cast<double>(classCycles[i]) /
+                         static_cast<double>(classCount[i]);
+    }
+};
+
+class CmpSystem
+{
+  public:
+    explicit CmpSystem(const SystemConfig &cfg);
+
+    CmpSystem(const CmpSystem &) = delete;
+    CmpSystem &operator=(const CmpSystem &) = delete;
+
+    /**
+     * Execute one memory access of global core @p gcore at time @p now.
+     * @return the cycle at which the access completes.
+     */
+    Cycle access(CoreId gcore, AccessType type, BlockAddr block, Cycle now);
+
+    const SystemConfig &config() const { return cfg_; }
+
+    std::uint32_t totalCores() const
+    {
+        return cfg_.sockets * cfg_.coresPerSocket;
+    }
+
+    // --- Introspection (tests, invariant checks, examples) ---
+
+    const PrivateCache &privateCache(SocketId s, CoreId c) const
+    {
+        return sockets_[s]->cores[c];
+    }
+
+    const Llc &llc(SocketId s) const { return sockets_[s]->llc; }
+    const Dram &dram(SocketId s) const { return sockets_[s]->dram; }
+    const MemoryStore &memStore(SocketId s) const
+    {
+        return sockets_[s]->memStore;
+    }
+    const TrafficStats &traffic(SocketId s) const
+    {
+        return sockets_[s]->traffic;
+    }
+
+    /** Tracking state of @p block within socket @p s (does not touch
+     *  recency state; safe for invariant checking). */
+    Tracking peekTracking(SocketId s, BlockAddr block) const;
+
+    /** Socket-level directory entry of a home block (multi-socket). */
+    SocketDirEntry peekSocketEntry(BlockAddr block) const;
+
+    /** Home socket of @p block. */
+    SocketId homeSocket(BlockAddr block) const;
+
+    const ProtocolStats &protoStats() const { return proto_; }
+
+    /** Distribution of sharing degrees observed when sharers join. */
+    const Histogram &sharingDegreeHist() const { return sharingDegree_; }
+
+    /** Distribution of copies invalidated per DEV order. */
+    const Histogram &devSizeHist() const { return devSize_; }
+
+    /** Sparse directory of socket @p s, or null when absent. */
+    const SparseDirectory *sparseDir(SocketId s) const
+    {
+        return sockets_[s]->sparseDir.get();
+    }
+
+    /** Baseline directory organisation of socket @p s, or null. */
+    const DirOrgBase *dirOrg(SocketId s) const
+    {
+        return sockets_[s]->dirOrg.get();
+    }
+
+    /** Socket-directory statistics of socket @p s, or null. */
+    const SocketDirStats *socketDirStats(SocketId s) const
+    {
+        return sockets_[s]->socketDir
+                   ? &sockets_[s]->socketDir->stats()
+                   : nullptr;
+    }
+
+    /** Aggregate interconnect bytes over all sockets. */
+    std::uint64_t totalTrafficBytes() const;
+
+    /** Aggregate DRAM stats over all sockets. */
+    DramStats totalDramStats() const;
+
+    /** Full statistics dump. */
+    StatDump report() const;
+
+  private:
+    struct Socket
+    {
+        Socket(const SystemConfig &cfg, SocketId id);
+
+        SocketId id;
+        std::vector<PrivateCache> cores;
+        Llc llc;
+        std::unique_ptr<SparseDirectory> sparseDir; //!< ZeroDEV mode
+        std::unique_ptr<DirOrgBase> dirOrg;         //!< baseline modes
+        Dram dram;
+        MemoryStore memStore; //!< metadata of blocks homed here
+        /** Socket-level directory cache of blocks homed here, over one
+         *  of the two Section III-D5 backing schemes. */
+        std::unique_ptr<SocketDirectory> socketDir;
+        Mesh mesh;
+        TrafficStats traffic;
+    };
+
+    // ----- construction helpers (cmp_system.cc) -----
+    std::unique_ptr<SparseDirectory> buildSparseDir() const;
+    std::unique_ptr<DirOrgBase> buildDirOrg() const;
+
+    // ----- address helpers -----
+    SocketId socketOfCore(CoreId gcore) const
+    {
+        return gcore / cfg_.coresPerSocket;
+    }
+    CoreId localCore(CoreId gcore) const
+    {
+        return gcore % cfg_.coresPerSocket;
+    }
+
+    /** Mesh latency from core tile to the block's home bank tile. */
+    Cycle meshCoreToBank(Socket &s, CoreId c, BlockAddr block) const;
+    /** Mesh latency from the home bank tile to a core tile. */
+    Cycle meshBankToCore(Socket &s, BlockAddr block, CoreId c) const;
+    /** Mesh latency core to core (forwarded responses). */
+    Cycle meshCoreToCore(Socket &s, CoreId a, CoreId b) const;
+
+    bool zeroDev() const { return cfg_.dirOrg == DirOrg::ZeroDev; }
+
+    // ----- request handling (cmp_access.cc) -----
+    Cycle handleMiss(Socket &s, CoreId c, AccessType type, BlockAddr block,
+                     Cycle now);
+    Cycle handleUpgrade(Socket &s, CoreId c, BlockAddr block, Cycle now);
+
+    /** Serve a request whose tracking entry was found in-socket. */
+    Cycle serveTracked(Socket &s, CoreId c, AccessType type,
+                       BlockAddr block, Cycle now, Tracking &trk,
+                       LlcProbe &probe, Cycle base);
+
+    /** Serve a socket miss (no tracking, no LLC block): memory and, in a
+     *  multi-socket system, the Figure 15 flows. */
+    Cycle serveSocketMiss(Socket &s, CoreId c, AccessType type,
+                          BlockAddr block, Cycle now, Cycle base);
+
+    /** Fill the requesting core (and LLC per flavour) after data arrived;
+     *  returns the private-eviction follow-up it triggered. */
+    void fillCore(Socket &s, CoreId c, AccessType type, BlockAddr block,
+                  MesiState state, Cycle now);
+
+    /** Allocate a data block in the LLC (per flavour), handling the
+     *  victim (writebacks, DE-eviction flows, inclusive back-invs). */
+    void llcAllocData(Socket &s, BlockAddr block, bool dirty, Cycle now,
+                      bool global_exclusive);
+
+    /** Update the existing LLC copy of @p block or allocate one (used by
+     *  sharing writebacks and dirty-DEV retrievals). */
+    void llcWritebackData(Socket &s, BlockAddr block, bool dirty,
+                          Cycle now);
+
+    /** EPD: drop @p block from the LLC because it turned M/E-private. */
+    void epdDeallocate(Socket &s, BlockAddr block);
+
+    /** Invalidate every private copy listed in @p inv (a forced directory
+     *  eviction: the DEV path) and clean up data movement. */
+    void applyInvalidation(Socket &s, const Invalidation &inv, Cycle now);
+
+    // ----- eviction handling (cmp_evict.cc) -----
+    void handlePrivateEviction(Socket &s, CoreId c,
+                               const PrivateEviction &ev, Cycle now);
+
+    /** Eviction notice whose directory entry is not in the socket:
+     *  Figure 16 (GET_DE) flow. */
+    void evictionWithoutEntry(Socket &s, CoreId c, BlockAddr block,
+                              MesiState st, Cycle now);
+
+    /** The evicting core removed the socket's last copy: notify the home
+     *  socket, restoring corrupted memory when it was the system-wide
+     *  last copy (Section III-D4). */
+    void lastCopyInSocketGone(Socket &s, BlockAddr block, MesiState st,
+                              bool data_written_back, Cycle now);
+
+    /** Handle an LLC victim produced by any allocation. */
+    void handleLlcVictim(Socket &s, const LlcVictim &victim, Cycle now);
+
+    /** Inclusive LLC: a data eviction back-invalidates the core caches. */
+    void inclusionInvalidate(Socket &s, BlockAddr block, Cycle now);
+
+    // ----- ZeroDEV tracking management (zerodev_policies.cc) -----
+
+    /** Find the in-socket tracking of @p block (touches recency). */
+    Tracking findTracking(Socket &s, BlockAddr block);
+
+    /**
+     * Write back the (possibly updated) tracking state of @p block.
+     * @p where must be the location findTracking reported. A dead entry
+     * erases the tracking; transitions S <-> M/E maintain the FPSS
+     * fuse/spill invariants; brand-new entries allocate per the
+     * replacement-disabled sparse directory + LLC caching policy.
+     */
+    void writeTracking(Socket &s, BlockAddr block, TrackWhere where,
+                       const DirEntry &entry, Cycle now);
+
+    /** Install a brand-new entry (ZeroDEV allocation path). */
+    void installNewTracking(Socket &s, BlockAddr block,
+                            const DirEntry &entry, Cycle now);
+
+    /** Accommodate @p entry in the LLC per the configured policy. */
+    void cacheEntryInLlc(Socket &s, BlockAddr block, const DirEntry &entry,
+                         Cycle now);
+
+    /** WB_DE: a live entry was evicted from the LLC (Figure 14). */
+    void writebackEntryToMemory(Socket &s, BlockAddr block,
+                                const DirEntry &entry, Cycle now);
+
+    /** Extract socket @p s's entry for @p block from home memory,
+     *  clearing its segment. Returns nullopt if none is housed. */
+    std::optional<DirEntry> extractEntryFromMemory(Socket &s,
+                                                   BlockAddr block,
+                                                   Cycle now);
+
+    // ----- multi-socket (multi_socket.cc) -----
+
+    Socket &home(BlockAddr block) { return *sockets_[homeSocket(block)]; }
+
+    /** Socket-level directory entry at the home (untimed access for
+     *  update paths; the timed miss-path lives in serveSocketMissMulti). */
+    SocketDirEntry &socketEntry(BlockAddr block);
+
+    /** Figure 15 socket-miss flows (sockets > 1). */
+    Cycle serveSocketMissMulti(Socket &s, CoreId c, AccessType type,
+                               BlockAddr block, Cycle now, Cycle base);
+
+    /** Invalidate every other socket's copies of @p block before a local
+     *  store completes; returns the added critical-path latency. */
+    Cycle invalidateRemoteSharers(Socket &s, BlockAddr block, Cycle now);
+
+    /** Remove socket @p s from the socket-level entry of @p block,
+     *  restoring destroyed memory data when the system-wide last copy is
+     *  leaving (@p restore_data supplies it from the evicting cache). */
+    void socketEvictionNotice(SocketId s, BlockAddr block,
+                              bool restore_data, Cycle now);
+
+    /**
+     * Figure 15: fetch @p block for socket @p s from another socket F
+     * that the (corrupted-state) home entry lists as a sharer/owner.
+     * Returns the added latency and whether the data came back dirty.
+     */
+    Cycle forwardToSharerSocket(Socket &s, CoreId c, AccessType type,
+                                BlockAddr block, Cycle now,
+                                SocketDirEntry &sentry);
+
+    /** Within socket F: find the block via its tracking and supply it
+     *  (invalidating/downgrading as the request demands). */
+    Cycle supplyFromSocket(Socket &f, AccessType type, BlockAddr block,
+                           Cycle now, bool invalidate_all);
+
+    /** Classify-and-account helper for the access paths. */
+    Cycle
+    finishAccess(AccessClass cls, Cycle start, Cycle done)
+    {
+        const auto i = static_cast<std::size_t>(cls);
+        ++proto_.classCount[i];
+        proto_.classCycles[i] += done - start;
+        return done;
+    }
+
+    SystemConfig cfg_;
+    std::vector<std::unique_ptr<Socket>> sockets_;
+    ProtocolStats proto_;
+    Histogram sharingDegree_{kMaxCores};
+    Histogram devSize_{kMaxCores};
+};
+
+} // namespace zerodev
+
+#endif // ZERODEV_CORE_CMP_SYSTEM_HH

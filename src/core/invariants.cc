@@ -1,0 +1,253 @@
+#include "core/invariants.hh"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace zerodev
+{
+
+namespace
+{
+
+std::string
+hex(BlockAddr b)
+{
+    std::ostringstream os;
+    os << std::hex << "0x" << b;
+    return os.str();
+}
+
+} // namespace
+
+std::vector<Violation>
+checkInvariants(const CmpSystem &sys)
+{
+    std::vector<Violation> out;
+    const SystemConfig &cfg = sys.config();
+    const bool zerodev = cfg.dirOrg == DirOrg::ZeroDev;
+
+    auto violate = [&](const std::string &rule, const std::string &det) {
+        out.push_back({rule, det});
+    };
+
+    for (SocketId s = 0; s < cfg.sockets; ++s) {
+        // Ground truth: which cores of this socket cache which blocks.
+        struct Holders
+        {
+            SharerSet cores;
+            std::uint32_t owners = 0; //!< cores holding the block in M/E
+        };
+        std::map<BlockAddr, Holders> cached;
+        for (CoreId c = 0; c < cfg.coresPerSocket; ++c) {
+            sys.privateCache(s, c).forEachBlock(
+                [&](BlockAddr b, MesiState st) {
+                    Holders &h = cached[b];
+                    h.cores.set(c);
+                    if (st == MesiState::Modified ||
+                        st == MesiState::Exclusive) {
+                        ++h.owners;
+                    }
+                });
+        }
+
+        // 1. Tracking completeness: every privately cached block has a
+        // directory entry (in-socket or housed in home memory) whose
+        // sharer vector matches the caching cores exactly.
+        for (const auto &[block, holders] : cached) {
+            Tracking trk = sys.peekTracking(s, block);
+            DirEntry entry;
+            if (trk.found()) {
+                entry = trk.entry;
+            } else {
+                auto seg = sys.memStore(sys.homeSocket(block))
+                               .loadSegment(block, s);
+                if (!seg) {
+                    violate("tracking-completeness",
+                            "socket " + std::to_string(s) + " block " +
+                                hex(block) + " cached but untracked");
+                    continue;
+                }
+                entry = *seg;
+            }
+            if (entry.sharers != holders.cores) {
+                violate("tracking-precision",
+                        "socket " + std::to_string(s) + " block " +
+                            hex(block) + " sharer vector mismatch");
+            }
+            if (holders.owners > 1) {
+                violate("single-owner",
+                        "block " + hex(block) + " has multiple M/E owners");
+            }
+            if (holders.owners == 1 && entry.state != DirState::Owned) {
+                violate("owner-state",
+                        "block " + hex(block) +
+                            " owned privately but tracked as Shared");
+            }
+            if (holders.owners == 0 && entry.state == DirState::Owned) {
+                violate("owner-state",
+                        "block " + hex(block) +
+                            " tracked as Owned but no core holds M/E");
+            }
+        }
+
+        // 2. No dangling entries: every live entry tracks cores that
+        // really cache the block.
+        auto check_entry = [&](BlockAddr block, const DirEntry &e,
+                               const char *where) {
+            if (!e.live()) {
+                violate("live-entry", std::string(where) +
+                                          " holds a dead entry for " +
+                                          hex(block));
+                return;
+            }
+            auto it = cached.find(block);
+            if (it == cached.end() || it->second.cores != e.sharers) {
+                violate("no-dangling",
+                        std::string(where) + " entry for " + hex(block) +
+                            " tracks cores that do not cache it");
+            }
+        };
+        if (const SparseDirectory *dir = sys.sparseDir(s)) {
+            dir->forEach([&](BlockAddr b, const DirEntry &e) {
+                check_entry(b, e, "sparse-dir");
+            });
+        }
+
+        // 3. LLC line rules.
+        const Llc &llc = sys.llc(s);
+        std::set<BlockAddr> llc_data;
+        std::map<BlockAddr, int> tag_matches;
+        llc.forEach([&](const LlcLine &l) {
+            ++tag_matches[l.block];
+            switch (l.kind) {
+              case LlcLineKind::Data:
+                llc_data.insert(l.block);
+                break;
+              case LlcLineKind::FusedDe:
+                llc_data.insert(l.block);
+                check_entry(l.block, l.de, "fused-line");
+                if (zerodev &&
+                    cfg.dirCachePolicy == DirCachePolicy::Fpss &&
+                    l.de.state != DirState::Owned) {
+                    violate("fpss-fused-owned",
+                            "FPSS fused entry for " + hex(l.block) +
+                                " is not in M/E state");
+                }
+                break;
+              case LlcLineKind::SpilledDe:
+                check_entry(l.block, l.de, "spilled-line");
+                break;
+              case LlcLineKind::Invalid:
+                break;
+            }
+        });
+        // At most two tag matches per block (block + spilled entry).
+        for (const auto &[b, n] : tag_matches) {
+            if (n > 2) {
+                violate("tag-duplication",
+                        "block " + hex(b) + " matches " +
+                            std::to_string(n) + " LLC lines");
+            }
+        }
+        // FPSS: a spilled entry co-resident with its data block must be
+        // in S state (the two-tag-match critical-path invariant).
+        if (zerodev && cfg.dirCachePolicy == DirCachePolicy::Fpss) {
+            llc.forEach([&](const LlcLine &l) {
+                if (l.kind == LlcLineKind::SpilledDe &&
+                    llc_data.count(l.block) &&
+                    l.de.state != DirState::Shared) {
+                    violate("fpss-spilled-shared",
+                            "FPSS spilled entry for " + hex(l.block) +
+                                " co-resident with its block is not S");
+                }
+            });
+        }
+
+        // 4. Inclusion: every privately cached block is in the LLC.
+        if (cfg.llcFlavor == LlcFlavor::Inclusive) {
+            for (const auto &[block, holders] : cached) {
+                (void)holders;
+                if (!llc_data.count(block)) {
+                    violate("inclusion",
+                            "block " + hex(block) +
+                                " cached privately but absent from an "
+                                "inclusive LLC");
+                }
+            }
+        }
+
+        // 5. EPD: an M/E-owned block is not in the LLC as a data line.
+        if (cfg.llcFlavor == LlcFlavor::Epd) {
+            for (const auto &[block, holders] : cached) {
+                if (holders.owners > 0 && llc_data.count(block)) {
+                    Tracking trk = sys.peekTracking(s, block);
+                    if (trk.found() &&
+                        trk.where == TrackWhere::LlcFused) {
+                        continue; // a fused line is not a usable copy
+                    }
+                    violate("epd-exclusive-private",
+                            "M/E block " + hex(block) +
+                                " resident in an EPD LLC");
+                }
+            }
+        }
+
+        // 6. ZeroDEV guarantee: no DEV has ever been delivered.
+        if (zerodev && sys.protoStats().devInvalidations != 0) {
+            violate("zero-dev",
+                    "ZeroDEV delivered " +
+                        std::to_string(sys.protoStats().devInvalidations) +
+                        " DEV invalidations");
+        }
+
+        // 7. Memory-corruption safety: every destroyed home block (homed
+        // at this socket) is still cached somewhere, or held dirty in
+        // some LLC that will eventually write it back.
+        // (Validated via the segments: a destroyed block must have at
+        // least one live segment, an in-socket entry, or a dirty LLC
+        // copy somewhere.)
+        // Gather dirty LLC copies lazily below.
+    }
+
+    // 7 (system-wide pass).
+    std::set<BlockAddr> recoverable;
+    for (SocketId s = 0; s < cfg.sockets; ++s) {
+        for (CoreId c = 0; c < cfg.coresPerSocket; ++c) {
+            sys.privateCache(s, c).forEachBlock(
+                [&](BlockAddr b, MesiState) { recoverable.insert(b); });
+        }
+        sys.llc(s).forEach([&](const LlcLine &l) {
+            if (l.kind == LlcLineKind::Data)
+                recoverable.insert(l.block);
+        });
+    }
+    for (SocketId h = 0; h < cfg.sockets; ++h) {
+        sys.memStore(h).forEachDestroyed([&](BlockAddr b) {
+            if (!recoverable.count(b)) {
+                out.push_back(
+                    {"corruption-safety",
+                     "destroyed memory block " + hex(b) +
+                         " has no cached copy anywhere in the system"});
+            }
+        });
+    }
+
+    return out;
+}
+
+void
+assertInvariants(const CmpSystem &sys)
+{
+    const auto violations = checkInvariants(sys);
+    if (violations.empty())
+        return;
+    for (const auto &v : violations)
+        logMsg(LogLevel::Error, "%s: %s", v.rule.c_str(),
+               v.detail.c_str());
+    panic("%zu invariant violations", violations.size());
+}
+
+} // namespace zerodev

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Whole-system invariant checker used by the property-based tests and the
+ * debug builds of the examples. It walks every private cache, LLC line,
+ * directory structure and memory segment and cross-validates them against
+ * the invariants listed in DESIGN.md section 7 (tracking completeness,
+ * the FPSS fuse/spill rules, inclusion/EPD properties, the dataLRU
+ * guarantee and memory-corruption safety).
+ */
+
+#ifndef ZERODEV_CORE_INVARIANTS_HH
+#define ZERODEV_CORE_INVARIANTS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/cmp_system.hh"
+
+namespace zerodev
+{
+
+/** One violated invariant. */
+struct Violation
+{
+    std::string rule;
+    std::string detail;
+};
+
+/** Run every invariant check; returns the violations found (empty means
+ *  the system state is consistent). */
+std::vector<Violation> checkInvariants(const CmpSystem &sys);
+
+/** Convenience: panic with the first violation if any exist. */
+void assertInvariants(const CmpSystem &sys);
+
+} // namespace zerodev
+
+#endif // ZERODEV_CORE_INVARIANTS_HH

@@ -1,0 +1,451 @@
+/**
+ * @file
+ * Inter-socket protocol flows (Sections III-D3/D4/D5, Figure 15): the
+ * socket-level directory at each home (memory-backed, the solution the
+ * paper's four-socket evaluation uses), socket-miss service including the
+ * corrupted-block forwards, the DENF_NACK racing-entry flow, and
+ * socket-level eviction notices with last-copy memory restoration.
+ */
+
+#include "core/cmp_system.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace zerodev
+{
+
+SocketDirEntry &
+CmpSystem::socketEntry(BlockAddr block)
+{
+    Socket &h = home(block);
+    if (!h.socketDir)
+        panic("socket-level directory access in a single-socket system");
+    return h.socketDir->access(block).entry;
+}
+
+void
+CmpSystem::socketEvictionNotice(SocketId sid, BlockAddr block,
+                                bool restore_data, Cycle now)
+{
+    Socket &h = home(block);
+    sockets_[sid]->traffic.record(MsgType::PutS);
+    SocketDirEntry &se = socketEntry(block);
+    se.sharers.reset(sid);
+    h.memStore.clearSegment(block, sid);
+
+    if (se.sharers.any())
+        return;
+
+    if (h.memStore.destroyed(block)) {
+        if (restore_data) {
+            // System-wide last copy of a destroyed block: retrieve it
+            // from the evicting cache and overwrite the corrupted
+            // memory block (Section III-D4).
+            sockets_[sid]->traffic.record(MsgType::DataResp);
+            h.dram.write(block, now, true);
+            h.traffic.record(MsgType::MemWrite);
+            h.memStore.clearBlock(block);
+            h.memStore.restoreData(block);
+            ++proto_.lastCopyRestores;
+        }
+        // When restore_data is false the data reached home through a
+        // full-block writeback in the same flow.
+    }
+    se.clear();
+}
+
+Cycle
+CmpSystem::invalidateRemoteSharers(Socket &s, BlockAddr block, Cycle now)
+{
+    SocketDirEntry &se = socketEntry(block);
+    Cycle added = 0;
+    bool any = false;
+    for (SocketId g = 0; g < cfg_.sockets; ++g) {
+        if (g == s.id || !se.sharers.test(g))
+            continue;
+        any = true;
+        Socket &gs = *sockets_[g];
+        Tracking trk = findTracking(gs, block);
+        if (trk.found()) {
+            for (CoreId x = 0; x < cfg_.coresPerSocket; ++x) {
+                if (trk.entry.isSharer(x))
+                    gs.cores[x].invalidate(block, false);
+            }
+            DirEntry dead;
+            writeTracking(gs, block, trk.where, dead, now);
+        } else {
+            home(block).memStore.clearSegment(block, g);
+        }
+        LlcProbe probe = gs.llc.probe(block);
+        if (probe.data)
+            gs.llc.invalidateLine(*probe.data);
+        if (probe.spilled)
+            gs.llc.invalidateLine(*probe.spilled);
+        s.traffic.record(MsgType::Inv);
+        gs.traffic.record(MsgType::InvAck);
+        se.sharers.reset(g);
+    }
+    if (any) {
+        // Request to home, invalidations fanned out, acks collected:
+        // roughly three inter-socket crossings on the critical path.
+        added = 3ull * cfg_.interSocketCycles;
+        se.sharers.set(s.id);
+        if (se.state != SocketDirState::Corrupted)
+            se.state = SocketDirState::Owned;
+    }
+    return added;
+}
+
+Cycle
+CmpSystem::supplyFromSocket(Socket &f, AccessType type, BlockAddr block,
+                            Cycle now, bool invalidate_all)
+{
+    (void)type;
+    Tracking trk = findTracking(f, block);
+    Socket &h = home(block);
+    if (!trk.found()) {
+        // The socket may hold the block only in its LLC (every core
+        // evicted its copy, freeing the entry, while the LLC line
+        // survived): serve straight from the LLC.
+        LlcProbe probe = f.llc.probe(block);
+        if (probe.data && probe.data->kind == LlcLineKind::Data) {
+            const Cycle internal =
+                f.llc.tagCycles() + f.llc.dataCycles();
+            if (invalidate_all) {
+                f.llc.invalidateLine(*probe.data);
+                if (probe.spilled)
+                    f.llc.invalidateLine(*probe.spilled);
+                socketEntry(block).sharers.reset(f.id);
+            } else {
+                probe.data->globalShared = true;
+                f.llc.touchData(probe);
+            }
+            f.traffic.record(MsgType::DataResp);
+            return now + internal;
+        }
+        panic("supplyFromSocket: socket %u has neither entry nor LLC "
+              "copy of block %#llx", f.id,
+              static_cast<unsigned long long>(block));
+    }
+    DirEntry entry = trk.entry;
+
+    const CoreId x = entry.state == DirState::Owned ? entry.owner()
+                                                    : entry.anySharer();
+    Cycle internal = f.llc.tagCycles() + meshBankToCore(f, block, x) +
+                     f.cores[x].l2Cycles();
+
+    if (invalidate_all) {
+        for (CoreId y = 0; y < cfg_.coresPerSocket; ++y) {
+            if (entry.isSharer(y))
+                f.cores[y].invalidate(block, false);
+        }
+        // Erase the tracking first (it may live in an LLC line), then
+        // drop whatever data line remains.
+        DirEntry dead;
+        writeTracking(f, block, trk.where, dead, now);
+        LlcProbe probe = f.llc.probe(block);
+        if (probe.data)
+            f.llc.invalidateLine(*probe.data);
+        if (probe.spilled)
+            f.llc.invalidateLine(*probe.spilled);
+        socketEntry(block).sharers.reset(f.id);
+    } else {
+        if (entry.state == DirState::Owned) {
+            const MesiState prev = f.cores[x].downgrade(block);
+            entry.state = DirState::Shared;
+            if (prev == MesiState::Modified &&
+                !h.memStore.destroyed(block)) {
+                // The downgrade writes the dirty data back to home
+                // memory (baseline inter-socket sharing writeback).
+                h.dram.write(block, now, false);
+                h.traffic.record(MsgType::MemWrite);
+            }
+        }
+        LlcProbe probe = f.llc.probe(block);
+        if (probe.data)
+            probe.data->globalShared = true;
+        writeTracking(f, block, trk.where, entry, now);
+    }
+    f.traffic.record(MsgType::DataResp);
+    return now + internal;
+}
+
+Cycle
+CmpSystem::forwardToSharerSocket(Socket &s, CoreId c, AccessType type,
+                                 BlockAddr block, Cycle now,
+                                 SocketDirEntry &sentry)
+{
+    (void)c;
+    Socket &h = home(block);
+    const SocketId fid = sentry.anySharerExcept(s.id);
+    if (fid == static_cast<SocketId>(~0u))
+        panic("forward with no sharer socket");
+    Socket &f = *sockets_[fid];
+
+    h.traffic.record(type == AccessType::Store ? MsgType::FwdGetX
+                                               : MsgType::FwdGetS);
+    Cycle t = now + cfg_.interSocketCycles; // home -> F
+
+    Tracking trk = findTracking(f, block);
+    bool llc_copy = false;
+    {
+        LlcProbe fp = f.llc.probe(block);
+        llc_copy = fp.data && fp.data->kind == LlcLineKind::Data;
+    }
+    if (!trk.found() && !llc_copy) {
+        // F's intra-socket entry was evicted and written back to home
+        // memory: DENF_NACK, home extracts F's entry and re-forwards it
+        // with the request (Figure 15, steps 7-11).
+        ++proto_.denfNacks;
+        f.traffic.record(MsgType::DenfNack);
+        t += cfg_.interSocketCycles;            // F -> home NACK
+        auto fentry = h.memStore.loadSegment(block, fid);
+        if (!fentry)
+            panic("DENF_NACK but no segment for the forwarded socket");
+        t = h.dram.read(block, t, true);        // read corrupted block
+        h.traffic.record(MsgType::FwdWithDe);
+        t += cfg_.interSocketCycles;            // home -> F resend
+        h.memStore.clearSegment(block, fid);
+
+        // F concludes the request using the carried entry.
+        DirEntry entry = *fentry;
+        const CoreId x = entry.state == DirState::Owned
+                             ? entry.owner()
+                             : entry.anySharer();
+        t += f.llc.tagCycles() + meshBankToCore(f, block, x) +
+             f.cores[x].l2Cycles();
+        if (type == AccessType::Store) {
+            for (CoreId y = 0; y < cfg_.coresPerSocket; ++y) {
+                if (entry.isSharer(y))
+                    f.cores[y].invalidate(block, false);
+            }
+            sentry.sharers.reset(fid);
+        } else {
+            if (entry.state == DirState::Owned) {
+                f.cores[x].downgrade(block);
+                entry.state = DirState::Shared;
+            }
+            // The updated entry returns to its home memory segment.
+            f.traffic.record(MsgType::PutDe);
+            h.dram.write(block, t, true);
+            h.traffic.record(MsgType::MemWrite);
+            h.memStore.storeSegment(block, fid, entry);
+        }
+        f.traffic.record(MsgType::DataResp);
+        t += cfg_.interSocketCycles; // F -> requester data
+        return t;
+    }
+
+    t = supplyFromSocket(f, type, block, t, type == AccessType::Store);
+    t += cfg_.interSocketCycles; // F -> requester data
+    return t;
+}
+
+Cycle
+CmpSystem::serveSocketMissMulti(Socket &s, CoreId c, AccessType type,
+                                BlockAddr block, Cycle now, Cycle base)
+{
+    Socket &h = home(block);
+    Cycle t = base;
+    if (h.id != s.id) {
+        t += cfg_.interSocketCycles;
+        s.traffic.record(type == AccessType::Store ? MsgType::GetX
+                                                   : MsgType::GetS);
+    }
+    t += 2; // socket-level directory cache lookup
+
+    SocketDirectory::Access acc = h.socketDir->access(block);
+    if (acc.cacheMiss && acc.entry.live()) {
+        // Directory-cache miss: the entry comes from home memory — a
+        // backup read (solution 1) or a DirEvict-bit extraction from
+        // the block itself (solution 2).
+        t = h.dram.read(block, t, true);
+        h.traffic.record(MsgType::MemRead);
+    }
+    SocketDirEntry &se = acc.entry;
+
+    const bool is_store = type == AccessType::Store;
+    MesiState fill = is_store ? MesiState::Modified
+                   : type == AccessType::Ifetch ? MesiState::Shared
+                                                : MesiState::Exclusive;
+
+    auto finish = [&](Cycle done, bool llc_dirty, bool global_shared,
+                      MesiState st) -> Cycle {
+        if (st == MesiState::Shared || st == MesiState::Exclusive ||
+            st == MesiState::Modified) {
+            if (cfg_.llcFlavor != LlcFlavor::Epd ||
+                st == MesiState::Shared) {
+                llcAllocData(s, block, llc_dirty, now, !global_shared);
+            }
+        }
+        DirEntry entry;
+        if (st == MesiState::Shared)
+            entry.addSharer(c);
+        else
+            entry.makeOwned(c);
+        writeTracking(s, block, TrackWhere::None, entry, now);
+        fillCore(s, c, type, block, st, now);
+        return done;
+    };
+
+    switch (se.state) {
+      case SocketDirState::Invalid: {
+        const Cycle mem = h.dram.read(block, t, false);
+        h.traffic.record(MsgType::MemRead);
+        h.traffic.record(MsgType::MemReadResp);
+        Cycle done = mem + meshBankToCore(s, block, c);
+        if (h.id != s.id)
+            done += cfg_.interSocketCycles;
+        if (fill == MesiState::Shared) {
+            se.state = SocketDirState::Shared;
+        } else {
+            se.state = SocketDirState::Owned;
+        }
+        se.sharers.set(s.id);
+        return finishAccess(AccessClass::Memory, now,
+                            finish(done, false, false, fill));
+      }
+
+      case SocketDirState::Shared: {
+        Cycle done;
+        if (is_store) {
+            // Invalidate the sharer sockets; data comes from memory.
+            for (SocketId g = 0; g < cfg_.sockets; ++g) {
+                if (g == s.id || !se.sharers.test(g))
+                    continue;
+                Socket &gs = *sockets_[g];
+                Tracking trk = findTracking(gs, block);
+                if (trk.found()) {
+                    for (CoreId y = 0; y < cfg_.coresPerSocket; ++y) {
+                        if (trk.entry.isSharer(y))
+                            gs.cores[y].invalidate(block, false);
+                    }
+                    DirEntry dead;
+                    writeTracking(gs, block, trk.where, dead, now);
+                } else {
+                    h.memStore.clearSegment(block, g);
+                }
+                LlcProbe probe = gs.llc.probe(block);
+                if (probe.data)
+                    gs.llc.invalidateLine(*probe.data);
+                if (probe.spilled)
+                    gs.llc.invalidateLine(*probe.spilled);
+                h.traffic.record(MsgType::Inv);
+                gs.traffic.record(MsgType::InvAck);
+                se.sharers.reset(g);
+            }
+            const Cycle mem = h.dram.read(block, t, false);
+            done = std::max<Cycle>(mem, t + 2ull * cfg_.interSocketCycles);
+            se.state = SocketDirState::Owned;
+            se.sharers.set(s.id);
+        } else {
+            const Cycle mem = h.dram.read(block, t, false);
+            done = mem;
+            se.sharers.set(s.id);
+            fill = MesiState::Shared;
+        }
+        h.traffic.record(MsgType::MemRead);
+        h.traffic.record(MsgType::MemReadResp);
+        done += meshBankToCore(s, block, c);
+        if (h.id != s.id)
+            done += cfg_.interSocketCycles;
+        return finishAccess(AccessClass::Memory, now,
+                            finish(done, false, !is_store, fill));
+      }
+
+      case SocketDirState::Owned: {
+        const SocketId fid = se.anySharerExcept(s.id);
+        if (fid == static_cast<SocketId>(~0u))
+            panic("socket-level Owned entry with no owner socket");
+        h.traffic.record(is_store ? MsgType::FwdGetX : MsgType::FwdGetS);
+        Cycle done = supplyFromSocket(*sockets_[fid], type, block,
+                                      t + cfg_.interSocketCycles,
+                                      is_store);
+        done += cfg_.interSocketCycles; // F -> requester
+        if (is_store) {
+            se.sharers.reset(fid);
+            se.sharers.set(s.id);
+            se.state = SocketDirState::Owned;
+            fill = MesiState::Modified;
+        } else {
+            se.sharers.set(s.id);
+            se.state = SocketDirState::Shared;
+            fill = MesiState::Shared;
+        }
+        return finish(done, false, !is_store, fill);
+      }
+
+      case SocketDirState::Corrupted: {
+        if (se.isSharer(s.id)) {
+            // The requesting socket lost its entry to home memory but
+            // still has cached copies: the home returns the corrupted
+            // block; the socket extracts its entry (one extra cycle) and
+            // concludes within the socket (Figure 15, step 3).
+            if (!is_store)
+                ++proto_.corruptedReadMisses;
+            ++proto_.corruptedResponses;
+            auto entry = extractEntryFromMemory(s, block, t);
+            if (!entry)
+                panic("corrupted entry lists socket %u but no segment",
+                      s.id);
+            Cycle done = h.dram.read(block, t, true) + 1;
+            h.traffic.record(MsgType::MemRead);
+            h.traffic.record(MsgType::DataRespCorrupted);
+            if (h.id != s.id)
+                done += cfg_.interSocketCycles;
+            Tracking trk;
+            trk.where = TrackWhere::None;
+            trk.entry = *entry;
+            LlcProbe probe = s.llc.probe(block);
+            return finishAccess(
+                AccessClass::Corrupted, now,
+                serveTracked(s, c, type, block, now, trk, probe, done));
+        }
+
+        if (!is_store)
+            ++proto_.corruptedReadMisses;
+        Cycle done = forwardToSharerSocket(s, c, type, block, t, se);
+        if (is_store) {
+            // Every other socket's copies die; memory stays destroyed
+            // until a full-block write restores it.
+            for (SocketId g = 0; g < cfg_.sockets; ++g) {
+                if (g == s.id || !se.sharers.test(g))
+                    continue;
+                Socket &gs = *sockets_[g];
+                Tracking trk = findTracking(gs, block);
+                if (trk.found()) {
+                    for (CoreId y = 0; y < cfg_.coresPerSocket; ++y) {
+                        if (trk.entry.isSharer(y))
+                            gs.cores[y].invalidate(block, false);
+                    }
+                    DirEntry dead;
+                    writeTracking(gs, block, trk.where, dead, now);
+                } else {
+                    h.memStore.clearSegment(block, g);
+                }
+                LlcProbe probe = gs.llc.probe(block);
+                if (probe.data)
+                    gs.llc.invalidateLine(*probe.data);
+                if (probe.spilled)
+                    gs.llc.invalidateLine(*probe.spilled);
+                se.sharers.reset(g);
+            }
+            se.sharers.set(s.id);
+            fill = MesiState::Modified;
+            return finish(done, false, false, fill);
+        }
+        se.sharers.set(s.id);
+        fill = MesiState::Shared;
+        // The forwarded data may be dirtier than (destroyed) memory;
+        // keep the socket's LLC copy dirty so it eventually writes back
+        // and restores the home block.
+        return finishAccess(AccessClass::Corrupted, now,
+                            finish(done, true, true, fill));
+      }
+    }
+    panic("unreachable socket-directory state");
+}
+
+} // namespace zerodev

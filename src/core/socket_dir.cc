@@ -1,0 +1,121 @@
+#include "core/socket_dir.hh"
+
+#include "common/log.hh"
+
+namespace zerodev
+{
+
+SocketDirectory::SocketDirectory(Backing backing, std::uint64_t sets,
+                                 std::uint32_t ways, MemoryStore &ms)
+    : backing_(backing), tags_(sets, ways), ms_(ms)
+{
+}
+
+void
+SocketDirectory::install(BlockAddr block)
+{
+    const std::size_t set = setIndex(block, tags_.numSets());
+    const std::uint64_t tag = tagOf(block, tags_.numSets());
+    WayRef free_way = tags_.findFree(set);
+    if (!free_way.found) {
+        // Owned entries get the higher replacement priority (Section
+        // III-D5): evicting them never corrupts a *shared* block's read
+        // path.
+        const std::uint32_t vway = tags_.victim(set, [&](const TagLine &l) {
+            auto it = store_.find(l.block);
+            const SocketDirState st = it == store_.end()
+                                          ? SocketDirState::Invalid
+                                          : it->second.state;
+            switch (st) {
+              case SocketDirState::Invalid: return 0;
+              case SocketDirState::Owned: return 1;
+              case SocketDirState::Shared: return 2;
+              case SocketDirState::Corrupted: return 3;
+            }
+            return 2;
+        });
+        TagLine &vline = tags_.line(set, vway);
+        auto it = store_.find(vline.block);
+        if (it != store_.end() && it->second.live()) {
+            ++stats_.evictions;
+            if (backing_ == Backing::DirEvictBit) {
+                // House the entry in its own memory block and set the
+                // block's DirEvict bit; the store keeps the payload (it
+                // models both locations — the housed copy is
+                // authoritative until re-fetched).
+                ms_.storeSocketEntry(vline.block, it->second);
+            }
+            // MemoryBackup: the backup region always holds the entry;
+            // nothing to write functionally.
+        } else if (it != store_.end()) {
+            store_.erase(it); // dead entries just vanish
+        }
+        vline.reset();
+        free_way = {set, vway, true};
+    }
+    TagLine &line = tags_.line(set, free_way.way);
+    line.valid = true;
+    line.tag = tag;
+    line.block = block;
+    tags_.touch(set, free_way.way);
+}
+
+SocketDirectory::Access
+SocketDirectory::access(BlockAddr block)
+{
+    ++stats_.lookups;
+    const std::size_t set = setIndex(block, tags_.numSets());
+    const std::uint64_t tag = tagOf(block, tags_.numSets());
+    const WayRef ref = tags_.find(set, tag, [&](const TagLine &l) {
+        return l.block == block;
+    });
+
+    bool miss = !ref.found;
+    bool housed = false;
+    if (ref.found) {
+        tags_.touch(set, ref.way);
+    } else {
+        ++stats_.misses;
+        if (backing_ == Backing::DirEvictBit &&
+            ms_.dirEvictBit(block)) {
+            // Extract the housed entry back into the cache.
+            auto entry = ms_.loadSocketEntry(block);
+            ms_.clearSocketEntry(block);
+            store_[block] = *entry;
+            housed = true;
+            ++stats_.housedFetches;
+        } else if (backing_ == Backing::MemoryBackup &&
+                   store_.count(block)) {
+            ++stats_.backupFetches;
+        }
+        install(block);
+    }
+    return {store_[block], miss, housed};
+}
+
+SocketDirEntry
+SocketDirectory::peek(BlockAddr block) const
+{
+    auto it = store_.find(block);
+    if (it != store_.end())
+        return it->second;
+    if (backing_ == Backing::DirEvictBit) {
+        auto housed = ms_.loadSocketEntry(block);
+        if (housed)
+            return *housed;
+    }
+    return SocketDirEntry{};
+}
+
+std::uint64_t
+SocketDirectory::liveEntries() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[block, e] : store_) {
+        if (e.live())
+            ++n;
+    }
+    return n;
+}
+
+} // namespace zerodev

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The socket-level directory of Section III-D5: a bounded directory
+ * cache (SRAM [21] or DRAM-cache [5,18] class) in front of one of the
+ * two backing schemes the paper describes:
+ *
+ *  - MemoryBackup (solution 1): every entry is backed up in a reserved
+ *    home-memory region (1.2% DRAM overhead at 4 sockets). A cache miss
+ *    costs a home-memory read; entries are never lost. This is the
+ *    scheme the paper's four-socket evaluation uses.
+ *  - DirEvictBit (solution 2): an evicted entry is housed in a reserved
+ *    partition of its own memory block, recorded by a per-block
+ *    DirEvict bit (constant 0.2% DRAM overhead regardless of socket
+ *    count). A miss consults the DirEvict bit and extracts the entry
+ *    from the block. Owned entries get higher replacement priority so
+ *    that corrupted *shared* blocks stay rare.
+ *
+ * The entry payloads live in a stable store (references returned by
+ * access() remain valid across later accesses); the cache structure
+ * tracks residency for replacement, statistics and miss costs.
+ */
+
+#ifndef ZERODEV_CORE_SOCKET_DIR_HH
+#define ZERODEV_CORE_SOCKET_DIR_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "cache/cache_array.hh"
+#include "common/types.hh"
+#include "directory/dir_entry.hh"
+#include "mem/memory_store.hh"
+
+namespace zerodev
+{
+
+/** Socket-directory statistics. */
+struct SocketDirStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t misses = 0;        //!< directory-cache misses
+    std::uint64_t evictions = 0;     //!< entries displaced from the cache
+    std::uint64_t housedFetches = 0; //!< entries pulled from DirEvict blocks
+    std::uint64_t backupFetches = 0; //!< entries pulled from memory backup
+};
+
+class SocketDirectory
+{
+  public:
+    enum class Backing
+    {
+        MemoryBackup, //!< solution 1: full backup in home memory
+        DirEvictBit,  //!< solution 2: housed in the block + DirEvict bit
+    };
+
+    /** Result of an access. */
+    struct Access
+    {
+        SocketDirEntry &entry;
+        bool cacheMiss;
+        bool fromHousedBlock; //!< solution 2 extraction happened
+    };
+
+    /**
+     * @param backing which Section III-D5 solution backs the cache
+     * @param sets / @p ways directory-cache geometry
+     * @param ms the home's memory store (DirEvict bits / housed entries)
+     */
+    SocketDirectory(Backing backing, std::uint64_t sets,
+                    std::uint32_t ways, MemoryStore &ms);
+
+    /** Look up (or create) the entry for @p block, installing it in the
+     *  cache; may evict another entry to its backing location. */
+    Access access(BlockAddr block);
+
+    /** Side-effect-free lookup for invariant checks. */
+    SocketDirEntry peek(BlockAddr block) const;
+
+    Backing backing() const { return backing_; }
+    const SocketDirStats &stats() const { return stats_; }
+
+    /** Live (non-Invalid) entries across cache and backing. */
+    std::uint64_t liveEntries() const;
+
+  private:
+    struct TagLine
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        BlockAddr block = 0;
+
+        bool occupied() const { return valid; }
+        void reset() { valid = false; }
+    };
+
+    /** Make room for @p block in the cache, evicting if needed. */
+    void install(BlockAddr block);
+
+    Backing backing_;
+    CacheArray<TagLine> tags_;
+    std::unordered_map<BlockAddr, SocketDirEntry> store_;
+    MemoryStore &ms_;
+    SocketDirStats stats_;
+};
+
+} // namespace zerodev
+
+#endif // ZERODEV_CORE_SOCKET_DIR_HH

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * ZeroDEV tracking-state management: locating a block's directory entry
+ * (sparse directory -> LLC spilled/fused -> home memory), writing updated
+ * entries back while maintaining the FusePrivateSpillShared invariants
+ * (fused => M/E when co-resident with the block; spilled otherwise), the
+ * replacement-disabled allocation path, and the WB_DE flow that houses an
+ * LLC-evicted entry inside the (stale) home memory block (Sections III-C
+ * and III-D of the paper).
+ */
+
+#include "core/cmp_system.hh"
+
+#include "common/log.hh"
+
+namespace zerodev
+{
+
+Tracking
+CmpSystem::findTracking(Socket &s, BlockAddr block)
+{
+    Tracking trk;
+    if (s.dirOrg) {
+        auto e = s.dirOrg->lookup(block);
+        if (e) {
+            trk.where = TrackWhere::Org;
+            trk.entry = *e;
+        }
+        return trk;
+    }
+    if (s.sparseDir) {
+        if (DirEntry *e = s.sparseDir->find(block)) {
+            trk.where = TrackWhere::SparseDir;
+            trk.entry = *e;
+            return trk;
+        }
+    }
+    LlcProbe p = s.llc.probe(block);
+    if (p.spilled) {
+        trk.where = TrackWhere::LlcSpilled;
+        trk.entry = p.spilled->de;
+        s.llc.touchSpilled(p);
+    } else if (p.data && p.data->kind == LlcLineKind::FusedDe) {
+        trk.where = TrackWhere::LlcFused;
+        trk.entry = p.data->de;
+        s.llc.touchData(p);
+    }
+    return trk;
+}
+
+void
+CmpSystem::writeTracking(Socket &s, BlockAddr block, TrackWhere where,
+                         const DirEntry &entry, Cycle now)
+{
+    if (s.dirOrg) {
+        std::vector<Invalidation> invs;
+        s.dirOrg->set(block, entry, invs);
+        for (const Invalidation &inv : invs)
+            applyInvalidation(s, inv, now);
+        return;
+    }
+
+    switch (where) {
+      case TrackWhere::Org:
+        panic("Org tracking without a directory organisation");
+
+      case TrackWhere::None:
+        if (entry.live())
+            installNewTracking(s, block, entry, now);
+        return;
+
+      case TrackWhere::SparseDir: {
+        DirEntry *e = s.sparseDir->find(block);
+        if (!e)
+            panic("sparse directory lost a tracked entry");
+        if (entry.live())
+            *e = entry;
+        else
+            s.sparseDir->free(block);
+        return;
+      }
+
+      case TrackWhere::LlcSpilled: {
+        LlcProbe p = s.llc.probe(block);
+        if (!p.spilled) {
+            // An LLC allocation earlier in this transaction displaced
+            // the entry to home memory; pull it back and reinstall.
+            if (!extractEntryFromMemory(s, block, now))
+                panic("spilled entry vanished during a transaction");
+            writeTracking(s, block, TrackWhere::None, entry, now);
+            return;
+        }
+        if (!entry.live()) {
+            s.llc.invalidateLine(*p.spilled);
+            return;
+        }
+        if (cfg_.dirCachePolicy == DirCachePolicy::Fpss &&
+            entry.state == DirState::Owned && p.data &&
+            p.data->kind == LlcLineKind::Data) {
+            // S -> M/E with the block resident: free the spilled entry
+            // and fuse it into the block (FPSS invariant, Sec. III-C2).
+            s.llc.invalidateLine(*p.spilled);
+            s.llc.fuse(*p.data, entry);
+            return;
+        }
+        p.spilled->de = entry;
+        s.llc.noteDeUpdate();
+        s.llc.touchSpilled(p);
+        return;
+      }
+
+      case TrackWhere::LlcFused: {
+        LlcProbe p = s.llc.probe(block);
+        if (!p.data || p.data->kind != LlcLineKind::FusedDe) {
+            if (!extractEntryFromMemory(s, block, now))
+                panic("fused entry vanished during a transaction");
+            writeTracking(s, block, TrackWhere::None, entry, now);
+            return;
+        }
+        if (!entry.live()) {
+            // The last private copy is gone; the eviction notice carried
+            // the reconstruction bits, so the block returns to a plain
+            // valid line with its preserved dirty state.
+            s.llc.unfuse(*p.data);
+            return;
+        }
+        if (cfg_.dirCachePolicy == DirCachePolicy::Fpss &&
+            entry.state == DirState::Shared) {
+            // M/E -> S: the owner's busy-clear message carried the low
+            // bits; reconstruct the block and spill the entry into the
+            // same set (Section III-C2).
+            s.llc.unfuse(*p.data);
+            const LlcVictim victim = s.llc.allocate(
+                block, LlcLineKind::SpilledDe, false, entry,
+                static_cast<std::int32_t>(p.dataWay));
+            handleLlcVictim(s, victim, now);
+            return;
+        }
+        p.data->de = entry;
+        s.llc.noteDeUpdate();
+        return;
+      }
+    }
+    panic("unreachable tracking location");
+}
+
+void
+CmpSystem::installNewTracking(Socket &s, BlockAddr block,
+                              const DirEntry &entry, Cycle now)
+{
+    if (s.dirOrg) {
+        std::vector<Invalidation> invs;
+        s.dirOrg->set(block, entry, invs);
+        for (const Invalidation &inv : invs)
+            applyInvalidation(s, inv, now);
+        return;
+    }
+    if (s.sparseDir) {
+        // Replacement-disabled sparse directory (Section III-C4): use a
+        // free way if one exists, otherwise go straight to the LLC.
+        DirAllocResult res = s.sparseDir->alloc(block);
+        if (res.evictedVictim)
+            panic("replacement-disabled sparse directory evicted");
+        if (res.entry) {
+            *res.entry = entry;
+            return;
+        }
+    }
+    cacheEntryInLlc(s, block, entry, now);
+}
+
+void
+CmpSystem::cacheEntryInLlc(Socket &s, BlockAddr block,
+                           const DirEntry &entry, Cycle now)
+{
+    LlcProbe p = s.llc.probe(block);
+    const bool block_resident =
+        p.data && p.data->kind == LlcLineKind::Data;
+
+    switch (cfg_.dirCachePolicy) {
+      case DirCachePolicy::None:
+        panic("ZeroDEV without a directory-entry caching policy");
+
+      case DirCachePolicy::SpillAll: {
+        const LlcVictim victim = s.llc.allocate(
+            block, LlcLineKind::SpilledDe, false, entry,
+            block_resident ? static_cast<std::int32_t>(p.dataWay) : -1);
+        handleLlcVictim(s, victim, now);
+        return;
+      }
+
+      case DirCachePolicy::Fpss:
+        if (block_resident && entry.state == DirState::Owned) {
+            s.llc.fuse(*p.data, entry);
+            return;
+        }
+        break;
+
+      case DirCachePolicy::FuseAll:
+        if (block_resident) {
+            s.llc.fuse(*p.data, entry);
+            return;
+        }
+        break;
+    }
+
+    // Spill: for FPSS this is the S-state (or block-absent, e.g. EPD)
+    // case; for FuseAll the block-absent case.
+    const LlcVictim victim = s.llc.allocate(
+        block, LlcLineKind::SpilledDe, false, entry, -1);
+    handleLlcVictim(s, victim, now);
+}
+
+void
+CmpSystem::writebackEntryToMemory(Socket &s, BlockAddr block,
+                                  const DirEntry &entry, Cycle now)
+{
+    ++proto_.llcDeEvictWbs;
+    Socket &h = home(block);
+    s.traffic.record(MsgType::WbDe);
+    Cycle t = now;
+    if (h.id != s.id)
+        t += cfg_.interSocketCycles;
+
+    // Figure 14: if another socket's entry is already housed in the
+    // block, the home must read-modify-write; otherwise the prepared
+    // 64-byte image is written directly.
+    bool other_segment = false;
+    for (SocketId g = 0; g < cfg_.sockets; ++g) {
+        if (g != s.id && h.memStore.hasSegment(block, g)) {
+            other_segment = true;
+            break;
+        }
+    }
+    if (other_segment) {
+        t = h.dram.read(block, t, true);
+        h.traffic.record(MsgType::MemRead);
+    }
+    h.dram.write(block, t, true);
+    h.traffic.record(MsgType::MemWrite);
+    h.memStore.storeSegment(block, s.id, entry);
+
+    if (cfg_.sockets > 1) {
+        // The socket-level entry switches to the corrupted state with
+        // the sharer vector unchanged.
+        SocketDirEntry &se = socketEntry(block);
+        se.state = SocketDirState::Corrupted;
+        se.sharers.set(s.id);
+    }
+}
+
+std::optional<DirEntry>
+CmpSystem::extractEntryFromMemory(Socket &s, BlockAddr block, Cycle now)
+{
+    Socket &h = home(block);
+    auto entry = h.memStore.loadSegment(block, s.id);
+    if (!entry)
+        return std::nullopt;
+    h.memStore.clearSegment(block, s.id);
+    (void)now;
+    return entry;
+}
+
+} // namespace zerodev

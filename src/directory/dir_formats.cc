@@ -1,0 +1,170 @@
+#include "directory/dir_formats.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace zerodev
+{
+
+bool
+imageBit(const BlockImage &img, std::uint32_t i)
+{
+    return (img[i / 64] >> (i % 64)) & 1u;
+}
+
+void
+setImageBit(BlockImage &img, std::uint32_t i, bool v)
+{
+    if (v)
+        img[i / 64] |= 1ull << (i % 64);
+    else
+        img[i / 64] &= ~(1ull << (i % 64));
+}
+
+namespace
+{
+
+void
+putField(BlockImage &img, std::uint32_t lo, std::uint32_t len,
+         std::uint64_t value)
+{
+    for (std::uint32_t i = 0; i < len; ++i)
+        setImageBit(img, lo + i, (value >> i) & 1u);
+}
+
+std::uint64_t
+getField(const BlockImage &img, std::uint32_t lo, std::uint32_t len)
+{
+    std::uint64_t v = 0;
+    for (std::uint32_t i = 0; i < len; ++i)
+        v |= static_cast<std::uint64_t>(imageBit(img, lo + i)) << i;
+    return v;
+}
+
+} // namespace
+
+BlockImage
+encodeSpilled(const DirEntry &e, std::uint32_t cores)
+{
+    if (!e.live())
+        panic("encoding a dead entry as spilled");
+    BlockImage img{};
+    setImageBit(img, 0, true); // b0: spilled
+    setImageBit(img, 1, e.state == DirState::Owned);
+    for (std::uint32_t c = 0; c < cores; ++c)
+        setImageBit(img, 2 + c, e.sharers.test(c));
+    return img;
+}
+
+SpilledFields
+decodeSpilled(const BlockImage &img, std::uint32_t cores)
+{
+    if (!imageBit(img, 0))
+        panic("decodeSpilled on a fused image");
+    SpilledFields f;
+    const bool owned = imageBit(img, 1);
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        if (imageBit(img, 2 + c))
+            f.entry.sharers.set(c);
+    }
+    f.entry.state = f.entry.sharers.none()
+                        ? DirState::Invalid
+                        : (owned ? DirState::Owned : DirState::Shared);
+    return f;
+}
+
+BlockImage
+encodeFusedFpss(const FusedFpssFields &f, std::uint32_t cores,
+                const BlockImage &data)
+{
+    BlockImage img = data;
+    const std::uint32_t owner_bits = ceilLog2(cores);
+    setImageBit(img, 0, false);      // b0: fused
+    setImageBit(img, 1, f.llcDirty); // b1
+    setImageBit(img, 2, f.busy);     // b2
+    putField(img, 3, owner_bits, f.owner);
+    return img;
+}
+
+FusedFpssFields
+decodeFusedFpss(const BlockImage &img, std::uint32_t cores)
+{
+    if (imageBit(img, 0))
+        panic("decodeFusedFpss on a spilled image");
+    FusedFpssFields f;
+    f.llcDirty = imageBit(img, 1);
+    f.busy = imageBit(img, 2);
+    f.owner = static_cast<CoreId>(getField(img, 3, ceilLog2(cores)));
+    return f;
+}
+
+BlockImage
+encodeFusedFuseAll(const FusedFuseAllFields &f, std::uint32_t cores,
+                   const BlockImage &data)
+{
+    BlockImage img = data;
+    setImageBit(img, 0, false);      // b0: fused
+    setImageBit(img, 1, f.llcDirty); // b1
+    setImageBit(img, 2, f.busy);     // b2
+    setImageBit(img, 3, f.state == DirState::Owned); // b3: M/E vs S
+    if (f.state == DirState::Owned) {
+        putField(img, 4, ceilLog2(cores), f.owner);
+    } else {
+        for (std::uint32_t c = 0; c < cores; ++c)
+            setImageBit(img, 4 + c, f.sharers.test(c));
+    }
+    return img;
+}
+
+FusedFuseAllFields
+decodeFusedFuseAll(const BlockImage &img, std::uint32_t cores)
+{
+    if (imageBit(img, 0))
+        panic("decodeFusedFuseAll on a spilled image");
+    FusedFuseAllFields f;
+    f.llcDirty = imageBit(img, 1);
+    f.busy = imageBit(img, 2);
+    f.state = imageBit(img, 3) ? DirState::Owned : DirState::Shared;
+    if (f.state == DirState::Owned) {
+        f.owner = static_cast<CoreId>(getField(img, 4, ceilLog2(cores)));
+    } else {
+        for (std::uint32_t c = 0; c < cores; ++c) {
+            if (imageBit(img, 4 + c))
+                f.sharers.set(c);
+        }
+    }
+    return f;
+}
+
+std::uint32_t
+fusedFpssCorruptedBits(std::uint32_t cores)
+{
+    return 3 + ceilLog2(cores) + 1;
+}
+
+std::uint32_t
+fusedFuseAllCorruptedBits(std::uint32_t cores, DirState s)
+{
+    return s == DirState::Owned ? 4 + ceilLog2(cores) : 4 + cores;
+}
+
+std::uint32_t
+fpssReconstructionBits(std::uint32_t cores)
+{
+    return 3 + ceilLog2(cores);
+}
+
+std::uint32_t
+maxSocketsPerBlock(std::uint32_t cores)
+{
+    return 512u / (cores + 1);
+}
+
+std::uint32_t
+maxSocketsPerBlockWithSocketEntry(std::uint32_t cores)
+{
+    // 512 >= M(N+1) + (M+2)  =>  M <= 510 / (N+2)
+    return 510u / (cores + 2);
+}
+
+} // namespace zerodev

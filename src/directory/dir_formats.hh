@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Bit-accurate encodings of directory entries accommodated inside LLC
+ * blocks, exactly as laid out in Figure 9 (FusePrivateSpillShared) and
+ * Figure 11 (FuseAll) of the paper.
+ *
+ * An LLC block image is 512 bits. For a line in state (V=0, D=1):
+ *   - bit b0 distinguishes spilled (1) from fused (0);
+ *   - a spilled image stores the directory entry in bits b1.. (Fig 9a/11a);
+ *   - an FPSS fused image stores: b1 = LLC-block dirty, b2 = busy,
+ *     b3..b3+ceil(log2 N)-1 = owner id, remainder = the surviving part of
+ *     the data block (Fig 9b);
+ *   - a FuseAll fused image additionally stores b3 = M/E-vs-S and either
+ *     the owner id or the N-bit sharer vector (Fig 11b/11c).
+ *
+ * The simulator's hot path keeps structured DirEntry payloads; these
+ * encoders exist to validate that the formats fit and round-trip (the
+ * test suite checks every layout claim the paper makes, e.g. that a fused
+ * FPSS entry corrupts exactly 3 + ceil(log2 N) + 1 bits).
+ */
+
+#ifndef ZERODEV_DIRECTORY_DIR_FORMATS_HH
+#define ZERODEV_DIRECTORY_DIR_FORMATS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "directory/dir_entry.hh"
+
+namespace zerodev
+{
+
+/** A 512-bit LLC block image. */
+using BlockImage = std::array<std::uint64_t, 8>;
+
+/** Read bit @p i of an image. */
+bool imageBit(const BlockImage &img, std::uint32_t i);
+
+/** Write bit @p i of an image. */
+void setImageBit(BlockImage &img, std::uint32_t i, bool v);
+
+/** Fields of a decoded spilled directory entry (Fig 9a / 11a). */
+struct SpilledFields
+{
+    DirEntry entry;
+};
+
+/** Fields of a decoded FPSS fused block (Fig 9b). */
+struct FusedFpssFields
+{
+    bool llcDirty = false;   //!< b1: dirty bit of the overwritten block
+    bool busy = false;       //!< b2: directory busy/pending state
+    CoreId owner = 0;        //!< b3..: owner encoding
+};
+
+/** Fields of a decoded FuseAll fused block (Fig 11b/11c). */
+struct FusedFuseAllFields
+{
+    bool llcDirty = false;
+    bool busy = false;
+    DirState state = DirState::Owned; //!< b3: M/E (Owned) vs S
+    CoreId owner = 0;                 //!< valid when state is Owned
+    SharerSet sharers;                //!< valid when state is Shared
+};
+
+/**
+ * Encode a spilled entry: b0 = 1, then state bit, then the N-bit sharer
+ * vector. @p cores is the socket core count N.
+ */
+BlockImage encodeSpilled(const DirEntry &e, std::uint32_t cores);
+
+/** Decode a spilled-entry image. */
+SpilledFields decodeSpilled(const BlockImage &img, std::uint32_t cores);
+
+/** Encode an FPSS fused block over an existing data image @p data. */
+BlockImage encodeFusedFpss(const FusedFpssFields &f, std::uint32_t cores,
+                           const BlockImage &data);
+
+/** Decode an FPSS fused image. */
+FusedFpssFields decodeFusedFpss(const BlockImage &img, std::uint32_t cores);
+
+/** Encode a FuseAll fused block over an existing data image @p data. */
+BlockImage encodeFusedFuseAll(const FusedFuseAllFields &f,
+                              std::uint32_t cores, const BlockImage &data);
+
+/** Decode a FuseAll fused image. */
+FusedFuseAllFields decodeFusedFuseAll(const BlockImage &img,
+                                      std::uint32_t cores);
+
+/** Number of data bits corrupted by an FPSS fusion: 1 + 1 + 1 +
+ *  ceil(log2 N) plus the F/Sp bit (Section III-C2's 3 + ceil(log2 N)
+ *  reconstruction bits plus b0). */
+std::uint32_t fusedFpssCorruptedBits(std::uint32_t cores);
+
+/** Number of data bits corrupted by a FuseAll fusion in state @p s:
+ *  4 + ceil(log2 N) for M/E, 4 + N for S (Section III-C3). */
+std::uint32_t fusedFuseAllCorruptedBits(std::uint32_t cores, DirState s);
+
+/** Reconstruction payload (the low bits a core returns with an E-state
+ *  eviction notice under FPSS: 3 + ceil(log2 N) bits). */
+std::uint32_t fpssReconstructionBits(std::uint32_t cores);
+
+/**
+ * Maximum number of sockets whose intra-socket entries fit in one 512-bit
+ * memory block with N cores per socket: floor(512 / (N+1)) (Sec. III-D).
+ */
+std::uint32_t maxSocketsPerBlock(std::uint32_t cores);
+
+/**
+ * Maximum socket count when one partition also houses the socket-level
+ * entry (Section III-D5): largest M with 512 >= M(N+1) + (M+2).
+ */
+std::uint32_t maxSocketsPerBlockWithSocketEntry(std::uint32_t cores);
+
+} // namespace zerodev
+
+#endif // ZERODEV_DIRECTORY_DIR_FORMATS_HH

@@ -1,0 +1,55 @@
+#include "directory/dir_org.hh"
+
+#include "common/log.hh"
+
+namespace zerodev
+{
+
+std::optional<DirEntry>
+SparseOrg::lookup(BlockAddr block)
+{
+    ++orgStats_.lookups;
+    DirEntry *e = dir_.find(block);
+    if (!e)
+        return std::nullopt;
+    ++orgStats_.hits;
+    return *e;
+}
+
+std::optional<DirEntry>
+SparseOrg::peek(BlockAddr block) const
+{
+    const DirEntry *e = dir_.peek(block);
+    if (!e)
+        return std::nullopt;
+    return *e;
+}
+
+void
+SparseOrg::set(BlockAddr block, const DirEntry &e,
+               std::vector<Invalidation> &invs)
+{
+    DirEntry *existing = dir_.find(block);
+    if (!e.live()) {
+        if (existing)
+            dir_.free(block);
+        return;
+    }
+    if (existing) {
+        *existing = e;
+        return;
+    }
+    DirAllocResult res = dir_.alloc(block);
+    if (!res.entry)
+        panic("SparseOrg: allocation refused (replacement-disabled sparse "
+              "directories must be driven through the ZeroDEV paths)");
+    if (res.evictedVictim && res.victimEntry.live()) {
+        invs.push_back({res.victimBlock, res.victimEntry.sharers,
+                        res.victimEntry.state == DirState::Owned});
+        ++orgStats_.forcedInvalidations;
+        ++orgStats_.entryEvictions;
+    }
+    *res.entry = e;
+}
+
+} // namespace zerodev

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Abstract interface over the directory organisations the paper compares:
+ * the baseline sparse directory (and its unbounded reference), SecDir
+ * (ISCA'19) and the Multi-grain Directory (MICRO'13).
+ *
+ * The protocol engine reads tracking state with lookup() and writes the
+ * new tracking state with set(); an organisation reports any *forced
+ * invalidations* (the source of directory eviction victims) that the
+ * write caused. ZeroDEV does not implement this interface — its tracking
+ * state is spread across the sparse directory, the LLC and home memory
+ * and is managed directly by the CMP system.
+ */
+
+#ifndef ZERODEV_DIRECTORY_DIR_ORG_HH
+#define ZERODEV_DIRECTORY_DIR_ORG_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "directory/dir_entry.hh"
+#include "directory/sparse_directory.hh"
+
+namespace zerodev
+{
+
+/**
+ * An invalidation order produced by a directory conflict: the listed
+ * cores must drop their copies of @p block. Each invalidated private
+ * copy is a directory eviction victim (DEV).
+ */
+struct Invalidation
+{
+    BlockAddr block = 0;
+    SharerSet cores;
+    bool wasOwned = false; //!< the entry tracked an M/E owner
+};
+
+/** Common statistics across organisations. */
+struct DirOrgStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t forcedInvalidations = 0; //!< Invalidation orders issued
+    std::uint64_t entryEvictions = 0;      //!< live entries displaced
+};
+
+class DirOrgBase
+{
+  public:
+    virtual ~DirOrgBase() = default;
+
+    /** Current tracking state of @p block, if tracked. Touches the
+     *  replacement/hit state. */
+    virtual std::optional<DirEntry> lookup(BlockAddr block) = 0;
+
+    /** Side-effect-free lookup (invariant checks, introspection). */
+    virtual std::optional<DirEntry> peek(BlockAddr block) const = 0;
+
+    /**
+     * Record that @p block is now tracked as @p e (a dead @p e erases the
+     * tracking). Forced invalidations caused by conflicts are appended to
+     * @p invs. The caller must apply them to the private caches.
+     */
+    virtual void set(BlockAddr block, const DirEntry &e,
+                     std::vector<Invalidation> &invs) = 0;
+
+    /** Number of live tracked blocks. */
+    virtual std::uint64_t liveEntries() const = 0;
+
+    const DirOrgStats &orgStats() const { return orgStats_; }
+
+  protected:
+    DirOrgStats orgStats_;
+};
+
+/** Adapter presenting SparseDirectory (or unbounded mode) as a DirOrg. */
+class SparseOrg : public DirOrgBase
+{
+  public:
+    explicit SparseOrg(SparseDirectory dir) : dir_(std::move(dir)) {}
+
+    std::optional<DirEntry> lookup(BlockAddr block) override;
+    std::optional<DirEntry> peek(BlockAddr block) const override;
+    void set(BlockAddr block, const DirEntry &e,
+             std::vector<Invalidation> &invs) override;
+    std::uint64_t liveEntries() const override
+    {
+        return dir_.liveEntries();
+    }
+
+    SparseDirectory &dir() { return dir_; }
+
+  private:
+    SparseDirectory dir_;
+};
+
+} // namespace zerodev
+
+#endif // ZERODEV_DIRECTORY_DIR_ORG_HH

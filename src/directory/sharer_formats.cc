@@ -1,0 +1,117 @@
+#include "directory/sharer_formats.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace zerodev
+{
+
+const char *
+toString(SharerFormat f)
+{
+    switch (f) {
+      case SharerFormat::LimitedPointer: return "limited-pointer";
+      case SharerFormat::CoarseVector: return "coarse-vector";
+    }
+    return "?";
+}
+
+HybridGeometry
+HybridGeometry::forConfig(std::uint32_t cores, std::uint32_t budget_bits)
+{
+    if (budget_bits < 4 || budget_bits > 64)
+        fatal("hybrid sharer budget must be 4..64 bits");
+    HybridGeometry g;
+    g.budgetBits = budget_bits;
+    g.pointerBits = std::max(1u, ceilLog2(cores));
+    // One bit selects the format; the pointer layout also reserves a
+    // 4-bit count field; the coarse vector uses every data bit.
+    const std::uint32_t data_bits = budget_bits - 1;
+    g.pointers = data_bits > 4 ? (data_bits - 4) / g.pointerBits : 0;
+    g.pointers = std::min(g.pointers, 15u);
+    g.vectorBits = data_bits;
+    g.groupSize = (cores + data_bits - 1) / data_bits;
+    return g;
+}
+
+CompressedEntry
+compressEntry(const DirEntry &e, std::uint32_t cores,
+              const HybridGeometry &geom)
+{
+    CompressedEntry c;
+    c.state = e.state;
+    if (!e.live())
+        return c;
+
+    if (e.count() <= geom.pointers) {
+        c.format = SharerFormat::LimitedPointer;
+        std::uint32_t slot = 0;
+        for (CoreId core = 0; core < cores; ++core) {
+            if (!e.isSharer(core))
+                continue;
+            c.bits = insertBits(c.bits, slot * geom.pointerBits,
+                                geom.pointerBits, core);
+            ++slot;
+        }
+        // The 4-bit count field sits after the pointer slots (reserved
+        // by the geometry, so everything stays within the budget).
+        c.bits = insertBits(c.bits, geom.pointers * geom.pointerBits, 4,
+                            slot);
+        return c;
+    }
+
+    c.format = SharerFormat::CoarseVector;
+    for (CoreId core = 0; core < cores; ++core) {
+        if (e.isSharer(core))
+            c.bits |= 1ull << (core / geom.groupSize);
+    }
+    return c;
+}
+
+DirEntry
+decompressEntry(const CompressedEntry &c, std::uint32_t cores,
+                const HybridGeometry &geom)
+{
+    DirEntry e;
+    e.state = c.state;
+    if (c.state == DirState::Invalid)
+        return e;
+
+    if (c.format == SharerFormat::LimitedPointer) {
+        const std::uint32_t count = static_cast<std::uint32_t>(
+            bits(c.bits, geom.pointers * geom.pointerBits, 4));
+        for (std::uint32_t slot = 0; slot < count; ++slot) {
+            const CoreId core = static_cast<CoreId>(
+                bits(c.bits, slot * geom.pointerBits, geom.pointerBits));
+            e.sharers.set(core);
+        }
+        return e;
+    }
+
+    for (CoreId core = 0; core < cores; ++core) {
+        if (c.bits & (1ull << (core / geom.groupSize)))
+            e.sharers.set(core);
+    }
+    return e;
+}
+
+bool
+coversSharers(const DirEntry &cover, const DirEntry &exact)
+{
+    return (exact.sharers & ~cover.sharers).none();
+}
+
+std::uint32_t
+overInvalidations(const DirEntry &cover, const DirEntry &exact)
+{
+    return static_cast<std::uint32_t>(
+        (cover.sharers & ~exact.sharers).count());
+}
+
+std::uint32_t
+maxSocketsPerBlockCompressed(std::uint32_t budget_bits)
+{
+    return 512u / (budget_bits + 2);
+}
+
+} // namespace zerodev

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Compressed sharer-set representations for directory entries housed in
+ * memory blocks. Section III-D notes that a 64-byte block can hold at
+ * most floor(512 / (N+1)) full-map segments, and suggests "a hybrid of
+ * limited-pointer and coarse-vector formats [that] can dynamically
+ * choose between precise and imprecise representations depending on the
+ * sharer count" to scale beyond that. This module implements that
+ * hybrid:
+ *
+ *  - a *limited-pointer* encoding stores up to P exact core ids
+ *    (precise as long as the sharer count fits);
+ *  - a *coarse-vector* encoding falls back to one bit per group of
+ *    cores (imprecise but safe: decoding yields a superset, so
+ *    invalidations may over-target cores but never miss a sharer).
+ *
+ * The hybrid picks whichever fits the bit budget and stays precise when
+ * it can, exactly like classic DirP-CV schemes.
+ */
+
+#ifndef ZERODEV_DIRECTORY_SHARER_FORMATS_HH
+#define ZERODEV_DIRECTORY_SHARER_FORMATS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "directory/dir_entry.hh"
+
+namespace zerodev
+{
+
+/** Representation chosen by the hybrid encoder. */
+enum class SharerFormat : std::uint8_t
+{
+    LimitedPointer, //!< exact core ids (precise)
+    CoarseVector,   //!< one bit per core group (superset)
+};
+
+const char *toString(SharerFormat f);
+
+/** A compressed directory-entry payload of at most 64 bits. */
+struct CompressedEntry
+{
+    SharerFormat format = SharerFormat::LimitedPointer;
+    DirState state = DirState::Invalid;
+    std::uint64_t bits = 0; //!< pointers or the coarse vector
+};
+
+/**
+ * Encoding geometry for a given bit budget and core count:
+ * pointer count P = floor((budget - header) / ceil(log2 N)) and coarse
+ * group size g = ceil(N / (budget - header)).
+ */
+struct HybridGeometry
+{
+    std::uint32_t budgetBits;   //!< total bits per compressed segment
+    std::uint32_t pointerBits;  //!< bits per pointer: ceil(log2 N)
+    std::uint32_t pointers;     //!< P
+    std::uint32_t groupSize;    //!< cores per coarse-vector bit
+    std::uint32_t vectorBits;   //!< coarse-vector width
+
+    static HybridGeometry forConfig(std::uint32_t cores,
+                                    std::uint32_t budget_bits);
+};
+
+/** Encode @p e into the hybrid format under @p geom. */
+CompressedEntry compressEntry(const DirEntry &e, std::uint32_t cores,
+                              const HybridGeometry &geom);
+
+/**
+ * Decode back to a DirEntry. Limited-pointer decodes are exact; a
+ * coarse-vector decode returns the covering superset of cores.
+ */
+DirEntry decompressEntry(const CompressedEntry &c, std::uint32_t cores,
+                         const HybridGeometry &geom);
+
+/** True iff @p cover tracks every sharer of @p exact (safety). */
+bool coversSharers(const DirEntry &cover, const DirEntry &exact);
+
+/** Number of extra (falsely included) cores in a decoded entry. */
+std::uint32_t overInvalidations(const DirEntry &cover,
+                                const DirEntry &exact);
+
+/**
+ * Sockets whose segments fit in a 512-bit memory block when each
+ * segment is compressed to @p budget_bits (plus 2 state bits), versus
+ * the full-map bound of Section III-D.
+ */
+std::uint32_t maxSocketsPerBlockCompressed(std::uint32_t budget_bits);
+
+} // namespace zerodev
+
+#endif // ZERODEV_DIRECTORY_SHARER_FORMATS_HH

@@ -1,0 +1,174 @@
+#include "directory/sparse_directory.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace zerodev
+{
+
+SparseDirectory::SparseDirectory(std::uint32_t slices,
+                                 std::uint64_t sets_per_slice,
+                                 std::uint32_t ways,
+                                 bool replacement_disabled)
+    : numSlices_(slices),
+      setsPerSlice_(sets_per_slice),
+      ways_(ways),
+      replacementDisabled_(replacement_disabled),
+      unbounded_(sets_per_slice == 0)
+{
+    if (slices == 0 || !isPowerOfTwo(slices))
+        fatal("sparse directory slice count %u must be a power of two",
+              slices);
+    if (!unbounded_) {
+        if (!isPowerOfTwo(sets_per_slice))
+            fatal("sparse directory sets/slice must be a power of two");
+        slices_.reserve(slices);
+        for (std::uint32_t i = 0; i < slices; ++i)
+            slices_.emplace_back(sets_per_slice, ways);
+    }
+}
+
+SparseDirectory
+SparseDirectory::makeUnbounded(std::uint32_t slices)
+{
+    return SparseDirectory(slices, 0, 8, false);
+}
+
+std::uint32_t
+SparseDirectory::sliceOf(BlockAddr block) const
+{
+    return static_cast<std::uint32_t>(block & (numSlices_ - 1));
+}
+
+std::size_t
+SparseDirectory::setOf(BlockAddr block) const
+{
+    return static_cast<std::size_t>((block >> floorLog2(numSlices_)) &
+                                    (setsPerSlice_ - 1));
+}
+
+std::uint64_t
+SparseDirectory::tagOfBlock(BlockAddr block) const
+{
+    return (block >> floorLog2(numSlices_)) / setsPerSlice_;
+}
+
+DirEntry *
+SparseDirectory::find(BlockAddr block)
+{
+    ++stats_.lookups;
+    if (unbounded_) {
+        auto it = map_.find(block);
+        if (it == map_.end())
+            return nullptr;
+        ++stats_.hits;
+        return &it->second;
+    }
+    Slice &slice = slices_[sliceOf(block)];
+    const std::size_t set = setOf(block);
+    const WayRef ref = slice.array.find(set, tagOfBlock(block));
+    if (!ref.found)
+        return nullptr;
+    ++stats_.hits;
+    slice.array.touch(set, ref.way);
+    slice.nru.touch(set, ref.way);
+    return &slice.array.line(set, ref.way).payload;
+}
+
+const DirEntry *
+SparseDirectory::peek(BlockAddr block) const
+{
+    if (unbounded_) {
+        auto it = map_.find(block);
+        return it == map_.end() ? nullptr : &it->second;
+    }
+    const Slice &slice = slices_[sliceOf(block)];
+    const std::size_t set = setOf(block);
+    const WayRef ref = slice.array.find(set, tagOfBlock(block));
+    if (!ref.found)
+        return nullptr;
+    return &slice.array.line(set, ref.way).payload;
+}
+
+DirAllocResult
+SparseDirectory::alloc(BlockAddr block)
+{
+    DirAllocResult res;
+    ++stats_.allocs;
+
+    if (unbounded_) {
+        auto [it, inserted] = map_.try_emplace(block);
+        if (!inserted)
+            panic("directory entry for block %#llx already exists",
+                  static_cast<unsigned long long>(block));
+        res.entry = &it->second;
+        ++live_;
+        peak_ = std::max(peak_, live_);
+        return res;
+    }
+
+    Slice &slice = slices_[sliceOf(block)];
+    const std::size_t set = setOf(block);
+
+    WayRef free_way = slice.array.findFree(set);
+    if (!free_way.found) {
+        if (replacementDisabled_) {
+            // ZeroDEV: never evict a valid entry; the caller will
+            // accommodate the new entry in the LLC (Section III-C4).
+            ++stats_.refusals;
+            --stats_.allocs;
+            return res;
+        }
+        const std::uint32_t victim = slice.nru.victim(set);
+        Line &vline = slice.array.line(set, victim);
+        res.evictedVictim = true;
+        res.victimBlock = vline.block;
+        res.victimEntry = vline.payload;
+        ++stats_.evictions;
+        vline.reset();
+        slice.nru.reset(set, victim);
+        --live_;
+        free_way = {set, victim, true};
+    }
+
+    Line &line = slice.array.line(set, free_way.way);
+    line.valid = true;
+    line.tag = tagOfBlock(block);
+    line.block = block;
+    line.payload.clear();
+    slice.array.touch(set, free_way.way);
+    slice.nru.touch(set, free_way.way);
+    res.entry = &line.payload;
+    ++live_;
+    peak_ = std::max(peak_, live_);
+    return res;
+}
+
+void
+SparseDirectory::free(BlockAddr block)
+{
+    ++stats_.frees;
+    if (unbounded_) {
+        if (map_.erase(block) == 0)
+            panic("freeing absent directory entry");
+        --live_;
+        return;
+    }
+    Slice &slice = slices_[sliceOf(block)];
+    const std::size_t set = setOf(block);
+    const WayRef ref = slice.array.find(set, tagOfBlock(block));
+    if (!ref.found)
+        panic("freeing absent directory entry for block %#llx",
+              static_cast<unsigned long long>(block));
+    slice.array.line(set, ref.way).reset();
+    slice.nru.reset(set, ref.way);
+    --live_;
+}
+
+std::uint64_t
+SparseDirectory::liveEntries() const
+{
+    return live_;
+}
+
+} // namespace zerodev

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The sparse coherence directory: a tagged set-associative cache of
+ * DirEntry payloads, sliced per LLC bank (Section III-A), with 1-bit NRU
+ * replacement (Table I).
+ *
+ * Three operating modes cover the paper's design space:
+ *  - normal: a full set evicts the NRU victim (the eviction generates
+ *    DEVs; that is the caller's responsibility to act on);
+ *  - replacement-disabled (Section III-C4, ZeroDEV): a full set refuses
+ *    the allocation and the entry is accommodated in the LLC instead;
+ *  - unbounded: the structure never runs out of space (Figures 2-3's
+ *    unlimited-capacity reference).
+ */
+
+#ifndef ZERODEV_DIRECTORY_SPARSE_DIRECTORY_HH
+#define ZERODEV_DIRECTORY_SPARSE_DIRECTORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_array.hh"
+#include "cache/replacement.hh"
+#include "common/types.hh"
+#include "directory/dir_entry.hh"
+
+namespace zerodev
+{
+
+/** Statistics of one sparse directory. */
+struct SparseDirStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t allocs = 0;
+    std::uint64_t evictions = 0; //!< valid entries evicted (DEV sources)
+    std::uint64_t refusals = 0;  //!< replacement-disabled set-full refusals
+    std::uint64_t frees = 0;
+};
+
+/** Result of an allocation attempt. */
+struct DirAllocResult
+{
+    DirEntry *entry = nullptr;    //!< the new entry, null if refused
+    bool evictedVictim = false;   //!< a valid entry was evicted
+    BlockAddr victimBlock = 0;    //!< block the victim tracked
+    DirEntry victimEntry;         //!< payload of the evicted victim
+};
+
+class SparseDirectory
+{
+  public:
+    /**
+     * @param slices number of slices (one per LLC bank; also the bank
+     *        hash used for slice selection)
+     * @param sets_per_slice sets in each slice; 0 selects unbounded mode
+     * @param ways slice associativity
+     * @param replacement_disabled ZeroDEV mode (Section III-C4)
+     */
+    SparseDirectory(std::uint32_t slices, std::uint64_t sets_per_slice,
+                    std::uint32_t ways, bool replacement_disabled);
+
+    /** Unbounded-mode factory. */
+    static SparseDirectory makeUnbounded(std::uint32_t slices);
+
+    /** Find the live entry tracking @p block; null if absent. Touches
+     *  the replacement state and hit statistics. */
+    DirEntry *find(BlockAddr block);
+
+    /** Side-effect-free lookup (invariant checks, introspection). */
+    const DirEntry *peek(BlockAddr block) const;
+
+    /**
+     * Allocate an entry for @p block (which must not already have one).
+     * In normal mode a full set evicts its NRU victim and reports it; in
+     * replacement-disabled mode a full set returns entry == nullptr; in
+     * unbounded mode allocation always succeeds.
+     */
+    DirAllocResult alloc(BlockAddr block);
+
+    /** Free the entry tracking @p block (it became untracked). */
+    void free(BlockAddr block);
+
+    /** Live entries currently held. */
+    std::uint64_t liveEntries() const;
+
+    /** High-water mark of live entries (sizing studies, Figure 5). */
+    std::uint64_t peakEntries() const { return peak_; }
+
+    bool unbounded() const { return unbounded_; }
+    bool replacementDisabled() const { return replacementDisabled_; }
+
+    const SparseDirStats &stats() const { return stats_; }
+    void clearStats() { stats_ = SparseDirStats{}; }
+
+    /** Visit every live entry: fn(block, entry). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        if (unbounded_) {
+            for (const auto &[block, e] : map_)
+                fn(block, e);
+            return;
+        }
+        for (const auto &slice : slices_) {
+            slice.array.forEach(
+                [&](std::size_t, std::uint32_t, const Line &l) {
+                    fn(l.block, l.payload);
+                });
+        }
+    }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        BlockAddr block = 0;  //!< full block address for victim reporting
+        DirEntry payload;
+
+        bool occupied() const { return valid; }
+
+        void
+        reset()
+        {
+            valid = false;
+            payload.clear();
+        }
+    };
+
+    struct Slice
+    {
+        Slice(std::uint64_t sets, std::uint32_t ways)
+            : array(sets, ways), nru(sets, ways)
+        {}
+
+        CacheArray<Line> array;
+        NruState nru;
+    };
+
+    std::uint32_t sliceOf(BlockAddr block) const;
+    std::size_t setOf(BlockAddr block) const;
+    std::uint64_t tagOfBlock(BlockAddr block) const;
+
+    std::uint32_t numSlices_;
+    std::uint64_t setsPerSlice_;
+    std::uint32_t ways_;
+    bool replacementDisabled_;
+    bool unbounded_;
+
+    std::vector<Slice> slices_;
+    std::unordered_map<BlockAddr, DirEntry> map_; //!< unbounded mode
+
+    std::uint64_t live_ = 0;
+    std::uint64_t peak_ = 0;
+    SparseDirStats stats_;
+};
+
+} // namespace zerodev
+
+#endif // ZERODEV_DIRECTORY_SPARSE_DIRECTORY_HH

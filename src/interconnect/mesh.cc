@@ -1,0 +1,41 @@
+#include "interconnect/mesh.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace zerodev
+{
+
+Mesh::Mesh(std::uint32_t tiles, std::uint32_t hop_cycles)
+    : tiles_(tiles), hopCycles_(hop_cycles)
+{
+    if (tiles == 0)
+        fatal("mesh with zero tiles");
+    cols_ = static_cast<std::uint32_t>(
+        std::ceil(std::sqrt(static_cast<double>(tiles))));
+    rows_ = (tiles + cols_ - 1) / cols_;
+}
+
+std::uint32_t
+Mesh::hops(std::uint32_t from, std::uint32_t to) const
+{
+    const std::uint32_t fx = from % cols_, fy = from / cols_;
+    const std::uint32_t tx = to % cols_, ty = to / cols_;
+    const std::uint32_t dx = fx > tx ? fx - tx : tx - fx;
+    const std::uint32_t dy = fy > ty ? fy - ty : ty - fy;
+    return dx + dy;
+}
+
+double
+Mesh::averageHops() const
+{
+    std::uint64_t total = 0;
+    for (std::uint32_t a = 0; a < tiles_; ++a)
+        for (std::uint32_t b = 0; b < tiles_; ++b)
+            total += hops(a, b);
+    return static_cast<double>(total) /
+           (static_cast<double>(tiles_) * tiles_);
+}
+
+} // namespace zerodev

@@ -1,0 +1,86 @@
+#include "mem/dram.hh"
+
+#include "common/log.hh"
+
+namespace zerodev
+{
+
+Dram::Dram(const DramConfig &cfg, std::uint32_t block_bytes)
+    : cfg_(cfg),
+      blocksPerRow_(cfg.rowBytes / block_bytes),
+      banksPerChannel_(cfg.ranksPerChannel * cfg.banksPerRank),
+      banks_(static_cast<std::size_t>(cfg.channels) * banksPerChannel_)
+{
+    if (blocksPerRow_ == 0)
+        fatal("DRAM row smaller than a block");
+}
+
+Dram::Decoded
+Dram::decode(BlockAddr block) const
+{
+    const std::uint64_t channel = block % cfg_.channels;
+    const std::uint64_t a1 = block / cfg_.channels;
+    const std::uint64_t a2 = a1 / blocksPerRow_; // drop column bits
+    const std::uint64_t bank_in_channel = a2 % banksPerChannel_;
+    const std::uint64_t row = a2 / banksPerChannel_;
+    return {static_cast<std::size_t>(channel * banksPerChannel_ +
+                                     bank_in_channel),
+            static_cast<std::int64_t>(row)};
+}
+
+Cycle
+Dram::access(BlockAddr block, Cycle now)
+{
+    const Decoded d = decode(block);
+    Bank &bank = banks_[d.bank];
+    const Cycle start = bank.availableAt > now ? bank.availableAt : now;
+
+    Cycle service;
+    if (bank.openRow == d.row) {
+        service = cfg_.tCas + cfg_.tBurst;
+        ++stats_.rowHits;
+    } else if (bank.openRow < 0) {
+        service = cfg_.tRcd + cfg_.tCas + cfg_.tBurst;
+        ++stats_.rowMisses;
+    } else {
+        service = cfg_.tRp + cfg_.tRcd + cfg_.tCas + cfg_.tBurst;
+        ++stats_.rowConflicts;
+    }
+    bank.openRow = d.row;
+    bank.availableAt = start + service;
+    return start + service;
+}
+
+Cycle
+Dram::read(BlockAddr block, Cycle now, bool de_flow)
+{
+    ++stats_.reads;
+    if (de_flow)
+        ++stats_.deReads;
+    return access(block, now);
+}
+
+void
+Dram::write(BlockAddr block, Cycle now, bool de_flow)
+{
+    ++stats_.writes;
+    if (de_flow)
+        ++stats_.deWrites;
+    access(block, now);
+}
+
+StatDump
+Dram::report() const
+{
+    StatDump d;
+    d.add("reads", static_cast<double>(stats_.reads));
+    d.add("writes", static_cast<double>(stats_.writes));
+    d.add("row_hits", static_cast<double>(stats_.rowHits));
+    d.add("row_misses", static_cast<double>(stats_.rowMisses));
+    d.add("row_conflicts", static_cast<double>(stats_.rowConflicts));
+    d.add("de_reads", static_cast<double>(stats_.deReads));
+    d.add("de_writes", static_cast<double>(stats_.deWrites));
+    return d;
+}
+
+} // namespace zerodev

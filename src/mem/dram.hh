@@ -1,0 +1,88 @@
+/**
+ * @file
+ * DRAMSim2-lite main-memory timing model (Table I): per-channel, per-rank,
+ * per-bank row-buffer state with DDR3-2133 latency parameters expressed in
+ * core cycles. Bank availability times serialise conflicting accesses,
+ * which is the first-order queueing behaviour the paper's DE-writeback
+ * overheads interact with.
+ */
+
+#ifndef ZERODEV_MEM_DRAM_HH
+#define ZERODEV_MEM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace zerodev
+{
+
+/** Aggregate DRAM statistics. */
+struct DramStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;    //!< closed-row activations
+    std::uint64_t rowConflicts = 0; //!< precharge + activate
+    std::uint64_t deReads = 0;   //!< reads caused by directory-entry flows
+    std::uint64_t deWrites = 0;  //!< writes caused by directory-entry flows
+};
+
+/** One socket's main memory (all channels). */
+class Dram
+{
+  public:
+    Dram(const DramConfig &cfg, std::uint32_t block_bytes);
+
+    /**
+     * Issue a read of @p block at time @p now.
+     * @param de_flow true when the access serves a directory-entry
+     *        movement (WB_DE / GET_DE / corrupted-block repair).
+     * @return the cycle at which the data is available.
+     */
+    Cycle read(BlockAddr block, Cycle now, bool de_flow = false);
+
+    /**
+     * Issue a write of @p block at time @p now. Writes are posted: the
+     * requester does not wait, but the bank is occupied, delaying later
+     * accesses to it.
+     */
+    void write(BlockAddr block, Cycle now, bool de_flow = false);
+
+    const DramStats &stats() const { return stats_; }
+    void clearStats() { stats_ = DramStats{}; }
+
+    StatDump report() const;
+
+  private:
+    struct Bank
+    {
+        std::int64_t openRow = -1;
+        Cycle availableAt = 0;
+    };
+
+    struct Decoded
+    {
+        std::size_t bank; //!< flat bank index across channels and ranks
+        std::int64_t row;
+    };
+
+    Decoded decode(BlockAddr block) const;
+
+    /** Occupy the bank and return the completion time of the access. */
+    Cycle access(BlockAddr block, Cycle now);
+
+    DramConfig cfg_;
+    std::uint32_t blocksPerRow_;
+    std::uint32_t banksPerChannel_;
+    std::vector<Bank> banks_;
+    DramStats stats_;
+};
+
+} // namespace zerodev
+
+#endif // ZERODEV_MEM_DRAM_HH

@@ -1,0 +1,145 @@
+#include "mem/memory_store.hh"
+
+#include "common/log.hh"
+
+namespace zerodev
+{
+
+const char *
+toString(SocketDirState s)
+{
+    switch (s) {
+      case SocketDirState::Invalid: return "I";
+      case SocketDirState::Owned: return "M/E";
+      case SocketDirState::Shared: return "S";
+      case SocketDirState::Corrupted: return "Corrupted";
+    }
+    return "?";
+}
+
+bool
+MemoryStore::corrupted(BlockAddr block) const
+{
+    auto it = blocks_.find(block);
+    return it != blocks_.end() && it->second.anySegment();
+}
+
+bool
+MemoryStore::hasSegment(BlockAddr block, SocketId s) const
+{
+    auto it = blocks_.find(block);
+    return it != blocks_.end() && it->second.segments[s].has_value();
+}
+
+void
+MemoryStore::storeSegment(BlockAddr block, SocketId s, const DirEntry &e)
+{
+    if (!e.live())
+        panic("housing a dead directory entry in memory");
+    BlockMeta &meta = blocks_[block];
+    const bool was_corrupted = meta.anySegment();
+    meta.segments[s] = e;
+    if (!was_corrupted)
+        ++corruptedCount_;
+    destroyed_.insert(block);
+}
+
+void
+MemoryStore::restoreData(BlockAddr block)
+{
+    destroyed_.erase(block);
+}
+
+std::optional<DirEntry>
+MemoryStore::loadSegment(BlockAddr block, SocketId s) const
+{
+    auto it = blocks_.find(block);
+    if (it == blocks_.end())
+        return std::nullopt;
+    return it->second.segments[s];
+}
+
+void
+MemoryStore::clearSegment(BlockAddr block, SocketId s)
+{
+    auto it = blocks_.find(block);
+    if (it == blocks_.end() || !it->second.segments[s].has_value())
+        return;
+    it->second.segments[s].reset();
+    if (!it->second.anySegment())
+        --corruptedCount_;
+    maybeErase(block);
+}
+
+void
+MemoryStore::clearBlock(BlockAddr block)
+{
+    auto it = blocks_.find(block);
+    if (it == blocks_.end())
+        return;
+    if (it->second.anySegment())
+        --corruptedCount_;
+    for (auto &seg : it->second.segments)
+        seg.reset();
+    maybeErase(block);
+}
+
+std::uint32_t
+MemoryStore::segmentCount(BlockAddr block) const
+{
+    auto it = blocks_.find(block);
+    if (it == blocks_.end())
+        return 0;
+    std::uint32_t n = 0;
+    for (const auto &seg : it->second.segments) {
+        if (seg.has_value())
+            ++n;
+    }
+    return n;
+}
+
+bool
+MemoryStore::dirEvictBit(BlockAddr block) const
+{
+    auto it = blocks_.find(block);
+    return it != blocks_.end() && it->second.socketEntry.has_value();
+}
+
+void
+MemoryStore::storeSocketEntry(BlockAddr block, const SocketDirEntry &e)
+{
+    BlockMeta &meta = blocks_[block];
+    if (!meta.socketEntry.has_value())
+        ++dirEvictCount_;
+    meta.socketEntry = e;
+}
+
+std::optional<SocketDirEntry>
+MemoryStore::loadSocketEntry(BlockAddr block) const
+{
+    auto it = blocks_.find(block);
+    if (it == blocks_.end())
+        return std::nullopt;
+    return it->second.socketEntry;
+}
+
+void
+MemoryStore::clearSocketEntry(BlockAddr block)
+{
+    auto it = blocks_.find(block);
+    if (it == blocks_.end() || !it->second.socketEntry.has_value())
+        return;
+    it->second.socketEntry.reset();
+    --dirEvictCount_;
+    maybeErase(block);
+}
+
+void
+MemoryStore::maybeErase(BlockAddr block)
+{
+    auto it = blocks_.find(block);
+    if (it != blocks_.end() && it->second.empty())
+        blocks_.erase(it);
+}
+
+} // namespace zerodev

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Per-block home-memory metadata backing the ZeroDEV "house the evicted
+ * directory entry inside the stale memory block" mechanism (Section III-D,
+ * Figures 13-14).
+ *
+ * A 64-byte memory block is partitioned into fixed per-socket segments for
+ * intra-socket directory entries, plus (optionally) one segment for an
+ * evicted socket-level directory entry guarded by a per-block DirEvict
+ * bit (Section III-D5, second solution). Only blocks that currently house
+ * at least one entry carry any storage here; everything else is implicit.
+ */
+
+#ifndef ZERODEV_MEM_MEMORY_STORE_HH
+#define ZERODEV_MEM_MEMORY_STORE_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.hh"
+#include "directory/dir_entry.hh"
+
+namespace zerodev
+{
+
+/** Home-memory metadata for blocks in the corrupted state. */
+class MemoryStore
+{
+  public:
+    /** True iff any intra-socket segment of @p block holds an entry,
+     *  i.e. the data contents of the block are corrupted. */
+    bool corrupted(BlockAddr block) const;
+
+    /** True iff socket @p s has an entry housed in @p block. */
+    bool hasSegment(BlockAddr block, SocketId s) const;
+
+    /** Write socket @p s's evicted directory entry into @p block
+     *  (the WB_DE flow). */
+    void storeSegment(BlockAddr block, SocketId s, const DirEntry &e);
+
+    /** Read socket @p s's segment (the GET_DE / corrupted-response
+     *  flows); the segment stays in place. */
+    std::optional<DirEntry> loadSegment(BlockAddr block, SocketId s) const;
+
+    /** Remove socket @p s's segment; un-corrupts the block when it was
+     *  the last occupied segment. */
+    void clearSegment(BlockAddr block, SocketId s);
+
+    /** Remove every segment of @p block (the block is being rewritten
+     *  with real data). */
+    void clearBlock(BlockAddr block);
+
+    /** Number of sockets with a segment housed in @p block. */
+    std::uint32_t segmentCount(BlockAddr block) const;
+
+    // --- Data-destruction lifetime (the "corrupted" memory state) ---
+    //
+    // The first WB_DE overwrites the block's data in memory; the data
+    // stays unusable even after segments are extracted back into
+    // sockets, until a *full-block* write restores it (a dirty
+    // writeback, or the Section III-D4 last-copy retrieval).
+
+    /** True iff @p block's memory data has been overwritten and not yet
+     *  restored by a full-block write. */
+    bool destroyed(BlockAddr block) const
+    {
+        return destroyed_.count(block) != 0;
+    }
+
+    /** A full-block data write landed: the memory copy is valid again. */
+    void restoreData(BlockAddr block);
+
+    /** Number of blocks whose memory data is currently destroyed. */
+    std::uint64_t destroyedBlocks() const { return destroyed_.size(); }
+
+    /** Visit every destroyed block: fn(block). */
+    template <typename Fn>
+    void
+    forEachDestroyed(Fn &&fn) const
+    {
+        for (BlockAddr b : destroyed_)
+            fn(b);
+    }
+
+    // --- Socket-level directory entry housed in memory (Sec. III-D5) ---
+
+    /** DirEvict bit: true iff @p block houses an evicted socket-level
+     *  directory entry. */
+    bool dirEvictBit(BlockAddr block) const;
+
+    /** House an evicted socket-level entry in @p block. */
+    void storeSocketEntry(BlockAddr block, const SocketDirEntry &e);
+
+    /** Read the housed socket-level entry. */
+    std::optional<SocketDirEntry> loadSocketEntry(BlockAddr block) const;
+
+    /** Clear the housed socket-level entry and its DirEvict bit. */
+    void clearSocketEntry(BlockAddr block);
+
+    /** Number of blocks currently corrupted (for statistics). */
+    std::uint64_t corruptedBlocks() const { return corruptedCount_; }
+
+    /** Number of blocks whose DirEvict bit is set. */
+    std::uint64_t dirEvictBlocks() const { return dirEvictCount_; }
+
+  private:
+    struct BlockMeta
+    {
+        std::array<std::optional<DirEntry>, kMaxSockets> segments;
+        std::optional<SocketDirEntry> socketEntry;
+
+        bool
+        anySegment() const
+        {
+            for (const auto &s : segments) {
+                if (s.has_value())
+                    return true;
+            }
+            return false;
+        }
+
+        bool empty() const { return !anySegment() && !socketEntry; }
+    };
+
+    /** Drop the map entry when nothing is housed any more. */
+    void maybeErase(BlockAddr block);
+
+    std::unordered_map<BlockAddr, BlockMeta> blocks_;
+    std::unordered_set<BlockAddr> destroyed_;
+    std::uint64_t corruptedCount_ = 0;
+    std::uint64_t dirEvictCount_ = 0;
+};
+
+} // namespace zerodev
+
+#endif // ZERODEV_MEM_MEMORY_STORE_HH

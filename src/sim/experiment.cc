@@ -1,0 +1,130 @@
+#include "sim/experiment.hh"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace zerodev
+{
+
+namespace
+{
+int gFailedClaims = 0;
+}
+
+double
+speedup(const RunResult &base, const RunResult &test)
+{
+    if (test.cycles == 0)
+        return 0.0;
+    return static_cast<double>(base.cycles) /
+           static_cast<double>(test.cycles);
+}
+
+double
+weightedSpeedup(const RunResult &base, const RunResult &test)
+{
+    const std::size_t n =
+        std::min(base.coreCycles.size(), test.coreCycles.size());
+    if (n == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+        const double b = base.ipc(static_cast<std::uint32_t>(c));
+        const double t = test.ipc(static_cast<std::uint32_t>(c));
+        if (b > 0.0)
+            sum += t / b;
+    }
+    return sum / static_cast<double>(n);
+}
+
+double
+ratio(double test, double base)
+{
+    return base == 0.0 ? 0.0 : test / base;
+}
+
+std::string
+fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addRow(const std::string &label, const std::vector<double> &vals,
+              int precision)
+{
+    std::vector<std::string> cells;
+    cells.push_back(label);
+    for (double v : vals)
+        cells.push_back(fmt(v, precision));
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        width[i] = headers_[i].size();
+    for (const auto &row : rows_) {
+        for (std::size_t i = 0; i < row.size() && i < width.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+    }
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size() && i < width.size();
+             ++i) {
+            os << (i == 0 ? "" : "  ") << std::left
+               << std::setw(static_cast<int>(width[i])) << cells[i];
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    std::string rule;
+    for (std::size_t i = 0; i < width.size(); ++i)
+        rule += std::string(width[i], '-') + (i + 1 < width.size() ? "  "
+                                                                   : "");
+    os << rule << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+void
+claim(bool ok, const std::string &description)
+{
+    std::printf("[%s] %s\n", ok ? "PASS" : "CHECK", description.c_str());
+    if (!ok)
+        ++gFailedClaims;
+}
+
+int
+failedClaims()
+{
+    return gFailedClaims;
+}
+
+} // namespace zerodev

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Experiment helpers shared by the benchmark harness: speedup and
+ * weighted-speedup computation (the paper's metrics), fixed-width table
+ * rendering that mirrors the figures' rows/series, and a tiny qualitative
+ * check reporter (PASS/CHECK lines on each figure's headline claim).
+ */
+
+#ifndef ZERODEV_SIM_EXPERIMENT_HH
+#define ZERODEV_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+
+namespace zerodev
+{
+
+/** Execution-time speedup of @p test over @p base (multi-threaded
+ *  metric: completion-time ratio). */
+double speedup(const RunResult &base, const RunResult &test);
+
+/**
+ * Weighted speedup of @p test normalised to @p base (multi-programmed
+ * metric): sum over cores of IPC_test / IPC_base, divided by core count.
+ */
+double weightedSpeedup(const RunResult &base, const RunResult &test);
+
+/** Ratio helper for normalised traffic/miss bars. */
+double ratio(double test, double base);
+
+/** A printable results table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: first cell is a label, the rest are numbers. */
+    void addRow(const std::string &label, const std::vector<double> &vals,
+                int precision = 3);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string fmt(double v, int precision = 3);
+
+/** Emit a qualitative-claim check line: "[PASS] ..." or "[CHECK] ...". */
+void claim(bool ok, const std::string &description);
+
+/** Count of failed claims so far (exit-code hook for the harness). */
+int failedClaims();
+
+} // namespace zerodev
+
+#endif // ZERODEV_SIM_EXPERIMENT_HH

@@ -1,0 +1,143 @@
+#include "sim/runner.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/log.hh"
+#include "core/invariants.hh"
+
+namespace zerodev
+{
+
+namespace
+{
+
+/** Per-core issue state. */
+struct CoreState
+{
+    Cycle ready = 0;          //!< time the core can issue its next access
+    std::uint64_t done = 0;   //!< accesses completed (incl. warm-up)
+    std::uint64_t instructions = 0;
+    Cycle finish = 0;         //!< completion time of the last access
+    bool active = false;
+};
+
+} // namespace
+
+RunResult
+run(CmpSystem &sys, const Workload &workload, const RunConfig &rc)
+{
+    const std::uint32_t cores =
+        std::min(sys.totalCores(), workload.threadCount());
+    if (cores == 0)
+        fatal("workload %s has no threads", workload.name().c_str());
+
+    std::vector<ThreadGenerator> gens;
+    gens.reserve(cores);
+    std::vector<CoreState> state(cores);
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        gens.push_back(workload.makeGenerator(c));
+        state[c].active = true;
+    }
+
+    std::unique_ptr<TraceWriter> tracer;
+    if (!rc.tracePath.empty())
+        tracer = std::make_unique<TraceWriter>(rc.tracePath, cores);
+
+    const std::uint64_t total =
+        rc.warmupPerCore + rc.accessesPerCore;
+    std::uint64_t executed = 0;
+    std::uint64_t next_check =
+        rc.invariantCheckInterval ? rc.invariantCheckInterval : ~0ull;
+
+    // Issue in globally non-decreasing ready-time order: a linear scan
+    // over <= 128 cores per transaction keeps the engine simple and is
+    // far from the bottleneck.
+    while (true) {
+        std::uint32_t best = cores;
+        Cycle best_t = ~0ull;
+        for (std::uint32_t c = 0; c < cores; ++c) {
+            if (state[c].active && state[c].ready < best_t) {
+                best_t = state[c].ready;
+                best = c;
+            }
+        }
+        if (best == cores)
+            break; // every core finished
+
+        CoreState &cs = state[best];
+        const MemAccess a = gens[best].next();
+        if (tracer)
+            tracer->append({best, a});
+
+        const Cycle issue = cs.ready + a.gap; // 1 IPC between accesses
+        const Cycle done = sys.access(best, a.type, a.block, issue);
+        cs.ready = done;
+        cs.finish = done;
+        cs.instructions += a.gap + 1;
+        ++cs.done;
+        if (cs.done >= total)
+            cs.active = false;
+
+        if (++executed >= next_check) {
+            assertInvariants(sys);
+            next_check += rc.invariantCheckInterval;
+        }
+    }
+
+    RunResult res;
+    res.workload = workload.name();
+    res.coreCycles.resize(cores);
+    res.coreInstructions.resize(cores);
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        res.coreCycles[c] = state[c].finish;
+        res.coreInstructions[c] = state[c].instructions;
+        res.cycles = std::max(res.cycles, state[c].finish);
+        res.instructions += state[c].instructions;
+    }
+    res.coreCacheMisses = sys.protoStats().l2Misses;
+    res.trafficBytes = sys.totalTrafficBytes();
+    res.devInvalidations = sys.protoStats().devInvalidations;
+    res.system = sys.report();
+    return res;
+}
+
+RunResult
+replay(CmpSystem &sys, const TraceReader &trace, const RunConfig &rc)
+{
+    (void)rc;
+    const std::uint32_t cores = trace.cores();
+    std::vector<CoreState> state(cores);
+
+    for (const TraceRecord &rec : trace.records()) {
+        if (rec.core >= cores)
+            fatal("trace record references core %u of %u", rec.core,
+                  cores);
+        CoreState &cs = state[rec.core];
+        const Cycle issue = cs.ready + rec.access.gap;
+        const Cycle done =
+            sys.access(rec.core, rec.access.type, rec.access.block, issue);
+        cs.ready = done;
+        cs.finish = done;
+        cs.instructions += rec.access.gap + 1;
+        ++cs.done;
+    }
+
+    RunResult res;
+    res.workload = "trace";
+    res.coreCycles.resize(cores);
+    res.coreInstructions.resize(cores);
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        res.coreCycles[c] = state[c].finish;
+        res.coreInstructions[c] = state[c].instructions;
+        res.cycles = std::max(res.cycles, state[c].finish);
+        res.instructions += state[c].instructions;
+    }
+    res.coreCacheMisses = sys.protoStats().l2Misses;
+    res.trafficBytes = sys.totalTrafficBytes();
+    res.devInvalidations = sys.protoStats().devInvalidations;
+    res.system = sys.report();
+    return res;
+}
+
+} // namespace zerodev

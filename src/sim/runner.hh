@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The simulation driver: executes a Workload on a CmpSystem by issuing
+ * each core's accesses in globally non-decreasing time order (the
+ * transaction-level ordering the protocol engine requires), collects
+ * per-core progress, and extracts the metrics the paper's figures use
+ * (execution cycles, weighted speedup inputs, core cache misses,
+ * interconnect traffic).
+ */
+
+#ifndef ZERODEV_SIM_RUNNER_HH
+#define ZERODEV_SIM_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/cmp_system.hh"
+#include "workload/trace.hh"
+#include "workload/workload.hh"
+
+namespace zerodev
+{
+
+/** Run-control parameters. */
+struct RunConfig
+{
+    /** Memory accesses each core executes (fixed work per core). */
+    std::uint64_t accessesPerCore = 50000;
+
+    /** Warm-up accesses per core (executed, not counted in cycles). */
+    std::uint64_t warmupPerCore = 0;
+
+    /** Check system invariants every N accesses (0 = never). */
+    std::uint64_t invariantCheckInterval = 0;
+
+    /** Optional path to record the access trace. */
+    std::string tracePath;
+};
+
+/** Aggregated result of one run. */
+struct RunResult
+{
+    std::string workload;
+    Cycle cycles = 0;              //!< completion time (max over cores)
+    std::uint64_t instructions = 0;
+    std::vector<Cycle> coreCycles; //!< per-core completion time
+    std::vector<std::uint64_t> coreInstructions;
+    std::uint64_t coreCacheMisses = 0;
+    std::uint64_t trafficBytes = 0;
+    std::uint64_t devInvalidations = 0;
+    StatDump system; //!< the full CmpSystem dump
+
+    /** Per-core IPC (weighted-speedup ingredient). */
+    double ipc(std::uint32_t core) const
+    {
+        return coreCycles[core] == 0
+                   ? 0.0
+                   : static_cast<double>(coreInstructions[core]) /
+                         static_cast<double>(coreCycles[core]);
+    }
+};
+
+/** Execute @p workload on @p sys. Thread i of the workload drives global
+ *  core i; cores beyond the workload's thread count stay idle. */
+RunResult run(CmpSystem &sys, const Workload &workload,
+              const RunConfig &rc);
+
+/** Replay a recorded trace on @p sys. */
+RunResult replay(CmpSystem &sys, const TraceReader &trace,
+                 const RunConfig &rc);
+
+} // namespace zerodev
+
+#endif // ZERODEV_SIM_RUNNER_HH

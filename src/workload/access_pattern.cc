@@ -1,0 +1,187 @@
+#include "workload/access_pattern.hh"
+
+#include "common/log.hh"
+
+namespace zerodev
+{
+
+namespace
+{
+// Region strides chosen so that no two regions can ever overlap: each
+// region gets a 2^24-block (1 GB) window.
+constexpr BlockAddr kWindow = 1ull << 24;
+constexpr BlockAddr kPrivateBase = 0x1ull << 32;
+constexpr BlockAddr kSharedBase = 0x9ull << 32;
+constexpr BlockAddr kCodeBase = 0xDull << 32;
+constexpr BlockAddr kStreamBase = 0x11ull << 32;
+} // namespace
+
+namespace
+{
+
+/** splitmix64 finaliser: decorrelates region bases. */
+BlockAddr
+scramble(BlockAddr x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Pseudo-random sub-window offset so that no two regions start at the
+ *  same set-index alignment (aligned bases would pile every region's
+ *  hot prefix onto the same cache and directory sets). */
+BlockAddr
+jitter(BlockAddr key, BlockAddr room)
+{
+    return scramble(key) % room;
+}
+
+} // namespace
+
+RegionLayout::RegionLayout(std::uint32_t instance, std::uint32_t thread,
+                           std::uint32_t app_id)
+{
+    // Each (instance, thread) pair gets a 2^20-block (64 MB) window for
+    // its private and streaming data; instances get 16 M-block windows
+    // for process-shared data; application binaries get their own code
+    // windows (shared across rate-mode copies of the same binary). The
+    // start of each region is jittered inside the first half of its
+    // window (footprints fit in the second half), so set indices are
+    // decorrelated across regions and instances.
+    const BlockAddr slot = static_cast<BlockAddr>(instance) * 160 + thread;
+    privateBase = kPrivateBase + slot * (1ull << 20) +
+                  jitter(slot * 2 + 1, 1ull << 19);
+    sharedBase = kSharedBase + static_cast<BlockAddr>(instance) * kWindow +
+                 jitter(instance * 2 + 0x10001, kWindow / 4);
+    codeBase = kCodeBase + static_cast<BlockAddr>(app_id) * kWindow +
+               jitter(app_id * 2 + 0x20001, kWindow / 2);
+    streamBase = kStreamBase + slot * (1ull << 20) +
+                 jitter(slot * 2 + 0x30001, 1ull << 19);
+}
+
+ThreadGenerator::ThreadGenerator(const AppProfile &profile,
+                                 const RegionLayout &layout,
+                                 std::uint32_t thread,
+                                 std::uint32_t threads, std::uint64_t seed)
+    : profile_(profile),
+      layout_(layout),
+      thread_(thread),
+      threads_(threads == 0 ? 1 : threads),
+      rng_(seed * 0x9e3779b97f4a7c15ull + thread + 1)
+{
+}
+
+BlockAddr
+ThreadGenerator::pickPrivate()
+{
+    const std::uint64_t n =
+        std::max<std::uint64_t>(profile_.privateBlocks, 1);
+    const std::uint64_t hot =
+        std::min<std::uint64_t>(std::max<std::uint64_t>(
+                                    profile_.hotBlocks, 1), n);
+    if (rng_.chance(profile_.hotFrac))
+        return layout_.privateBase + rng_.zipfish(hot, profile_.zipfSkew);
+    // Cold sweep over the full private footprint, in run-aligned
+    // spatial bursts (page-style locality).
+    if (coldRemaining_ == 0) {
+        const std::uint32_t run =
+            std::max<std::uint32_t>(profile_.coldRunBlocks, 1);
+        coldPos_ = (rng_.below(n) / run) * run;
+        coldRemaining_ = run;
+    }
+    --coldRemaining_;
+    return layout_.privateBase + (coldPos_++ % n);
+}
+
+BlockAddr
+ThreadGenerator::pickSharedRo()
+{
+    const std::uint64_t n =
+        std::max<std::uint64_t>(profile_.sharedRoBlocks, 1);
+    return layout_.sharedBase + rng_.zipfish(n, profile_.roZipfSkew);
+}
+
+BlockAddr
+ThreadGenerator::pickSharedRw()
+{
+    const std::uint64_t n =
+        std::max<std::uint64_t>(profile_.sharedRwBlocks, 1);
+    if (profile_.migratory > 0.0 &&
+        rng_.chance(profile_.migratory)) {
+        // Migratory chunks rotate across threads every epoch: thread t
+        // works on chunk (epoch + t) mod threads, so ownership of each
+        // chunk migrates producer/consumer style.
+        const std::uint64_t epoch = count_ / profile_.epochLength;
+        const std::uint64_t chunk = (epoch + thread_) % threads_;
+        const std::uint64_t chunk_size =
+            std::max<std::uint64_t>(n / threads_, 1);
+        const std::uint64_t off =
+            chunk * chunk_size + rng_.zipfish(chunk_size, 0.3);
+        return layout_.sharedBase + kWindow / 2 + (off % n);
+    }
+    return layout_.sharedBase + kWindow / 2 +
+           rng_.zipfish(n, profile_.roZipfSkew);
+}
+
+BlockAddr
+ThreadGenerator::pickStream()
+{
+    const std::uint64_t n =
+        std::max<std::uint64_t>(profile_.streamBlocks, 1);
+    const std::uint32_t rep = std::max<std::uint32_t>(
+        profile_.streamRepeat, 1);
+    const BlockAddr b = layout_.streamBase + ((streamPos_ / rep) % n);
+    ++streamPos_;
+    return b;
+}
+
+BlockAddr
+ThreadGenerator::pickCode()
+{
+    const std::uint64_t n = std::max<std::uint64_t>(profile_.codeBlocks, 1);
+    return layout_.codeBase + rng_.zipfish(n, profile_.roZipfSkew);
+}
+
+MemAccess
+ThreadGenerator::next()
+{
+    ++count_;
+    MemAccess a;
+    a.gap = profile_.gapMean == 0
+                ? 0
+                : static_cast<std::uint32_t>(
+                      rng_.below(2 * profile_.gapMean + 1));
+
+    const double r = rng_.uniform();
+    if (r < profile_.pIfetch) {
+        a.type = AccessType::Ifetch;
+        a.block = pickCode();
+        return a;
+    }
+    double acc = profile_.pIfetch;
+    if (r < (acc += profile_.pSharedRo)) {
+        a.type = AccessType::Load;
+        a.block = pickSharedRo();
+        return a;
+    }
+    if (r < (acc += profile_.pSharedRw)) {
+        a.type = rng_.chance(profile_.rwStoreFrac) ? AccessType::Store
+                                                   : AccessType::Load;
+        a.block = pickSharedRw();
+        return a;
+    }
+    if (r < (acc += profile_.pStream)) {
+        a.type = rng_.chance(profile_.storeFrac) ? AccessType::Store
+                                                 : AccessType::Load;
+        a.block = pickStream();
+        return a;
+    }
+    a.type = rng_.chance(profile_.storeFrac) ? AccessType::Store
+                                             : AccessType::Load;
+    a.block = pickPrivate();
+    return a;
+}
+
+} // namespace zerodev

@@ -1,0 +1,296 @@
+#include "workload/app_profiles.hh"
+
+#include "common/log.hh"
+
+namespace zerodev
+{
+
+namespace
+{
+
+/**
+ * Compact profile builder.
+ *
+ * @param priv full private footprint (blocks)
+ * @param hot_frac fraction of private accesses hitting the hot subset
+ * @param hot hot-subset size (blocks); ~L2-sized hot sets make an
+ *        application DEV-sensitive, ~LLC-share-sized hot sets make it
+ *        LLC-capacity-sensitive
+ */
+AppProfile
+make(const std::string &suite, const std::string &name,
+     std::uint64_t priv, double hot_frac, std::uint64_t hot,
+     std::uint64_t shared_ro, std::uint64_t shared_rw,
+     std::uint64_t code, std::uint64_t stream, double p_ifetch,
+     double p_ro, double p_rw, double p_stream, double store_frac,
+     double skew, double migratory, std::uint32_t gap)
+{
+    AppProfile p;
+    p.suite = suite;
+    p.name = name;
+    p.privateBlocks = priv;
+    p.hotFrac = hot_frac;
+    p.hotBlocks = hot;
+    p.sharedRoBlocks = shared_ro;
+    p.sharedRwBlocks = shared_rw;
+    p.codeBlocks = code;
+    p.streamBlocks = stream;
+    p.pIfetch = p_ifetch;
+    p.pSharedRo = p_ro;
+    p.pSharedRw = p_rw;
+    p.pStream = p_stream;
+    p.storeFrac = store_frac;
+    p.zipfSkew = skew;
+    p.migratory = migratory;
+    p.gapMean = gap;
+    return p;
+}
+
+} // namespace
+
+std::vector<AppProfile>
+parsecProfiles()
+{
+    // PARSEC: moderate sharing (~10% of tracked entries shared); vips is
+    // the LLC-capacity-sensitive outlier (LLC-share-sized hot set);
+    // freqmine is dominated by migratory M-state sharing (forwarded
+    // requests / the DEV-refill effect the paper explains in Fig. 3).
+    std::vector<AppProfile> v;
+    const char *s = "parsec";
+    v.push_back(make(s, "blackscholes", 3072, 0.996, 512, 512, 128, 192,
+                     0, 0.02, 0.04, 0.01, 0.00, 0.20, 0.55, 0.0, 6));
+    v.push_back(make(s, "canneal", 98304, 0.95, 1024, 4096, 512, 256, 0,
+                     0.02, 0.06, 0.02, 0.00, 0.25, 0.45, 0.1, 4));
+    v.push_back(make(s, "dedup", 16384, 0.978, 1024, 2048, 1024, 384,
+                     8192, 0.03, 0.05, 0.04, 0.10, 0.35, 0.45, 0.3, 4));
+    v.push_back(make(s, "facesim", 24576, 0.978, 1280, 3072, 768, 512,
+                     4096, 0.02, 0.05, 0.03, 0.06, 0.30, 0.45, 0.2, 5));
+    v.push_back(make(s, "ferret", 12288, 0.978, 1024, 6144, 512, 512,
+                     2048, 0.04, 0.10, 0.02, 0.04, 0.25, 0.45, 0.2, 4));
+    v.push_back(make(s, "fluidanimate", 20480, 0.985, 1024, 1024, 2048,
+                     256, 0, 0.02, 0.03, 0.06, 0.00, 0.35, 0.45, 0.4, 5));
+    v.push_back(make(s, "freqmine", 16384, 0.978, 1280, 2048, 4096, 384,
+                     0, 0.02, 0.04, 0.14, 0.00, 0.30, 0.45, 0.7, 4));
+    v.push_back(make(s, "streamcluster", 8192, 0.985, 768, 4096, 256,
+                     192, 16384, 0.01, 0.12, 0.01, 0.25, 0.15, 0.40, 0.0,
+                     3));
+    v.push_back(make(s, "swaptions", 2048, 0.998, 384, 256, 64, 256, 0,
+                     0.02, 0.02, 0.01, 0.00, 0.25, 0.60, 0.0, 7));
+    v.push_back(make(s, "vips", 17408, 0.98, 15360, 2048, 512, 640, 6144,
+                     0.04, 0.05, 0.02, 0.08, 0.35, 0.10, 0.1, 3));
+    return v;
+}
+
+std::vector<AppProfile>
+splash2xProfiles()
+{
+    // SPLASH2X: the highest shared fraction (~19%); lu_ncb is the
+    // LLC-capacity-sensitive outlier.
+    std::vector<AppProfile> v;
+    const char *s = "splash2x";
+    v.push_back(make(s, "fft", 24576, 0.972, 1536, 2048, 3072, 128, 8192,
+                     0.01, 0.04, 0.08, 0.10, 0.35, 0.40, 0.5, 4));
+    v.push_back(make(s, "lu_cb", 12288, 0.985, 1280, 1024, 2048, 128, 0,
+                     0.01, 0.03, 0.10, 0.00, 0.35, 0.50, 0.6, 4));
+    v.push_back(make(s, "lu_ncb", 16384, 0.975, 14848, 1024, 3072, 128, 0,
+                     0.01, 0.04, 0.12, 0.00, 0.35, 0.10, 0.5, 3));
+    v.push_back(make(s, "ocean_cp", 65536, 0.96, 1536, 4096, 6144, 192,
+                     12288, 0.01, 0.05, 0.10, 0.08, 0.35, 0.35, 0.4, 4));
+    v.push_back(make(s, "radiosity", 8192, 0.985, 1024, 2048, 2048, 256,
+                     0, 0.02, 0.06, 0.10, 0.00, 0.30, 0.50, 0.4, 5));
+    v.push_back(make(s, "radix", 32768, 0.965, 1024, 1024, 2048, 96,
+                     16384, 0.01, 0.02, 0.06, 0.20, 0.45, 0.30, 0.3, 3));
+    v.push_back(make(s, "raytrace", 10240, 0.978, 1024, 6144, 1024, 320,
+                     0, 0.03, 0.16, 0.04, 0.00, 0.20, 0.45, 0.2, 4));
+    v.push_back(make(s, "water_nsquared", 6144, 0.992, 768, 1024, 2048,
+                     192, 0, 0.02, 0.04, 0.12, 0.00, 0.30, 0.50, 0.6, 5));
+    v.push_back(make(s, "water_spatial", 6144, 0.992, 768, 1024, 1536,
+                     192, 0, 0.02, 0.04, 0.09, 0.00, 0.30, 0.50, 0.5, 5));
+    return v;
+}
+
+std::vector<AppProfile>
+specOmpProfiles()
+{
+    // SPEC OMP: tiny shared fraction (~0.5%): mostly private loop data;
+    // 330.art is the LLC-capacity-sensitive outlier.
+    std::vector<AppProfile> v;
+    const char *s = "specomp";
+    v.push_back(make(s, "312.swim", 49152, 0.96, 1280, 256, 96, 96,
+                     24576, 0.01, 0.005, 0.003, 0.25, 0.35, 0.35, 0.0, 4));
+    v.push_back(make(s, "314.mgrid", 32768, 0.965, 1280, 256, 96, 96,
+                     12288, 0.01, 0.005, 0.003, 0.18, 0.30, 0.35, 0.0, 4));
+    v.push_back(make(s, "316.applu", 24576, 0.97, 1280, 256, 96, 128,
+                     8192, 0.01, 0.005, 0.003, 0.12, 0.35, 0.40, 0.0, 4));
+    v.push_back(make(s, "320.equake", 20480, 0.97, 1024, 512, 128, 128,
+                     4096, 0.01, 0.008, 0.004, 0.10, 0.30, 0.40, 0.1, 4));
+    v.push_back(make(s, "324.apsi", 16384, 0.978, 1024, 256, 96, 128,
+                     4096, 0.01, 0.005, 0.003, 0.08, 0.30, 0.45, 0.0, 5));
+    v.push_back(make(s, "330.art", 16384, 0.975, 15104, 512, 128, 96, 0,
+                     0.01, 0.008, 0.004, 0.00, 0.25, 0.10, 0.0, 3));
+    return v;
+}
+
+std::vector<AppProfile>
+fftwProfiles()
+{
+    // FFTW 256^3: streaming butterflies over a large private footprint,
+    // nearly zero sharing.
+    std::vector<AppProfile> v;
+    v.push_back(make("fftw", "FFTW", 57344, 0.95, 6144, 128, 64, 96,
+                     32768, 0.005, 0.002, 0.002, 0.30, 0.40, 0.20, 0.0,
+                     3));
+    return v;
+}
+
+std::vector<AppProfile>
+cpu2017Profiles()
+{
+    // SPEC CPU 2017 (rate): single-threaded; sharing arises only from
+    // code blocks shared between the copies of the same binary (~9% of
+    // tracked entries). xalancbmk pairs a big churn footprint with an
+    // L2-sized hot set (the 3.2-MPKI DEV outlier of Fig. 2); gcc.ppO2 is
+    // the most LLC-capacity sensitive; cam4 is ZeroDEV's worst case.
+    std::vector<AppProfile> v;
+    const char *s = "cpu2017";
+    auto app = [&](const char *name, std::uint64_t priv, double hot_frac,
+                   std::uint64_t hot, std::uint64_t code,
+                   std::uint64_t stream, double p_ifetch, double p_stream,
+                   double store, double skew, std::uint32_t gap) {
+        v.push_back(make(s, name, priv, hot_frac, hot, 0, 0, code, stream,
+                         p_ifetch, 0.0, 0.0, p_stream, store, skew, 0.0,
+                         gap));
+    };
+    app("blender", 12288, 0.985, 1024, 1024, 2048, 0.06, 0.05, 0.30,
+        0.45, 5);
+    app("bwaves.1", 40960, 0.975, 768, 192, 16384, 0.01, 0.22, 0.35,
+        0.35, 4);
+    app("bwaves.2", 40960, 0.975, 768, 192, 16384, 0.01, 0.22, 0.35,
+        0.35, 4);
+    app("bwaves.3", 38912, 0.975, 768, 192, 14336, 0.01, 0.20, 0.35,
+        0.35, 4);
+    app("bwaves.4", 38912, 0.975, 768, 192, 14336, 0.01, 0.20, 0.35,
+        0.35, 4);
+    app("cactuBSSN", 28672, 0.975, 1024, 512, 8192, 0.02, 0.12, 0.35,
+        0.35, 4);
+    app("cam4", 20480, 0.98, 1152, 1536, 4096, 0.08, 0.08, 0.30, 0.40,
+        4);
+    app("deepsjeng", 6144, 0.995, 768, 768, 0, 0.06, 0.00, 0.30, 0.50,
+        6);
+    app("exchange2", 1536, 0.998, 384, 512, 0, 0.05, 0.00, 0.25, 0.60,
+        8);
+    app("fotonik3d", 49152, 0.97, 768, 256, 20480, 0.01, 0.25, 0.35,
+        0.30, 3);
+    app("gcc.pp", 14336, 0.985, 1024, 1536, 1024, 0.08, 0.03, 0.30, 0.45,
+        5);
+    app("gcc.ppO2", 16384, 0.98, 14848, 1536, 1024, 0.08, 0.03, 0.32,
+        0.10, 4);
+    app("gcc.ref32", 12288, 0.985, 1024, 1280, 1024, 0.07, 0.03, 0.30,
+        0.45, 5);
+    app("gcc.ref32O5", 13312, 0.982, 1024, 1280, 1024, 0.07, 0.03, 0.30,
+        0.45, 5);
+    app("gcc.smaller", 10240, 0.985, 1024, 1280, 512, 0.07, 0.02, 0.30,
+        0.45, 5);
+    app("imagick", 4096, 0.996, 768, 512, 2048, 0.02, 0.06, 0.30, 0.50,
+        6);
+    app("lbm", 65536, 0.97, 384, 96, 32768, 0.005, 0.30, 0.45, 0.25, 3);
+    app("leela", 4096, 0.996, 768, 640, 0, 0.05, 0.00, 0.25, 0.50, 6);
+    app("mcf", 131072, 0.95, 1536, 256, 0, 0.01, 0.00, 0.25, 0.40, 3);
+    app("nab", 8192, 0.992, 1024, 384, 1024, 0.02, 0.04, 0.30, 0.50, 5);
+    app("namd", 6144, 0.992, 1024, 384, 1024, 0.02, 0.04, 0.30, 0.50, 6);
+    app("omnetpp", 81920, 0.95, 1536, 1024, 0, 0.05, 0.00, 0.30, 0.40,
+        3);
+    app("parest", 16384, 0.982, 1152, 768, 2048, 0.03, 0.05, 0.30, 0.40,
+        5);
+    app("perl.check", 8192, 0.988, 1024, 1536, 0, 0.09, 0.00, 0.30,
+        0.50, 5);
+    app("perl.diff", 8192, 0.988, 1024, 1536, 0, 0.09, 0.00, 0.30, 0.50,
+        5);
+    app("perl.split", 9216, 0.988, 1024, 1536, 0, 0.09, 0.00, 0.30,
+        0.50, 5);
+    app("povray", 2048, 0.998, 384, 768, 0, 0.06, 0.00, 0.25, 0.55, 7);
+    app("roms", 32768, 0.972, 1024, 384, 12288, 0.01, 0.18, 0.35, 0.35,
+        4);
+    app("wrf", 24576, 0.978, 1152, 1024, 6144, 0.04, 0.10, 0.30, 0.40, 4);
+    app("x264.pass1", 8192, 0.988, 896, 640, 3072, 0.03, 0.10, 0.35,
+        0.45, 5);
+    app("x264.pass2", 8192, 0.988, 896, 640, 3072, 0.03, 0.10, 0.35,
+        0.45, 5);
+    app("x264.seek500", 9216, 0.988, 896, 640, 4096, 0.03, 0.12, 0.35,
+        0.45, 5);
+    app("xalancbmk", 114688, 0.9, 3584, 2048, 0, 0.07, 0.00, 0.25,
+        0.50, 3);
+    app("xz.cld", 24576, 0.978, 1024, 384, 8192, 0.01, 0.12, 0.40, 0.35,
+        4);
+    app("xz.docs", 20480, 0.978, 1024, 384, 6144, 0.01, 0.10, 0.40, 0.35,
+        4);
+    app("xz.combined", 28672, 0.978, 1024, 384, 10240, 0.01, 0.14, 0.40,
+        0.35, 4);
+    return v;
+}
+
+std::vector<AppProfile>
+serverProfiles()
+{
+    // Throughput servers on 128 cores: large shared instruction
+    // footprints, high-degree read-mostly data sharing, per-client
+    // private heaps (the 128-core L2 is 128 KB = 2048 blocks).
+    std::vector<AppProfile> v;
+    const char *s = "server";
+    v.push_back(make(s, "SPECjbb", 12288, 0.97, 1024, 8192, 3072, 6144,
+                     0, 0.14, 0.10, 0.05, 0.00, 0.30, 0.40, 0.2, 4));
+    v.push_back(make(s, "SPECWeb-B", 8192, 0.975, 768, 12288, 2048,
+                     8192, 0, 0.16, 0.14, 0.04, 0.00, 0.25, 0.40, 0.1,
+                     4));
+    v.push_back(make(s, "SPECWeb-E", 8192, 0.975, 768, 10240, 2048,
+                     8192, 0, 0.16, 0.12, 0.04, 0.00, 0.25, 0.40, 0.1,
+                     4));
+    v.push_back(make(s, "SPECWeb-S", 10240, 0.97, 896, 14336, 2560,
+                     9216, 0, 0.17, 0.15, 0.05, 0.00, 0.25, 0.38, 0.1,
+                     4));
+    v.push_back(make(s, "TPC-C", 16384, 0.962, 1024, 8192, 4096, 5120, 0,
+                     0.12, 0.10, 0.08, 0.00, 0.35, 0.40, 0.3, 4));
+    v.push_back(make(s, "TPC-E", 20480, 0.962, 1024, 10240, 3072, 6144,
+                     0, 0.12, 0.12, 0.05, 0.00, 0.30, 0.40, 0.2, 4));
+    v.push_back(make(s, "TPC-H", 32768, 0.955, 1024, 6144, 1024, 4096,
+                     8192, 0.08, 0.10, 0.02, 0.12, 0.25, 0.38, 0.1, 4));
+    return v;
+}
+
+std::vector<std::string>
+suiteNames()
+{
+    return {"parsec", "splash2x", "specomp", "fftw", "cpu2017", "server"};
+}
+
+std::vector<AppProfile>
+suiteProfiles(const std::string &suite)
+{
+    if (suite == "parsec")
+        return parsecProfiles();
+    if (suite == "splash2x")
+        return splash2xProfiles();
+    if (suite == "specomp")
+        return specOmpProfiles();
+    if (suite == "fftw")
+        return fftwProfiles();
+    if (suite == "cpu2017")
+        return cpu2017Profiles();
+    if (suite == "server")
+        return serverProfiles();
+    fatal("unknown suite '%s'", suite.c_str());
+}
+
+AppProfile
+profileByName(const std::string &name)
+{
+    for (const auto &suite : suiteNames()) {
+        for (const auto &p : suiteProfiles(suite)) {
+            if (p.name == name)
+                return p;
+        }
+    }
+    fatal("unknown application profile '%s'", name.c_str());
+}
+
+} // namespace zerodev

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Per-application synthetic profiles standing in for the paper's Table II
+ * workloads. Parameters are calibrated to the qualitative statistics the
+ * paper reports: the shared-entry fractions per suite (PARSEC ~10%,
+ * SPLASH2X ~19%, SPEC OMP ~0.5%, FFTW ~0, CPU 2017 rate ~9% from code
+ * sharing), the directory-footprint outliers (xalancbmk), the LLC
+ * capacity-sensitive applications (vips, lu_ncb, 330.art, gcc.ppO2) and
+ * the forwarding-heavy ones (freqmine).
+ */
+
+#ifndef ZERODEV_WORKLOAD_APP_PROFILES_HH
+#define ZERODEV_WORKLOAD_APP_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/access_pattern.hh"
+
+namespace zerodev
+{
+
+/** All profiles of one suite, in the paper's figure order. */
+std::vector<AppProfile> parsecProfiles();
+std::vector<AppProfile> splash2xProfiles();
+std::vector<AppProfile> specOmpProfiles();
+std::vector<AppProfile> fftwProfiles();
+std::vector<AppProfile> cpu2017Profiles();
+std::vector<AppProfile> serverProfiles();
+
+/** Look up a profile by name across all suites; fatal() if unknown. */
+AppProfile profileByName(const std::string &name);
+
+/** Suite names in the paper's order. */
+std::vector<std::string> suiteNames();
+
+/** Profiles of a suite by name ("parsec", "splash2x", "specomp",
+ *  "fftw", "cpu2017", "server"). */
+std::vector<AppProfile> suiteProfiles(const std::string &suite);
+
+} // namespace zerodev
+
+#endif // ZERODEV_WORKLOAD_APP_PROFILES_HH

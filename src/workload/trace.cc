@@ -1,0 +1,83 @@
+#include "workload/trace.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace zerodev
+{
+
+namespace
+{
+constexpr char kMagic[8] = {'Z', 'D', 'E', 'V', 'T', 'R', 'C', '1'};
+
+struct PackedRecord
+{
+    std::uint32_t core;
+    std::uint8_t type;
+    std::uint8_t pad[3];
+    std::uint64_t block;
+    std::uint32_t gap;
+    std::uint32_t pad2;
+};
+static_assert(sizeof(PackedRecord) == 24, "trace record layout");
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path, std::uint32_t cores)
+    : out_(path, std::ios::binary)
+{
+    if (!out_)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+    out_.write(kMagic, sizeof(kMagic));
+    out_.write(reinterpret_cast<const char *>(&cores), sizeof(cores));
+    open_ = true;
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const TraceRecord &rec)
+{
+    PackedRecord p{};
+    p.core = rec.core;
+    p.type = static_cast<std::uint8_t>(rec.access.type);
+    p.block = rec.access.block;
+    p.gap = rec.access.gap;
+    out_.write(reinterpret_cast<const char *>(&p), sizeof(p));
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    if (open_) {
+        out_.close();
+        open_ = false;
+    }
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open trace file '%s'", path.c_str());
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        fatal("'%s' is not a ZeroDEV trace", path.c_str());
+    in.read(reinterpret_cast<char *>(&cores_), sizeof(cores_));
+    PackedRecord p;
+    while (in.read(reinterpret_cast<char *>(&p), sizeof(p))) {
+        TraceRecord rec;
+        rec.core = p.core;
+        rec.access.type = static_cast<AccessType>(p.type);
+        rec.access.block = p.block;
+        rec.access.gap = p.gap;
+        records_.push_back(rec);
+    }
+}
+
+} // namespace zerodev

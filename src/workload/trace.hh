@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Binary access-trace record/replay. A trace captures the exact
+ * interleaved access stream of a run (core id, access type, block
+ * address, instruction gap), so experiments can be reproduced bit-for-bit
+ * and external traces can be fed to the simulator.
+ */
+
+#ifndef ZERODEV_WORKLOAD_TRACE_HH
+#define ZERODEV_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "workload/access_pattern.hh"
+
+namespace zerodev
+{
+
+/** One trace record. */
+struct TraceRecord
+{
+    std::uint32_t core = 0;
+    MemAccess access;
+};
+
+/** Streaming trace writer. */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(const std::string &path, std::uint32_t cores);
+    ~TraceWriter();
+
+    void append(const TraceRecord &rec);
+    std::uint64_t written() const { return count_; }
+    void close();
+
+  private:
+    std::ofstream out_;
+    std::uint64_t count_ = 0;
+    bool open_ = false;
+};
+
+/** Whole-trace reader. */
+class TraceReader
+{
+  public:
+    explicit TraceReader(const std::string &path);
+
+    std::uint32_t cores() const { return cores_; }
+    const std::vector<TraceRecord> &records() const { return records_; }
+
+  private:
+    std::uint32_t cores_ = 0;
+    std::vector<TraceRecord> records_;
+};
+
+} // namespace zerodev
+
+#endif // ZERODEV_WORKLOAD_TRACE_HH

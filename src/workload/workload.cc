@@ -1,0 +1,97 @@
+#include "workload/workload.hh"
+
+#include "common/log.hh"
+
+namespace zerodev
+{
+
+std::uint32_t
+appIdOf(const std::string &name)
+{
+    // FNV-1a, folded to keep the code-region window index small.
+    std::uint32_t h = 2166136261u;
+    for (char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 16777619u;
+    }
+    return h % 4096;
+}
+
+Workload
+Workload::multiThreaded(const AppProfile &profile, std::uint32_t threads,
+                        std::uint64_t seed)
+{
+    Workload w;
+    w.name_ = profile.name;
+    w.multiProgrammed_ = false;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        w.threads_.push_back({profile, 0, t, threads,
+                              appIdOf(profile.name), seed});
+    }
+    return w;
+}
+
+Workload
+Workload::rate(const AppProfile &profile, std::uint32_t copies,
+               std::uint64_t seed)
+{
+    Workload w;
+    w.name_ = profile.name;
+    w.multiProgrammed_ = true;
+    for (std::uint32_t i = 0; i < copies; ++i) {
+        // Separate instances: private data and process-shared regions
+        // are distinct, only the code image is shared (same binary).
+        w.threads_.push_back({profile, i, 0, 1, appIdOf(profile.name),
+                              seed + i});
+    }
+    return w;
+}
+
+Workload
+Workload::heterogeneous(const std::string &name,
+                        const std::vector<AppProfile> &profiles,
+                        std::uint64_t seed)
+{
+    Workload w;
+    w.name_ = name;
+    w.multiProgrammed_ = true;
+    std::uint32_t i = 0;
+    for (const AppProfile &p : profiles) {
+        w.threads_.push_back({p, i, 0, 1, appIdOf(p.name), seed + i});
+        ++i;
+    }
+    return w;
+}
+
+ThreadGenerator
+Workload::makeGenerator(std::uint32_t i) const
+{
+    if (i >= threads_.size())
+        fatal("workload %s has no thread %u", name_.c_str(), i);
+    const ThreadSpec &t = threads_[i];
+    const RegionLayout layout(t.instance, t.thread, t.appId);
+    return ThreadGenerator(t.profile, layout, t.thread, t.threads, t.seed);
+}
+
+std::vector<Workload>
+Workload::hetMixes(std::uint32_t count, std::uint32_t width,
+                   std::uint64_t seed)
+{
+    const std::vector<AppProfile> apps = cpu2017Profiles();
+    std::vector<Workload> mixes;
+    mixes.reserve(count);
+    for (std::uint32_t m = 0; m < count; ++m) {
+        std::vector<AppProfile> chosen;
+        chosen.reserve(width);
+        for (std::uint32_t j = 0; j < width; ++j) {
+            // Consecutive windows modulo the suite size give each
+            // application equal representation across the mixes.
+            chosen.push_back(apps[(m * width + j) % apps.size()]);
+        }
+        mixes.push_back(heterogeneous("W" + std::to_string(m + 1), chosen,
+                                      seed + m));
+    }
+    return mixes;
+}
+
+} // namespace zerodev

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A Workload binds application profiles to the cores of a simulated
+ * system: multi-threaded (one application, N threads sharing its data
+ * regions), homogeneous multi-programmed ("rate": N copies of one
+ * application with private data but shared code), and heterogeneous
+ * multi-programmed mixes (the W1..W36 workloads of Figure 23).
+ */
+
+#ifndef ZERODEV_WORKLOAD_WORKLOAD_HH
+#define ZERODEV_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/access_pattern.hh"
+#include "workload/app_profiles.hh"
+
+namespace zerodev
+{
+
+class Workload
+{
+  public:
+    /** One application, @p threads threads sharing its data regions. */
+    static Workload multiThreaded(const AppProfile &profile,
+                                  std::uint32_t threads,
+                                  std::uint64_t seed = 1);
+
+    /** Homogeneous multi-programming: @p copies single-thread instances
+     *  with private data but a shared code image (rate mode). */
+    static Workload rate(const AppProfile &profile, std::uint32_t copies,
+                         std::uint64_t seed = 1);
+
+    /** Heterogeneous multi-programming: one single-thread instance per
+     *  profile, in core order. */
+    static Workload heterogeneous(const std::string &name,
+                                  const std::vector<AppProfile> &profiles,
+                                  std::uint64_t seed = 1);
+
+    const std::string &name() const { return name_; }
+    std::uint32_t threadCount() const
+    {
+        return static_cast<std::uint32_t>(threads_.size());
+    }
+
+    /** Whether per-thread progress should be weighted independently
+     *  (multi-programmed) or jointly (multi-threaded). */
+    bool multiProgrammed() const { return multiProgrammed_; }
+
+    /** Profile driving core @p i. */
+    const AppProfile &profileOf(std::uint32_t i) const
+    {
+        return threads_[i].profile;
+    }
+
+    /** Instantiate the generator of core @p i. */
+    ThreadGenerator makeGenerator(std::uint32_t i) const;
+
+    /** The heterogeneous W1..W36 mixes of Figure 23: @p width apps per
+     *  mix with equal representation of every application. */
+    static std::vector<Workload> hetMixes(std::uint32_t count,
+                                          std::uint32_t width,
+                                          std::uint64_t seed = 1);
+
+  private:
+    struct ThreadSpec
+    {
+        AppProfile profile;
+        std::uint32_t instance;
+        std::uint32_t thread;
+        std::uint32_t threads;
+        std::uint32_t appId;
+        std::uint64_t seed;
+    };
+
+    std::string name_;
+    bool multiProgrammed_ = false;
+    std::vector<ThreadSpec> threads_;
+};
+
+/** Stable application id used for cross-process code sharing. */
+std::uint32_t appIdOf(const std::string &name);
+
+} // namespace zerodev
+
+#endif // ZERODEV_WORKLOAD_WORKLOAD_HH

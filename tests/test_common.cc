@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Unit tests for the common utilities: bit operations, the deterministic
+ * RNG, the statistics helpers and the configuration presets (Table I
+ * geometry checks).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace zerodev
+{
+namespace
+{
+
+TEST(Bitops, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(12));
+}
+
+TEST(Bitops, FloorCeilLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(8), 3u);
+    EXPECT_EQ(ceilLog2(9), 4u);
+    // The paper's owner-encoding widths: 3 bits for 8 cores, 7 for 128.
+    EXPECT_EQ(ceilLog2(8), 3u);
+    EXPECT_EQ(ceilLog2(128), 7u);
+}
+
+TEST(Bitops, BitFieldRoundTrip)
+{
+    const std::uint64_t v = 0xdeadbeefcafebabeull;
+    EXPECT_EQ(bits(v, 0, 8), 0xbeull);
+    EXPECT_EQ(bits(v, 32, 16), 0xbeefull);
+    std::uint64_t w = insertBits(0, 4, 8, 0xff);
+    EXPECT_EQ(w, 0xff0ull);
+    w = insertBits(v, 0, 4, 0x5);
+    EXPECT_EQ(bits(w, 0, 4), 0x5ull);
+    EXPECT_EQ(bits(w, 4, 60), bits(v, 4, 60));
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        const auto x = a.next();
+        EXPECT_EQ(x, b.next());
+    }
+    // Different seeds give different streams.
+    Rng a2(42);
+    bool differs = false;
+    for (int i = 0; i < 10; ++i)
+        differs = differs || (a2.next() != c.next());
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        EXPECT_LT(r.below(17), 17u);
+    }
+}
+
+TEST(Rng, ZipfishSkewsTowardSmallIndices)
+{
+    Rng r(11);
+    std::uint64_t low = 0, total = 20000;
+    for (std::uint64_t i = 0; i < total; ++i) {
+        if (r.zipfish(1024, 0.6) < 128)
+            ++low;
+    }
+    // With skew, the first 1/8 of the range receives far more than 1/8
+    // of the draws.
+    EXPECT_GT(low, total / 4);
+}
+
+TEST(Stats, DumpMergeAndLookup)
+{
+    StatDump a;
+    a.add("x", 1.0);
+    a.add("y", 2.0);
+    a.add("x", 3.0); // overwrite
+    EXPECT_DOUBLE_EQ(a.get("x"), 3.0);
+    EXPECT_TRUE(a.has("y"));
+    EXPECT_FALSE(a.has("z"));
+    EXPECT_DOUBLE_EQ(a.get("z"), 0.0);
+
+    StatDump b;
+    b.add("m", 5.0);
+    a.merge("sub.", b);
+    EXPECT_DOUBLE_EQ(a.get("sub.m"), 5.0);
+    EXPECT_EQ(a.entries().size(), 3u);
+}
+
+TEST(Stats, Aggregates)
+{
+    const std::vector<double> xs{1.0, 2.0, 4.0};
+    EXPECT_NEAR(mean(xs), 7.0 / 3.0, 1e-12);
+    EXPECT_NEAR(geomean(xs), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(minOf(xs), 1.0);
+    EXPECT_DOUBLE_EQ(maxOf(xs), 4.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Histogram, RecordsAndOverflows)
+{
+    Histogram h(4);
+    h.record(0);
+    h.record(1);
+    h.record(1);
+    h.record(100); // overflow bucket
+    EXPECT_EQ(h.samples(), 4u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(4), 1u); // overflow lives at index `buckets`
+    EXPECT_DOUBLE_EQ(h.meanValue(), (0 + 1 + 1 + 100) / 4.0);
+}
+
+TEST(Histogram, Percentiles)
+{
+    Histogram h(16);
+    for (int i = 0; i < 90; ++i)
+        h.record(1);
+    for (int i = 0; i < 10; ++i)
+        h.record(8);
+    EXPECT_EQ(h.percentile(0.50), 1u);
+    EXPECT_EQ(h.percentile(0.99), 8u);
+    EXPECT_EQ(h.percentile(0.05), 1u);
+}
+
+TEST(Histogram, DumpAndClear)
+{
+    Histogram h(4);
+    h.record(2);
+    StatDump d;
+    h.addTo(d, "deg");
+    EXPECT_DOUBLE_EQ(d.get("deg.samples"), 1.0);
+    EXPECT_DOUBLE_EQ(d.get("deg.bucket2"), 1.0);
+    EXPECT_TRUE(d.has("deg.p99"));
+    h.clear();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST(Histogram, EmptyIsSafe)
+{
+    Histogram h(4);
+    EXPECT_DOUBLE_EQ(h.meanValue(), 0.0);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(Config, TableIGeometry)
+{
+    const SystemConfig cfg = makeEightCoreConfig();
+    cfg.validate();
+    // 8 cores x 256 KB L2 = 32768 private blocks; a 1x directory has
+    // 32768 entries = 512 sets x 8 ways per slice x 8 slices (the
+    // geometry Section V quotes for SecDir's baseline).
+    EXPECT_EQ(cfg.privateL2Blocks(), 32768u);
+    EXPECT_EQ(cfg.dirEntries(), 32768u);
+    EXPECT_EQ(cfg.dirSetsPerSlice(), 512u);
+    // 8 MB LLC = 131072 blocks; 1x directory = 25% of LLC blocks (the
+    // 4:1 capacity ratio of Section III-B).
+    EXPECT_EQ(cfg.llcBlocks(), 131072u);
+    EXPECT_EQ(cfg.llcSetsPerBank(), 1024u);
+    EXPECT_DOUBLE_EQ(
+        static_cast<double>(cfg.dirEntries()) / cfg.llcBlocks(), 0.25);
+}
+
+TEST(Config, ServerGeometry)
+{
+    const SystemConfig cfg = makeServerConfig();
+    cfg.validate();
+    EXPECT_EQ(cfg.coresPerSocket, 128u);
+    // 128 cores x 128 KB L2 = 262144 private blocks; per-slice sets =
+    // 262144 / (8 ways x 128 slices) = 256 (Section V's SecDir text).
+    EXPECT_EQ(cfg.dirEntries(), 262144u);
+    EXPECT_EQ(cfg.dirSetsPerSlice(), 256u);
+}
+
+TEST(Config, ZeroDevPreset)
+{
+    SystemConfig cfg = makeEightCoreConfig();
+    applyZeroDev(cfg, 0.0);
+    cfg.validate();
+    EXPECT_EQ(cfg.dirOrg, DirOrg::ZeroDev);
+    EXPECT_EQ(cfg.dirCachePolicy, DirCachePolicy::Fpss);
+    EXPECT_EQ(cfg.llcReplPolicy, LlcReplPolicy::DataLru);
+    EXPECT_TRUE(cfg.directory.replacementDisabled);
+    EXPECT_EQ(cfg.dirEntries(), 0u);
+}
+
+TEST(Config, FractionalDirectorySizes)
+{
+    SystemConfig cfg = makeEightCoreConfig();
+    cfg.directory.sizeRatio = 0.125;
+    EXPECT_EQ(cfg.dirEntries(), 4096u);
+    EXPECT_EQ(cfg.dirSetsPerSlice(), 64u);
+    cfg.directory.sizeRatio = 1.0 / 32.0;
+    EXPECT_EQ(cfg.dirEntries(), 1024u);
+    EXPECT_EQ(cfg.dirSetsPerSlice(), 16u);
+}
+
+TEST(Config, ToStringCoverage)
+{
+    EXPECT_STREQ(toString(AccessType::Load), "Load");
+    EXPECT_STREQ(toString(AccessType::Store), "Store");
+    EXPECT_STREQ(toString(AccessType::Ifetch), "Ifetch");
+    EXPECT_STREQ(toString(DirState::Owned), "M/E");
+    EXPECT_STREQ(toString(MesiState::Modified), "M");
+    EXPECT_STREQ(toString(LlcFlavor::Epd), "EPD");
+    EXPECT_STREQ(toString(DirCachePolicy::Fpss), "FPSS");
+    EXPECT_STREQ(toString(LlcReplPolicy::DataLru), "dataLRU");
+    EXPECT_STREQ(toString(DirOrg::ZeroDev), "ZeroDEV");
+}
+
+} // namespace
+} // namespace zerodev

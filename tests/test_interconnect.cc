@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the 2D mesh model and the coherence message catalogue
+ * (wire sizes, the ZeroDEV-specific payloads, traffic accounting).
+ */
+
+#include <gtest/gtest.h>
+
+#include "interconnect/mesh.hh"
+#include "interconnect/message.hh"
+
+namespace zerodev
+{
+namespace
+{
+
+TEST(Mesh, GeometryNearSquare)
+{
+    const Mesh m8(8, 2);
+    EXPECT_EQ(m8.columns(), 3u);
+    EXPECT_EQ(m8.rows(), 3u);
+    const Mesh m16(16, 2);
+    EXPECT_EQ(m16.columns(), 4u);
+    EXPECT_EQ(m16.rows(), 4u);
+    const Mesh m128(128, 2);
+    EXPECT_EQ(m128.columns(), 12u);
+    EXPECT_EQ(m128.rows(), 11u);
+}
+
+TEST(Mesh, ManhattanHops)
+{
+    const Mesh m(16, 2); // 4x4
+    EXPECT_EQ(m.hops(0, 0), 0u);
+    EXPECT_EQ(m.hops(0, 3), 3u);   // same row
+    EXPECT_EQ(m.hops(0, 12), 3u);  // same column
+    EXPECT_EQ(m.hops(0, 15), 6u);  // opposite corner
+    EXPECT_EQ(m.hops(5, 10), 2u);
+    // Symmetry.
+    for (std::uint32_t a = 0; a < 16; ++a)
+        for (std::uint32_t b = 0; b < 16; ++b)
+            EXPECT_EQ(m.hops(a, b), m.hops(b, a));
+}
+
+TEST(Mesh, LatencyScalesWithHopCost)
+{
+    const Mesh m2(16, 2), m3(16, 3);
+    EXPECT_EQ(m2.latency(0, 15), 12u);
+    EXPECT_EQ(m3.latency(0, 15), 18u);
+    EXPECT_EQ(m2.latency(5, 5), 0u);
+}
+
+TEST(Mesh, TileMappingWraps)
+{
+    const Mesh m(8, 2);
+    EXPECT_EQ(m.tileOfCore(3), 3u);
+    EXPECT_EQ(m.tileOfBank(7), 7u);
+    EXPECT_EQ(m.tileOfCore(11), 3u); // wraps
+}
+
+TEST(Mesh, AverageHopsPositive)
+{
+    const Mesh m(8, 2);
+    const double avg = m.averageHops();
+    EXPECT_GT(avg, 0.5);
+    EXPECT_LT(avg, 6.0);
+}
+
+TEST(Message, ControlVsDataSizes)
+{
+    // Control messages are header-only; data responses carry the block.
+    EXPECT_EQ(msgBytes(MsgType::GetS, 8), 8u);
+    EXPECT_EQ(msgBytes(MsgType::Inv, 8), 8u);
+    EXPECT_EQ(msgBytes(MsgType::DataResp, 8), 72u);
+    EXPECT_EQ(msgBytes(MsgType::PutM, 8), 72u);
+    EXPECT_EQ(msgBytes(MsgType::WbDe, 8), 72u);
+    EXPECT_EQ(msgBytes(MsgType::MemRead, 8), 8u);
+}
+
+TEST(Message, ZeroDevPayloadsScaleWithCores)
+{
+    // FPSS reconstruction bits: 3 + ceil(log2 N) bits -> 1 byte at 8
+    // cores, 2 bytes at 128 (Section III-C2).
+    EXPECT_EQ(msgBytes(MsgType::PutEBits, 8),
+              msgBytes(MsgType::PutE, 8) + 1);
+    EXPECT_EQ(msgBytes(MsgType::PutEBits, 128),
+              msgBytes(MsgType::PutE, 128) + 2);
+    // FuseAll's special ack retrieves 4 + N bits (Section III-C3).
+    EXPECT_EQ(msgBytes(MsgType::EvictAckFetchBits, 8), 8u + 2);
+    EXPECT_EQ(msgBytes(MsgType::EvictAckFetchBits, 128), 8u + 17);
+    // A full directory-entry payload: N + 1 bits.
+    EXPECT_EQ(msgBytes(MsgType::PutDe, 8), 8u + 2);
+    EXPECT_EQ(msgBytes(MsgType::FwdWithDe, 128), 8u + 17);
+}
+
+TEST(Message, TrafficAccumulation)
+{
+    TrafficStats t(8);
+    EXPECT_EQ(t.totalBytes(), 0u);
+    t.record(MsgType::GetS);
+    t.record(MsgType::DataResp);
+    t.record(MsgType::GetS);
+    EXPECT_EQ(t.totalMessages(), 3u);
+    EXPECT_EQ(t.totalBytes(), 8u + 72 + 8);
+    EXPECT_EQ(t.countOf(MsgType::GetS), 2u);
+    EXPECT_EQ(t.bytesOf(MsgType::DataResp), 72u);
+    t.clear();
+    EXPECT_EQ(t.totalBytes(), 0u);
+}
+
+TEST(Message, ReportListsNonZeroTypes)
+{
+    TrafficStats t(8);
+    t.record(MsgType::Upgrade);
+    const StatDump d = t.report();
+    EXPECT_TRUE(d.has("count.Upgrade"));
+    EXPECT_FALSE(d.has("count.GetX"));
+    EXPECT_DOUBLE_EQ(d.get("total_messages"), 1.0);
+}
+
+TEST(Message, EveryTypeHasNameAndSize)
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(MsgType::NumTypes); ++i) {
+        const auto t = static_cast<MsgType>(i);
+        EXPECT_STRNE(toString(t), "?");
+        EXPECT_GE(msgBytes(t, 8), 8u);
+        EXPECT_LE(msgBytes(t, 128), 8u + 64);
+    }
+}
+
+} // namespace
+} // namespace zerodev

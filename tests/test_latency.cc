@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Quantitative latency tests: the protocol engine's cycle arithmetic is
+ * checked against hand-computed expectations for the canonical paths
+ * (L1/L2 hits, 2-hop LLC hits, 3-hop forwards, DRAM fills, the SpillAll
+ * two-tag penalty, and the FPSS read-path guarantee of Section III-C2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cmp_system.hh"
+#include "test_util.hh"
+
+namespace zerodev
+{
+namespace
+{
+
+using testutil::tinyConfig;
+using testutil::tinyZeroDev;
+
+// Tiny config constants: L1 3 cycles, L2 8, LLC tag 3 / data 4, mesh
+// hop 2 cycles, 2 tiles.
+constexpr Cycle kL1 = 3, kL2 = 8, kTag = 3, kData = 4;
+
+Cycle
+lat(CmpSystem &sys, CoreId c, AccessType t, BlockAddr b, Cycle now)
+{
+    return sys.access(c, t, b, now) - now;
+}
+
+TEST(Latency, L1AndL2Hits)
+{
+    CmpSystem sys(tinyConfig());
+    sys.access(0, AccessType::Load, 100, 0);
+    EXPECT_EQ(lat(sys, 0, AccessType::Load, 100, 10000), kL1);
+    // An ifetch to the same block misses the L1I but hits the L2.
+    EXPECT_EQ(lat(sys, 0, AccessType::Ifetch, 100, 20000), kL1 + kL2);
+}
+
+TEST(Latency, TwoHopLlcHit)
+{
+    CmpSystem sys(tinyConfig());
+    sys.access(0, AccessType::Ifetch, 100, 0); // S in LLC
+    // Core 1 read: L1+L2 miss detect, mesh to bank, tag, data, mesh
+    // back. Block 100: bank 0 (tile 0); core 1 is tile 1: 1 hop = 2
+    // cycles each way.
+    const Cycle expect = kL1 + kL2 + 2 + kTag + kData + 2;
+    EXPECT_EQ(lat(sys, 1, AccessType::Ifetch, 100, 10000), expect);
+}
+
+TEST(Latency, ThreeHopForward)
+{
+    CmpSystem sys(tinyConfig());
+    sys.access(0, AccessType::Store, 100, 0); // M at core 0
+    // Core 1 load: miss detect + mesh(core1->bank0)=2 + tag + mesh
+    // (bank0->core0 tile 0)=0 + owner L2 (8) + mesh(core0->core1)=2.
+    const Cycle expect = kL1 + kL2 + 2 + kTag + 0 + kL2 + 2;
+    EXPECT_EQ(lat(sys, 1, AccessType::Load, 100, 10000), expect);
+}
+
+TEST(Latency, MemoryFillIncludesDramService)
+{
+    CmpSystem sys(tinyConfig());
+    const DramConfig d;
+    // Cold closed-bank read: tRCD + tCAS + burst.
+    const Cycle dram = d.tRcd + d.tCas + d.tBurst;
+    // Core 0, block 100 (bank 0 tile 0; core 0 tile 0: 0 hops).
+    const Cycle expect = kL1 + kL2 + 0 + kTag + dram + 0;
+    EXPECT_EQ(lat(sys, 0, AccessType::Load, 100, 0), expect);
+}
+
+TEST(Latency, SpillAllTwoTagReadPenalty)
+{
+    // SpillAll: a read to a shared block with a spilled entry pays one
+    // extra data-array access (Section III-C1); FPSS does not (III-C2).
+    CmpSystem spill(tinyZeroDev(0.0, DirCachePolicy::SpillAll));
+    CmpSystem fpss(tinyZeroDev(0.0, DirCachePolicy::Fpss));
+    for (CmpSystem *sys : {&spill, &fpss}) {
+        sys->access(0, AccessType::Ifetch, 100, 0);
+        sys->access(1, AccessType::Ifetch, 100, 10000);
+    }
+    // Third reader: evict core 0's copy first so it must re-read.
+    // Simpler: compare a fresh L2-missing reader on each system.
+    const Cycle l_spill =
+        lat(spill, 0, AccessType::Load, 100, 30000); // L1I/L1D split
+    const Cycle l_fpss = lat(fpss, 0, AccessType::Load, 100, 30000);
+    // Both were L2 hits (the block is in S in core 0's L2): equal.
+    EXPECT_EQ(l_spill, l_fpss);
+
+    // Force uncore reads from a core that holds nothing: invalidate by
+    // running new systems where only core 0 cached the block.
+    CmpSystem spill2(tinyZeroDev(0.0, DirCachePolicy::SpillAll));
+    CmpSystem fpss2(tinyZeroDev(0.0, DirCachePolicy::Fpss));
+    for (CmpSystem *sys : {&spill2, &fpss2})
+        sys->access(0, AccessType::Ifetch, 100, 0);
+    const Cycle r_spill = lat(spill2, 1, AccessType::Ifetch, 100, 20000);
+    const Cycle r_fpss = lat(fpss2, 1, AccessType::Ifetch, 100, 20000);
+    EXPECT_EQ(r_spill, r_fpss + kData);
+}
+
+TEST(Latency, UpgradeWaitsForFarthestInvalidation)
+{
+    CmpSystem sys(tinyConfig());
+    sys.access(0, AccessType::Load, 100, 0);
+    sys.access(1, AccessType::Load, 100, 10000); // both sharers
+    // Core 1 upgrades: home (bank 0, tile 0) invalidates core 0
+    // (tile 0: 0 hops), ack to core 1 (2). Dataless response to core 1
+    // is 2. The invalidation path: 0 + 2 = 2; response path 2.
+    const Cycle expect = kL1 + kL2 + 2 + kTag + 2;
+    EXPECT_EQ(lat(sys, 1, AccessType::Store, 100, 20000), expect);
+}
+
+TEST(Latency, DramRowBufferHitFasterOnSecondFill)
+{
+    CmpSystem sys(tinyConfig());
+    const Cycle first = lat(sys, 0, AccessType::Load, 100, 0);
+    // Block 102 shares the DRAM row (channel 0, same 16-block row) and
+    // the LLC set differs, so the second fill is a row hit.
+    const Cycle second = lat(sys, 0, AccessType::Load, 102, 100000);
+    EXPECT_LT(second, first);
+    const DramConfig d;
+    EXPECT_EQ(first - second, static_cast<Cycle>(d.tRcd));
+}
+
+TEST(Latency, InterSocketAddsLinkDelay)
+{
+    SystemConfig cfg = tinyConfig();
+    cfg.sockets = 2;
+    CmpSystem sys(cfg);
+    // Find two blocks with equal bank/set geometry, one homed at each
+    // socket (home = (block >> 6) & 1).
+    const BlockAddr local = 0;    // home 0
+    const BlockAddr remote = 64;  // home 1, same bank 0
+    CmpSystem sys2(cfg);
+    const Cycle l_local = lat(sys, 0, AccessType::Load, local, 0);
+    const Cycle l_remote = lat(sys2, 0, AccessType::Load, remote, 0);
+    // One inter-socket crossing each way (both paths pay the
+    // socket-level directory lookup).
+    EXPECT_EQ(l_remote - l_local, 2ull * cfg.interSocketCycles);
+}
+
+} // namespace
+} // namespace zerodev

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the DRAM timing model and the MemoryStore metadata
+ * (per-socket segments, destruction lifetime, DirEvict bits).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "mem/dram.hh"
+#include "mem/memory_store.hh"
+
+namespace zerodev
+{
+namespace
+{
+
+DramConfig
+dramCfg()
+{
+    return DramConfig{};
+}
+
+TEST(Dram, RowHitFasterThanMissAndConflict)
+{
+    Dram d(dramCfg(), 64);
+    const DramConfig c = dramCfg();
+
+    // First access to a closed bank: activation + CAS.
+    const Cycle t1 = d.read(0, 0);
+    EXPECT_EQ(t1, c.tRcd + c.tCas + c.tBurst);
+
+    // Same row, after the bank is free: row hit.
+    const Cycle t2 = d.read(2, 1000000);
+    EXPECT_EQ(t2 - 1000000, c.tCas + c.tBurst);
+
+    // Different row, same bank: precharge + activate + CAS.
+    // Row stride: channels(2) * blocksPerRow(16) * banks(16) blocks.
+    const BlockAddr other_row = 2ull * 16 * 16;
+    const Cycle t3 = d.read(other_row, 2000000);
+    EXPECT_EQ(t3 - 2000000, c.tRp + c.tRcd + c.tCas + c.tBurst);
+
+    EXPECT_EQ(d.stats().rowHits, 1u);
+    EXPECT_EQ(d.stats().rowMisses, 1u);
+    EXPECT_EQ(d.stats().rowConflicts, 1u);
+}
+
+TEST(Dram, BankOccupancySerialisesAccesses)
+{
+    Dram d(dramCfg(), 64);
+    const Cycle t1 = d.read(0, 0);
+    // Issued while the bank is still busy: starts after t1.
+    const Cycle t2 = d.read(2, 1);
+    EXPECT_GT(t2, t1);
+}
+
+TEST(Dram, ChannelsAreIndependent)
+{
+    Dram d(dramCfg(), 64);
+    const Cycle t1 = d.read(0, 0); // channel 0
+    const Cycle t2 = d.read(1, 0); // channel 1
+    EXPECT_EQ(t1, t2); // no interference
+}
+
+TEST(Dram, DeFlowAccounting)
+{
+    Dram d(dramCfg(), 64);
+    d.read(0, 0, true);
+    d.write(2, 0, true);
+    d.write(4, 0, false);
+    EXPECT_EQ(d.stats().reads, 1u);
+    EXPECT_EQ(d.stats().writes, 2u);
+    EXPECT_EQ(d.stats().deReads, 1u);
+    EXPECT_EQ(d.stats().deWrites, 1u);
+}
+
+TEST(MemoryStore, SegmentLifecycle)
+{
+    MemoryStore ms;
+    EXPECT_FALSE(ms.corrupted(100));
+    EXPECT_FALSE(ms.destroyed(100));
+
+    DirEntry e;
+    e.makeOwned(3);
+    ms.storeSegment(100, 0, e);
+    EXPECT_TRUE(ms.corrupted(100));
+    EXPECT_TRUE(ms.destroyed(100));
+    EXPECT_TRUE(ms.hasSegment(100, 0));
+    EXPECT_FALSE(ms.hasSegment(100, 1));
+    EXPECT_EQ(ms.segmentCount(100), 1u);
+
+    auto got = ms.loadSegment(100, 0);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->state, DirState::Owned);
+    EXPECT_EQ(got->owner(), 3u);
+
+    // Extraction clears the segment but the data stays destroyed until
+    // a full-block write restores it.
+    ms.clearSegment(100, 0);
+    EXPECT_FALSE(ms.corrupted(100));
+    EXPECT_TRUE(ms.destroyed(100));
+    ms.restoreData(100);
+    EXPECT_FALSE(ms.destroyed(100));
+}
+
+TEST(MemoryStore, MultiSocketSegments)
+{
+    MemoryStore ms;
+    DirEntry e0, e1;
+    e0.addSharer(1);
+    e1.makeOwned(7);
+    ms.storeSegment(5, 0, e0);
+    ms.storeSegment(5, 2, e1);
+    EXPECT_EQ(ms.segmentCount(5), 2u);
+    EXPECT_EQ(ms.corruptedBlocks(), 1u);
+
+    ms.clearSegment(5, 0);
+    EXPECT_TRUE(ms.corrupted(5)); // socket 2's segment remains
+    ms.clearBlock(5);
+    EXPECT_FALSE(ms.corrupted(5));
+    EXPECT_EQ(ms.corruptedBlocks(), 0u);
+}
+
+TEST(MemoryStore, SocketEntryAndDirEvictBit)
+{
+    MemoryStore ms;
+    EXPECT_FALSE(ms.dirEvictBit(9));
+    SocketDirEntry se;
+    se.state = SocketDirState::Shared;
+    se.sharers.set(1);
+    se.sharers.set(3);
+    ms.storeSocketEntry(9, se);
+    EXPECT_TRUE(ms.dirEvictBit(9));
+    EXPECT_EQ(ms.dirEvictBlocks(), 1u);
+
+    auto got = ms.loadSocketEntry(9);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->state, SocketDirState::Shared);
+    EXPECT_EQ(got->count(), 2u);
+
+    ms.clearSocketEntry(9);
+    EXPECT_FALSE(ms.dirEvictBit(9));
+    EXPECT_EQ(ms.dirEvictBlocks(), 0u);
+}
+
+TEST(MemoryStore, DestroyedIteration)
+{
+    MemoryStore ms;
+    DirEntry e;
+    e.addSharer(0);
+    ms.storeSegment(1, 0, e);
+    ms.storeSegment(2, 0, e);
+    int n = 0;
+    ms.forEachDestroyed([&](BlockAddr) { ++n; });
+    EXPECT_EQ(n, 2);
+}
+
+} // namespace
+} // namespace zerodev

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Directed tests of the inter-socket flows (Figures 13-16): socket-level
+ * directory states, cross-socket forwards, the corrupted-block special
+ * responses, the DENF_NACK racing-entry flow and socket-level eviction
+ * notices with last-copy restoration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cmp_system.hh"
+#include "core/invariants.hh"
+#include "test_util.hh"
+
+namespace zerodev
+{
+namespace
+{
+
+SystemConfig
+quadTiny(bool zerodev)
+{
+    SystemConfig cfg = testutil::tinyConfig();
+    cfg.sockets = 4;
+    cfg.name = "tiny4";
+    if (zerodev) {
+        applyZeroDev(cfg, 0.0);
+        cfg.llcReplPolicy = LlcReplPolicy::Lru; // let entries reach memory
+        cfg.dirCachePolicy = DirCachePolicy::SpillAll;
+    }
+    return cfg;
+}
+
+/** Global core id of core @p c in socket @p s (2 cores per socket). */
+CoreId
+gc(SocketId s, CoreId c)
+{
+    return s * 2 + c;
+}
+
+TEST(MultiSocket, HomeInterleaveCoversAllSockets)
+{
+    CmpSystem sys(quadTiny(false));
+    bool seen[4] = {false, false, false, false};
+    for (BlockAddr b = 0; b < 1024; b += 64)
+        seen[sys.homeSocket(b)] = true;
+    EXPECT_TRUE(seen[0] && seen[1] && seen[2] && seen[3]);
+}
+
+TEST(MultiSocket, ColdFillSetsSocketOwned)
+{
+    CmpSystem sys(quadTiny(false));
+    const BlockAddr b = 100;
+    sys.access(gc(1, 0), AccessType::Load, b, 0);
+    EXPECT_EQ(sys.privateCache(1, 0).state(b), MesiState::Exclusive);
+    const SocketDirEntry se = sys.peekSocketEntry(b);
+    EXPECT_EQ(se.state, SocketDirState::Owned);
+    EXPECT_TRUE(se.isSharer(1));
+    assertInvariants(sys);
+}
+
+TEST(MultiSocket, CrossSocketReadForwardsAndShares)
+{
+    CmpSystem sys(quadTiny(false));
+    const BlockAddr b = 100;
+    sys.access(gc(1, 0), AccessType::Store, b, 0);
+    sys.access(gc(2, 0), AccessType::Load, b, 100000);
+    EXPECT_EQ(sys.privateCache(1, 0).state(b), MesiState::Shared);
+    EXPECT_EQ(sys.privateCache(2, 0).state(b), MesiState::Shared);
+    const SocketDirEntry se = sys.peekSocketEntry(b);
+    EXPECT_EQ(se.state, SocketDirState::Shared);
+    EXPECT_TRUE(se.isSharer(1));
+    EXPECT_TRUE(se.isSharer(2));
+    assertInvariants(sys);
+}
+
+TEST(MultiSocket, CrossSocketStoreInvalidatesOtherSockets)
+{
+    CmpSystem sys(quadTiny(false));
+    const BlockAddr b = 100;
+    sys.access(gc(1, 0), AccessType::Load, b, 0);
+    sys.access(gc(2, 0), AccessType::Load, b, 100000);
+    sys.access(gc(3, 0), AccessType::Store, b, 200000);
+    EXPECT_EQ(sys.privateCache(1, 0).state(b), MesiState::Invalid);
+    EXPECT_EQ(sys.privateCache(2, 0).state(b), MesiState::Invalid);
+    EXPECT_EQ(sys.privateCache(3, 0).state(b), MesiState::Modified);
+    const SocketDirEntry se = sys.peekSocketEntry(b);
+    EXPECT_EQ(se.state, SocketDirState::Owned);
+    EXPECT_TRUE(se.isSharer(3));
+    EXPECT_EQ(se.count(), 1u);
+    assertInvariants(sys);
+}
+
+TEST(MultiSocket, RemoteAccessIsSlowerThanLocal)
+{
+    CmpSystem sys(quadTiny(false));
+    // Find a block homed at socket 0 and one homed at socket 1.
+    BlockAddr local = 0, remote = 0;
+    for (BlockAddr b = 0; b < 4096; b += 1) {
+        if (sys.homeSocket(b) == 0 && local == 0)
+            local = b;
+        if (sys.homeSocket(b) == 1 && remote == 0)
+            remote = b;
+        if (local && remote)
+            break;
+    }
+    const Cycle t_local =
+        sys.access(gc(0, 0), AccessType::Load, local, 0);
+    CmpSystem sys2(quadTiny(false));
+    const Cycle t_remote =
+        sys2.access(gc(0, 0), AccessType::Load, remote, 0);
+    EXPECT_GT(t_remote, t_local);
+    assertInvariants(sys);
+}
+
+TEST(MultiSocket, ZeroDevEntryEvictionCorruptsSocketEntry)
+{
+    CmpSystem sys(quadTiny(true));
+    Cycle t = 0;
+    const BlockAddr x = testutil::llcConflictBlock(0);
+    sys.access(gc(0, 0), AccessType::Store, x, t);
+    // Flood socket 0's LLC set from its other core.
+    for (std::uint32_t i = 1; i < 40; ++i)
+        t = sys.access(gc(0, 1), AccessType::Load,
+                       testutil::llcConflictBlock(i), t + 200);
+    ASSERT_GT(sys.protoStats().llcDeEvictWbs, 0u);
+    const SocketDirEntry se = sys.peekSocketEntry(x);
+    if (sys.memStore(sys.homeSocket(x)).hasSegment(x, 0)) {
+        EXPECT_EQ(se.state, SocketDirState::Corrupted);
+        EXPECT_TRUE(se.isSharer(0));
+    }
+    EXPECT_EQ(sys.protoStats().devInvalidations, 0u);
+    assertInvariants(sys);
+}
+
+TEST(MultiSocket, CorruptedForwardServesRemoteReader)
+{
+    CmpSystem sys(quadTiny(true));
+    Cycle t = 0;
+    const BlockAddr x = testutil::llcConflictBlock(0);
+    sys.access(gc(0, 0), AccessType::Store, x, t);
+    for (std::uint32_t i = 1; i < 40; ++i)
+        t = sys.access(gc(0, 1), AccessType::Load,
+                       testutil::llcConflictBlock(i), t + 200);
+    const SocketId h = sys.homeSocket(x);
+    if (!sys.memStore(h).hasSegment(x, 0))
+        GTEST_SKIP() << "entry did not reach memory in this layout";
+
+    // A reader in another socket: the home sees a corrupted entry and
+    // forwards to socket 0, whose in-socket entry is gone -> DENF_NACK.
+    const auto denf_before = sys.protoStats().denfNacks;
+    sys.access(gc(2, 0), AccessType::Load, x, t + 100000);
+    EXPECT_EQ(sys.privateCache(2, 0).state(x), MesiState::Shared);
+    EXPECT_EQ(sys.privateCache(0, 0).state(x), MesiState::Shared);
+    EXPECT_GT(sys.protoStats().denfNacks, denf_before);
+    EXPECT_EQ(sys.protoStats().devInvalidations, 0u);
+    assertInvariants(sys);
+}
+
+TEST(MultiSocket, CorruptedStoreInvalidatesEverythingAndStaysCorrupted)
+{
+    CmpSystem sys(quadTiny(true));
+    Cycle t = 0;
+    const BlockAddr x = testutil::llcConflictBlock(0);
+    sys.access(gc(0, 0), AccessType::Store, x, t);
+    for (std::uint32_t i = 1; i < 40; ++i)
+        t = sys.access(gc(0, 1), AccessType::Load,
+                       testutil::llcConflictBlock(i), t + 200);
+    const SocketId h = sys.homeSocket(x);
+    if (!sys.memStore(h).hasSegment(x, 0))
+        GTEST_SKIP() << "entry did not reach memory in this layout";
+
+    sys.access(gc(3, 0), AccessType::Store, x, t + 100000);
+    EXPECT_EQ(sys.privateCache(0, 0).state(x), MesiState::Invalid);
+    EXPECT_EQ(sys.privateCache(3, 0).state(x), MesiState::Modified);
+    EXPECT_EQ(sys.protoStats().devInvalidations, 0u);
+    assertInvariants(sys);
+}
+
+TEST(MultiSocket, LastCopyEvictionRestoresMemory)
+{
+    CmpSystem sys(quadTiny(true));
+    Cycle t = 0;
+    const BlockAddr x = testutil::llcConflictBlock(0);
+    sys.access(gc(0, 0), AccessType::Load, x, t);
+    for (std::uint32_t i = 1; i < 40; ++i)
+        t = sys.access(gc(0, 1), AccessType::Load,
+                       testutil::llcConflictBlock(i), t + 200);
+    const SocketId h = sys.homeSocket(x);
+    if (!sys.memStore(h).destroyed(x))
+        GTEST_SKIP() << "entry did not reach memory in this layout";
+
+    // Evict x from core (0,0): L2 set = x & 7 = 0, stride 8.
+    for (BlockAddr b = 1 << 14; b < (1 << 14) + 9 * 8; b += 8)
+        t = sys.access(gc(0, 0), AccessType::Load, b, t + 200);
+    EXPECT_EQ(sys.privateCache(0, 0).state(x), MesiState::Invalid);
+    EXPECT_FALSE(sys.memStore(h).destroyed(x));
+    const SocketDirEntry se = sys.peekSocketEntry(x);
+    EXPECT_EQ(se.state, SocketDirState::Invalid);
+    assertInvariants(sys);
+}
+
+TEST(MultiSocket, BaselineQuadSocketStress)
+{
+    CmpSystem sys(quadTiny(false));
+    Cycle t = 0;
+    for (std::uint32_t i = 0; i < 4000; ++i) {
+        const CoreId c = i % 8;
+        const BlockAddr b = (i * 131) % 2048;
+        const AccessType a = (i % 4 == 0) ? AccessType::Store
+                           : (i % 9 == 0) ? AccessType::Ifetch
+                                          : AccessType::Load;
+        t = sys.access(c, a, b, t + 10);
+    }
+    assertInvariants(sys);
+}
+
+TEST(MultiSocket, ZeroDevQuadSocketStressStaysDevFree)
+{
+    for (DirCachePolicy pol : {DirCachePolicy::SpillAll,
+                               DirCachePolicy::Fpss}) {
+        SystemConfig cfg = quadTiny(true);
+        cfg.dirCachePolicy = pol;
+        CmpSystem sys(cfg);
+        Cycle t = 0;
+        for (std::uint32_t i = 0; i < 4000; ++i) {
+            const CoreId c = i % 8;
+            const BlockAddr b = (i * 131) % 2048;
+            const AccessType a = (i % 4 == 0) ? AccessType::Store
+                               : (i % 9 == 0) ? AccessType::Ifetch
+                                              : AccessType::Load;
+            t = sys.access(c, a, b, t + 10);
+        }
+        EXPECT_EQ(sys.protoStats().devInvalidations, 0u);
+        assertInvariants(sys);
+    }
+}
+
+} // namespace
+} // namespace zerodev

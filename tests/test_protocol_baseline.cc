@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Directed protocol tests on the baseline (sparse-NRU directory) system:
+ * MESI transitions, 2-hop vs 3-hop service, DEV generation on directory
+ * conflicts, eviction notices keeping the directory precise, inclusive
+ * back-invalidation and the EPD allocation rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cmp_system.hh"
+#include "core/invariants.hh"
+#include "test_util.hh"
+
+namespace zerodev
+{
+namespace
+{
+
+using testutil::dirConflictBlock;
+using testutil::tinyConfig;
+
+Cycle
+touch(CmpSystem &sys, CoreId core, AccessType t, BlockAddr b, Cycle now)
+{
+    return sys.access(core, t, b, now);
+}
+
+TEST(Baseline, ColdLoadFillsExclusive)
+{
+    CmpSystem sys(tinyConfig());
+    touch(sys, 0, AccessType::Load, 100, 0);
+    EXPECT_EQ(sys.privateCache(0, 0).state(100), MesiState::Exclusive);
+    Tracking trk = sys.peekTracking(0, 100);
+    ASSERT_TRUE(trk.found());
+    EXPECT_EQ(trk.entry.state, DirState::Owned);
+    EXPECT_EQ(trk.entry.owner(), 0u);
+    assertInvariants(sys);
+}
+
+TEST(Baseline, ColdStoreFillsModified)
+{
+    CmpSystem sys(tinyConfig());
+    touch(sys, 0, AccessType::Store, 100, 0);
+    EXPECT_EQ(sys.privateCache(0, 0).state(100), MesiState::Modified);
+    assertInvariants(sys);
+}
+
+TEST(Baseline, IfetchFillsShared)
+{
+    CmpSystem sys(tinyConfig());
+    touch(sys, 0, AccessType::Ifetch, 100, 0);
+    EXPECT_EQ(sys.privateCache(0, 0).state(100), MesiState::Shared);
+    Tracking trk = sys.peekTracking(0, 100);
+    ASSERT_TRUE(trk.found());
+    EXPECT_EQ(trk.entry.state, DirState::Shared);
+    assertInvariants(sys);
+}
+
+TEST(Baseline, ReadToOwnedBlockIsThreeHopAndDowngrades)
+{
+    CmpSystem sys(tinyConfig());
+    touch(sys, 0, AccessType::Store, 100, 0);
+    const auto three_hops_before = sys.protoStats().threeHopReads;
+    touch(sys, 1, AccessType::Load, 100, 1000);
+    EXPECT_EQ(sys.protoStats().threeHopReads, three_hops_before + 1);
+    EXPECT_EQ(sys.privateCache(0, 0).state(100), MesiState::Shared);
+    EXPECT_EQ(sys.privateCache(0, 1).state(100), MesiState::Shared);
+    Tracking trk = sys.peekTracking(0, 100);
+    ASSERT_TRUE(trk.found());
+    EXPECT_EQ(trk.entry.state, DirState::Shared);
+    EXPECT_EQ(trk.entry.count(), 2u);
+    assertInvariants(sys);
+}
+
+TEST(Baseline, StoreInvalidatesSharers)
+{
+    CmpSystem sys(tinyConfig());
+    touch(sys, 0, AccessType::Load, 100, 0);
+    touch(sys, 1, AccessType::Load, 100, 1000);
+    touch(sys, 1, AccessType::Store, 100, 2000); // upgrade path
+    EXPECT_EQ(sys.privateCache(0, 0).state(100), MesiState::Invalid);
+    EXPECT_EQ(sys.privateCache(0, 1).state(100), MesiState::Modified);
+    Tracking trk = sys.peekTracking(0, 100);
+    ASSERT_TRUE(trk.found());
+    EXPECT_EQ(trk.entry.state, DirState::Owned);
+    EXPECT_EQ(trk.entry.owner(), 1u);
+    assertInvariants(sys);
+}
+
+TEST(Baseline, StoreToOwnedBlockTransfersOwnership)
+{
+    CmpSystem sys(tinyConfig());
+    touch(sys, 0, AccessType::Store, 100, 0);
+    touch(sys, 1, AccessType::Store, 100, 1000);
+    EXPECT_EQ(sys.privateCache(0, 0).state(100), MesiState::Invalid);
+    EXPECT_EQ(sys.privateCache(0, 1).state(100), MesiState::Modified);
+    assertInvariants(sys);
+}
+
+TEST(Baseline, SharedReadServedFromLlcInTwoHops)
+{
+    CmpSystem sys(tinyConfig());
+    touch(sys, 0, AccessType::Ifetch, 100, 0);
+    const auto two_before = sys.protoStats().twoHopReads;
+    const auto three_before = sys.protoStats().threeHopReads;
+    touch(sys, 1, AccessType::Ifetch, 100, 1000);
+    EXPECT_EQ(sys.protoStats().twoHopReads, two_before + 1);
+    EXPECT_EQ(sys.protoStats().threeHopReads, three_before);
+    assertInvariants(sys);
+}
+
+TEST(Baseline, EvictionNoticeKeepsDirectoryPrecise)
+{
+    CmpSystem sys(tinyConfig());
+    // Fill L2 set 0 of core 0 (8 sets, stride 8) beyond capacity.
+    Cycle t = 0;
+    for (BlockAddr b = 0; b < 9 * 8; b += 8)
+        t = touch(sys, 0, AccessType::Load, b, t + 100);
+    // One block was evicted; its directory entry must be freed.
+    std::uint64_t tracked = 0;
+    for (BlockAddr b = 0; b < 9 * 8; b += 8) {
+        if (sys.peekTracking(0, b).found())
+            ++tracked;
+    }
+    EXPECT_EQ(tracked, 8u);
+    assertInvariants(sys);
+}
+
+TEST(Baseline, DirectoryConflictGeneratesDevs)
+{
+    SystemConfig cfg = tinyConfig();
+    cfg.directory.sizeRatio = 0.125; // 16 entries: 1 set x 8 ways / slice
+    CmpSystem sys(cfg);
+    Cycle t = 0;
+    // More distinct blocks in one directory set than its ways.
+    for (std::uint32_t i = 0; i < 12; ++i)
+        t = touch(sys, 0, AccessType::Load, dirConflictBlock(i, 0, 0, 1),
+                  t + 100);
+    EXPECT_GT(sys.protoStats().devInvalidations, 0u);
+    assertInvariants(sys);
+}
+
+TEST(Baseline, DevOfModifiedBlockLandsDirtyInLlc)
+{
+    SystemConfig cfg = tinyConfig();
+    cfg.directory.sizeRatio = 0.125;
+    CmpSystem sys(cfg);
+    Cycle t = 0;
+    const BlockAddr victim = dirConflictBlock(0, 0, 0, 1);
+    touch(sys, 0, AccessType::Store, victim, t);
+    for (std::uint32_t i = 1; i < 12; ++i)
+        t = touch(sys, 0, AccessType::Load, dirConflictBlock(i, 0, 0, 1),
+                  t + 100);
+    // The victim was invalidated out of core 0 by a directory eviction
+    // and its dirty data was retrieved into the LLC.
+    ASSERT_GT(sys.protoStats().devInvalidations, 0u);
+    EXPECT_GT(sys.protoStats().devOwnedInvalidations, 0u);
+    EXPECT_EQ(sys.privateCache(0, 0).state(victim), MesiState::Invalid);
+    assertInvariants(sys);
+}
+
+TEST(Baseline, UnboundedDirectoryNeverGeneratesDevs)
+{
+    SystemConfig cfg = tinyConfig();
+    cfg.dirOrg = DirOrg::Unbounded;
+    CmpSystem sys(cfg);
+    Cycle t = 0;
+    for (std::uint32_t i = 0; i < 200; ++i)
+        t = touch(sys, i % 2, AccessType::Load, dirConflictBlock(i), t + 50);
+    EXPECT_EQ(sys.protoStats().devInvalidations, 0u);
+    assertInvariants(sys);
+}
+
+TEST(Baseline, InclusiveLlcBackInvalidates)
+{
+    SystemConfig cfg = tinyConfig();
+    cfg.llcFlavor = LlcFlavor::Inclusive;
+    // An unbounded directory isolates the inclusion effect from
+    // directory-conflict DEVs (the tiny directory conflicts first).
+    cfg.dirOrg = DirOrg::Unbounded;
+    CmpSystem sys(cfg);
+    Cycle t = 0;
+    // Fill one LLC set (16 ways) from both cores (8 blocks each stay
+    // resident in their L2s), then overflow it: the LLC victim must be
+    // back-invalidated from the private caches.
+    for (std::uint32_t i = 0; i < 16; ++i)
+        t = touch(sys, i < 8 ? 0 : 1, AccessType::Load,
+                  testutil::llcConflictBlock(i), t + 100);
+    t = touch(sys, 0, AccessType::Load, testutil::llcConflictBlock(16),
+              t + 100);
+    EXPECT_GT(sys.protoStats().inclusionInvalidations, 0u);
+    assertInvariants(sys);
+}
+
+TEST(Baseline, EpdKeepsPrivateBlocksOutOfLlc)
+{
+    SystemConfig cfg = tinyConfig();
+    cfg.llcFlavor = LlcFlavor::Epd;
+    CmpSystem sys(cfg);
+    touch(sys, 0, AccessType::Load, 100, 0); // fills E privately
+    LlcProbe p = const_cast<Llc &>(sys.llc(0)).probe(100);
+    EXPECT_EQ(p.data, nullptr);
+    assertInvariants(sys);
+}
+
+TEST(Baseline, EpdAllocatesOnSharing)
+{
+    SystemConfig cfg = tinyConfig();
+    cfg.llcFlavor = LlcFlavor::Epd;
+    CmpSystem sys(cfg);
+    touch(sys, 0, AccessType::Load, 100, 0);
+    touch(sys, 1, AccessType::Load, 100, 1000); // block becomes shared
+    LlcProbe p = const_cast<Llc &>(sys.llc(0)).probe(100);
+    EXPECT_NE(p.data, nullptr);
+    assertInvariants(sys);
+}
+
+TEST(Baseline, EpdDeallocatesOnStore)
+{
+    SystemConfig cfg = tinyConfig();
+    cfg.llcFlavor = LlcFlavor::Epd;
+    CmpSystem sys(cfg);
+    touch(sys, 0, AccessType::Load, 100, 0);
+    touch(sys, 1, AccessType::Load, 100, 1000);
+    touch(sys, 1, AccessType::Store, 100, 2000);
+    LlcProbe p = const_cast<Llc &>(sys.llc(0)).probe(100);
+    EXPECT_EQ(p.data, nullptr);
+    assertInvariants(sys);
+}
+
+TEST(Baseline, EpdOwnerEvictionAllocatesInLlc)
+{
+    SystemConfig cfg = tinyConfig();
+    cfg.llcFlavor = LlcFlavor::Epd;
+    CmpSystem sys(cfg);
+    Cycle t = 0;
+    touch(sys, 0, AccessType::Store, 0, t);
+    // Evict block 0 from core 0's L2 by filling its set (stride 8).
+    for (BlockAddr b = 8; b <= 9 * 8; b += 8)
+        t = touch(sys, 0, AccessType::Load, b, t + 100);
+    // After the PutM, the dirty block must be in the LLC.
+    if (sys.privateCache(0, 0).state(0) == MesiState::Invalid) {
+        LlcProbe p = const_cast<Llc &>(sys.llc(0)).probe(0);
+        ASSERT_NE(p.data, nullptr);
+        EXPECT_TRUE(p.data->dirty);
+    }
+    assertInvariants(sys);
+}
+
+TEST(Baseline, LatencyOrderingIsSane)
+{
+    CmpSystem sys(tinyConfig());
+    // L1 hit < L2-ish < LLC hit < memory.
+    const Cycle memory = touch(sys, 0, AccessType::Load, 500, 0);
+    const Cycle l1 = touch(sys, 0, AccessType::Load, 500, 10000) - 10000;
+    CmpSystem sys2(tinyConfig());
+    touch(sys2, 0, AccessType::Ifetch, 500, 0); // fills LLC, S state
+    const Cycle llc_hit =
+        touch(sys2, 1, AccessType::Ifetch, 500, 20000) - 20000;
+    EXPECT_LT(l1, llc_hit);
+    EXPECT_LT(llc_hit, memory);
+}
+
+TEST(Baseline, TrafficAccountedOnMisses)
+{
+    CmpSystem sys(tinyConfig());
+    EXPECT_EQ(sys.totalTrafficBytes(), 0u);
+    touch(sys, 0, AccessType::Load, 100, 0);
+    const std::uint64_t after_miss = sys.totalTrafficBytes();
+    EXPECT_GT(after_miss, 0u);
+    touch(sys, 0, AccessType::Load, 100, 10000); // L1 hit: no traffic
+    EXPECT_EQ(sys.totalTrafficBytes(), after_miss);
+}
+
+} // namespace
+} // namespace zerodev

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Protocol edge cases and regression tests: LLC-only socket supply (a
+ * socket whose cores evicted a block can still serve it from its LLC),
+ * FuseAll's special eviction acknowledgment, reconstruction-bit traffic,
+ * flavour x policy cross products, the ZeroDEV guarantee under the
+ * server-scale configuration, and traffic-accounting sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cmp_system.hh"
+#include "core/invariants.hh"
+#include "sim/runner.hh"
+#include "test_util.hh"
+
+namespace zerodev
+{
+namespace
+{
+
+using testutil::tinyConfig;
+using testutil::tinyZeroDev;
+
+TEST(Edge, SocketServesFromLlcAfterCoresEvict)
+{
+    // Regression: socket F holds a block only in its LLC (all cores
+    // evicted, entry freed); the home still lists F as owner, and a
+    // remote request must be served from F's LLC, not panic.
+    SystemConfig cfg = tinyConfig();
+    cfg.sockets = 4;
+    CmpSystem sys(cfg);
+    const BlockAddr b = 0; // home socket 0
+    Cycle t = 0;
+    t = sys.access(0, AccessType::Load, b, t + 100); // core (0,0)
+    // Evict b from core (0,0)'s L2 (set 0, stride 8): the LLC keeps it.
+    for (BlockAddr x = 1 << 13; x < (1 << 13) + 9 * 8; x += 8)
+        t = sys.access(0, AccessType::Load, x, t + 100);
+    ASSERT_EQ(sys.privateCache(0, 0).state(b), MesiState::Invalid);
+    ASSERT_FALSE(sys.peekTracking(0, b).found());
+
+    // Remote reader in socket 2.
+    t = sys.access(2 * 2, AccessType::Load, b, t + 100000);
+    EXPECT_EQ(sys.privateCache(2, 0).state(b), MesiState::Shared);
+    assertInvariants(sys);
+}
+
+TEST(Edge, SocketStoreInvalidatesLlcOnlyCopy)
+{
+    SystemConfig cfg = tinyConfig();
+    cfg.sockets = 4;
+    CmpSystem sys(cfg);
+    const BlockAddr b = 0;
+    Cycle t = 0;
+    t = sys.access(0, AccessType::Load, b, t + 100);
+    for (BlockAddr x = 1 << 13; x < (1 << 13) + 9 * 8; x += 8)
+        t = sys.access(0, AccessType::Load, x, t + 100);
+
+    t = sys.access(2 * 2, AccessType::Store, b, t + 100000);
+    EXPECT_EQ(sys.privateCache(2, 0).state(b), MesiState::Modified);
+    // Socket 0's LLC copy is gone.
+    LlcProbe p = const_cast<Llc &>(sys.llc(0)).probe(b);
+    EXPECT_EQ(p.data, nullptr);
+    assertInvariants(sys);
+}
+
+TEST(Edge, FuseAllLastSharerEvictionUsesSpecialAck)
+{
+    CmpSystem sys(tinyZeroDev(0.0, DirCachePolicy::FuseAll));
+    Cycle t = 0;
+    sys.access(0, AccessType::Ifetch, 100, t); // fused S entry
+    // Evict block 100 from core 0's L2 (L2 set = 100 & 7 = 4).
+    for (BlockAddr b = 1 << 13; b < (1 << 13) + 9 * 8; b += 8)
+        t = sys.access(0, AccessType::Load, b + 4, t + 100);
+    ASSERT_EQ(sys.privateCache(0, 0).state(100), MesiState::Invalid);
+    // The home fetched the low bits from the last sharer with the
+    // special acknowledgment (Section III-C3).
+    EXPECT_GT(sys.traffic(0).countOf(MsgType::EvictAckFetchBits), 0u);
+    // The fused line was reconstructed into a plain data line.
+    LlcProbe p = const_cast<Llc &>(sys.llc(0)).probe(100);
+    ASSERT_NE(p.data, nullptr);
+    EXPECT_EQ(p.data->kind, LlcLineKind::Data);
+    assertInvariants(sys);
+}
+
+TEST(Edge, FpssEStateEvictionCarriesReconstructionBits)
+{
+    CmpSystem sys(tinyZeroDev(0.0, DirCachePolicy::Fpss));
+    Cycle t = 0;
+    sys.access(0, AccessType::Load, 100, t); // E state, fused entry
+    ASSERT_EQ(sys.peekTracking(0, 100).where, TrackWhere::LlcFused);
+    for (BlockAddr b = 1 << 13; b < (1 << 13) + 9 * 8; b += 8)
+        t = sys.access(0, AccessType::Load, b + 4, t + 100);
+    ASSERT_EQ(sys.privateCache(0, 0).state(100), MesiState::Invalid);
+    EXPECT_GT(sys.traffic(0).countOf(MsgType::PutEBits), 0u);
+    assertInvariants(sys);
+}
+
+TEST(Edge, FpssDowngradeBusyClearCarriesBits)
+{
+    CmpSystem sys(tinyZeroDev(0.0, DirCachePolicy::Fpss));
+    sys.access(0, AccessType::Store, 100, 0);    // M, fused
+    sys.access(1, AccessType::Load, 100, 10000); // downgrade: spill
+    EXPECT_GT(sys.traffic(0).countOf(MsgType::BusyClearBits), 0u);
+    assertInvariants(sys);
+}
+
+TEST(Edge, EpdWithFuseAllSpillsPrivateEntries)
+{
+    SystemConfig cfg = tinyZeroDev(0.0, DirCachePolicy::FuseAll);
+    cfg.llcFlavor = LlcFlavor::Epd;
+    CmpSystem sys(cfg);
+    sys.access(0, AccessType::Store, 100, 0);
+    const Tracking trk = sys.peekTracking(0, 100);
+    ASSERT_TRUE(trk.found());
+    // EPD keeps M-state blocks out of the LLC, so even FuseAll must
+    // spill the entry.
+    EXPECT_EQ(trk.where, TrackWhere::LlcSpilled);
+    assertInvariants(sys);
+}
+
+TEST(Edge, InclusiveSpillAllStaysConsistent)
+{
+    SystemConfig cfg =
+        tinyZeroDev(0.0, DirCachePolicy::SpillAll, LlcReplPolicy::Lru);
+    cfg.llcFlavor = LlcFlavor::Inclusive;
+    CmpSystem sys(cfg);
+    Cycle t = 0;
+    for (std::uint32_t i = 0; i < 2000; ++i) {
+        t = sys.access(i % 2,
+                       i % 6 == 0 ? AccessType::Store : AccessType::Load,
+                       (i * 29) % 2048, t + 10);
+    }
+    EXPECT_EQ(sys.protoStats().devInvalidations, 0u);
+    EXPECT_EQ(sys.protoStats().llcDeEvictWbs, 0u); // Section III-F
+    assertInvariants(sys);
+}
+
+TEST(Edge, ServerScaleZeroDevSmoke)
+{
+    SystemConfig cfg = makeServerConfig();
+    applyZeroDev(cfg, 0.0);
+    CmpSystem sys(cfg);
+    const Workload w =
+        Workload::multiThreaded(profileByName("SPECjbb"), 128);
+    RunConfig rc;
+    rc.accessesPerCore = 500;
+    const RunResult r = run(sys, w, rc);
+    EXPECT_EQ(r.devInvalidations, 0u);
+    assertInvariants(sys);
+}
+
+TEST(Edge, TrafficBytesAreConsistentWithCounts)
+{
+    CmpSystem sys(tinyConfig());
+    Cycle t = 0;
+    for (std::uint32_t i = 0; i < 500; ++i)
+        t = sys.access(i % 2, AccessType::Load, (i * 13) % 512, t + 10);
+    const TrafficStats &ts = sys.traffic(0);
+    std::uint64_t bytes = 0, msgs = 0;
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(MsgType::NumTypes); ++i) {
+        const auto m = static_cast<MsgType>(i);
+        bytes += ts.bytesOf(m);
+        msgs += ts.countOf(m);
+    }
+    EXPECT_EQ(bytes, ts.totalBytes());
+    EXPECT_EQ(msgs, ts.totalMessages());
+}
+
+TEST(Edge, SecondSocketIfetchSharesCode)
+{
+    SystemConfig cfg = tinyConfig();
+    cfg.sockets = 2;
+    CmpSystem sys(cfg);
+    const BlockAddr code = 0;
+    sys.access(0, AccessType::Ifetch, code, 0);
+    sys.access(2, AccessType::Ifetch, code, 100000); // socket 1 core 0
+    EXPECT_EQ(sys.privateCache(0, 0).state(code), MesiState::Shared);
+    EXPECT_EQ(sys.privateCache(1, 0).state(code), MesiState::Shared);
+    const SocketDirEntry se = sys.peekSocketEntry(code);
+    EXPECT_TRUE(se.isSharer(0));
+    EXPECT_TRUE(se.isSharer(1));
+    assertInvariants(sys);
+}
+
+TEST(Edge, HetMixRunStaysConsistent)
+{
+    const auto mixes = Workload::hetMixes(2, 2);
+    for (const Workload &w : mixes) {
+        CmpSystem sys(tinyZeroDev(0.125));
+        RunConfig rc;
+        rc.accessesPerCore = 2000;
+        rc.invariantCheckInterval = 1000;
+        const RunResult r = run(sys, w, rc);
+        EXPECT_EQ(r.devInvalidations, 0u);
+    }
+}
+
+TEST(Edge, RepeatedUpgradeDowngradePingPong)
+{
+    CmpSystem sys(tinyZeroDev(0.0, DirCachePolicy::Fpss));
+    Cycle t = 0;
+    // Cores ping-pong ownership of one block: the entry oscillates
+    // between fused and spilled without ever leaking or duplicating.
+    for (int i = 0; i < 50; ++i) {
+        t = sys.access(i % 2, AccessType::Load, 100, t + 100);
+        t = sys.access(i % 2, AccessType::Store, 100, t + 100);
+    }
+    const Tracking trk = sys.peekTracking(0, 100);
+    ASSERT_TRUE(trk.found());
+    EXPECT_EQ(trk.where, TrackWhere::LlcFused);
+    EXPECT_EQ(sys.protoStats().devInvalidations, 0u);
+    assertInvariants(sys);
+}
+
+TEST(Edge, StoreToUncachedBlockInOtherSocketsLlc)
+{
+    SystemConfig cfg = tinyConfig();
+    cfg.sockets = 2;
+    CmpSystem sys(cfg);
+    const BlockAddr b = 0;
+    Cycle t = 0;
+    // Socket 0 reads, then socket 1 reads (both LLCs + cores share).
+    t = sys.access(0, AccessType::Load, b, t + 100);
+    t = sys.access(2, AccessType::Load, b, t + 100000);
+    // Socket 1's core stores: socket 0's copies all die.
+    t = sys.access(2, AccessType::Store, b, t + 100000);
+    EXPECT_EQ(sys.privateCache(0, 0).state(b), MesiState::Invalid);
+    LlcProbe p = const_cast<Llc &>(sys.llc(0)).probe(b);
+    EXPECT_EQ(p.data, nullptr);
+    EXPECT_EQ(sys.privateCache(1, 0).state(b), MesiState::Modified);
+    assertInvariants(sys);
+}
+
+} // namespace
+} // namespace zerodev

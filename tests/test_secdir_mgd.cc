@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Unit tests for the SecDir and Multi-grain Directory baselines: entry
+ * migration between shared and private partitions, self-conflict DEVs,
+ * region coalescing and region-eviction DEV bursts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "directory/mgd.hh"
+#include "directory/secdir.hh"
+
+namespace zerodev
+{
+namespace
+{
+
+SecDir
+makeSecDir()
+{
+    // 2 slices; shared zone 4 sets x 2 ways; private zones 2 sets x 2
+    // ways per core, 4 cores.
+    SecDirGeometry g;
+    g.sharedSets = 4;
+    g.sharedWays = 2;
+    g.privateSets = 2;
+    g.privateWays = 2;
+    return SecDir(4, 2, g);
+}
+
+TEST(SecDir, NewEntriesStartInSharedZone)
+{
+    SecDir dir = makeSecDir();
+    std::vector<Invalidation> invs;
+    DirEntry e;
+    e.makeOwned(1);
+    dir.set(100, e, invs);
+    EXPECT_TRUE(invs.empty());
+    auto got = dir.lookup(100);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->owner(), 1u);
+    EXPECT_EQ(dir.liveEntries(), 1u);
+}
+
+TEST(SecDir, SharedConflictMigratesToPrivateWithoutDev)
+{
+    SecDir dir = makeSecDir();
+    std::vector<Invalidation> invs;
+    // Fill one shared set: slice 0, shared set 0 => blocks 2*4*k.
+    DirEntry e;
+    e.makeOwned(2);
+    dir.set(8, e, invs);
+    dir.set(16, e, invs);
+    EXPECT_TRUE(invs.empty());
+    // Third conflicting entry: the shared-zone victim migrates into
+    // core 2's private partition — still no invalidation.
+    dir.set(24, e, invs);
+    EXPECT_TRUE(invs.empty());
+    EXPECT_EQ(dir.stats().sharedEvictions, 1u);
+    // All three blocks remain tracked.
+    EXPECT_TRUE(dir.lookup(8).has_value());
+    EXPECT_TRUE(dir.lookup(16).has_value());
+    EXPECT_TRUE(dir.lookup(24).has_value());
+}
+
+TEST(SecDir, PrivateSelfConflictGeneratesDev)
+{
+    SecDir dir = makeSecDir();
+    std::vector<Invalidation> invs;
+    DirEntry e;
+    e.makeOwned(0);
+    // Shared set 0 of slice 0 holds 2; private set 0 of core 0 holds 2.
+    // Push enough conflicting entries through to overflow both.
+    for (std::uint64_t k = 1; k <= 6 && invs.empty(); ++k)
+        dir.set(8 * k, e, invs);
+    ASSERT_FALSE(invs.empty());
+    EXPECT_EQ(invs[0].cores.count(), 1u);
+    EXPECT_TRUE(invs[0].cores.test(0));
+    EXPECT_TRUE(invs[0].wasOwned);
+    EXPECT_GE(dir.stats().privateEvictions, 1u);
+}
+
+TEST(SecDir, EvictionNoticeShrinksTracking)
+{
+    SecDir dir = makeSecDir();
+    std::vector<Invalidation> invs;
+    DirEntry e;
+    e.addSharer(0);
+    e.addSharer(1);
+    dir.set(40, e, invs);
+    // Core 1 evicts its copy.
+    DirEntry e2;
+    e2.addSharer(0);
+    dir.set(40, e2, invs);
+    auto got = dir.lookup(40);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->count(), 1u);
+    EXPECT_TRUE(got->isSharer(0));
+    // Last copy leaves: tracking erased.
+    dir.set(40, DirEntry{}, invs);
+    EXPECT_FALSE(dir.lookup(40).has_value());
+}
+
+TEST(SecDir, GeometryPresets)
+{
+    // 8-core, 512-set baseline slice (Section V).
+    SecDirGeometry g8 = SecDirGeometry::forConfig(8, 512, 8);
+    EXPECT_EQ(g8.privateSets, 32u);
+    EXPECT_EQ(g8.privateWays, 7u);
+    EXPECT_EQ(g8.sharedSets, 512u);
+    EXPECT_EQ(g8.sharedWays, 5u);
+    // 128-core, 256-set baseline slice.
+    SecDirGeometry g128 = SecDirGeometry::forConfig(128, 256, 8);
+    EXPECT_EQ(g128.privateSets, 4u);
+    EXPECT_EQ(g128.privateWays, 8u);
+    EXPECT_EQ(g128.sharedSets, 256u);
+    EXPECT_EQ(g128.sharedWays, 4u);
+    // 128-core at 1/8x: 32-set slice -> 4-way fully associative private.
+    SecDirGeometry g128s = SecDirGeometry::forConfig(128, 32, 8);
+    EXPECT_EQ(g128s.privateSets, 1u);
+    EXPECT_EQ(g128s.privateWays, 4u);
+}
+
+MultiGrainDirectory
+makeMgd()
+{
+    // 4 cores, 2 slices, 4 sets x 2 ways, 4-block regions.
+    return MultiGrainDirectory(4, 2, 4, 2, 4);
+}
+
+TEST(Mgd, PrivateBlocksCoalesceIntoRegionEntry)
+{
+    MultiGrainDirectory dir = makeMgd();
+    std::vector<Invalidation> invs;
+    DirEntry e;
+    e.makeOwned(1);
+    // Four blocks of one region, all owned by core 1.
+    for (BlockAddr b = 100; b < 104; ++b)
+        dir.set(b, e, invs);
+    EXPECT_TRUE(invs.empty());
+    EXPECT_EQ(dir.stats().regionAllocs, 1u);
+    EXPECT_EQ(dir.stats().blockAllocs, 0u);
+    EXPECT_EQ(dir.liveEntries(), 4u);
+    for (BlockAddr b = 100; b < 104; ++b) {
+        auto got = dir.lookup(b);
+        ASSERT_TRUE(got.has_value()) << b;
+        EXPECT_EQ(got->owner(), 1u);
+    }
+}
+
+TEST(Mgd, SharingBreaksRegionTracking)
+{
+    MultiGrainDirectory dir = makeMgd();
+    std::vector<Invalidation> invs;
+    DirEntry owned;
+    owned.makeOwned(1);
+    dir.set(100, owned, invs);
+    dir.set(101, owned, invs);
+
+    // Block 100 becomes shared with core 2.
+    DirEntry shared;
+    shared.addSharer(1);
+    shared.addSharer(2);
+    dir.set(100, shared, invs);
+    EXPECT_EQ(dir.stats().regionBreaks, 1u);
+    auto got = dir.lookup(100);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->state, DirState::Shared);
+    EXPECT_EQ(got->count(), 2u);
+    // 101 remains region-tracked.
+    auto other = dir.lookup(101);
+    ASSERT_TRUE(other.has_value());
+    EXPECT_EQ(other->owner(), 1u);
+}
+
+TEST(Mgd, RegionEvictionIsDevBurst)
+{
+    MultiGrainDirectory dir = makeMgd();
+    std::vector<Invalidation> invs;
+    DirEntry e;
+    e.makeOwned(0);
+    // Fill region entries in one set until a region eviction occurs.
+    // Region lines are indexed by region number (base / 4): slice =
+    // num & 1, set = (num >> 1) & 3. Bases 0, 32, 64 -> nums 0, 8, 16:
+    // all slice 0, set 0 (2 ways).
+    dir.set(0, e, invs);
+    dir.set(1, e, invs);  // same region: coalesces
+    dir.set(32, e, invs); // same slice/set: second way
+    EXPECT_TRUE(invs.empty());
+    dir.set(64, e, invs); // third region in set 0: eviction
+    ASSERT_FALSE(invs.empty());
+    // The evicted region entry invalidates both tracked blocks of core 0.
+    std::uint64_t dev_blocks = invs.size();
+    EXPECT_GE(dev_blocks, 1u);
+    EXPECT_GE(dir.stats().regionEvictions, 1u);
+    for (const auto &inv : invs) {
+        EXPECT_TRUE(inv.cores.test(0));
+        EXPECT_TRUE(inv.wasOwned);
+    }
+}
+
+TEST(Mgd, EvictionNoticeClearsRegionBit)
+{
+    MultiGrainDirectory dir = makeMgd();
+    std::vector<Invalidation> invs;
+    DirEntry e;
+    e.makeOwned(2);
+    dir.set(200, e, invs);
+    dir.set(201, e, invs);
+    EXPECT_EQ(dir.liveEntries(), 2u);
+    dir.set(200, DirEntry{}, invs);
+    EXPECT_FALSE(dir.lookup(200).has_value());
+    EXPECT_TRUE(dir.lookup(201).has_value());
+    EXPECT_EQ(dir.liveEntries(), 1u);
+    dir.set(201, DirEntry{}, invs);
+    EXPECT_EQ(dir.liveEntries(), 0u);
+}
+
+TEST(Mgd, SharedBlocksUseBlockEntries)
+{
+    MultiGrainDirectory dir = makeMgd();
+    std::vector<Invalidation> invs;
+    DirEntry shared;
+    shared.addSharer(0);
+    shared.addSharer(3);
+    dir.set(100, shared, invs);
+    EXPECT_EQ(dir.stats().blockAllocs, 1u);
+    EXPECT_EQ(dir.stats().regionAllocs, 0u);
+    auto got = dir.lookup(100);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->count(), 2u);
+}
+
+} // namespace
+} // namespace zerodev

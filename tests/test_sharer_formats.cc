@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the hybrid limited-pointer / coarse-vector compressed sharer
+ * formats (the Section III-D scaling extension), including the
+ * parameterised safety property: a decoded entry always covers the
+ * original sharer set, and is exact whenever the pointer format fits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hh"
+#include "directory/dir_formats.hh"
+#include "directory/sharer_formats.hh"
+
+namespace zerodev
+{
+namespace
+{
+
+TEST(HybridGeometry, PointerAndGroupMath)
+{
+    // 16-bit budget, 128 cores: 1 format bit + 4 count bits leave 10
+    // pointer bits -> 1 pointer of 7 bits; coarse groups of
+    // ceil(128/15) = 9 cores.
+    const HybridGeometry g = HybridGeometry::forConfig(128, 16);
+    EXPECT_EQ(g.pointerBits, 7u);
+    EXPECT_EQ(g.pointers, 1u);
+    EXPECT_EQ(g.groupSize, 9u);
+
+    // 32-bit budget, 8 cores: (31-4)/3 = 9 pointers of 3 bits.
+    const HybridGeometry g8 = HybridGeometry::forConfig(8, 32);
+    EXPECT_EQ(g8.pointerBits, 3u);
+    EXPECT_EQ(g8.pointers, 9u);
+    EXPECT_EQ(g8.groupSize, 1u); // vector wider than the core count
+}
+
+TEST(HybridFormats, SmallSharerSetsArePrecise)
+{
+    const HybridGeometry g = HybridGeometry::forConfig(64, 32);
+    DirEntry e;
+    e.addSharer(3);
+    e.addSharer(41);
+    e.addSharer(63);
+    const CompressedEntry c = compressEntry(e, 64, g);
+    EXPECT_EQ(c.format, SharerFormat::LimitedPointer);
+    const DirEntry d = decompressEntry(c, 64, g);
+    EXPECT_EQ(d.sharers, e.sharers);
+    EXPECT_EQ(d.state, DirState::Shared);
+    EXPECT_EQ(overInvalidations(d, e), 0u);
+}
+
+TEST(HybridFormats, OwnerIsAlwaysPrecise)
+{
+    const HybridGeometry g = HybridGeometry::forConfig(128, 16);
+    DirEntry e;
+    e.makeOwned(101);
+    const DirEntry d = decompressEntry(compressEntry(e, 128, g), 128, g);
+    EXPECT_EQ(d.state, DirState::Owned);
+    EXPECT_EQ(d.owner(), 101u);
+}
+
+TEST(HybridFormats, WideSetsFallBackToCoarseVector)
+{
+    const HybridGeometry g = HybridGeometry::forConfig(128, 16);
+    DirEntry e;
+    for (CoreId c = 0; c < 128; c += 16)
+        e.addSharer(c);
+    const CompressedEntry c = compressEntry(e, 128, g);
+    EXPECT_EQ(c.format, SharerFormat::CoarseVector);
+    const DirEntry d = decompressEntry(c, 128, g);
+    EXPECT_TRUE(coversSharers(d, e));   // never misses a sharer
+    EXPECT_GT(overInvalidations(d, e), 0u); // but is imprecise
+}
+
+TEST(HybridFormats, DeadEntryRoundTrips)
+{
+    const HybridGeometry g = HybridGeometry::forConfig(8, 16);
+    const DirEntry d =
+        decompressEntry(compressEntry(DirEntry{}, 8, g), 8, g);
+    EXPECT_FALSE(d.live());
+}
+
+TEST(HybridFormats, ScalingBeyondFullMap)
+{
+    // Full map: floor(512/129) = 3 sockets of 128-core segments; a
+    // 16-bit compressed segment fits 512/18 = 28 sockets.
+    EXPECT_EQ(maxSocketsPerBlock(128), 3u);
+    EXPECT_EQ(maxSocketsPerBlockCompressed(16), 28u);
+    EXPECT_GT(maxSocketsPerBlockCompressed(16), maxSocketsPerBlock(128));
+}
+
+// ----- property sweep: cover-never-miss for random sharer sets -------
+
+class HybridSweep
+    : public testing::TestWithParam<std::tuple<std::uint32_t,
+                                               std::uint32_t>>
+{
+};
+
+TEST_P(HybridSweep, DecodedAlwaysCoversOriginal)
+{
+    const auto [cores, budget] = GetParam();
+    const HybridGeometry g = HybridGeometry::forConfig(cores, budget);
+    Rng rng(cores * 1000 + budget);
+    for (int trial = 0; trial < 300; ++trial) {
+        DirEntry e;
+        const std::uint32_t n =
+            1 + static_cast<std::uint32_t>(rng.below(cores));
+        for (std::uint32_t i = 0; i < n; ++i)
+            e.addSharer(static_cast<CoreId>(rng.below(cores)));
+        if (e.count() == 1 && rng.chance(0.5))
+            e.state = DirState::Owned;
+
+        const CompressedEntry c = compressEntry(e, cores, g);
+        const DirEntry d = decompressEntry(c, cores, g);
+        ASSERT_TRUE(coversSharers(d, e))
+            << "cores=" << cores << " budget=" << budget;
+        ASSERT_EQ(d.state, e.state);
+        if (e.count() <= g.pointers) {
+            ASSERT_EQ(c.format, SharerFormat::LimitedPointer);
+            ASSERT_EQ(d.sharers, e.sharers);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CoresTimesBudget, HybridSweep,
+    testing::Combine(testing::Values(2u, 8u, 16u, 64u, 128u),
+                     testing::Values(8u, 16u, 32u, 64u)),
+    [](const testing::TestParamInfo<std::tuple<std::uint32_t,
+                                               std::uint32_t>> &info) {
+        return "c" + std::to_string(std::get<0>(info.param)) + "_b" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace zerodev

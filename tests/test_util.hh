@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared helpers for the test suite: miniature system configurations
+ * whose tiny caches make directed protocol scenarios easy to construct,
+ * and address builders that target specific directory sets / LLC sets.
+ */
+
+#ifndef ZERODEV_TESTS_TEST_UTIL_HH
+#define ZERODEV_TESTS_TEST_UTIL_HH
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace zerodev::testutil
+{
+
+/**
+ * A 2-core system small enough to force conflicts quickly:
+ * 2 KB L1s, 4 KB L2 (64 blocks, 8 ways, 8 sets), 64 KB LLC
+ * (1024 blocks, 16 ways, 2 banks, 32 sets/bank), 1x directory
+ * (128 entries = 8 sets x 8 ways per slice x 2 slices).
+ */
+inline SystemConfig
+tinyConfig()
+{
+    SystemConfig cfg;
+    cfg.name = "tiny";
+    cfg.coresPerSocket = 2;
+    cfg.l1i = CacheConfig{2 * 1024, 8, 3};
+    cfg.l1d = CacheConfig{2 * 1024, 8, 3};
+    cfg.l2 = CacheConfig{4 * 1024, 8, 8};
+    cfg.llcSizeBytes = 64 * 1024;
+    cfg.llcBanks = 2;
+    return cfg;
+}
+
+/** tinyConfig() with ZeroDEV enabled (FPSS + dataLRU by default). */
+inline SystemConfig
+tinyZeroDev(double dir_ratio = 1.0,
+            DirCachePolicy policy = DirCachePolicy::Fpss,
+            LlcReplPolicy repl = LlcReplPolicy::DataLru)
+{
+    SystemConfig cfg = tinyConfig();
+    applyZeroDev(cfg, dir_ratio);
+    cfg.dirCachePolicy = policy;
+    cfg.llcReplPolicy = repl;
+    return cfg;
+}
+
+/** Blocks that collide in one directory set of the tiny config:
+ *  slice = block & 1, set = (block >> 1) & (sets-1). */
+inline BlockAddr
+dirConflictBlock(std::uint32_t i, std::uint32_t set = 0,
+                 std::uint32_t slice = 0, std::uint64_t dir_sets = 8)
+{
+    return slice + 2ull * (set + dir_sets * (i + 1));
+}
+
+/** Blocks that collide in one LLC set of the tiny config:
+ *  bank = block & 1, set = (block >> 1) & 31. */
+inline BlockAddr
+llcConflictBlock(std::uint32_t i, std::uint32_t set = 0,
+                 std::uint32_t bank = 0)
+{
+    return bank + 2ull * (set + 32ull * (i + 1));
+}
+
+} // namespace zerodev::testutil
+
+#endif // ZERODEV_TESTS_TEST_UTIL_HH
