@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_repl_disabled.dir/ablation_repl_disabled.cc.o"
+  "CMakeFiles/ablation_repl_disabled.dir/ablation_repl_disabled.cc.o.d"
+  "ablation_repl_disabled"
+  "ablation_repl_disabled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_repl_disabled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

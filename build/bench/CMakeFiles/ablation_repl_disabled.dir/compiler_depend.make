@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_repl_disabled.
+# This may be replaced when dependencies are built.

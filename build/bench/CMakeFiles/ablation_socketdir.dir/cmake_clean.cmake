@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_socketdir.dir/ablation_socketdir.cc.o"
+  "CMakeFiles/ablation_socketdir.dir/ablation_socketdir.cc.o.d"
+  "ablation_socketdir"
+  "ablation_socketdir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_socketdir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

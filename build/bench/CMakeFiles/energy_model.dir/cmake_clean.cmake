@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_model.dir/energy_model.cc.o"
+  "CMakeFiles/energy_model.dir/energy_model.cc.o.d"
+  "energy_model"
+  "energy_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

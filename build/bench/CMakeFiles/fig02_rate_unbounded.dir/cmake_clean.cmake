@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_rate_unbounded.dir/fig02_rate_unbounded.cc.o"
+  "CMakeFiles/fig02_rate_unbounded.dir/fig02_rate_unbounded.cc.o.d"
+  "fig02_rate_unbounded"
+  "fig02_rate_unbounded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_rate_unbounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_mt_unbounded.dir/fig03_mt_unbounded.cc.o"
+  "CMakeFiles/fig03_mt_unbounded.dir/fig03_mt_unbounded.cc.o.d"
+  "fig03_mt_unbounded"
+  "fig03_mt_unbounded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_mt_unbounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

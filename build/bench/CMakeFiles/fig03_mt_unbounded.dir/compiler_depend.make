@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_mt_unbounded.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_occupancy.dir/fig05_occupancy.cc.o"
+  "CMakeFiles/fig05_occupancy.dir/fig05_occupancy.cc.o.d"
+  "fig05_occupancy"
+  "fig05_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_llc_ways.dir/fig06_llc_ways.cc.o"
+  "CMakeFiles/fig06_llc_ways.dir/fig06_llc_ways.cc.o.d"
+  "fig06_llc_ways"
+  "fig06_llc_ways.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_llc_ways.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_policy.dir/fig17_policy.cc.o"
+  "CMakeFiles/fig17_policy.dir/fig17_policy.cc.o.d"
+  "fig17_policy"
+  "fig17_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

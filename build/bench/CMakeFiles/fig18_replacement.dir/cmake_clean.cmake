@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_replacement.dir/fig18_replacement.cc.o"
+  "CMakeFiles/fig18_replacement.dir/fig18_replacement.cc.o.d"
+  "fig18_replacement"
+  "fig18_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

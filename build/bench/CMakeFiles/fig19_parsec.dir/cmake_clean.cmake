@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_parsec.dir/fig19_parsec.cc.o"
+  "CMakeFiles/fig19_parsec.dir/fig19_parsec.cc.o.d"
+  "fig19_parsec"
+  "fig19_parsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_parsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_mt_suites.dir/fig20_mt_suites.cc.o"
+  "CMakeFiles/fig20_mt_suites.dir/fig20_mt_suites.cc.o.d"
+  "fig20_mt_suites"
+  "fig20_mt_suites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_mt_suites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

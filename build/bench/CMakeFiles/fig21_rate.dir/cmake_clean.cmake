@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_rate.dir/fig21_rate.cc.o"
+  "CMakeFiles/fig21_rate.dir/fig21_rate.cc.o.d"
+  "fig21_rate"
+  "fig21_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_llc_capacity.dir/fig22_llc_capacity.cc.o"
+  "CMakeFiles/fig22_llc_capacity.dir/fig22_llc_capacity.cc.o.d"
+  "fig22_llc_capacity"
+  "fig22_llc_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_llc_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig22_llc_capacity.
+# This may be replaced when dependencies are built.

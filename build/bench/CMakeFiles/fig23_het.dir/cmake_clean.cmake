@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_het.dir/fig23_het.cc.o"
+  "CMakeFiles/fig23_het.dir/fig23_het.cc.o.d"
+  "fig23_het"
+  "fig23_het.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_het.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

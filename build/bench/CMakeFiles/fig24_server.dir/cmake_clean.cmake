@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_server.dir/fig24_server.cc.o"
+  "CMakeFiles/fig24_server.dir/fig24_server.cc.o.d"
+  "fig24_server"
+  "fig24_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig25_epd_incl.dir/fig25_epd_incl.cc.o"
+  "CMakeFiles/fig25_epd_incl.dir/fig25_epd_incl.cc.o.d"
+  "fig25_epd_incl"
+  "fig25_epd_incl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_epd_incl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

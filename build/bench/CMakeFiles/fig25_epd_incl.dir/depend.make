@@ -1,0 +1,2 @@
+# Empty dependencies file for fig25_epd_incl.
+# This may be replaced when dependencies are built.

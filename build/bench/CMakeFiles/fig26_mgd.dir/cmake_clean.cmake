@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig26_mgd.dir/fig26_mgd.cc.o"
+  "CMakeFiles/fig26_mgd.dir/fig26_mgd.cc.o.d"
+  "fig26_mgd"
+  "fig26_mgd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig26_mgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

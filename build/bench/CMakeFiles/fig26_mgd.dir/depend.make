@@ -1,0 +1,2 @@
+# Empty dependencies file for fig26_mgd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig27_secdir.dir/fig27_secdir.cc.o"
+  "CMakeFiles/fig27_secdir.dir/fig27_secdir.cc.o.d"
+  "fig27_secdir"
+  "fig27_secdir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig27_secdir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig27_secdir.
+# This may be replaced when dependencies are built.

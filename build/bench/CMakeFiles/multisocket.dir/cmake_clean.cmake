@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multisocket.dir/multisocket.cc.o"
+  "CMakeFiles/multisocket.dir/multisocket.cc.o.d"
+  "multisocket"
+  "multisocket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multisocket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directory_sidechannel.dir/directory_sidechannel.cpp.o"
+  "CMakeFiles/directory_sidechannel.dir/directory_sidechannel.cpp.o.d"
+  "directory_sidechannel"
+  "directory_sidechannel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directory_sidechannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for directory_sidechannel.
+# This may be replaced when dependencies are built.

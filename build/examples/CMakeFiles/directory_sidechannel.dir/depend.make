@@ -1,0 +1,2 @@
+# Empty dependencies file for directory_sidechannel.
+# This may be replaced when dependencies are built.

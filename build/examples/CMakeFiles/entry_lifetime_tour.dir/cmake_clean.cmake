@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entry_lifetime_tour.dir/entry_lifetime_tour.cpp.o"
+  "CMakeFiles/entry_lifetime_tour.dir/entry_lifetime_tour.cpp.o.d"
+  "entry_lifetime_tour"
+  "entry_lifetime_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entry_lifetime_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache_array.cc" "src/CMakeFiles/zerodev.dir/cache/cache_array.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/cache/cache_array.cc.o.d"
+  "/root/repo/src/cache/replacement.cc" "src/CMakeFiles/zerodev.dir/cache/replacement.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/cache/replacement.cc.o.d"
+  "/root/repo/src/coherence/llc_bank.cc" "src/CMakeFiles/zerodev.dir/coherence/llc_bank.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/coherence/llc_bank.cc.o.d"
+  "/root/repo/src/coherence/private_cache.cc" "src/CMakeFiles/zerodev.dir/coherence/private_cache.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/coherence/private_cache.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/zerodev.dir/common/config.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/common/config.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/zerodev.dir/common/log.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/zerodev.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/cmp_access.cc" "src/CMakeFiles/zerodev.dir/core/cmp_access.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/core/cmp_access.cc.o.d"
+  "/root/repo/src/core/cmp_evict.cc" "src/CMakeFiles/zerodev.dir/core/cmp_evict.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/core/cmp_evict.cc.o.d"
+  "/root/repo/src/core/cmp_system.cc" "src/CMakeFiles/zerodev.dir/core/cmp_system.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/core/cmp_system.cc.o.d"
+  "/root/repo/src/core/energy_model.cc" "src/CMakeFiles/zerodev.dir/core/energy_model.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/core/energy_model.cc.o.d"
+  "/root/repo/src/core/invariants.cc" "src/CMakeFiles/zerodev.dir/core/invariants.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/core/invariants.cc.o.d"
+  "/root/repo/src/core/multi_socket.cc" "src/CMakeFiles/zerodev.dir/core/multi_socket.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/core/multi_socket.cc.o.d"
+  "/root/repo/src/core/socket_dir.cc" "src/CMakeFiles/zerodev.dir/core/socket_dir.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/core/socket_dir.cc.o.d"
+  "/root/repo/src/core/zerodev_policies.cc" "src/CMakeFiles/zerodev.dir/core/zerodev_policies.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/core/zerodev_policies.cc.o.d"
+  "/root/repo/src/directory/dir_formats.cc" "src/CMakeFiles/zerodev.dir/directory/dir_formats.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/directory/dir_formats.cc.o.d"
+  "/root/repo/src/directory/dir_org.cc" "src/CMakeFiles/zerodev.dir/directory/dir_org.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/directory/dir_org.cc.o.d"
+  "/root/repo/src/directory/mgd.cc" "src/CMakeFiles/zerodev.dir/directory/mgd.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/directory/mgd.cc.o.d"
+  "/root/repo/src/directory/secdir.cc" "src/CMakeFiles/zerodev.dir/directory/secdir.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/directory/secdir.cc.o.d"
+  "/root/repo/src/directory/sharer_formats.cc" "src/CMakeFiles/zerodev.dir/directory/sharer_formats.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/directory/sharer_formats.cc.o.d"
+  "/root/repo/src/directory/sparse_directory.cc" "src/CMakeFiles/zerodev.dir/directory/sparse_directory.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/directory/sparse_directory.cc.o.d"
+  "/root/repo/src/interconnect/mesh.cc" "src/CMakeFiles/zerodev.dir/interconnect/mesh.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/interconnect/mesh.cc.o.d"
+  "/root/repo/src/interconnect/message.cc" "src/CMakeFiles/zerodev.dir/interconnect/message.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/interconnect/message.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/zerodev.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/memory_store.cc" "src/CMakeFiles/zerodev.dir/mem/memory_store.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/mem/memory_store.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/zerodev.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/CMakeFiles/zerodev.dir/sim/runner.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/sim/runner.cc.o.d"
+  "/root/repo/src/workload/access_pattern.cc" "src/CMakeFiles/zerodev.dir/workload/access_pattern.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/workload/access_pattern.cc.o.d"
+  "/root/repo/src/workload/app_profiles.cc" "src/CMakeFiles/zerodev.dir/workload/app_profiles.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/workload/app_profiles.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/zerodev.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/workload/trace.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/zerodev.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/zerodev.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

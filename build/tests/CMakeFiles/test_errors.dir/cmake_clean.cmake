@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_errors.dir/test_errors.cc.o"
+  "CMakeFiles/test_errors.dir/test_errors.cc.o.d"
+  "test_errors"
+  "test_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_latency.dir/test_latency.cc.o"
+  "CMakeFiles/test_latency.dir/test_latency.cc.o.d"
+  "test_latency"
+  "test_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

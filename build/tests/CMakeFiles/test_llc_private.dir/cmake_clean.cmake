@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_llc_private.dir/test_llc_private.cc.o"
+  "CMakeFiles/test_llc_private.dir/test_llc_private.cc.o.d"
+  "test_llc_private"
+  "test_llc_private.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_llc_private.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

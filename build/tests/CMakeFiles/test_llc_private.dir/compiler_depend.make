@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_llc_private.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_llc_private.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multisocket.dir/test_multisocket.cc.o"
+  "CMakeFiles/test_multisocket.dir/test_multisocket.cc.o.d"
+  "test_multisocket"
+  "test_multisocket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multisocket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_baseline.dir/test_protocol_baseline.cc.o"
+  "CMakeFiles/test_protocol_baseline.dir/test_protocol_baseline.cc.o.d"
+  "test_protocol_baseline"
+  "test_protocol_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

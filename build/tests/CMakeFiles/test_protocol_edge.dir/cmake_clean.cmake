@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_edge.dir/test_protocol_edge.cc.o"
+  "CMakeFiles/test_protocol_edge.dir/test_protocol_edge.cc.o.d"
+  "test_protocol_edge"
+  "test_protocol_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_zerodev.dir/test_protocol_zerodev.cc.o"
+  "CMakeFiles/test_protocol_zerodev.dir/test_protocol_zerodev.cc.o.d"
+  "test_protocol_zerodev"
+  "test_protocol_zerodev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_zerodev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regions.dir/test_regions.cc.o"
+  "CMakeFiles/test_regions.dir/test_regions.cc.o.d"
+  "test_regions"
+  "test_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reporting.dir/test_reporting.cc.o"
+  "CMakeFiles/test_reporting.dir/test_reporting.cc.o.d"
+  "test_reporting"
+  "test_reporting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reporting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

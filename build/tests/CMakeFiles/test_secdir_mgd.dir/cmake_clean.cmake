@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_secdir_mgd.dir/test_secdir_mgd.cc.o"
+  "CMakeFiles/test_secdir_mgd.dir/test_secdir_mgd.cc.o.d"
+  "test_secdir_mgd"
+  "test_secdir_mgd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_secdir_mgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sharer_formats.dir/test_sharer_formats.cc.o"
+  "CMakeFiles/test_sharer_formats.dir/test_sharer_formats.cc.o.d"
+  "test_sharer_formats"
+  "test_sharer_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sharer_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_socket_dir.dir/test_socket_dir.cc.o"
+  "CMakeFiles/test_socket_dir.dir/test_socket_dir.cc.o.d"
+  "test_socket_dir"
+  "test_socket_dir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_socket_dir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
