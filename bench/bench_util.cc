@@ -4,6 +4,8 @@
 #include <cstdlib>
 
 #include "core/cmp_system.hh"
+#include "obs/json.hh"
+#include "obs/report.hh"
 
 namespace zerodev::bench
 {
@@ -19,6 +21,55 @@ envOverride(const char *name, std::uint64_t dflt)
         return dflt;
     const unsigned long long parsed = std::strtoull(v, nullptr, 10);
     return parsed == 0 ? dflt : parsed;
+}
+
+/** Figure slug recorded by banner(), used to name the report file. */
+std::string &
+figureSlug()
+{
+    static std::string slug = "bench";
+    return slug;
+}
+
+/** Run reports accumulated by runWorkload(), flushed at process exit. */
+std::vector<std::string> &
+pendingReports()
+{
+    static std::vector<std::string> reports;
+    return reports;
+}
+
+void
+flushBenchReports()
+{
+    const char *dir = std::getenv("ZERODEV_REPORT_DIR");
+    if (!dir || !*dir || pendingReports().empty())
+        return;
+    std::string doc = "{\"schema\":\"zerodev-bench-report-v1\",";
+    doc += "\"figure\":\"" + obs::jsonEscape(figureSlug()) + "\",";
+    doc += "\"runs\":[";
+    bool first = true;
+    for (const std::string &r : pendingReports()) {
+        if (!first)
+            doc += ",";
+        first = false;
+        doc += r;
+    }
+    doc += "]}\n";
+    obs::writeTextFile(std::string(dir) + "/BENCH_" + figureSlug() +
+                           ".json",
+                       doc);
+}
+
+void
+recordRunReport(const SystemConfig &cfg, const RunResult &res)
+{
+    const char *dir = std::getenv("ZERODEV_REPORT_DIR");
+    if (!dir || !*dir)
+        return;
+    if (pendingReports().empty())
+        std::atexit(flushBenchReports);
+    pendingReports().push_back(obs::runReportJson(cfg, res));
 }
 
 } // namespace
@@ -42,7 +93,9 @@ runWorkload(const SystemConfig &cfg, const Workload &w,
     CmpSystem sys(cfg);
     RunConfig rc;
     rc.accessesPerCore = accesses;
-    return run(sys, w, rc);
+    RunResult res = run(sys, w, rc);
+    recordRunReport(cfg, res);
+    return res;
 }
 
 Workload
@@ -138,6 +191,18 @@ banner(const std::string &figure, const std::string &what)
     std::printf("==============================================================\n");
     std::printf("%s — %s\n", figure.c_str(), what.c_str());
     std::printf("==============================================================\n");
+
+    // Remember a filesystem-safe slug of the figure name so run reports
+    // accumulated by runWorkload() land in a per-figure file.
+    std::string slug;
+    for (char c : figure) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                        c == '-';
+        slug += ok ? c : '_';
+    }
+    if (!slug.empty())
+        figureSlug() = slug;
 }
 
 } // namespace zerodev::bench

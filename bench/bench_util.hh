@@ -28,7 +28,14 @@ std::uint64_t accessesPerCore(std::uint64_t dflt = 60000);
 /** Accesses per core for 128-core server runs. */
 std::uint64_t serverAccessesPerCore(std::uint64_t dflt = 8000);
 
-/** Run @p w on a fresh system configured by @p cfg. */
+/**
+ * Run @p w on a fresh system configured by @p cfg.
+ *
+ * When the ZERODEV_REPORT_DIR environment variable is set, every run's
+ * JSON report (see obs/report.hh) is accumulated and written at process
+ * exit to "<dir>/BENCH_<figure>.json", where <figure> is the slug of the
+ * last banner() call.
+ */
 RunResult runWorkload(const SystemConfig &cfg, const Workload &w,
                       std::uint64_t accesses);
 

@@ -24,6 +24,7 @@
 #include "common/log.hh"
 #include "core/cmp_system.hh"
 #include "core/invariants.hh"
+#include "obs/report.hh"
 #include "sim/experiment.hh"
 #include "sim/runner.hh"
 #include "workload/workload.hh"
@@ -139,5 +140,6 @@ main(int argc, char **argv)
             std::printf("VIOLATION %s: %s\n", v.rule.c_str(),
                         v.detail.c_str());
     }
+    obs::maybeWriteRunReport("policy_explorer_" + app, cfg, r);
     return violations.empty() ? 0 : 1;
 }

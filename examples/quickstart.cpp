@@ -17,6 +17,7 @@
 #include "common/config.hh"
 #include "core/cmp_system.hh"
 #include "core/invariants.hh"
+#include "obs/report.hh"
 #include "sim/experiment.hh"
 #include "sim/runner.hh"
 #include "workload/workload.hh"
@@ -75,5 +76,9 @@ main(int argc, char **argv)
     std::printf("ZeroDEV delivered %llu DEVs (the design guarantee is "
                 "zero).\n",
                 static_cast<unsigned long long>(zdev.devInvalidations));
+
+    // With ZERODEV_REPORT_DIR set, leave machine-readable reports too.
+    obs::maybeWriteRunReport("quickstart_baseline", base_cfg, base);
+    obs::maybeWriteRunReport("quickstart_zerodev", zdev_cfg, zdev);
     return 0;
 }

@@ -5,20 +5,36 @@
  * configuration — the workflow for bit-identical experiment repeats or
  * for feeding external traces to the simulator.
  *
+ * The `sim` and `inspect` subcommands drive the observability layer:
+ * `sim` runs a workload with the coherence tracer and interval sampler
+ * attached and writes the full artefact set (Chrome trace, JSONL trace,
+ * interval CSV/JSON, run report); `inspect` summarises a JSONL trace.
+ *
  * Usage:
  *   trace_tool gen <app> <cores> <accesses-per-core> <file>
  *   trace_tool info <file>
  *   trace_tool replay <file> [baseline|unbounded|zerodev]
+ *   trace_tool sim <app> <cores> <accesses-per-core> <outdir>
+ *                  [baseline|unbounded|zerodev]
+ *   trace_tool inspect <trace.jsonl>
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <set>
+#include <string>
+#include <string_view>
 
 #include "common/config.hh"
 #include "core/cmp_system.hh"
+#include "obs/json.hh"
+#include "obs/probes.hh"
+#include "obs/report.hh"
+#include "obs/sampler.hh"
+#include "obs/trace.hh"
 #include "sim/runner.hh"
 #include "workload/trace.hh"
 #include "workload/workload.hh"
@@ -93,6 +109,18 @@ cmdInfo(int argc, char **argv)
     return 0;
 }
 
+SystemConfig
+configFor(const char *org)
+{
+    SystemConfig cfg = makeEightCoreConfig();
+    if (!std::strcmp(org, "unbounded")) {
+        cfg.dirOrg = DirOrg::Unbounded;
+    } else if (!std::strcmp(org, "zerodev")) {
+        applyZeroDev(cfg, 0.0);
+    }
+    return cfg;
+}
+
 int
 cmdReplay(int argc, char **argv)
 {
@@ -102,13 +130,8 @@ cmdReplay(int argc, char **argv)
         return 2;
     }
     const TraceReader trace(argv[2]);
-    SystemConfig cfg = makeEightCoreConfig();
     const char *org = argc > 3 ? argv[3] : "baseline";
-    if (!std::strcmp(org, "unbounded")) {
-        cfg.dirOrg = DirOrg::Unbounded;
-    } else if (!std::strcmp(org, "zerodev")) {
-        applyZeroDev(cfg, 0.0);
-    }
+    const SystemConfig cfg = configFor(org);
     CmpSystem sys(cfg);
     const RunResult r = replay(sys, trace, RunConfig{});
     std::printf("org: %s\ncycles: %llu\ncore cache misses: %llu\n"
@@ -118,6 +141,126 @@ cmdReplay(int argc, char **argv)
                 static_cast<unsigned long long>(r.coreCacheMisses),
                 static_cast<unsigned long long>(r.trafficBytes),
                 static_cast<unsigned long long>(r.devInvalidations));
+    obs::maybeWriteRunReport(std::string("trace_replay_") + org, cfg, r);
+    return 0;
+}
+
+int
+cmdSim(int argc, char **argv)
+{
+    if (argc < 6) {
+        std::fprintf(stderr,
+                     "usage: trace_tool sim <app> <cores> <acc> <outdir> "
+                     "[baseline|unbounded|zerodev]\n");
+        return 2;
+    }
+    const AppProfile p = profileByName(argv[2]);
+    const auto cores = static_cast<std::uint32_t>(std::atoi(argv[3]));
+    const std::uint64_t acc = std::strtoull(argv[4], nullptr, 10);
+    const std::string outdir = argv[5];
+    const char *org = argc > 6 ? argv[6] : "zerodev";
+
+    const SystemConfig cfg = configFor(org);
+    const Workload w = p.suite == "cpu2017"
+                           ? Workload::rate(p, cores)
+                           : Workload::multiThreaded(p, cores);
+
+    CmpSystem sys(cfg);
+    obs::Tracer tracer;
+    tracer.setEnabled(true);
+    obs::IntervalSampler sampler(10000);
+    obs::registerSystemProbes(sampler, sys);
+
+    RunConfig rc;
+    rc.accessesPerCore = acc;
+    rc.tracer = &tracer;
+    rc.sampler = &sampler;
+    const RunResult r = run(sys, w, rc);
+
+    const bool ok = tracer.writeChromeJson(outdir + "/trace.json") &&
+                    tracer.writeJsonl(outdir + "/trace.jsonl") &&
+                    sampler.writeCsv(outdir + "/intervals.csv") &&
+                    sampler.writeJson(outdir + "/intervals.json") &&
+                    obs::writeRunReport(outdir + "/report.json", cfg, r);
+
+    std::printf("org: %s  cycles: %llu  DEVs: %llu\n", toString(cfg.dirOrg),
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.devInvalidations));
+    std::printf("trace: %llu events recorded, %llu dropped (ring %zu)\n",
+                static_cast<unsigned long long>(tracer.recorded()),
+                static_cast<unsigned long long>(tracer.dropped()),
+                tracer.capacity());
+    std::printf("intervals: %zu samples every %llu cycles\n",
+                sampler.samples().size(),
+                static_cast<unsigned long long>(sampler.interval()));
+    std::printf("%s trace.json trace.jsonl intervals.csv intervals.json "
+                "report.json in %s\n",
+                ok ? "wrote" : "FAILED writing", outdir.c_str());
+    return ok ? 0 : 1;
+}
+
+int
+cmdInspect(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr, "usage: trace_tool inspect <trace.jsonl>\n");
+        return 2;
+    }
+    const auto text = obs::readTextFile(argv[2]);
+    if (!text) {
+        std::fprintf(stderr, "cannot read %s\n", argv[2]);
+        return 1;
+    }
+
+    std::map<std::string, std::uint64_t> by_kind, by_comp;
+    std::set<std::uint64_t> txns;
+    std::uint64_t events = 0, bad = 0;
+    std::uint64_t min_cycle = ~0ull, max_cycle = 0;
+    std::size_t pos = 0;
+    while (pos < text->size()) {
+        std::size_t eol = text->find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text->size();
+        const std::string_view line(text->data() + pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty())
+            continue;
+        std::string err;
+        const auto v = obs::parseJson(line, &err);
+        if (!v || !v->isObject()) {
+            ++bad;
+            continue;
+        }
+        ++events;
+        ++by_kind[v->str("kind", "?")];
+        ++by_comp[v->str("comp", "?")];
+        const auto cycle = static_cast<std::uint64_t>(v->num("cycle"));
+        min_cycle = std::min(min_cycle, cycle);
+        max_cycle = std::max(max_cycle, cycle);
+        const auto txn = static_cast<std::uint64_t>(v->num("txn"));
+        if (txn)
+            txns.insert(txn);
+    }
+
+    std::printf("events: %llu", static_cast<unsigned long long>(events));
+    if (bad)
+        std::printf("  (unparseable lines: %llu)",
+                    static_cast<unsigned long long>(bad));
+    std::printf("\n");
+    if (events) {
+        std::printf("cycles: %llu .. %llu\n",
+                    static_cast<unsigned long long>(min_cycle),
+                    static_cast<unsigned long long>(max_cycle));
+        std::printf("transactions: %zu\n", txns.size());
+        std::printf("by kind:\n");
+        for (const auto &[k, n] : by_kind)
+            std::printf("  %-12s %llu\n", k.c_str(),
+                        static_cast<unsigned long long>(n));
+        std::printf("by component:\n");
+        for (const auto &[c, n] : by_comp)
+            std::printf("  %-12s %llu\n", c.c_str(),
+                        static_cast<unsigned long long>(n));
+    }
     return 0;
 }
 
@@ -128,7 +271,7 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: trace_tool gen|info|replay ...\n");
+                     "usage: trace_tool gen|info|replay|sim|inspect ...\n");
         return 2;
     }
     if (!std::strcmp(argv[1], "gen"))
@@ -137,6 +280,10 @@ main(int argc, char **argv)
         return cmdInfo(argc, argv);
     if (!std::strcmp(argv[1], "replay"))
         return cmdReplay(argc, argv);
+    if (!std::strcmp(argv[1], "sim"))
+        return cmdSim(argc, argv);
+    if (!std::strcmp(argv[1], "inspect"))
+        return cmdInspect(argc, argv);
     std::fprintf(stderr, "unknown subcommand '%s'\n", argv[1]);
     return 2;
 }

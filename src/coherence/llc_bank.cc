@@ -130,7 +130,7 @@ Llc::allocate(BlockAddr block, LlcLineKind kind, bool dirty,
         victim.de = line.de;
         if (line.holdsDe()) {
             ++stats_.deEvictions;
-            bumpDeLines(-1);
+            bumpDeLines(line.kind, -1);
         } else {
             ++stats_.dataEvictions;
             if (line.dirty)
@@ -146,7 +146,7 @@ Llc::allocate(BlockAddr block, LlcLineKind kind, bool dirty,
     line.de = de;
     bank.touch(set, way);
     if (holdsDirEntry(kind)) {
-        bumpDeLines(+1);
+        bumpDeLines(kind, +1);
         if (kind == LlcLineKind::SpilledDe)
             ++stats_.spillAllocs;
     }
@@ -161,7 +161,7 @@ Llc::fuse(LlcLine &line, const DirEntry &de)
     line.kind = LlcLineKind::FusedDe;
     line.de = de;
     ++stats_.fuseOps;
-    bumpDeLines(+1);
+    bumpDeLines(LlcLineKind::FusedDe, +1);
 }
 
 void
@@ -172,7 +172,7 @@ Llc::unfuse(LlcLine &line)
     line.kind = LlcLineKind::Data;
     line.de.clear();
     ++stats_.unfuseOps;
-    bumpDeLines(-1);
+    bumpDeLines(LlcLineKind::FusedDe, -1);
 }
 
 void
@@ -181,15 +181,19 @@ Llc::invalidateLine(LlcLine &line)
     if (!line.occupied())
         return;
     if (line.holdsDe())
-        bumpDeLines(-1);
+        bumpDeLines(line.kind, -1);
     line.reset();
 }
 
 void
-Llc::bumpDeLines(std::int64_t delta)
+Llc::bumpDeLines(LlcLineKind kind, std::int64_t delta)
 {
     deLines_ = static_cast<std::uint64_t>(
         static_cast<std::int64_t>(deLines_) + delta);
+    auto &split =
+        kind == LlcLineKind::SpilledDe ? spilledLines_ : fusedLines_;
+    split = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(split) + delta);
     stats_.peakDeLines = std::max(stats_.peakDeLines, deLines_);
 }
 

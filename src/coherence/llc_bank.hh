@@ -139,6 +139,12 @@ class Llc
     /** Count of lines holding directory entries right now. */
     std::uint64_t deLines() const { return deLines_; }
 
+    /** Of which: whole lines holding a spilled entry. */
+    std::uint64_t spilledLines() const { return spilledLines_; }
+
+    /** Of which: data lines with a fused entry. */
+    std::uint64_t fusedLines() const { return fusedLines_; }
+
     /** Count of valid data-bearing lines (Data + FusedDe). */
     std::uint64_t dataLines() const;
 
@@ -166,7 +172,7 @@ class Llc
     /** Replacement class of a line under the configured policy. */
     int replClass(const LlcLine &l) const;
 
-    void bumpDeLines(std::int64_t delta);
+    void bumpDeLines(LlcLineKind kind, std::int64_t delta);
 
     std::uint32_t numBanks_;
     std::uint64_t setsPerBank_;
@@ -177,6 +183,8 @@ class Llc
     LlcReplPolicy policy_;
     std::vector<CacheArray<LlcLine>> banks_;
     std::uint64_t deLines_ = 0;
+    std::uint64_t spilledLines_ = 0;
+    std::uint64_t fusedLines_ = 0;
     LlcStats stats_;
 };
 

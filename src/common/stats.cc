@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "common/log.hh"
@@ -48,6 +49,74 @@ StatDump::toString() const
     for (const auto &[name, value] : entries_)
         os << name << " = " << value << "\n";
     return os.str();
+}
+
+namespace
+{
+
+/** Minimal JSON string escaping (names here are plain identifiers, but
+ *  stay correct for anything). */
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+/** Format a double as JSON: integral values print without a fraction,
+ *  non-finite values become null (JSON has no NaN/Inf). */
+void
+appendJsonNumber(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
+    char buf[40];
+    if (v == std::floor(v) && std::abs(v) < 9e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.12g", v);
+    }
+    out += buf;
+}
+
+} // namespace
+
+std::string
+StatDump::toJson() const
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[name, value] : entries_) {
+        if (!first)
+            out += ",";
+        first = false;
+        appendJsonString(out, name);
+        out += ":";
+        appendJsonNumber(out, value);
+    }
+    out += "}";
+    return out;
 }
 
 Histogram::Histogram(std::size_t buckets) : counts_(buckets + 1, 0)
@@ -112,6 +181,33 @@ Histogram::addTo(StatDump &dump, const std::string &prefix) const
                      static_cast<double>(counts_[v]));
         }
     }
+}
+
+std::string
+Histogram::toJson() const
+{
+    std::string out = "{\"samples\":";
+    appendJsonNumber(out, static_cast<double>(samples_));
+    out += ",\"mean\":";
+    appendJsonNumber(out, meanValue());
+    out += ",\"p50\":";
+    appendJsonNumber(out, static_cast<double>(percentile(0.50)));
+    out += ",\"p99\":";
+    appendJsonNumber(out, static_cast<double>(percentile(0.99)));
+    out += ",\"counts\":{";
+    bool first = true;
+    for (std::size_t v = 0; v < counts_.size(); ++v) {
+        if (counts_[v] == 0)
+            continue;
+        if (!first)
+            out += ",";
+        first = false;
+        appendJsonString(out, std::to_string(v));
+        out += ":";
+        appendJsonNumber(out, static_cast<double>(counts_[v]));
+    }
+    out += "}}";
+    return out;
 }
 
 void

@@ -44,6 +44,10 @@ class StatDump
     /** Render as "name = value" lines. */
     std::string toString() const;
 
+    /** Render as a flat JSON object ({"name": value, ...}) preserving
+     *  insertion order. */
+    std::string toJson() const;
+
   private:
     std::vector<std::pair<std::string, double>> entries_;
     std::map<std::string, std::size_t> index_;
@@ -79,6 +83,10 @@ class Histogram
 
     /** Render into a dump under names "<prefix>.pN" / buckets. */
     void addTo(StatDump &dump, const std::string &prefix) const;
+
+    /** Render as a JSON object: samples, mean, p50/p99, and the sparse
+     *  non-zero buckets ("counts": {"<value>": n, ...}). */
+    std::string toJson() const;
 
     void clear();
 

@@ -11,6 +11,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/trace.hh"
 
 namespace zerodev
 {
@@ -31,6 +32,9 @@ CmpSystem::handleMiss(Socket &s, CoreId c, AccessType type,
 
     Tracking trk = findTracking(s, block);
     LlcProbe probe = s.llc.probe(block);
+    ZDEV_TRACE(trc_, obs::TraceEventKind::DirLookup,
+               obs::TraceComp::Directory, s.id, c, block, base, 0,
+               static_cast<std::uint32_t>(trk.where), txn_);
 
     if (trk.found())
         return serveTracked(s, c, type, block, now, trk, probe, base);
@@ -173,6 +177,9 @@ CmpSystem::serveTracked(Socket &s, CoreId c, AccessType type,
         // the requester directly and sends busy-clear to the home.
         Cycle lat = base + meshBankToCore(s, block, o) +
                     s.cores[o].l2Cycles() + meshCoreToCore(s, o, c);
+        ZDEV_TRACE(trc_, obs::TraceEventKind::Forward,
+                   obs::TraceComp::Mesh, s.id, c, block, base, lat - base,
+                   o, txn_);
 
         if (type == AccessType::Store) {
             s.traffic.record(MsgType::FwdGetX);
@@ -311,6 +318,9 @@ CmpSystem::serveSocketMiss(Socket &s, CoreId c, AccessType type,
                            BlockAddr block, Cycle now, Cycle base)
 {
     ++proto_.socketMisses;
+    ZDEV_TRACE(trc_, obs::TraceEventKind::SocketMiss,
+               obs::TraceComp::Protocol, s.id, c, block, base, 0, 0,
+               txn_);
     if (cfg_.sockets > 1)
         return serveSocketMissMulti(s, c, type, block, now, base);
 
@@ -342,6 +352,8 @@ CmpSystem::serveSocketMiss(Socket &s, CoreId c, AccessType type,
     s.traffic.record(MsgType::MemRead);
     s.traffic.record(MsgType::MemReadResp);
     const Cycle mem_done = h.dram.read(block, base, false);
+    ZDEV_TRACE(trc_, obs::TraceEventKind::MemRead, obs::TraceComp::Memory,
+               h.id, c, block, base, mem_done - base, 0, txn_);
     const Cycle lat = mem_done + meshBankToCore(s, block, c);
 
     MesiState fill;
@@ -427,6 +439,9 @@ void
 CmpSystem::applyInvalidation(Socket &s, const Invalidation &inv, Cycle now)
 {
     devSize_.record(inv.cores.count());
+    ZDEV_TRACE(trc_, obs::TraceEventKind::Dev, obs::TraceComp::Directory,
+               s.id, 0, inv.block, now, 0,
+               static_cast<std::uint32_t>(inv.cores.count()), txn_);
     bool dirty_retrieved = false;
     for (CoreId x = 0; x < cfg_.coresPerSocket; ++x) {
         if (!inv.cores.test(x))

@@ -11,6 +11,7 @@
 #include "core/cmp_system.hh"
 
 #include "common/log.hh"
+#include "obs/trace.hh"
 
 namespace zerodev
 {
@@ -102,6 +103,8 @@ CmpSystem::evictionWithoutEntry(Socket &s, CoreId c, BlockAddr block,
     // Figure 16, steps 3-6: fetch the directory entry from the home
     // memory block (GET_DE), update it, and send it back.
     ++proto_.getDeFlows;
+    ZDEV_TRACE(trc_, obs::TraceEventKind::GetDe, obs::TraceComp::Memory,
+               s.id, c, block, t, 0, 0, txn_);
     s.traffic.record(MsgType::GetDe);
     auto entry = extractEntryFromMemory(s, block, t);
     if (!entry) {
@@ -170,6 +173,9 @@ CmpSystem::handleLlcVictim(Socket &s, const LlcVictim &victim, Cycle now)
         return;
     const BlockAddr block = victim.block;
     Socket &h = home(block);
+    ZDEV_TRACE(trc_, obs::TraceEventKind::LlcVictim, obs::TraceComp::Llc,
+               s.id, 0, block, now, 0,
+               static_cast<std::uint32_t>(victim.kind), txn_);
 
     if (victim.kind == LlcLineKind::Data) {
         if (cfg_.llcFlavor == LlcFlavor::Inclusive)

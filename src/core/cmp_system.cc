@@ -6,6 +6,7 @@
 #include "common/log.hh"
 #include "directory/mgd.hh"
 #include "directory/secdir.hh"
+#include "obs/trace.hh"
 
 namespace zerodev
 {
@@ -132,6 +133,12 @@ CmpSystem::access(CoreId gcore, AccessType type, BlockAddr block,
     const CoreId c = localCore(gcore);
     PrivateCache &pc = s.cores[c];
     ++proto_.accesses;
+    txn_ = proto_.accesses;
+    txnCore_ = gcore;
+    txnBlock_ = block;
+    ZDEV_TRACE(trc_, obs::TraceEventKind::Request, obs::TraceComp::Core,
+               s.id, gcore, block, now, 0,
+               static_cast<std::uint32_t>(type), txn_);
 
     switch (pc.access(type, block)) {
       case CoreLookup::L1Hit:
@@ -235,6 +242,19 @@ CmpSystem::totalDramStats() const
         agg.deWrites += d.deWrites;
     }
     return agg;
+}
+
+Cycle
+CmpSystem::finishAccess(AccessClass cls, Cycle start, Cycle done)
+{
+    const auto i = static_cast<std::size_t>(cls);
+    ++proto_.classCount[i];
+    proto_.classCycles[i] += done - start;
+    ZDEV_TRACE(trc_, obs::TraceEventKind::Complete,
+               obs::TraceComp::Protocol, socketOfCore(txnCore_), txnCore_,
+               txnBlock_, start, done - start,
+               static_cast<std::uint32_t>(cls), txn_);
+    return done;
 }
 
 const char *

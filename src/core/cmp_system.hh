@@ -41,6 +41,11 @@
 namespace zerodev
 {
 
+namespace obs
+{
+class Tracer;
+} // namespace obs
+
 /** Where a block's in-socket directory entry currently lives. */
 enum class TrackWhere : std::uint8_t
 {
@@ -141,6 +146,7 @@ class CmpSystem
     }
 
     const Llc &llc(SocketId s) const { return sockets_[s]->llc; }
+    const Mesh &mesh(SocketId s) const { return sockets_[s]->mesh; }
     const Dram &dram(SocketId s) const { return sockets_[s]->dram; }
     const MemoryStore &memStore(SocketId s) const
     {
@@ -197,6 +203,11 @@ class CmpSystem
 
     /** Full statistics dump. */
     StatDump report() const;
+
+    /** Attach (or detach, with null) a coherence tracer. The tracer must
+     *  outlive the attachment; events flow only while it is enabled. */
+    void attachTracer(obs::Tracer *t) { trc_ = t; }
+    obs::Tracer *tracer() const { return trc_; }
 
   private:
     struct Socket
@@ -367,21 +378,19 @@ class CmpSystem
     Cycle supplyFromSocket(Socket &f, AccessType type, BlockAddr block,
                            Cycle now, bool invalidate_all);
 
-    /** Classify-and-account helper for the access paths. */
-    Cycle
-    finishAccess(AccessClass cls, Cycle start, Cycle done)
-    {
-        const auto i = static_cast<std::size_t>(cls);
-        ++proto_.classCount[i];
-        proto_.classCycles[i] += done - start;
-        return done;
-    }
+    /** Classify-and-account helper for the access paths; also emits the
+     *  transaction-completion trace event (cmp_system.cc). */
+    Cycle finishAccess(AccessClass cls, Cycle start, Cycle done);
 
     SystemConfig cfg_;
     std::vector<std::unique_ptr<Socket>> sockets_;
     ProtocolStats proto_;
     Histogram sharingDegree_{kMaxCores};
     Histogram devSize_{kMaxCores};
+    obs::Tracer *trc_ = nullptr;
+    std::uint64_t txn_ = 0;   //!< id of the in-flight transaction
+    CoreId txnCore_ = 0;      //!< global core that issued it
+    BlockAddr txnBlock_ = 0;  //!< block it targets
 };
 
 } // namespace zerodev

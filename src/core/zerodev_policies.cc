@@ -12,6 +12,7 @@
 #include "core/cmp_system.hh"
 
 #include "common/log.hh"
+#include "obs/trace.hh"
 
 namespace zerodev
 {
@@ -101,6 +102,9 @@ CmpSystem::writeTracking(Socket &s, BlockAddr block, TrackWhere where,
             // and fuse it into the block (FPSS invariant, Sec. III-C2).
             s.llc.invalidateLine(*p.spilled);
             s.llc.fuse(*p.data, entry);
+            ZDEV_TRACE(trc_, obs::TraceEventKind::Fuse,
+                       obs::TraceComp::Llc, s.id, 0, block, now, 0, 0,
+                       txn_);
             return;
         }
         p.spilled->de = entry;
@@ -122,6 +126,9 @@ CmpSystem::writeTracking(Socket &s, BlockAddr block, TrackWhere where,
             // the reconstruction bits, so the block returns to a plain
             // valid line with its preserved dirty state.
             s.llc.unfuse(*p.data);
+            ZDEV_TRACE(trc_, obs::TraceEventKind::Unfuse,
+                       obs::TraceComp::Llc, s.id, 0, block, now, 0, 0,
+                       txn_);
             return;
         }
         if (cfg_.dirCachePolicy == DirCachePolicy::Fpss &&
@@ -130,6 +137,9 @@ CmpSystem::writeTracking(Socket &s, BlockAddr block, TrackWhere where,
             // bits; reconstruct the block and spill the entry into the
             // same set (Section III-C2).
             s.llc.unfuse(*p.data);
+            ZDEV_TRACE(trc_, obs::TraceEventKind::Unfuse,
+                       obs::TraceComp::Llc, s.id, 0, block, now, 0, 0,
+                       txn_);
             const LlcVictim victim = s.llc.allocate(
                 block, LlcLineKind::SpilledDe, false, entry,
                 static_cast<std::int32_t>(p.dataWay));
@@ -185,6 +195,8 @@ CmpSystem::cacheEntryInLlc(Socket &s, BlockAddr block,
         const LlcVictim victim = s.llc.allocate(
             block, LlcLineKind::SpilledDe, false, entry,
             block_resident ? static_cast<std::int32_t>(p.dataWay) : -1);
+        ZDEV_TRACE(trc_, obs::TraceEventKind::Spill, obs::TraceComp::Llc,
+                   s.id, 0, block, now, 0, 0, txn_);
         handleLlcVictim(s, victim, now);
         return;
       }
@@ -192,6 +204,9 @@ CmpSystem::cacheEntryInLlc(Socket &s, BlockAddr block,
       case DirCachePolicy::Fpss:
         if (block_resident && entry.state == DirState::Owned) {
             s.llc.fuse(*p.data, entry);
+            ZDEV_TRACE(trc_, obs::TraceEventKind::Fuse,
+                       obs::TraceComp::Llc, s.id, 0, block, now, 0, 0,
+                       txn_);
             return;
         }
         break;
@@ -199,6 +214,9 @@ CmpSystem::cacheEntryInLlc(Socket &s, BlockAddr block,
       case DirCachePolicy::FuseAll:
         if (block_resident) {
             s.llc.fuse(*p.data, entry);
+            ZDEV_TRACE(trc_, obs::TraceEventKind::Fuse,
+                       obs::TraceComp::Llc, s.id, 0, block, now, 0, 0,
+                       txn_);
             return;
         }
         break;
@@ -208,6 +226,8 @@ CmpSystem::cacheEntryInLlc(Socket &s, BlockAddr block,
     // case; for FuseAll the block-absent case.
     const LlcVictim victim = s.llc.allocate(
         block, LlcLineKind::SpilledDe, false, entry, -1);
+    ZDEV_TRACE(trc_, obs::TraceEventKind::Spill, obs::TraceComp::Llc,
+               s.id, 0, block, now, 0, 0, txn_);
     handleLlcVictim(s, victim, now);
 }
 
@@ -216,6 +236,9 @@ CmpSystem::writebackEntryToMemory(Socket &s, BlockAddr block,
                                   const DirEntry &entry, Cycle now)
 {
     ++proto_.llcDeEvictWbs;
+    ZDEV_TRACE(trc_, obs::TraceEventKind::WbDe, obs::TraceComp::Memory,
+               s.id, 0, block, now, 0,
+               static_cast<std::uint32_t>(entry.count()), txn_);
     Socket &h = home(block);
     s.traffic.record(MsgType::WbDe);
     Cycle t = now;
@@ -257,6 +280,9 @@ CmpSystem::extractEntryFromMemory(Socket &s, BlockAddr block, Cycle now)
     if (!entry)
         return std::nullopt;
     h.memStore.clearSegment(block, s.id);
+    ZDEV_TRACE(trc_, obs::TraceEventKind::DeExtract,
+               obs::TraceComp::Memory, h.id, 0, block, now, 0,
+               static_cast<std::uint32_t>(entry->count()), txn_);
     (void)now;
     return entry;
 }

@@ -70,6 +70,10 @@ class DirOrgBase
     /** Number of live tracked blocks. */
     virtual std::uint64_t liveEntries() const = 0;
 
+    /** Total entry slots, 0 when unbounded or not meaningfully bounded
+     *  (occupancy probes report 0 occupancy then). */
+    virtual std::uint64_t capacityEntries() const { return 0; }
+
     const DirOrgStats &orgStats() const { return orgStats_; }
 
   protected:
@@ -89,6 +93,11 @@ class SparseOrg : public DirOrgBase
     std::uint64_t liveEntries() const override
     {
         return dir_.liveEntries();
+    }
+
+    std::uint64_t capacityEntries() const override
+    {
+        return dir_.capacityEntries();
     }
 
     SparseDirectory &dir() { return dir_; }

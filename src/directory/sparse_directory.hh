@@ -88,6 +88,15 @@ class SparseDirectory
     /** High-water mark of live entries (sizing studies, Figure 5). */
     std::uint64_t peakEntries() const { return peak_; }
 
+    /** Total entry capacity; 0 in unbounded mode (occupancy series). */
+    std::uint64_t
+    capacityEntries() const
+    {
+        return unbounded_ ? 0
+                          : static_cast<std::uint64_t>(numSlices_) *
+                                setsPerSlice_ * ways_;
+    }
+
     bool unbounded() const { return unbounded_; }
     bool replacementDisabled() const { return replacementDisabled_; }
 

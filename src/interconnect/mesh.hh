@@ -21,6 +21,13 @@
 namespace zerodev
 {
 
+/** Accumulated traversal counts of one mesh (observability series). */
+struct MeshStats
+{
+    std::uint64_t traversals = 0; //!< latency-costed tile-to-tile trips
+    std::uint64_t hops = 0;       //!< total hops those trips covered
+};
+
 /** Geometry and latency of one socket's on-die mesh. */
 class Mesh
 {
@@ -38,12 +45,19 @@ class Mesh
     /** Manhattan hop count between two tiles. */
     std::uint32_t hops(std::uint32_t from, std::uint32_t to) const;
 
-    /** One-way latency in cycles between two tiles. */
+    /** One-way latency in cycles between two tiles. Every call is one
+     *  costed traversal, so the stats count real protocol trips. */
     Cycle
     latency(std::uint32_t from, std::uint32_t to) const
     {
-        return static_cast<Cycle>(hops(from, to)) * hopCycles_;
+        const std::uint32_t h = hops(from, to);
+        ++stats_.traversals;
+        stats_.hops += h;
+        return static_cast<Cycle>(h) * hopCycles_;
     }
+
+    const MeshStats &stats() const { return stats_; }
+    void clearStats() { stats_ = MeshStats{}; }
 
     /** Tile of core @p c (one core per tile). */
     std::uint32_t tileOfCore(CoreId c) const { return c % tiles_; }
@@ -59,6 +73,7 @@ class Mesh
     std::uint32_t cols_;
     std::uint32_t rows_;
     std::uint32_t hopCycles_;
+    mutable MeshStats stats_;
 };
 
 } // namespace zerodev

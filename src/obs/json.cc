@@ -1,0 +1,497 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace zerodev::obs
+{
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    // Counters and cycle values are integral; render them without a
+    // fraction so the output diffs cleanly across runs.
+    if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+void
+JsonWriter::comma()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return; // the key already placed the separator
+    }
+    if (!first_.empty()) {
+        if (!first_.back())
+            out_ += ',';
+        first_.back() = false;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    comma();
+    out_ += '{';
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    out_ += '}';
+    first_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    comma();
+    out_ += '[';
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    out_ += ']';
+    first_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    comma();
+    out_ += '"';
+    out_ += jsonEscape(k);
+    out_ += "\":";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    comma();
+    out_ += jsonNumber(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    comma();
+    out_ += '"';
+    out_ += jsonEscape(v);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    comma();
+    out_ += "null";
+    return *this;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : object) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+double
+JsonValue::num(std::string_view key, double dflt) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isNumber() ? v->number : dflt;
+}
+
+std::string
+JsonValue::str(std::string_view key, const std::string &dflt) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isString() ? v->string : dflt;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a string_view cursor. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string *err)
+        : text_(text), err_(err)
+    {}
+
+    std::optional<JsonValue>
+    parse()
+    {
+        JsonValue v;
+        if (!parseValue(v))
+            return std::nullopt;
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing content after document");
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    void
+    fail(const std::string &why)
+    {
+        if (err_ && err_->empty()) {
+            std::ostringstream os;
+            os << why << " at offset " << pos_;
+            *err_ = os.str();
+        }
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    expect(char c)
+    {
+        skipWs();
+        if (pos_ >= text_.size() || text_[pos_] != c) {
+            fail(std::string("expected '") + c + "'");
+            return false;
+        }
+        ++pos_;
+        return true;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word) {
+            fail("bad literal");
+            return false;
+        }
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!expect('"'))
+            return false;
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) {
+                fail("unterminated escape");
+                return false;
+            }
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    fail("truncated \\u escape");
+                    return false;
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        fail("bad \\u escape digit");
+                        return false;
+                    }
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs are
+                // not produced by our writer; pass them through raw).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+                return false;
+            }
+        }
+        fail("unterminated string");
+        return false;
+    }
+
+    bool
+    parseNumber(JsonValue &v)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start) {
+            fail("expected number");
+            return false;
+        }
+        const std::string tok(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        v.type = JsonValue::Type::Number;
+        v.number = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size()) {
+            fail("malformed number");
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &v)
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return false;
+        }
+        if (depth_ > kMaxDepth) {
+            fail("nesting too deep");
+            return false;
+        }
+        const char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            ++depth_;
+            v.type = JsonValue::Type::Object;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                --depth_;
+                return true;
+            }
+            while (true) {
+                std::string key;
+                skipWs();
+                if (!parseString(key))
+                    return false;
+                if (!expect(':'))
+                    return false;
+                JsonValue member;
+                if (!parseValue(member))
+                    return false;
+                v.object.emplace_back(std::move(key), std::move(member));
+                skipWs();
+                if (pos_ < text_.size() && text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                --depth_;
+                return expect('}');
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            ++depth_;
+            v.type = JsonValue::Type::Array;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                --depth_;
+                return true;
+            }
+            while (true) {
+                JsonValue elem;
+                if (!parseValue(elem))
+                    return false;
+                v.array.push_back(std::move(elem));
+                skipWs();
+                if (pos_ < text_.size() && text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                --depth_;
+                return expect(']');
+            }
+        }
+        if (c == '"') {
+            v.type = JsonValue::Type::String;
+            return parseString(v.string);
+        }
+        if (c == 't') {
+            v.type = JsonValue::Type::Bool;
+            v.boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            v.type = JsonValue::Type::Bool;
+            v.boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            v.type = JsonValue::Type::Null;
+            return literal("null");
+        }
+        return parseNumber(v);
+    }
+
+    static constexpr int kMaxDepth = 256;
+
+    std::string_view text_;
+    std::string *err_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+parseJson(std::string_view text, std::string *err)
+{
+    if (err)
+        err->clear();
+    return Parser(text, err).parse();
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &content)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        warn("cannot open %s for writing", path.c_str());
+        return false;
+    }
+    os << content;
+    os.flush();
+    if (!os) {
+        warn("short write to %s", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::optional<std::string>
+readTextFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return std::nullopt;
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+} // namespace zerodev::obs

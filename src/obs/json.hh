@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Minimal JSON support for the observability layer: a streaming writer
+ * used by the tracer / sampler / report emitters, and a small
+ * recursive-descent parser used by the trace inspector and the
+ * report-validation tests (no external dependencies, no Python).
+ *
+ * The writer produces compact, valid JSON; the parser accepts the full
+ * JSON grammar (objects, arrays, strings with escapes, numbers, bools,
+ * null) and preserves object key order.
+ */
+
+#ifndef ZERODEV_OBS_JSON_HH
+#define ZERODEV_OBS_JSON_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace zerodev::obs
+{
+
+/** Escape @p s for inclusion inside a JSON string literal (no quotes). */
+std::string jsonEscape(std::string_view s);
+
+/** Render a double the way the writer does: integral values without a
+ *  fraction, everything else with enough digits to round-trip; NaN and
+ *  infinities (not representable in JSON) render as null. */
+std::string jsonNumber(double v);
+
+/**
+ * Streaming JSON writer. Nesting and comma placement are handled
+ * internally; the caller alternates key()/value() calls inside objects
+ * and value() calls inside arrays.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key (must be inside an object). */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter &value(bool v);
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+    JsonWriter &null();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    field(std::string_view k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** The document produced so far. */
+    const std::string &str() const { return out_; }
+
+  private:
+    void comma();
+
+    std::string out_;
+    std::vector<bool> first_; //!< per nesting level: no element emitted yet
+    bool pendingKey_ = false;
+};
+
+/** A parsed JSON document node. */
+struct JsonValue
+{
+    enum class Type : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isBool() const { return type == Type::Bool; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** Member lookup on an object; null when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** True iff this is an object with member @p key. */
+    bool has(std::string_view key) const { return find(key) != nullptr; }
+
+    /** Numeric member of an object, or @p dflt when absent/non-numeric. */
+    double num(std::string_view key, double dflt = 0.0) const;
+
+    /** String member of an object, or @p dflt when absent/non-string. */
+    std::string str(std::string_view key, const std::string &dflt = "") const;
+};
+
+/**
+ * Parse one JSON document. Trailing whitespace is allowed; any other
+ * trailing content is an error. On failure returns nullopt and, when
+ * @p err is non-null, stores a human-readable reason.
+ */
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string *err = nullptr);
+
+/** Write @p content to @p path; returns false (and warns) on I/O error. */
+bool writeTextFile(const std::string &path, const std::string &content);
+
+/** Read the whole file; nullopt on I/O error. */
+std::optional<std::string> readTextFile(const std::string &path);
+
+} // namespace zerodev::obs
+
+#endif // ZERODEV_OBS_JSON_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Standard probe set binding an IntervalSampler to a CmpSystem: directory
+ * occupancy, LLC ways consumed by spilled/fused entries, DEV rate, mesh
+ * traffic, access/miss rates — the series the paper's occupancy and
+ * eviction-dynamics arguments are made from.
+ */
+
+#ifndef ZERODEV_OBS_PROBES_HH
+#define ZERODEV_OBS_PROBES_HH
+
+namespace zerodev
+{
+class CmpSystem;
+}
+
+namespace zerodev::obs
+{
+
+class IntervalSampler;
+
+/**
+ * Register the standard system series on @p sampler. @p sys must outlive
+ * the sampler's last tick. Registered series (see OBSERVABILITY.md):
+ *  Level: dir_live_entries, dir_occupancy, llc_de_lines,
+ *         llc_spilled_lines, llc_fused_lines, mem_corrupted_blocks
+ *  Rate:  accesses, l2_misses, dev_invalidations, llc_de_evictions,
+ *         traffic_bytes, mesh_hops
+ */
+void registerSystemProbes(IntervalSampler &sampler, const CmpSystem &sys);
+
+} // namespace zerodev::obs
+
+#endif // ZERODEV_OBS_PROBES_HH

@@ -1,0 +1,285 @@
+#include "obs/report.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hh"
+#include "obs/json.hh"
+
+namespace zerodev::obs
+{
+
+namespace
+{
+
+void
+kv(std::string &out, const char *k, const std::string &v)
+{
+    out += k;
+    out += '=';
+    out += v;
+    out += ';';
+}
+
+void
+kv(std::string &out, const char *k, std::uint64_t v)
+{
+    kv(out, k, std::to_string(v));
+}
+
+void
+kv(std::string &out, const char *k, double v)
+{
+    kv(out, k, jsonNumber(v));
+}
+
+void
+kv(std::string &out, const char *k, bool v)
+{
+    kv(out, k, std::string(v ? "1" : "0"));
+}
+
+void
+cacheKv(std::string &out, const char *name, const CacheConfig &c)
+{
+    std::string pfx(name);
+    kv(out, (pfx + ".size").c_str(), c.sizeBytes);
+    kv(out, (pfx + ".ways").c_str(), std::uint64_t(c.ways));
+    kv(out, (pfx + ".lookup").c_str(), std::uint64_t(c.lookupCycles));
+}
+
+} // namespace
+
+std::string
+configCanonicalString(const SystemConfig &cfg)
+{
+    std::string s;
+    kv(s, "name", cfg.name);
+    kv(s, "sockets", std::uint64_t(cfg.sockets));
+    kv(s, "coresPerSocket", std::uint64_t(cfg.coresPerSocket));
+    kv(s, "blockBytes", std::uint64_t(cfg.blockBytes));
+    cacheKv(s, "l1i", cfg.l1i);
+    cacheKv(s, "l1d", cfg.l1d);
+    cacheKv(s, "l2", cfg.l2);
+    kv(s, "llc.size", cfg.llcSizeBytes);
+    kv(s, "llc.ways", std::uint64_t(cfg.llcWays));
+    kv(s, "llc.banks", std::uint64_t(cfg.llcBanks));
+    kv(s, "llc.tag", std::uint64_t(cfg.llcTagCycles));
+    kv(s, "llc.data", std::uint64_t(cfg.llcDataCycles));
+    kv(s, "dir.ratio", cfg.directory.sizeRatio);
+    kv(s, "dir.ways", std::uint64_t(cfg.directory.ways));
+    kv(s, "dir.lookup", std::uint64_t(cfg.directory.lookupCycles));
+    kv(s, "dir.replDisabled", cfg.directory.replacementDisabled);
+    kv(s, "dram.channels", std::uint64_t(cfg.dram.channels));
+    kv(s, "dram.ranks", std::uint64_t(cfg.dram.ranksPerChannel));
+    kv(s, "dram.banks", std::uint64_t(cfg.dram.banksPerRank));
+    kv(s, "dram.rowBytes", std::uint64_t(cfg.dram.rowBytes));
+    kv(s, "dram.tCas", std::uint64_t(cfg.dram.tCas));
+    kv(s, "dram.tRcd", std::uint64_t(cfg.dram.tRcd));
+    kv(s, "dram.tRp", std::uint64_t(cfg.dram.tRp));
+    kv(s, "dram.tRas", std::uint64_t(cfg.dram.tRas));
+    kv(s, "dram.tBurst", std::uint64_t(cfg.dram.tBurst));
+    kv(s, "mgd.regionBytes", std::uint64_t(cfg.mgd.regionBytes));
+    kv(s, "meshHop", std::uint64_t(cfg.meshHopCycles));
+    kv(s, "interSocket", std::uint64_t(cfg.interSocketCycles));
+    kv(s, "dirOrg", std::string(toString(cfg.dirOrg)));
+    kv(s, "dirCachePolicy", std::string(toString(cfg.dirCachePolicy)));
+    kv(s, "llcRepl", std::string(toString(cfg.llcReplPolicy)));
+    kv(s, "llcFlavor", std::string(toString(cfg.llcFlavor)));
+    kv(s, "socketDirZeroDev", cfg.socketDirZeroDev);
+    kv(s, "socketDirSets", cfg.socketDirCacheSets);
+    kv(s, "socketDirWays", std::uint64_t(cfg.socketDirCacheWays));
+    return s;
+}
+
+std::uint64_t
+configFingerprint(const SystemConfig &cfg)
+{
+    // 64-bit FNV-1a over the canonical string: stable across runs and
+    // hosts, cheap, and good enough to distinguish sweep points.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : configCanonicalString(cfg)) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+configToJson(JsonWriter &w, const SystemConfig &cfg)
+{
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(configFingerprint(cfg)));
+
+    w.beginObject();
+    w.field("name", cfg.name);
+    w.field("fingerprint", fp);
+    w.field("sockets", std::uint64_t(cfg.sockets));
+    w.field("coresPerSocket", std::uint64_t(cfg.coresPerSocket));
+    w.field("blockBytes", std::uint64_t(cfg.blockBytes));
+
+    const auto cache = [&w](const char *name, const CacheConfig &c) {
+        w.key(name).beginObject();
+        w.field("sizeBytes", c.sizeBytes);
+        w.field("ways", std::uint64_t(c.ways));
+        w.field("lookupCycles", std::uint64_t(c.lookupCycles));
+        w.endObject();
+    };
+    cache("l1i", cfg.l1i);
+    cache("l1d", cfg.l1d);
+    cache("l2", cfg.l2);
+
+    w.key("llc").beginObject();
+    w.field("sizeBytes", cfg.llcSizeBytes);
+    w.field("ways", std::uint64_t(cfg.llcWays));
+    w.field("banks", std::uint64_t(cfg.llcBanks));
+    w.field("tagCycles", std::uint64_t(cfg.llcTagCycles));
+    w.field("dataCycles", std::uint64_t(cfg.llcDataCycles));
+    w.field("flavor", toString(cfg.llcFlavor));
+    w.field("replPolicy", toString(cfg.llcReplPolicy));
+    w.endObject();
+
+    w.key("directory").beginObject();
+    w.field("org", toString(cfg.dirOrg));
+    w.field("cachePolicy", toString(cfg.dirCachePolicy));
+    w.field("sizeRatio", cfg.directory.sizeRatio);
+    w.field("ways", std::uint64_t(cfg.directory.ways));
+    w.field("lookupCycles", std::uint64_t(cfg.directory.lookupCycles));
+    w.field("replacementDisabled", cfg.directory.replacementDisabled);
+    w.endObject();
+
+    w.key("mesh").beginObject();
+    w.field("hopCycles", std::uint64_t(cfg.meshHopCycles));
+    w.field("interSocketCycles", std::uint64_t(cfg.interSocketCycles));
+    w.endObject();
+    w.endObject();
+}
+
+std::string
+runReportJson(const SystemConfig &cfg, const RunResult &res)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", "zerodev-run-report-v1");
+
+    w.key("config");
+    configToJson(w, cfg);
+
+    w.key("result").beginObject();
+    w.field("workload", res.workload);
+    w.field("cycles", static_cast<std::uint64_t>(res.cycles));
+    w.field("instructions", res.instructions);
+    w.field("coreCacheMisses", res.coreCacheMisses);
+    w.field("trafficBytes", res.trafficBytes);
+    w.field("devInvalidations", res.devInvalidations);
+    w.key("cores").beginArray();
+    for (std::size_t c = 0; c < res.coreCycles.size(); ++c) {
+        w.beginObject();
+        w.field("cycles", static_cast<std::uint64_t>(res.coreCycles[c]));
+        w.field("instructions", res.coreInstructions[c]);
+        w.field("ipc", res.ipc(static_cast<std::uint32_t>(c)));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    w.key("profile").beginObject();
+    w.field("wallSeconds", res.wallSeconds);
+    const double wall = res.wallSeconds;
+    w.field("accessesPerSecond",
+            wall > 0.0 ? static_cast<double>(res.instructions) / wall : 0.0);
+    w.field("cyclesPerSecond",
+            wall > 0.0 ? static_cast<double>(res.cycles) / wall : 0.0);
+    w.endObject();
+
+    // The full StatDump: every counter the console dump prints, flat.
+    w.key("stats").beginObject();
+    for (const auto &[name, value] : res.system.entries())
+        w.field(name, value);
+    w.endObject();
+
+    w.endObject();
+    return w.str();
+}
+
+bool
+writeRunReport(const std::string &path, const SystemConfig &cfg,
+               const RunResult &res)
+{
+    return writeTextFile(path, runReportJson(cfg, res) + "\n");
+}
+
+bool
+maybeWriteRunReport(const std::string &name, const SystemConfig &cfg,
+                    const RunResult &res)
+{
+    const char *dir = std::getenv("ZERODEV_REPORT_DIR");
+    if (!dir || !*dir)
+        return false;
+    std::string file;
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                        c == '-';
+        file += ok ? c : '_';
+    }
+    if (file.empty())
+        file = "run";
+    return writeRunReport(std::string(dir) + "/" + file + ".json", cfg,
+                          res);
+}
+
+const std::vector<std::string> &
+requiredReportKeys()
+{
+    static const std::vector<std::string> keys = {
+        "schema", "config", "result", "profile", "stats",
+    };
+    return keys;
+}
+
+bool
+validateRunReport(const JsonValue &doc, std::string *err)
+{
+    const auto fail = [err](const std::string &why) {
+        if (err)
+            *err = why;
+        return false;
+    };
+    if (!doc.isObject())
+        return fail("report is not a JSON object");
+    for (const std::string &k : requiredReportKeys()) {
+        if (!doc.has(k))
+            return fail("missing top-level key: " + k);
+    }
+    if (doc.str("schema") != "zerodev-run-report-v1")
+        return fail("unexpected schema: " + doc.str("schema"));
+
+    const JsonValue *config = doc.find("config");
+    if (!config->isObject() || config->str("fingerprint").empty())
+        return fail("config missing fingerprint");
+
+    const JsonValue *result = doc.find("result");
+    if (!result->isObject())
+        return fail("result is not an object");
+    for (const char *k : {"cycles", "instructions", "coreCacheMisses",
+                          "trafficBytes", "devInvalidations"}) {
+        const JsonValue *v = result->find(k);
+        if (!v || !v->isNumber())
+            return fail(std::string("result.") + k + " missing");
+    }
+    const JsonValue *cores = result->find("cores");
+    if (!cores || !cores->isArray())
+        return fail("result.cores missing");
+
+    const JsonValue *profile = doc.find("profile");
+    if (!profile->isObject() || !profile->find("wallSeconds"))
+        return fail("profile.wallSeconds missing");
+
+    if (!doc.find("stats")->isObject())
+        return fail("stats is not an object");
+    return true;
+}
+
+} // namespace zerodev::obs

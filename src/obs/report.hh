@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Machine-readable run reports: every bench / example can emit one JSON
+ * document per run carrying the configuration (with a stable
+ * fingerprint), the RunResult metrics, host-side profiling (wall-clock,
+ * simulation rate), and the full StatDump. Downstream tooling diffs
+ * reports across commits or sweeps without scraping console output.
+ *
+ * Schema identifier: "zerodev-run-report-v1".
+ */
+
+#ifndef ZERODEV_OBS_REPORT_HH
+#define ZERODEV_OBS_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "sim/runner.hh"
+
+namespace zerodev::obs
+{
+
+struct JsonValue;
+class JsonWriter;
+
+/**
+ * Canonical "key=value;" rendering of every SystemConfig field, in a
+ * fixed order. Two configs produce the same string iff they describe
+ * the same simulated machine.
+ */
+std::string configCanonicalString(const SystemConfig &cfg);
+
+/** 64-bit FNV-1a hash of the canonical config string. */
+std::uint64_t configFingerprint(const SystemConfig &cfg);
+
+/** Emit @p cfg as a JSON object (including the fingerprint) into @p w. */
+void configToJson(JsonWriter &w, const SystemConfig &cfg);
+
+/** Render one complete run report document. */
+std::string runReportJson(const SystemConfig &cfg, const RunResult &res);
+
+/** Write runReportJson() to @p path; false (and a warning) on failure. */
+bool writeRunReport(const std::string &path, const SystemConfig &cfg,
+                    const RunResult &res);
+
+/**
+ * If the ZERODEV_REPORT_DIR environment variable is set, write the
+ * report to "<dir>/<name>.json" (name sanitised to [A-Za-z0-9._-]) and
+ * return true; otherwise do nothing and return false.
+ */
+bool maybeWriteRunReport(const std::string &name, const SystemConfig &cfg,
+                         const RunResult &res);
+
+/** Top-level keys every v1 report must carry. */
+const std::vector<std::string> &requiredReportKeys();
+
+/**
+ * Structural validation of a parsed report: schema identifier, required
+ * top-level keys, and the numeric result fields. On failure stores a
+ * reason in @p err (when non-null).
+ */
+bool validateRunReport(const JsonValue &doc, std::string *err = nullptr);
+
+} // namespace zerodev::obs
+
+#endif // ZERODEV_OBS_REPORT_HH

@@ -1,0 +1,135 @@
+#include "obs/sampler.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+#include "obs/json.hh"
+
+namespace zerodev::obs
+{
+
+IntervalSampler::IntervalSampler(Cycle interval, std::size_t max_samples)
+    : interval_(interval), next_(interval), maxSamples_(max_samples)
+{
+    if (interval == 0)
+        fatal("interval sampler with a zero-cycle interval");
+}
+
+void
+IntervalSampler::addProbe(const std::string &name, ProbeKind kind,
+                          std::function<double()> fn)
+{
+    if (!samples_.empty())
+        panic("probe '%s' registered after sampling began", name.c_str());
+    Probe p;
+    p.name = name;
+    p.kind = kind;
+    p.fn = std::move(fn);
+    p.prev = p.fn();
+    probes_.push_back(std::move(p));
+}
+
+void
+IntervalSampler::sampleAt(Cycle cycle)
+{
+    if (samples_.size() >= maxSamples_) {
+        ++overflowed_;
+        return;
+    }
+    Sample s;
+    s.cycle = cycle;
+    s.values.reserve(probes_.size());
+    for (Probe &p : probes_) {
+        const double raw = p.fn();
+        if (p.kind == ProbeKind::Rate) {
+            s.values.push_back(raw - p.prev);
+            p.prev = raw;
+        } else {
+            s.values.push_back(raw);
+        }
+    }
+    samples_.push_back(std::move(s));
+}
+
+void
+IntervalSampler::tick(Cycle now)
+{
+    while (now >= next_) {
+        sampleAt(next_);
+        next_ += interval_;
+    }
+}
+
+void
+IntervalSampler::finish(Cycle now)
+{
+    tick(now);
+    const Cycle last = samples_.empty() ? 0 : samples_.back().cycle;
+    if (now > last)
+        sampleAt(now);
+}
+
+std::vector<std::string>
+IntervalSampler::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(probes_.size());
+    for (const Probe &p : probes_)
+        out.push_back(p.name);
+    return out;
+}
+
+std::string
+IntervalSampler::toCsv() const
+{
+    std::ostringstream os;
+    os << "cycle";
+    for (const Probe &p : probes_)
+        os << ',' << p.name;
+    os << '\n';
+    for (const Sample &s : samples_) {
+        os << s.cycle;
+        for (double v : s.values)
+            os << ',' << jsonNumber(v);
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+IntervalSampler::toJson() const
+{
+    JsonWriter w;
+    w.beginObject()
+        .field("schema", "zerodev-interval-stats-v1")
+        .field("interval", interval_)
+        .field("samples", static_cast<std::uint64_t>(samples_.size()))
+        .field("overflowed", overflowed_);
+    w.key("cycles").beginArray();
+    for (const Sample &s : samples_)
+        w.value(s.cycle);
+    w.endArray();
+    w.key("series").beginObject();
+    for (std::size_t i = 0; i < probes_.size(); ++i) {
+        w.key(probes_[i].name).beginArray();
+        for (const Sample &s : samples_)
+            w.value(s.values[i]);
+        w.endArray();
+    }
+    w.endObject().endObject();
+    return w.str();
+}
+
+bool
+IntervalSampler::writeCsv(const std::string &path) const
+{
+    return writeTextFile(path, toCsv());
+}
+
+bool
+IntervalSampler::writeJson(const std::string &path) const
+{
+    return writeTextFile(path, toJson());
+}
+
+} // namespace zerodev::obs

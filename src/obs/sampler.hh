@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Interval time-series sampler.
+ *
+ * Components register probes (closures returning a double); the runner
+ * calls tick() with the advancing simulated time and the sampler snapshots
+ * every probe at each crossed interval boundary. Boundaries are aligned to
+ * multiples of the interval (sample k is taken at cycle k*interval), so
+ * series from different runs line up when diffed.
+ *
+ * Probe kinds:
+ *  - Level: the probe's instantaneous value (e.g. directory occupancy);
+ *  - Rate: the delta of a monotonically increasing counter since the
+ *    previous sample (e.g. DEV invalidations per interval).
+ *
+ * Output: CSV (one row per sample, "cycle" first column) and a JSON
+ * document carrying the schema, interval, and column-major series.
+ */
+
+#ifndef ZERODEV_OBS_SAMPLER_HH
+#define ZERODEV_OBS_SAMPLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace zerodev::obs
+{
+
+class IntervalSampler
+{
+  public:
+    enum class ProbeKind : std::uint8_t
+    {
+        Level, //!< report the probe value as-is
+        Rate,  //!< report the delta since the previous sample
+    };
+
+    /**
+     * @param interval cycles between samples (> 0)
+     * @param max_samples rows retained before further samples are
+     *        counted as overflowed and discarded (memory bound)
+     */
+    explicit IntervalSampler(Cycle interval,
+                             std::size_t max_samples = 1u << 20);
+
+    /** Register a probe; its current value seeds the Rate baseline. */
+    void addProbe(const std::string &name, ProbeKind kind,
+                  std::function<double()> fn);
+
+    /**
+     * Advance to simulated time @p now, emitting one sample per interval
+     * boundary crossed since the last call. @p now may repeat or move
+     * backwards (out-of-order completion times); only forward progress
+     * samples.
+     */
+    void tick(Cycle now);
+
+    /** Take one final (unaligned) sample at @p now if it is past the
+     *  last sampled boundary — call at end of run. */
+    void finish(Cycle now);
+
+    Cycle interval() const { return interval_; }
+
+    /** Registered probe names, column order. */
+    std::vector<std::string> names() const;
+
+    struct Sample
+    {
+        Cycle cycle = 0;
+        std::vector<double> values;
+    };
+
+    const std::vector<Sample> &samples() const { return samples_; }
+
+    /** Samples discarded because max_samples was reached. */
+    std::uint64_t overflowed() const { return overflowed_; }
+
+    /** CSV document: header "cycle,<probe>,..." then one row per sample. */
+    std::string toCsv() const;
+
+    /** JSON document with schema id, interval, and per-probe series. */
+    std::string toJson() const;
+
+    bool writeCsv(const std::string &path) const;
+    bool writeJson(const std::string &path) const;
+
+  private:
+    struct Probe
+    {
+        std::string name;
+        ProbeKind kind;
+        std::function<double()> fn;
+        double prev = 0.0; //!< last raw value (Rate baseline)
+    };
+
+    void sampleAt(Cycle cycle);
+
+    Cycle interval_;
+    Cycle next_;  //!< next aligned boundary to sample at
+    std::size_t maxSamples_;
+    std::uint64_t overflowed_ = 0;
+    std::vector<Probe> probes_;
+    std::vector<Sample> samples_;
+};
+
+} // namespace zerodev::obs
+
+#endif // ZERODEV_OBS_SAMPLER_HH

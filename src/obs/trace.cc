@@ -1,0 +1,180 @@
+#include "obs/trace.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+#include "obs/json.hh"
+
+namespace zerodev::obs
+{
+
+const char *
+toString(TraceComp c)
+{
+    switch (c) {
+      case TraceComp::Core: return "core";
+      case TraceComp::Directory: return "directory";
+      case TraceComp::Llc: return "llc";
+      case TraceComp::Mesh: return "mesh";
+      case TraceComp::Memory: return "memory";
+      case TraceComp::Protocol: return "protocol";
+      case TraceComp::NumComps: break;
+    }
+    return "?";
+}
+
+const char *
+toString(TraceEventKind k)
+{
+    switch (k) {
+      case TraceEventKind::Request: return "request";
+      case TraceEventKind::Complete: return "complete";
+      case TraceEventKind::DirLookup: return "dir_lookup";
+      case TraceEventKind::Spill: return "spill";
+      case TraceEventKind::Fuse: return "fuse";
+      case TraceEventKind::Unfuse: return "unfuse";
+      case TraceEventKind::WbDe: return "wb_de";
+      case TraceEventKind::GetDe: return "get_de";
+      case TraceEventKind::DeExtract: return "de_extract";
+      case TraceEventKind::Dev: return "dev";
+      case TraceEventKind::Forward: return "forward";
+      case TraceEventKind::MemRead: return "mem_read";
+      case TraceEventKind::SocketMiss: return "socket_miss";
+      case TraceEventKind::LlcVictim: return "llc_victim";
+      case TraceEventKind::NumKinds: break;
+    }
+    return "?";
+}
+
+Tracer::Tracer(std::size_t capacity)
+    : buf_(capacity ? capacity : 1),
+      compMask_((1u << static_cast<unsigned>(TraceComp::NumComps)) - 1)
+{
+    if (capacity == 0)
+        panic("tracer with zero capacity");
+}
+
+void
+Tracer::setComponentEnabled(TraceComp c, bool on)
+{
+    const std::uint32_t bit = 1u << static_cast<unsigned>(c);
+    if (on)
+        compMask_ |= bit;
+    else
+        compMask_ &= ~bit;
+}
+
+bool
+Tracer::componentEnabled(TraceComp c) const
+{
+    return (compMask_ & (1u << static_cast<unsigned>(c))) != 0;
+}
+
+std::vector<TraceEvent>
+Tracer::events() const
+{
+    std::vector<TraceEvent> out;
+    const std::size_t n = size();
+    out.reserve(n);
+    const std::uint64_t first = accepted_ - n;
+    for (std::uint64_t i = first; i < accepted_; ++i)
+        out.push_back(buf_[i % buf_.size()]);
+    return out;
+}
+
+namespace
+{
+
+std::string
+blockHex(BlockAddr b)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(b));
+    return buf;
+}
+
+void
+appendEventObject(JsonWriter &w, const TraceEvent &e)
+{
+    w.beginObject()
+        .field("seq", e.seq)
+        .field("txn", e.txn)
+        .field("cycle", e.cycle)
+        .field("dur", e.dur)
+        .field("kind", toString(e.kind))
+        .field("comp", toString(e.comp))
+        .field("socket", static_cast<std::uint64_t>(e.socket))
+        .field("core", static_cast<std::uint64_t>(e.core))
+        .field("block", blockHex(e.block))
+        .field("arg", static_cast<std::uint64_t>(e.arg))
+        .endObject();
+}
+
+} // namespace
+
+std::string
+Tracer::toJsonl() const
+{
+    std::string out;
+    const std::size_t n = size();
+    const std::uint64_t first = accepted_ - n;
+    for (std::uint64_t i = first; i < accepted_; ++i) {
+        JsonWriter w;
+        appendEventObject(w, buf_[i % buf_.size()]);
+        out += w.str();
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+Tracer::toChromeJson() const
+{
+    JsonWriter w;
+    w.beginObject().key("traceEvents").beginArray();
+    const std::size_t n = size();
+    const std::uint64_t first = accepted_ - n;
+    for (std::uint64_t i = first; i < accepted_; ++i) {
+        const TraceEvent &e = buf_[i % buf_.size()];
+        w.beginObject()
+            .field("name", toString(e.kind))
+            .field("cat", toString(e.comp))
+            .field("ph", "X")
+            .field("ts", e.cycle)
+            .field("dur", e.dur == 0 ? std::uint64_t(1) : e.dur)
+            .field("pid", static_cast<std::uint64_t>(e.socket))
+            .field("tid", static_cast<std::uint64_t>(e.core))
+            .key("args")
+            .beginObject()
+            .field("txn", e.txn)
+            .field("block", blockHex(e.block))
+            .field("arg", static_cast<std::uint64_t>(e.arg))
+            .field("seq", e.seq)
+            .endObject()
+            .endObject();
+    }
+    w.endArray()
+        .field("displayTimeUnit", "ns")
+        .key("metadata")
+        .beginObject()
+        .field("recorded", recorded())
+        .field("dropped", dropped())
+        .endObject()
+        .endObject();
+    return w.str();
+}
+
+bool
+Tracer::writeJsonl(const std::string &path) const
+{
+    return writeTextFile(path, toJsonl());
+}
+
+bool
+Tracer::writeChromeJson(const std::string &path) const
+{
+    return writeTextFile(path, toChromeJson());
+}
+
+} // namespace zerodev::obs

@@ -1,10 +1,13 @@
 #include "sim/runner.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "common/log.hh"
 #include "core/invariants.hh"
+#include "obs/sampler.hh"
+#include "obs/trace.hh"
 
 namespace zerodev
 {
@@ -20,6 +23,49 @@ struct CoreState
     std::uint64_t instructions = 0;
     Cycle finish = 0;         //!< completion time of the last access
     bool active = false;
+};
+
+/** Attaches the run's observers to the system and guarantees they are
+ *  detached/finished on every exit path. */
+class ObserverScope
+{
+  public:
+    ObserverScope(CmpSystem &sys, const RunConfig &rc)
+        : sys_(sys), sampler_(rc.sampler),
+          start_(std::chrono::steady_clock::now())
+    {
+        if (rc.tracer)
+            sys_.attachTracer(rc.tracer);
+    }
+
+    /** Advance the sampler to the latest completion time seen. */
+    void
+    advance(Cycle done)
+    {
+        horizon_ = std::max(horizon_, done);
+        if (sampler_)
+            sampler_->tick(horizon_);
+    }
+
+    /** Close out the run: final sample and wall-clock accounting. */
+    void
+    complete(RunResult &res)
+    {
+        if (sampler_)
+            sampler_->finish(res.cycles);
+        res.wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+    }
+
+    ~ObserverScope() { sys_.attachTracer(nullptr); }
+
+  private:
+    CmpSystem &sys_;
+    obs::IntervalSampler *sampler_;
+    std::chrono::steady_clock::time_point start_;
+    Cycle horizon_ = 0;
 };
 
 } // namespace
@@ -43,6 +89,8 @@ run(CmpSystem &sys, const Workload &workload, const RunConfig &rc)
     std::unique_ptr<TraceWriter> tracer;
     if (!rc.tracePath.empty())
         tracer = std::make_unique<TraceWriter>(rc.tracePath, cores);
+
+    ObserverScope observers(sys, rc);
 
     const std::uint64_t total =
         rc.warmupPerCore + rc.accessesPerCore;
@@ -72,6 +120,7 @@ run(CmpSystem &sys, const Workload &workload, const RunConfig &rc)
 
         const Cycle issue = cs.ready + a.gap; // 1 IPC between accesses
         const Cycle done = sys.access(best, a.type, a.block, issue);
+        observers.advance(done);
         cs.ready = done;
         cs.finish = done;
         cs.instructions += a.gap + 1;
@@ -99,15 +148,16 @@ run(CmpSystem &sys, const Workload &workload, const RunConfig &rc)
     res.trafficBytes = sys.totalTrafficBytes();
     res.devInvalidations = sys.protoStats().devInvalidations;
     res.system = sys.report();
+    observers.complete(res);
     return res;
 }
 
 RunResult
 replay(CmpSystem &sys, const TraceReader &trace, const RunConfig &rc)
 {
-    (void)rc;
     const std::uint32_t cores = trace.cores();
     std::vector<CoreState> state(cores);
+    ObserverScope observers(sys, rc);
 
     for (const TraceRecord &rec : trace.records()) {
         if (rec.core >= cores)
@@ -117,6 +167,7 @@ replay(CmpSystem &sys, const TraceReader &trace, const RunConfig &rc)
         const Cycle issue = cs.ready + rec.access.gap;
         const Cycle done =
             sys.access(rec.core, rec.access.type, rec.access.block, issue);
+        observers.advance(done);
         cs.ready = done;
         cs.finish = done;
         cs.instructions += rec.access.gap + 1;
@@ -137,6 +188,7 @@ replay(CmpSystem &sys, const TraceReader &trace, const RunConfig &rc)
     res.trafficBytes = sys.totalTrafficBytes();
     res.devInvalidations = sys.protoStats().devInvalidations;
     res.system = sys.report();
+    observers.complete(res);
     return res;
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/stats.hh"
 #include "core/cmp_system.hh"
 #include "workload/trace.hh"
@@ -22,6 +23,12 @@
 
 namespace zerodev
 {
+
+namespace obs
+{
+class Tracer;
+class IntervalSampler;
+} // namespace obs
 
 /** Run-control parameters. */
 struct RunConfig
@@ -37,6 +44,14 @@ struct RunConfig
 
     /** Optional path to record the access trace. */
     std::string tracePath;
+
+    /** Optional coherence tracer, attached to the system for the run
+     *  (events only flow when the tracer is runtime-enabled). */
+    obs::Tracer *tracer = nullptr;
+
+    /** Optional interval sampler, ticked as simulated time advances and
+     *  finished at the run's completion cycle. */
+    obs::IntervalSampler *sampler = nullptr;
 };
 
 /** Aggregated result of one run. */
@@ -52,9 +67,16 @@ struct RunResult
     std::uint64_t devInvalidations = 0;
     StatDump system; //!< the full CmpSystem dump
 
+    /** Host wall-clock seconds the run consumed (sim-rate profiling). */
+    double wallSeconds = 0.0;
+
     /** Per-core IPC (weighted-speedup ingredient). */
     double ipc(std::uint32_t core) const
     {
+        if (core >= coreCycles.size()) {
+            panic("RunResult::ipc(%u): run had only %zu cores", core,
+                  coreCycles.size());
+        }
         return coreCycles[core] == 0
                    ? 0.0
                    : static_cast<double>(coreInstructions[core]) /
