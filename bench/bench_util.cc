@@ -5,6 +5,7 @@
 
 #include "core/cmp_system.hh"
 #include "obs/json.hh"
+#include "obs/latency.hh"
 #include "obs/report.hh"
 
 namespace zerodev::bench
@@ -23,7 +24,7 @@ envOverride(const char *name, std::uint64_t dflt)
     return parsed == 0 ? dflt : parsed;
 }
 
-/** Figure slug recorded by banner(), used to name the report file. */
+/** Figure slug recorded by banner(), used to name the report files. */
 std::string &
 figureSlug()
 {
@@ -31,34 +32,60 @@ figureSlug()
     return slug;
 }
 
-/** Run reports accumulated by runWorkload(), flushed at process exit. */
-std::vector<std::string> &
-pendingReports()
+/** One trajectory entry: a run reduced to its perf-history metrics. */
+struct TrajectoryRun
 {
-    static std::vector<std::string> reports;
-    return reports;
+    std::string fingerprint;
+    std::string workload;
+    std::uint64_t cycles;
+    std::uint64_t coreCacheMisses;
+    std::uint64_t trafficBytes;
+    std::uint64_t devInvalidations;
+};
+
+std::vector<TrajectoryRun> &
+pendingRuns()
+{
+    static std::vector<TrajectoryRun> runs;
+    return runs;
 }
 
+/**
+ * At process exit, append one JSON line to "<dir>/BENCH_<figure>.json"
+ * (schema "zerodev-bench-trajectory-v1"): the commit (ZERODEV_COMMIT
+ * environment variable, when set) plus every run's fingerprint and key
+ * metrics. Append-mode so successive commits accumulate a perf history
+ * in one file per figure.
+ */
 void
-flushBenchReports()
+flushBenchTrajectory()
 {
     const char *dir = std::getenv("ZERODEV_REPORT_DIR");
-    if (!dir || !*dir || pendingReports().empty())
+    if (!dir || !*dir || pendingRuns().empty())
         return;
-    std::string doc = "{\"schema\":\"zerodev-bench-report-v1\",";
-    doc += "\"figure\":\"" + obs::jsonEscape(figureSlug()) + "\",";
-    doc += "\"runs\":[";
-    bool first = true;
-    for (const std::string &r : pendingReports()) {
-        if (!first)
-            doc += ",";
-        first = false;
-        doc += r;
+    const char *commit = std::getenv("ZERODEV_COMMIT");
+
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("schema", "zerodev-bench-trajectory-v1");
+    w.field("figure", figureSlug());
+    w.field("commit", commit ? commit : "");
+    w.key("runs").beginArray();
+    for (const TrajectoryRun &r : pendingRuns()) {
+        w.beginObject();
+        w.field("fingerprint", r.fingerprint);
+        w.field("workload", r.workload);
+        w.field("cycles", r.cycles);
+        w.field("coreCacheMisses", r.coreCacheMisses);
+        w.field("trafficBytes", r.trafficBytes);
+        w.field("devInvalidations", r.devInvalidations);
+        w.endObject();
     }
-    doc += "]}\n";
-    obs::writeTextFile(std::string(dir) + "/BENCH_" + figureSlug() +
-                           ".json",
-                       doc);
+    w.endArray();
+    w.endObject();
+    obs::appendTextFile(std::string(dir) + "/BENCH_" + figureSlug() +
+                            ".json",
+                        w.str() + "\n");
 }
 
 void
@@ -67,9 +94,24 @@ recordRunReport(const SystemConfig &cfg, const RunResult &res)
     const char *dir = std::getenv("ZERODEV_REPORT_DIR");
     if (!dir || !*dir)
         return;
-    if (pendingReports().empty())
-        std::atexit(flushBenchReports);
-    pendingReports().push_back(obs::runReportJson(cfg, res));
+    if (pendingRuns().empty())
+        std::atexit(flushBenchTrajectory);
+
+    // One v2 report per run, numbered in execution order; the compare
+    // tool re-pairs them by config fingerprint + workload.
+    char name[32];
+    std::snprintf(name, sizeof(name), "_run%04zu", pendingRuns().size());
+    obs::writeRunReport(std::string(dir) + "/" + figureSlug() + name +
+                            ".json",
+                        cfg, res);
+
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(
+                      obs::configFingerprint(cfg)));
+    pendingRuns().push_back({fp, res.workload, res.cycles,
+                             res.coreCacheMisses, res.trafficBytes,
+                             res.devInvalidations});
 }
 
 } // namespace
@@ -90,9 +132,15 @@ RunResult
 runWorkload(const SystemConfig &cfg, const Workload &w,
             std::uint64_t accesses)
 {
+    const char *dir = std::getenv("ZERODEV_REPORT_DIR");
     CmpSystem sys(cfg);
     RunConfig rc;
     rc.accessesPerCore = accesses;
+    // Attribution costs a few array adds per transaction; only pay for
+    // it when the reports that would carry it are actually written.
+    obs::LatencyProfiler latency;
+    if (dir && *dir)
+        rc.latency = &latency;
     RunResult res = run(sys, w, rc);
     recordRunReport(cfg, res);
     return res;

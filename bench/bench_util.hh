@@ -31,10 +31,13 @@ std::uint64_t serverAccessesPerCore(std::uint64_t dflt = 8000);
 /**
  * Run @p w on a fresh system configured by @p cfg.
  *
- * When the ZERODEV_REPORT_DIR environment variable is set, every run's
- * JSON report (see obs/report.hh) is accumulated and written at process
- * exit to "<dir>/BENCH_<figure>.json", where <figure> is the slug of the
- * last banner() call.
+ * When the ZERODEV_REPORT_DIR environment variable is set, the run
+ * executes with a latency profiler attached and writes a v2 run report
+ * (see obs/report.hh) to "<dir>/<figure>_runNNNN.json"; at process exit
+ * one trajectory line ("zerodev-bench-trajectory-v1": commit from
+ * ZERODEV_COMMIT, per-run fingerprints and key metrics) is *appended*
+ * to "<dir>/BENCH_<figure>.json". <figure> is the slug of the last
+ * banner() call.
  */
 RunResult runWorkload(const SystemConfig &cfg, const Workload &w,
                       std::uint64_t accesses);

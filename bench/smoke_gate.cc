@@ -1,0 +1,66 @@
+/**
+ * @file
+ * CI smoke sweep: a reduced-access figure sweep whose v2 run reports
+ * feed the perf-regression gate. CI runs this with ZERODEV_REPORT_DIR
+ * pointing at a scratch directory and then executes
+ *
+ *   trace_tool compare bench/baselines/smoke <scratch>
+ *
+ * against the checked-in baseline reports; any gated metric growing
+ * past its noise threshold fails the job. Regenerate the baseline by
+ * running this target with ZERODEV_REPORT_DIR=bench/baselines/smoke
+ * (after deleting the old contents) whenever a perf change is
+ * intentional.
+ *
+ * The access count is fixed — not ZERODEV_ACCESSES-overridable — so the
+ * checked-in baseline and the CI run always simulate the same work.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/config.hh"
+#include "core/cmp_system.hh"
+
+using namespace zerodev;
+using namespace zerodev::bench;
+
+int
+main()
+{
+    banner("smoke", "reduced-access sweep for the CI perf gate");
+
+    // Fixed work: the baseline on disk was generated with exactly this.
+    constexpr std::uint64_t kAccesses = 3000;
+
+    // One multi-threaded app and one rate app, on the three directory
+    // organisations the figures sweep — small enough for CI, wide
+    // enough to cover the baseline, unbounded, and ZeroDEV protocols.
+    const char *apps[] = {"canneal", "mcf"};
+
+    const std::vector<std::function<SystemConfig()>> configs = {
+        [] { return makeEightCoreConfig(); },
+        [] {
+            SystemConfig cfg = makeEightCoreConfig();
+            cfg.dirOrg = DirOrg::Unbounded;
+            return cfg;
+        },
+        [] { return zdevEightCore(0.0); },
+    };
+
+    Table t({"app", "config", "cycles", "misses", "DEVs"});
+    for (const char *app : apps) {
+        const AppProfile p = profileByName(app);
+        const Workload w = workloadFor(p, 8);
+        for (const auto &make_cfg : configs) {
+            const SystemConfig cfg = make_cfg();
+            const RunResult r = runWorkload(cfg, w, kAccesses);
+            t.addRow({p.name, toString(cfg.dirOrg),
+                      std::to_string(r.cycles),
+                      std::to_string(r.coreCacheMisses),
+                      std::to_string(r.devInvalidations)});
+        }
+    }
+    t.print();
+    return 0;
+}

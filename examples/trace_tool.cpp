@@ -6,17 +6,20 @@
  * for feeding external traces to the simulator.
  *
  * The `sim` and `inspect` subcommands drive the observability layer:
- * `sim` runs a workload with the coherence tracer and interval sampler
- * attached and writes the full artefact set (Chrome trace, JSONL trace,
- * interval CSV/JSON, run report); `inspect` summarises a JSONL trace.
+ * `sim` runs a workload with the coherence tracer, interval sampler and
+ * latency profiler attached and writes the full artefact set (Chrome
+ * trace, JSONL trace, interval CSV/JSON, v2 run report); `inspect`
+ * summarises a JSONL trace. `compare` is the perf-regression gate: it
+ * diffs two run reports (or directories of them) pair-wise by config
+ * fingerprint + workload and fails when a gated metric grew beyond its
+ * noise threshold.
  *
- * Usage:
- *   trace_tool gen <app> <cores> <accesses-per-core> <file>
- *   trace_tool info <file>
- *   trace_tool replay <file> [baseline|unbounded|zerodev]
- *   trace_tool sim <app> <cores> <accesses-per-core> <outdir>
- *                  [baseline|unbounded|zerodev]
- *   trace_tool inspect <trace.jsonl>
+ * Exit codes (shared by every subcommand):
+ *   0  success (for `compare`: no regression)
+ *   1  runtime failure (I/O, malformed trace)
+ *   2  usage error (unknown subcommand / missing operands)
+ *   3  `compare` could not load a report set
+ *   4  `compare` detected a regression
  */
 
 #include <algorithm>
@@ -30,7 +33,9 @@
 
 #include "common/config.hh"
 #include "core/cmp_system.hh"
+#include "obs/compare.hh"
 #include "obs/json.hh"
+#include "obs/latency.hh"
 #include "obs/probes.hh"
 #include "obs/report.hh"
 #include "obs/sampler.hh"
@@ -44,14 +49,60 @@ using namespace zerodev;
 namespace
 {
 
+// Exit codes — keep in sync with the file header and docs.
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitCompareLoad = 3;
+constexpr int kExitRegression = 4;
+
+const char *const kUsage =
+    "usage: trace_tool <subcommand> [args]\n"
+    "\n"
+    "subcommands:\n"
+    "  gen <app> <cores> <accesses-per-core> <file>\n"
+    "      generate a reproducible access trace\n"
+    "  info <file>\n"
+    "      summarise a binary access trace\n"
+    "  replay <file> [baseline|unbounded|zerodev]\n"
+    "      replay a trace on a system configuration\n"
+    "  sim <app> <cores> <accesses-per-core> <outdir>\n"
+    "      [baseline|unbounded|zerodev]\n"
+    "      run with tracer+sampler+latency profiler attached; writes\n"
+    "      trace.json, trace.jsonl, intervals.csv/json, report.json\n"
+    "  inspect <trace.jsonl>\n"
+    "      summarise a JSONL coherence trace\n"
+    "  compare <baseline> <candidate> [--json <file>] [--markdown <file>]\n"
+    "      diff run reports (files or directories) by config fingerprint\n"
+    "      + workload; prints a markdown table and a JSON verdict\n"
+    "\n"
+    "exit codes: 0 ok/no regression, 1 runtime failure, 2 usage error,\n"
+    "            3 compare load failure, 4 regression detected\n";
+
+int
+usage(const char *why = nullptr)
+{
+    if (why)
+        std::fprintf(stderr, "trace_tool: %s\n", why);
+    std::fputs(kUsage, stderr);
+    return kExitUsage;
+}
+
+bool
+wantsHelp(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h"))
+            return true;
+    }
+    return false;
+}
+
 int
 cmdGen(int argc, char **argv)
 {
-    if (argc < 6) {
-        std::fprintf(stderr,
-                     "usage: trace_tool gen <app> <cores> <acc> <file>\n");
-        return 2;
-    }
+    if (argc < 6)
+        return usage("gen needs <app> <cores> <accesses-per-core> <file>");
     const AppProfile p = profileByName(argv[2]);
     const auto cores = static_cast<std::uint32_t>(std::atoi(argv[3]));
     const std::uint64_t acc = std::strtoull(argv[4], nullptr, 10);
@@ -70,16 +121,14 @@ cmdGen(int argc, char **argv)
     }
     std::printf("wrote %llu records to %s\n",
                 static_cast<unsigned long long>(out.written()), argv[5]);
-    return 0;
+    return kExitOk;
 }
 
 int
 cmdInfo(int argc, char **argv)
 {
-    if (argc < 3) {
-        std::fprintf(stderr, "usage: trace_tool info <file>\n");
-        return 2;
-    }
+    if (argc < 3)
+        return usage("info needs <file>");
     const TraceReader trace(argv[2]);
     std::map<std::uint32_t, std::uint64_t> per_core;
     std::uint64_t loads = 0, stores = 0, ifetches = 0, instructions = 0;
@@ -106,7 +155,7 @@ cmdInfo(int argc, char **argv)
     for (const auto &[core, n] : per_core)
         std::printf("  core %u: %llu accesses\n", core,
                     static_cast<unsigned long long>(n));
-    return 0;
+    return kExitOk;
 }
 
 SystemConfig
@@ -124,11 +173,8 @@ configFor(const char *org)
 int
 cmdReplay(int argc, char **argv)
 {
-    if (argc < 3) {
-        std::fprintf(stderr,
-                     "usage: trace_tool replay <file> [org]\n");
-        return 2;
-    }
+    if (argc < 3)
+        return usage("replay needs <file> [org]");
     const TraceReader trace(argv[2]);
     const char *org = argc > 3 ? argv[3] : "baseline";
     const SystemConfig cfg = configFor(org);
@@ -142,17 +188,15 @@ cmdReplay(int argc, char **argv)
                 static_cast<unsigned long long>(r.trafficBytes),
                 static_cast<unsigned long long>(r.devInvalidations));
     obs::maybeWriteRunReport(std::string("trace_replay_") + org, cfg, r);
-    return 0;
+    return kExitOk;
 }
 
 int
 cmdSim(int argc, char **argv)
 {
     if (argc < 6) {
-        std::fprintf(stderr,
-                     "usage: trace_tool sim <app> <cores> <acc> <outdir> "
-                     "[baseline|unbounded|zerodev]\n");
-        return 2;
+        return usage(
+            "sim needs <app> <cores> <accesses-per-core> <outdir> [org]");
     }
     const AppProfile p = profileByName(argv[2]);
     const auto cores = static_cast<std::uint32_t>(std::atoi(argv[3]));
@@ -170,11 +214,13 @@ cmdSim(int argc, char **argv)
     tracer.setEnabled(true);
     obs::IntervalSampler sampler(10000);
     obs::registerSystemProbes(sampler, sys);
+    obs::LatencyProfiler latency;
 
     RunConfig rc;
     rc.accessesPerCore = acc;
     rc.tracer = &tracer;
     rc.sampler = &sampler;
+    rc.latency = &latency;
     const RunResult r = run(sys, w, rc);
 
     const bool ok = tracer.writeChromeJson(outdir + "/trace.json") &&
@@ -193,23 +239,23 @@ cmdSim(int argc, char **argv)
     std::printf("intervals: %zu samples every %llu cycles\n",
                 sampler.samples().size(),
                 static_cast<unsigned long long>(sampler.interval()));
+    std::printf("latency: %llu transactions attributed\n",
+                static_cast<unsigned long long>(latency.transactions()));
     std::printf("%s trace.json trace.jsonl intervals.csv intervals.json "
                 "report.json in %s\n",
                 ok ? "wrote" : "FAILED writing", outdir.c_str());
-    return ok ? 0 : 1;
+    return ok ? kExitOk : kExitRuntime;
 }
 
 int
 cmdInspect(int argc, char **argv)
 {
-    if (argc < 3) {
-        std::fprintf(stderr, "usage: trace_tool inspect <trace.jsonl>\n");
-        return 2;
-    }
+    if (argc < 3)
+        return usage("inspect needs <trace.jsonl>");
     const auto text = obs::readTextFile(argv[2]);
     if (!text) {
         std::fprintf(stderr, "cannot read %s\n", argv[2]);
-        return 1;
+        return kExitRuntime;
     }
 
     std::map<std::string, std::uint64_t> by_kind, by_comp;
@@ -261,7 +307,55 @@ cmdInspect(int argc, char **argv)
             std::printf("  %-12s %llu\n", c.c_str(),
                         static_cast<unsigned long long>(n));
     }
-    return 0;
+    return kExitOk;
+}
+
+int
+cmdCompare(int argc, char **argv)
+{
+    std::string base_path, cand_path, json_path, md_path;
+    for (int i = 2; i < argc; ++i) {
+        const std::string_view a = argv[i];
+        if (a == "--json" || a == "--markdown") {
+            if (i + 1 >= argc)
+                return usage("compare: missing value after option");
+            (a == "--json" ? json_path : md_path) = argv[++i];
+        } else if (base_path.empty()) {
+            base_path = a;
+        } else if (cand_path.empty()) {
+            cand_path = a;
+        } else {
+            return usage("compare takes exactly two report paths");
+        }
+    }
+    if (base_path.empty() || cand_path.empty())
+        return usage("compare needs <baseline> <candidate>");
+
+    std::vector<obs::LoadedReport> base, cand;
+    std::string err;
+    if (!obs::loadReports(base_path, base, &err)) {
+        std::fprintf(stderr, "cannot load baseline: %s\n", err.c_str());
+        return kExitCompareLoad;
+    }
+    if (!obs::loadReports(cand_path, cand, &err)) {
+        std::fprintf(stderr, "cannot load candidate: %s\n", err.c_str());
+        return kExitCompareLoad;
+    }
+
+    const obs::CompareResult res = obs::compareReports(base, cand);
+    const std::string md = res.markdown();
+    const std::string verdict = res.verdictJson();
+
+    std::fputs(md.c_str(), stdout);
+    if (!md_path.empty() && !obs::writeTextFile(md_path, md))
+        return kExitRuntime;
+    if (!json_path.empty()) {
+        if (!obs::writeTextFile(json_path, verdict + "\n"))
+            return kExitRuntime;
+    } else {
+        std::printf("\n%s\n", verdict.c_str());
+    }
+    return res.regression() ? kExitRegression : kExitOk;
 }
 
 } // namespace
@@ -269,10 +363,11 @@ cmdInspect(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: trace_tool gen|info|replay|sim|inspect ...\n");
-        return 2;
+    if (argc < 2)
+        return usage();
+    if (wantsHelp(argc, argv) || !std::strcmp(argv[1], "help")) {
+        std::fputs(kUsage, stdout);
+        return kExitOk;
     }
     if (!std::strcmp(argv[1], "gen"))
         return cmdGen(argc, argv);
@@ -284,6 +379,7 @@ main(int argc, char **argv)
         return cmdSim(argc, argv);
     if (!std::strcmp(argv[1], "inspect"))
         return cmdInspect(argc, argv);
-    std::fprintf(stderr, "unknown subcommand '%s'\n", argv[1]);
-    return 2;
+    if (!std::strcmp(argv[1], "compare"))
+        return cmdCompare(argc, argv);
+    return usage("unknown subcommand");
 }

@@ -89,6 +89,8 @@ struct LlcStats
     std::uint64_t deEvictions = 0;  //!< spilled/fused entries evicted
     std::uint64_t deUpdates = 0;    //!< extra data-array writes to DEs
     std::uint64_t peakDeLines = 0;  //!< high-water mark of DE-bearing lines
+    std::uint64_t dataArrayReads = 0; //!< data-array reads on request
+                                      //!< critical paths (latency probes)
 };
 
 class Llc
@@ -132,6 +134,10 @@ class Llc
      *  engine, which knows the request intent). */
     void noteDataHit() { ++stats_.dataHits; }
     void noteDataMiss() { ++stats_.dataMisses; }
+
+    /** Record a data-array read charged to a request's critical path
+     *  (block reads, spilled/fused entry reads). */
+    void noteDataRead() { ++stats_.dataArrayReads; }
 
     /** Free one line. */
     void invalidateLine(LlcLine &line);

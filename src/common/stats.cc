@@ -155,13 +155,15 @@ Histogram::percentile(double q) const
 {
     if (samples_ == 0)
         return 0;
-    const auto target = static_cast<std::uint64_t>(
-        q * static_cast<double>(samples_));
+    // Smallest v covering ceil(q * N) samples; never less than one, so
+    // a single observation reports itself as every percentile.
+    auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(samples_)));
+    if (target == 0)
+        target = 1;
     std::uint64_t seen = 0;
     for (std::size_t v = 0; v < counts_.size(); ++v) {
         seen += counts_[v];
-        if (seen >= target && counts_[v] > 0)
-            return v;
         if (seen >= target)
             return v;
     }
@@ -174,6 +176,7 @@ Histogram::addTo(StatDump &dump, const std::string &prefix) const
     dump.add(prefix + ".samples", static_cast<double>(samples_));
     dump.add(prefix + ".mean", meanValue());
     dump.add(prefix + ".p50", static_cast<double>(percentile(0.50)));
+    dump.add(prefix + ".p95", static_cast<double>(percentile(0.95)));
     dump.add(prefix + ".p99", static_cast<double>(percentile(0.99)));
     for (std::size_t v = 0; v < counts_.size(); ++v) {
         if (counts_[v] != 0) {
@@ -192,6 +195,8 @@ Histogram::toJson() const
     appendJsonNumber(out, meanValue());
     out += ",\"p50\":";
     appendJsonNumber(out, static_cast<double>(percentile(0.50)));
+    out += ",\"p95\":";
+    appendJsonNumber(out, static_cast<double>(percentile(0.95)));
     out += ",\"p99\":";
     appendJsonNumber(out, static_cast<double>(percentile(0.99)));
     out += ",\"counts\":{";

@@ -84,8 +84,8 @@ class Histogram
     /** Render into a dump under names "<prefix>.pN" / buckets. */
     void addTo(StatDump &dump, const std::string &prefix) const;
 
-    /** Render as a JSON object: samples, mean, p50/p99, and the sparse
-     *  non-zero buckets ("counts": {"<value>": n, ...}). */
+    /** Render as a JSON object: samples, mean, p50/p95/p99, and the
+     *  sparse non-zero buckets ("counts": {"<value>": n, ...}). */
     std::string toJson() const;
 
     void clear();

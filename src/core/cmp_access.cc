@@ -11,6 +11,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/latency.hh"
 #include "obs/trace.hh"
 
 namespace zerodev
@@ -24,11 +25,15 @@ CmpSystem::handleMiss(Socket &s, CoreId c, AccessType type,
     // Miss detection in L1+L2, then the request crosses the mesh to the
     // home bank where the LLC tag array and the directory slice are
     // looked up in parallel (Section III-A).
-    Cycle base = now + pc.l1Cycles() + pc.l2Cycles() +
-                 meshCoreToBank(s, c, block);
+    const Cycle lookup = pc.l1Cycles() + pc.l2Cycles();
+    const Cycle to_bank = meshCoreToBank(s, c, block);
+    Cycle base = now + lookup + to_bank;
+    ZDEV_LAT(lat_, obs::LatComp::CoreLookup, lookup);
+    ZDEV_LAT(lat_, obs::LatComp::Mesh, to_bank);
     s.traffic.record(type == AccessType::Store ? MsgType::GetX
                                                : MsgType::GetS);
     base += s.llc.tagCycles();
+    ZDEV_LAT(lat_, obs::LatComp::DirLookup, s.llc.tagCycles());
 
     Tracking trk = findTracking(s, block);
     LlcProbe probe = s.llc.probe(block);
@@ -44,18 +49,25 @@ CmpSystem::handleMiss(Socket &s, CoreId c, AccessType type,
         // evict-together guarantee (Section III-D2 case iiia) means the
         // block has no sharer in this socket.
         s.llc.noteDataHit();
+        s.llc.noteDataRead();
         const bool global_shared = probe.data->globalShared;
         s.llc.touchData(probe);
-        Cycle lat = base + s.llc.dataCycles() + meshBankToCore(s, block, c);
+        const Cycle back = meshBankToCore(s, block, c);
+        Cycle lat = base + s.llc.dataCycles() + back;
+        ZDEV_LAT(lat_, obs::LatComp::LlcData, s.llc.dataCycles());
+        ZDEV_LAT(lat_, obs::LatComp::Mesh, back);
         s.traffic.record(MsgType::DataResp);
         ++proto_.twoHopReads;
 
         MesiState fill;
         DirEntry entry;
         if (type == AccessType::Store) {
-            if (cfg_.sockets > 1 && global_shared)
+            if (cfg_.sockets > 1 && global_shared) {
+                const Cycle data_path = lat;
                 lat = std::max(lat, base + invalidateRemoteSharers(
                                         s, block, now));
+                ZDEV_LAT(lat_, obs::LatComp::InvStall, lat - data_path);
+            }
             fill = MesiState::Modified;
             entry.makeOwned(c);
         } else if (type == AccessType::Ifetch) {
@@ -89,10 +101,14 @@ Cycle
 CmpSystem::handleUpgrade(Socket &s, CoreId c, BlockAddr block, Cycle now)
 {
     PrivateCache &pc = s.cores[c];
-    Cycle base = now + pc.l1Cycles() + pc.l2Cycles() +
-                 meshCoreToBank(s, c, block);
+    const Cycle lookup = pc.l1Cycles() + pc.l2Cycles();
+    const Cycle to_bank = meshCoreToBank(s, c, block);
+    Cycle base = now + lookup + to_bank;
+    ZDEV_LAT(lat_, obs::LatComp::CoreLookup, lookup);
+    ZDEV_LAT(lat_, obs::LatComp::Mesh, to_bank);
     s.traffic.record(MsgType::Upgrade);
     base += s.llc.tagCycles();
+    ZDEV_LAT(lat_, obs::LatComp::DirLookup, s.llc.tagCycles());
 
     Tracking trk = findTracking(s, block);
     if (!trk.found()) {
@@ -103,6 +119,8 @@ CmpSystem::handleUpgrade(Socket &s, CoreId c, BlockAddr block, Cycle now)
         Cycle mem_base = base;
         if (h.id != s.id) {
             mem_base += cfg_.interSocketCycles;
+            ZDEV_LAT(lat_, obs::LatComp::InterSocket,
+                     cfg_.interSocketCycles);
             s.traffic.record(MsgType::GetDe);
         }
         auto entry = extractEntryFromMemory(s, block, mem_base);
@@ -112,8 +130,12 @@ CmpSystem::handleUpgrade(Socket &s, CoreId c, BlockAddr block, Cycle now)
         ++proto_.corruptedResponses;
         h.traffic.record(MsgType::DataRespCorrupted);
         base = h.dram.read(block, mem_base, true) + 1; // +1: extraction
-        if (h.id != s.id)
+        ZDEV_LAT(lat_, obs::LatComp::DeMemory, base - mem_base);
+        if (h.id != s.id) {
             base += cfg_.interSocketCycles;
+            ZDEV_LAT(lat_, obs::LatComp::InterSocket,
+                     cfg_.interSocketCycles);
+        }
         trk.where = TrackWhere::None;
         trk.entry = *entry;
     }
@@ -127,6 +149,8 @@ CmpSystem::handleUpgrade(Socket &s, CoreId c, BlockAddr block, Cycle now)
     if (trk.where == TrackWhere::LlcSpilled ||
         trk.where == TrackWhere::LlcFused) {
         base += s.llc.dataCycles();
+        s.llc.noteDataRead();
+        ZDEV_LAT(lat_, obs::LatComp::FuseSpill, s.llc.dataCycles());
     }
 
     // Invalidate the other sharers; the dataless response carries the
@@ -143,10 +167,13 @@ CmpSystem::handleUpgrade(Socket &s, CoreId c, BlockAddr block, Cycle now)
                                 meshCoreToCore(s, x, c));
     }
     s.traffic.record(MsgType::AckResp);
-    Cycle lat = std::max(base + meshBankToCore(s, block, c), inv_done);
+    const Cycle back = meshBankToCore(s, block, c);
+    ZDEV_LAT(lat_, obs::LatComp::Mesh, back);
+    Cycle lat = std::max(base + back, inv_done);
 
     if (cfg_.sockets > 1)
         lat = std::max(lat, base + invalidateRemoteSharers(s, block, now));
+    ZDEV_LAT(lat_, obs::LatComp::InvStall, lat - (base + back));
 
     entry.makeOwned(c);
     if (cfg_.llcFlavor == LlcFlavor::Epd)
@@ -175,8 +202,11 @@ CmpSystem::serveTracked(Socket &s, CoreId c, AccessType type,
             panic("owner missed on its own block");
         // Three-hop transaction: forward to the owner, which responds to
         // the requester directly and sends busy-clear to the home.
-        Cycle lat = base + meshBankToCore(s, block, o) +
-                    s.cores[o].l2Cycles() + meshCoreToCore(s, o, c);
+        const Cycle fwd = meshBankToCore(s, block, o);
+        const Cycle resp = meshCoreToCore(s, o, c);
+        Cycle lat = base + fwd + s.cores[o].l2Cycles() + resp;
+        ZDEV_LAT(lat_, obs::LatComp::Mesh, fwd + resp);
+        ZDEV_LAT(lat_, obs::LatComp::CoreLookup, s.cores[o].l2Cycles());
         ZDEV_TRACE(trc_, obs::TraceEventKind::Forward,
                    obs::TraceComp::Mesh, s.id, c, block, base, lat - base,
                    o, txn_);
@@ -187,9 +217,12 @@ CmpSystem::serveTracked(Socket &s, CoreId c, AccessType type,
             s.traffic.record(MsgType::BusyClear);
             s.cores[o].invalidate(block, false);
             entry.makeOwned(c);
-            if (cfg_.sockets > 1 && llc_global_shared)
+            if (cfg_.sockets > 1 && llc_global_shared) {
+                const Cycle data_path = lat;
                 lat = std::max(lat, base + invalidateRemoteSharers(
                                         s, block, now));
+                ZDEV_LAT(lat_, obs::LatComp::InvStall, lat - data_path);
+            }
             writeTracking(s, block, trk.where, entry, now);
             fillCore(s, c, type, block, MesiState::Modified, now);
         } else {
@@ -229,11 +262,19 @@ CmpSystem::serveTracked(Socket &s, CoreId c, AccessType type,
         Cycle data_ready;
         if (data_in_llc) {
             s.llc.noteDataHit();
+            s.llc.noteDataRead();
             s.llc.touchData(probe);
             Cycle read = s.llc.dataCycles();
-            if (two_tag_match)
+            ZDEV_LAT(lat_, obs::LatComp::LlcData, s.llc.dataCycles());
+            if (two_tag_match) {
                 read += s.llc.dataCycles(); // entry + block, serialised
-            data_ready = base + read + meshBankToCore(s, block, c);
+                s.llc.noteDataRead();
+                ZDEV_LAT(lat_, obs::LatComp::FuseSpill,
+                         s.llc.dataCycles());
+            }
+            const Cycle back = meshBankToCore(s, block, c);
+            ZDEV_LAT(lat_, obs::LatComp::Mesh, back);
+            data_ready = base + read + back;
             s.traffic.record(MsgType::DataResp);
         } else {
             // No usable data in the LLC (absent, or corrupted by a
@@ -242,8 +283,12 @@ CmpSystem::serveTracked(Socket &s, CoreId c, AccessType type,
             const CoreId x = entry.anySharer();
             s.traffic.record(MsgType::FwdGetX);
             s.traffic.record(MsgType::DataResp);
-            data_ready = base + meshBankToCore(s, block, x) +
-                         s.cores[x].l2Cycles() + meshCoreToCore(s, x, c);
+            const Cycle fwd = meshBankToCore(s, block, x);
+            const Cycle resp = meshCoreToCore(s, x, c);
+            ZDEV_LAT(lat_, obs::LatComp::Mesh, fwd + resp);
+            ZDEV_LAT(lat_, obs::LatComp::CoreLookup,
+                     s.cores[x].l2Cycles());
+            data_ready = base + fwd + s.cores[x].l2Cycles() + resp;
         }
         Cycle inv_done = base;
         for (CoreId x = 0; x < cfg_.coresPerSocket; ++x) {
@@ -260,6 +305,7 @@ CmpSystem::serveTracked(Socket &s, CoreId c, AccessType type,
         if (cfg_.sockets > 1 && (llc_global_shared || !data_in_llc))
             lat = std::max(lat,
                            base + invalidateRemoteSharers(s, block, now));
+        ZDEV_LAT(lat_, obs::LatComp::InvStall, lat - data_ready);
         entry.makeOwned(c);
         if (cfg_.llcFlavor == LlcFlavor::Epd)
             epdDeallocate(s, block);
@@ -272,17 +318,23 @@ CmpSystem::serveTracked(Socket &s, CoreId c, AccessType type,
     Cycle lat;
     if (data_in_llc) {
         s.llc.noteDataHit();
+        s.llc.noteDataRead();
         s.llc.touchData(probe);
         ++proto_.twoHopReads;
         Cycle read = s.llc.dataCycles();
+        ZDEV_LAT(lat_, obs::LatComp::LlcData, s.llc.dataCycles());
         if (two_tag_match && cfg_.dirCachePolicy == DirCachePolicy::SpillAll) {
             // SpillAll reads the entry first, then the block: the read
             // sees one extra data-array latency (Section III-C1). FPSS
             // reads the block first and updates the entry off the
             // critical path (Section III-C2).
             read += s.llc.dataCycles();
+            s.llc.noteDataRead();
+            ZDEV_LAT(lat_, obs::LatComp::FuseSpill, s.llc.dataCycles());
         }
-        lat = base + read + meshBankToCore(s, block, c);
+        const Cycle back = meshBankToCore(s, block, c);
+        ZDEV_LAT(lat_, obs::LatComp::Mesh, back);
+        lat = base + read + back;
         s.traffic.record(MsgType::DataResp);
         if (trk.where == TrackWhere::LlcSpilled ||
             trk.where == TrackWhere::LlcFused) {
@@ -297,8 +349,11 @@ CmpSystem::serveTracked(Socket &s, CoreId c, AccessType type,
         s.traffic.record(MsgType::FwdGetS);
         s.traffic.record(MsgType::DataResp);
         s.traffic.record(MsgType::BusyClear);
-        lat = base + meshBankToCore(s, block, x) + s.cores[x].l2Cycles() +
-              meshCoreToCore(s, x, c);
+        const Cycle fwd = meshBankToCore(s, block, x);
+        const Cycle resp = meshCoreToCore(s, x, c);
+        ZDEV_LAT(lat_, obs::LatComp::Mesh, fwd + resp);
+        ZDEV_LAT(lat_, obs::LatComp::CoreLookup, s.cores[x].l2Cycles());
+        lat = base + fwd + s.cores[x].l2Cycles() + resp;
         if (!fused_in_llc && cfg_.llcFlavor != LlcFlavor::Epd &&
             cfg_.dirCachePolicy != DirCachePolicy::FuseAll) {
             // The sharer's response also refills the LLC so later reads
@@ -338,6 +393,7 @@ CmpSystem::serveSocketMiss(Socket &s, CoreId c, AccessType type,
             panic("destroyed memory block without our segment");
         ++proto_.corruptedResponses;
         const Cycle mem_done = h.dram.read(block, base, true) + 1;
+        ZDEV_LAT(lat_, obs::LatComp::DeMemory, mem_done - base);
         s.traffic.record(MsgType::MemRead);
         s.traffic.record(MsgType::DataRespCorrupted);
         Tracking trk;
@@ -354,7 +410,10 @@ CmpSystem::serveSocketMiss(Socket &s, CoreId c, AccessType type,
     const Cycle mem_done = h.dram.read(block, base, false);
     ZDEV_TRACE(trc_, obs::TraceEventKind::MemRead, obs::TraceComp::Memory,
                h.id, c, block, base, mem_done - base, 0, txn_);
-    const Cycle lat = mem_done + meshBankToCore(s, block, c);
+    ZDEV_LAT(lat_, obs::LatComp::Dram, mem_done - base);
+    const Cycle back = meshBankToCore(s, block, c);
+    ZDEV_LAT(lat_, obs::LatComp::Mesh, back);
+    const Cycle lat = mem_done + back;
 
     MesiState fill;
     DirEntry entry;

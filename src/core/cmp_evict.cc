@@ -11,6 +11,7 @@
 #include "core/cmp_system.hh"
 
 #include "common/log.hh"
+#include "obs/latency.hh"
 #include "obs/trace.hh"
 
 namespace zerodev
@@ -111,7 +112,11 @@ CmpSystem::evictionWithoutEntry(Socket &s, CoreId c, BlockAddr block,
         panic("eviction notice for block %#llx found no directory entry "
               "anywhere", static_cast<unsigned long long>(block));
     }
+    const Cycle de_start = t;
     t = h.dram.read(block, t, true);
+    // GET_DE runs behind the eviction notice, off the requester's
+    // critical path: account it as background entry-memory work.
+    ZDEV_LAT_OFFPATH(lat_, obs::LatComp::DeMemory, t - de_start);
     h.traffic.record(MsgType::DeResp);
     if (!entry->isSharer(c))
         panic("GET_DE entry does not track the evicting core");

@@ -6,6 +6,7 @@
 #include "common/log.hh"
 #include "directory/mgd.hh"
 #include "directory/secdir.hh"
+#include "obs/latency.hh"
 #include "obs/trace.hh"
 
 namespace zerodev
@@ -139,12 +140,16 @@ CmpSystem::access(CoreId gcore, AccessType type, BlockAddr block,
     ZDEV_TRACE(trc_, obs::TraceEventKind::Request, obs::TraceComp::Core,
                s.id, gcore, block, now, 0,
                static_cast<std::uint32_t>(type), txn_);
+    ZDEV_LAT_BEGIN(lat_);
 
     switch (pc.access(type, block)) {
       case CoreLookup::L1Hit:
+        ZDEV_LAT(lat_, obs::LatComp::CoreLookup, pc.l1Cycles());
         return finishAccess(AccessClass::L1Hit, now,
                             now + pc.l1Cycles());
       case CoreLookup::L2Hit:
+        ZDEV_LAT(lat_, obs::LatComp::CoreLookup,
+                 pc.l1Cycles() + pc.l2Cycles());
         return finishAccess(AccessClass::L2Hit, now,
                             now + pc.l1Cycles() + pc.l2Cycles());
       case CoreLookup::NeedUpgrade:
@@ -250,6 +255,7 @@ CmpSystem::finishAccess(AccessClass cls, Cycle start, Cycle done)
     const auto i = static_cast<std::size_t>(cls);
     ++proto_.classCount[i];
     proto_.classCycles[i] += done - start;
+    ZDEV_LAT_END(lat_, static_cast<std::uint32_t>(cls), done - start);
     ZDEV_TRACE(trc_, obs::TraceEventKind::Complete,
                obs::TraceComp::Protocol, socketOfCore(txnCore_), txnCore_,
                txnBlock_, start, done - start,
@@ -315,8 +321,15 @@ CmpSystem::report() const
         d.add(p + "llc.fuse_ops", static_cast<double>(l.fuseOps));
         d.add(p + "llc.peak_de_lines",
               static_cast<double>(l.peakDeLines));
+        d.add(p + "llc.data_array_reads",
+              static_cast<double>(l.dataArrayReads));
         d.add(p + "llc.de_lines",
               static_cast<double>(sockets_[s]->llc.deLines()));
+        const Mesh &m = sockets_[s]->mesh;
+        d.add(p + "mesh.traversals",
+              static_cast<double>(m.stats().traversals));
+        d.add(p + "mesh.total_hops", static_cast<double>(m.stats().hops));
+        m.hopHist().addTo(d, p + "mesh.hops");
         if (sockets_[s]->sparseDir) {
             d.add(p + "dir.live",
                   static_cast<double>(sockets_[s]->sparseDir->liveEntries()));

@@ -44,6 +44,7 @@ namespace zerodev
 namespace obs
 {
 class Tracer;
+class LatencyProfiler;
 } // namespace obs
 
 /** Where a block's in-socket directory entry currently lives. */
@@ -208,6 +209,11 @@ class CmpSystem
      *  outlive the attachment; events flow only while it is enabled. */
     void attachTracer(obs::Tracer *t) { trc_ = t; }
     obs::Tracer *tracer() const { return trc_; }
+
+    /** Attach (or detach, with null) a critical-path latency profiler.
+     *  Same lifetime/cost contract as the tracer. */
+    void attachLatencyProfiler(obs::LatencyProfiler *p) { lat_ = p; }
+    obs::LatencyProfiler *latencyProfiler() const { return lat_; }
 
   private:
     struct Socket
@@ -388,6 +394,7 @@ class CmpSystem
     Histogram sharingDegree_{kMaxCores};
     Histogram devSize_{kMaxCores};
     obs::Tracer *trc_ = nullptr;
+    obs::LatencyProfiler *lat_ = nullptr;
     std::uint64_t txn_ = 0;   //!< id of the in-flight transaction
     CoreId txnCore_ = 0;      //!< global core that issued it
     BlockAddr txnBlock_ = 0;  //!< block it targets

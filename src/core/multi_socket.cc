@@ -12,6 +12,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/latency.hh"
 
 namespace zerodev
 {
@@ -113,6 +114,9 @@ CmpSystem::supplyFromSocket(Socket &f, AccessType type, BlockAddr block,
         if (probe.data && probe.data->kind == LlcLineKind::Data) {
             const Cycle internal =
                 f.llc.tagCycles() + f.llc.dataCycles();
+            f.llc.noteDataRead();
+            ZDEV_LAT(lat_, obs::LatComp::DirLookup, f.llc.tagCycles());
+            ZDEV_LAT(lat_, obs::LatComp::LlcData, f.llc.dataCycles());
             if (invalidate_all) {
                 f.llc.invalidateLine(*probe.data);
                 if (probe.spilled)
@@ -133,8 +137,11 @@ CmpSystem::supplyFromSocket(Socket &f, AccessType type, BlockAddr block,
 
     const CoreId x = entry.state == DirState::Owned ? entry.owner()
                                                     : entry.anySharer();
-    Cycle internal = f.llc.tagCycles() + meshBankToCore(f, block, x) +
-                     f.cores[x].l2Cycles();
+    const Cycle fwd_hop = meshBankToCore(f, block, x);
+    Cycle internal = f.llc.tagCycles() + fwd_hop + f.cores[x].l2Cycles();
+    ZDEV_LAT(lat_, obs::LatComp::DirLookup, f.llc.tagCycles());
+    ZDEV_LAT(lat_, obs::LatComp::Mesh, fwd_hop);
+    ZDEV_LAT(lat_, obs::LatComp::CoreLookup, f.cores[x].l2Cycles());
 
     if (invalidate_all) {
         for (CoreId y = 0; y < cfg_.coresPerSocket; ++y) {
@@ -187,6 +194,7 @@ CmpSystem::forwardToSharerSocket(Socket &s, CoreId c, AccessType type,
     h.traffic.record(type == AccessType::Store ? MsgType::FwdGetX
                                                : MsgType::FwdGetS);
     Cycle t = now + cfg_.interSocketCycles; // home -> F
+    ZDEV_LAT(lat_, obs::LatComp::InterSocket, cfg_.interSocketCycles);
 
     Tracking trk = findTracking(f, block);
     bool llc_copy = false;
@@ -201,12 +209,16 @@ CmpSystem::forwardToSharerSocket(Socket &s, CoreId c, AccessType type,
         ++proto_.denfNacks;
         f.traffic.record(MsgType::DenfNack);
         t += cfg_.interSocketCycles;            // F -> home NACK
+        ZDEV_LAT(lat_, obs::LatComp::InterSocket, cfg_.interSocketCycles);
         auto fentry = h.memStore.loadSegment(block, fid);
         if (!fentry)
             panic("DENF_NACK but no segment for the forwarded socket");
+        const Cycle de_start = t;
         t = h.dram.read(block, t, true);        // read corrupted block
+        ZDEV_LAT(lat_, obs::LatComp::DeMemory, t - de_start);
         h.traffic.record(MsgType::FwdWithDe);
         t += cfg_.interSocketCycles;            // home -> F resend
+        ZDEV_LAT(lat_, obs::LatComp::InterSocket, cfg_.interSocketCycles);
         h.memStore.clearSegment(block, fid);
 
         // F concludes the request using the carried entry.
@@ -214,8 +226,11 @@ CmpSystem::forwardToSharerSocket(Socket &s, CoreId c, AccessType type,
         const CoreId x = entry.state == DirState::Owned
                              ? entry.owner()
                              : entry.anySharer();
-        t += f.llc.tagCycles() + meshBankToCore(f, block, x) +
-             f.cores[x].l2Cycles();
+        const Cycle fwd_hop = meshBankToCore(f, block, x);
+        t += f.llc.tagCycles() + fwd_hop + f.cores[x].l2Cycles();
+        ZDEV_LAT(lat_, obs::LatComp::DirLookup, f.llc.tagCycles());
+        ZDEV_LAT(lat_, obs::LatComp::Mesh, fwd_hop);
+        ZDEV_LAT(lat_, obs::LatComp::CoreLookup, f.cores[x].l2Cycles());
         if (type == AccessType::Store) {
             for (CoreId y = 0; y < cfg_.coresPerSocket; ++y) {
                 if (entry.isSharer(y))
@@ -235,11 +250,13 @@ CmpSystem::forwardToSharerSocket(Socket &s, CoreId c, AccessType type,
         }
         f.traffic.record(MsgType::DataResp);
         t += cfg_.interSocketCycles; // F -> requester data
+        ZDEV_LAT(lat_, obs::LatComp::InterSocket, cfg_.interSocketCycles);
         return t;
     }
 
     t = supplyFromSocket(f, type, block, t, type == AccessType::Store);
     t += cfg_.interSocketCycles; // F -> requester data
+    ZDEV_LAT(lat_, obs::LatComp::InterSocket, cfg_.interSocketCycles);
     return t;
 }
 
@@ -251,17 +268,21 @@ CmpSystem::serveSocketMissMulti(Socket &s, CoreId c, AccessType type,
     Cycle t = base;
     if (h.id != s.id) {
         t += cfg_.interSocketCycles;
+        ZDEV_LAT(lat_, obs::LatComp::InterSocket, cfg_.interSocketCycles);
         s.traffic.record(type == AccessType::Store ? MsgType::GetX
                                                    : MsgType::GetS);
     }
     t += 2; // socket-level directory cache lookup
+    ZDEV_LAT(lat_, obs::LatComp::DirLookup, 2);
 
     SocketDirectory::Access acc = h.socketDir->access(block);
     if (acc.cacheMiss && acc.entry.live()) {
         // Directory-cache miss: the entry comes from home memory — a
         // backup read (solution 1) or a DirEvict-bit extraction from
         // the block itself (solution 2).
+        const Cycle de_start = t;
         t = h.dram.read(block, t, true);
+        ZDEV_LAT(lat_, obs::LatComp::DeMemory, t - de_start);
         h.traffic.record(MsgType::MemRead);
     }
     SocketDirEntry &se = acc.entry;
@@ -293,11 +314,17 @@ CmpSystem::serveSocketMissMulti(Socket &s, CoreId c, AccessType type,
     switch (se.state) {
       case SocketDirState::Invalid: {
         const Cycle mem = h.dram.read(block, t, false);
+        ZDEV_LAT(lat_, obs::LatComp::Dram, mem - t);
         h.traffic.record(MsgType::MemRead);
         h.traffic.record(MsgType::MemReadResp);
-        Cycle done = mem + meshBankToCore(s, block, c);
-        if (h.id != s.id)
+        const Cycle back = meshBankToCore(s, block, c);
+        ZDEV_LAT(lat_, obs::LatComp::Mesh, back);
+        Cycle done = mem + back;
+        if (h.id != s.id) {
             done += cfg_.interSocketCycles;
+            ZDEV_LAT(lat_, obs::LatComp::InterSocket,
+                     cfg_.interSocketCycles);
+        }
         if (fill == MesiState::Shared) {
             se.state = SocketDirState::Shared;
         } else {
@@ -337,20 +364,28 @@ CmpSystem::serveSocketMissMulti(Socket &s, CoreId c, AccessType type,
                 se.sharers.reset(g);
             }
             const Cycle mem = h.dram.read(block, t, false);
+            ZDEV_LAT(lat_, obs::LatComp::Dram, mem - t);
             done = std::max<Cycle>(mem, t + 2ull * cfg_.interSocketCycles);
+            ZDEV_LAT(lat_, obs::LatComp::InvStall, done - mem);
             se.state = SocketDirState::Owned;
             se.sharers.set(s.id);
         } else {
             const Cycle mem = h.dram.read(block, t, false);
+            ZDEV_LAT(lat_, obs::LatComp::Dram, mem - t);
             done = mem;
             se.sharers.set(s.id);
             fill = MesiState::Shared;
         }
         h.traffic.record(MsgType::MemRead);
         h.traffic.record(MsgType::MemReadResp);
-        done += meshBankToCore(s, block, c);
-        if (h.id != s.id)
+        const Cycle back = meshBankToCore(s, block, c);
+        ZDEV_LAT(lat_, obs::LatComp::Mesh, back);
+        done += back;
+        if (h.id != s.id) {
             done += cfg_.interSocketCycles;
+            ZDEV_LAT(lat_, obs::LatComp::InterSocket,
+                     cfg_.interSocketCycles);
+        }
         return finishAccess(AccessClass::Memory, now,
                             finish(done, false, !is_store, fill));
       }
@@ -360,6 +395,8 @@ CmpSystem::serveSocketMissMulti(Socket &s, CoreId c, AccessType type,
         if (fid == static_cast<SocketId>(~0u))
             panic("socket-level Owned entry with no owner socket");
         h.traffic.record(is_store ? MsgType::FwdGetX : MsgType::FwdGetS);
+        ZDEV_LAT(lat_, obs::LatComp::InterSocket,
+                 2ull * cfg_.interSocketCycles);
         Cycle done = supplyFromSocket(*sockets_[fid], type, block,
                                       t + cfg_.interSocketCycles,
                                       is_store);
@@ -391,10 +428,14 @@ CmpSystem::serveSocketMissMulti(Socket &s, CoreId c, AccessType type,
                 panic("corrupted entry lists socket %u but no segment",
                       s.id);
             Cycle done = h.dram.read(block, t, true) + 1;
+            ZDEV_LAT(lat_, obs::LatComp::DeMemory, done - t);
             h.traffic.record(MsgType::MemRead);
             h.traffic.record(MsgType::DataRespCorrupted);
-            if (h.id != s.id)
+            if (h.id != s.id) {
                 done += cfg_.interSocketCycles;
+                ZDEV_LAT(lat_, obs::LatComp::InterSocket,
+                         cfg_.interSocketCycles);
+            }
             Tracking trk;
             trk.where = TrackWhere::None;
             trk.entry = *entry;

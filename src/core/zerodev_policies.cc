@@ -12,6 +12,7 @@
 #include "core/cmp_system.hh"
 
 #include "common/log.hh"
+#include "obs/latency.hh"
 #include "obs/trace.hh"
 
 namespace zerodev
@@ -256,7 +257,10 @@ CmpSystem::writebackEntryToMemory(Socket &s, BlockAddr block,
         }
     }
     if (other_segment) {
+        const Cycle de_start = t;
         t = h.dram.read(block, t, true);
+        // WB_DE is posted: the read-modify-write delays no requester.
+        ZDEV_LAT_OFFPATH(lat_, obs::LatComp::DeMemory, t - de_start);
         h.traffic.record(MsgType::MemRead);
     }
     h.dram.write(block, t, true);

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "common/stats.hh"
 #include "common/types.hh"
 
 namespace zerodev
@@ -53,11 +54,24 @@ class Mesh
         const std::uint32_t h = hops(from, to);
         ++stats_.traversals;
         stats_.hops += h;
+        hopHist_.record(h);
         return static_cast<Cycle>(h) * hopCycles_;
     }
 
     const MeshStats &stats() const { return stats_; }
-    void clearStats() { stats_ = MeshStats{}; }
+
+    /** Per-traversal hop-count distribution (feeds the latency-probe
+     *  reporting; a traversal's cycles are hops * hopCycles). */
+    const Histogram &hopHist() const { return hopHist_; }
+
+    std::uint32_t hopCycles() const { return hopCycles_; }
+
+    void
+    clearStats()
+    {
+        stats_ = MeshStats{};
+        hopHist_.clear();
+    }
 
     /** Tile of core @p c (one core per tile). */
     std::uint32_t tileOfCore(CoreId c) const { return c % tiles_; }
@@ -74,6 +88,9 @@ class Mesh
     std::uint32_t rows_;
     std::uint32_t hopCycles_;
     mutable MeshStats stats_;
+    /** Largest Manhattan distance in a kMaxCores-tile mesh is well
+     *  under 64; exact buckets keep every percentile precise. */
+    mutable Histogram hopHist_{64};
 };
 
 } // namespace zerodev

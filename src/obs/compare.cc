@@ -1,0 +1,336 @@
+#include "obs/compare.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "obs/json.hh"
+#include "obs/report.hh"
+#include "sim/runner.hh"
+
+namespace zerodev::obs
+{
+
+namespace
+{
+
+/** Sentinel relative delta for a metric that appears from zero. */
+constexpr double kFromZero = 1e9;
+
+bool
+isRunReportSchema(const JsonValue &doc)
+{
+    return doc.str("schema").rfind("zerodev-run-report-", 0) == 0;
+}
+
+std::optional<LoadedReport>
+extractReport(const JsonValue &doc, const std::string &path,
+              std::string *err)
+{
+    std::string why;
+    if (!validateRunReport(doc, &why)) {
+        if (err)
+            *err = path + ": " + why;
+        return std::nullopt;
+    }
+
+    LoadedReport r;
+    r.path = path;
+    const JsonValue *config = doc.find("config");
+    r.configName = config->str("name");
+    r.fingerprint = config->str("fingerprint");
+
+    const JsonValue *result = doc.find("result");
+    r.workload = result->str("workload");
+    for (const char *k : {"cycles", "coreCacheMisses", "trafficBytes",
+                          "devInvalidations"})
+        r.metrics[k] = result->num(k);
+    if (const JsonValue *cores = result->find("cores")) {
+        for (const JsonValue &core : cores->array)
+            r.coreIpc.push_back(core.num("ipc"));
+    }
+
+    // v2: per-component critical-path cycle totals.
+    if (const JsonValue *lat = doc.find("latency_breakdown")) {
+        if (const JsonValue *comps = lat->find("components")) {
+            for (const auto &[name, comp] : comps->object)
+                r.metrics["latency." + name] = comp.num("cycles");
+        }
+    }
+    return r;
+}
+
+std::string
+percent(double rel)
+{
+    if (rel >= kFromZero)
+        return "n/a";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.2f%%", rel * 100.0);
+    return buf;
+}
+
+} // namespace
+
+std::optional<LoadedReport>
+loadReportFile(const std::string &path, std::string *err)
+{
+    const auto text = readTextFile(path);
+    if (!text) {
+        if (err)
+            *err = path + ": cannot read";
+        return std::nullopt;
+    }
+    std::string why;
+    const auto doc = parseJson(*text, &why);
+    if (!doc) {
+        if (err)
+            *err = path + ": " + why;
+        return std::nullopt;
+    }
+    return extractReport(*doc, path, err);
+}
+
+bool
+loadReports(const std::string &path, std::vector<LoadedReport> &out,
+            std::string *err)
+{
+    namespace fs = std::filesystem;
+    const auto fail = [err](const std::string &why) {
+        if (err)
+            *err = why;
+        return false;
+    };
+
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+        std::vector<std::string> files;
+        for (const auto &entry : fs::directory_iterator(path, ec)) {
+            if (entry.is_regular_file() &&
+                entry.path().extension() == ".json")
+                files.push_back(entry.path().string());
+        }
+        if (ec)
+            return fail(path + ": " + ec.message());
+        std::sort(files.begin(), files.end());
+
+        const std::size_t before = out.size();
+        for (const std::string &file : files) {
+            const auto text = readTextFile(file);
+            if (!text)
+                return fail(file + ": cannot read");
+            std::string why;
+            const auto doc = parseJson(*text, &why);
+            if (!doc)
+                return fail(file + ": " + why);
+            // Report directories also hold trajectory files and compare
+            // verdicts; only run reports participate.
+            if (!isRunReportSchema(*doc))
+                continue;
+            auto r = extractReport(*doc, file, err);
+            if (!r)
+                return false;
+            out.push_back(std::move(*r));
+        }
+        if (out.size() == before)
+            return fail(path + ": no run reports found");
+        return true;
+    }
+
+    if (!fs::exists(path, ec))
+        return fail(path + ": no such file or directory");
+    auto r = loadReportFile(path, err);
+    if (!r)
+        return false;
+    out.push_back(std::move(*r));
+    return true;
+}
+
+double
+CompareOptions::thresholdFor(const std::string &metric) const
+{
+    double best = defaultThreshold;
+    std::size_t best_len = 0;
+    for (const auto &[prefix, thr] : prefixThresholds) {
+        if (metric.rfind(prefix, 0) == 0 && prefix.size() >= best_len) {
+            best = thr;
+            best_len = prefix.size();
+        }
+    }
+    return best;
+}
+
+bool
+PairComparison::regression() const
+{
+    for (const MetricDelta &d : deltas) {
+        if (d.regression)
+            return true;
+    }
+    return false;
+}
+
+bool
+CompareResult::regression() const
+{
+    for (const PairComparison &p : pairs) {
+        if (p.regression())
+            return true;
+    }
+    return false;
+}
+
+CompareResult
+compareReports(const std::vector<LoadedReport> &base,
+               const std::vector<LoadedReport> &cand,
+               const CompareOptions &opt)
+{
+    CompareResult res;
+
+    std::map<std::string, const LoadedReport *> base_by_key;
+    for (const LoadedReport &b : base)
+        base_by_key.emplace(b.key(), &b); // keep the first on duplicates
+
+    std::map<std::string, bool> base_matched;
+    for (const LoadedReport &c : cand) {
+        const auto it = base_by_key.find(c.key());
+        if (it == base_by_key.end()) {
+            res.candidateOnly.push_back(c.key());
+            continue;
+        }
+        const LoadedReport &b = *it->second;
+        base_matched[c.key()] = true;
+
+        PairComparison pair;
+        pair.key = c.key();
+        pair.configName = c.configName;
+        pair.workload = c.workload;
+        pair.weightedSpeedup = weightedSpeedup(b.coreIpc, c.coreIpc);
+
+        for (const auto &[name, bval] : b.metrics) {
+            const auto cit = c.metrics.find(name);
+            if (cit == c.metrics.end())
+                continue; // v1-vs-v2: gate only the common metrics
+            MetricDelta d;
+            d.metric = name;
+            d.base = bval;
+            d.cand = cit->second;
+            d.threshold = opt.thresholdFor(name);
+            if (bval > 0.0)
+                d.rel = (d.cand - bval) / bval;
+            else
+                d.rel = d.cand > 0.0 ? kFromZero : 0.0;
+            d.regression = d.rel > d.threshold;
+            d.improvement = d.rel < -d.threshold;
+            pair.deltas.push_back(std::move(d));
+        }
+        res.pairs.push_back(std::move(pair));
+    }
+
+    for (const LoadedReport &b : base) {
+        if (!base_matched.count(b.key()) &&
+            std::find(res.baselineOnly.begin(), res.baselineOnly.end(),
+                      b.key()) == res.baselineOnly.end())
+            res.baselineOnly.push_back(b.key());
+    }
+    return res;
+}
+
+std::string
+CompareResult::markdown() const
+{
+    std::string out = "# Run-report comparison\n\n";
+    out += regression() ? "**Verdict: REGRESSION**\n"
+                        : "Verdict: no regression\n";
+
+    for (const PairComparison &p : pairs) {
+        out += "\n## " + p.configName + " / " + p.workload + " (`" +
+               p.key + "`)\n\n";
+        char ws[64];
+        std::snprintf(ws, sizeof(ws),
+                      "Weighted speedup (candidate / baseline): %.4f\n\n",
+                      p.weightedSpeedup);
+        out += ws;
+        out += "| metric | baseline | candidate | delta | threshold | "
+               "status |\n";
+        out += "|---|---:|---:|---:|---:|---|\n";
+        for (const MetricDelta &d : p.deltas) {
+            out += "| " + d.metric + " | " + jsonNumber(d.base) + " | " +
+                   jsonNumber(d.cand) + " | " + percent(d.rel) + " | ";
+            char thr[16];
+            std::snprintf(thr, sizeof(thr), "%g%%", d.threshold * 100.0);
+            out += thr;
+            out += " | ";
+            out += d.regression    ? "**REGRESSION**"
+                   : d.improvement ? "improvement"
+                                   : "ok";
+            out += " |\n";
+        }
+    }
+
+    if (!baselineOnly.empty() || !candidateOnly.empty()) {
+        out += "\n## Unpaired runs\n\n";
+        for (const std::string &k : baselineOnly)
+            out += "- baseline only: `" + k + "`\n";
+        for (const std::string &k : candidateOnly)
+            out += "- candidate only: `" + k + "`\n";
+    }
+    return out;
+}
+
+std::string
+CompareResult::verdictJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", "zerodev-compare-v1");
+    w.field("regression", regression());
+
+    w.key("pairs").beginArray();
+    for (const PairComparison &p : pairs) {
+        w.beginObject();
+        w.field("key", p.key);
+        w.field("config", p.configName);
+        w.field("workload", p.workload);
+        w.field("weightedSpeedup", p.weightedSpeedup);
+        w.field("regression", p.regression());
+
+        // The gate's one-line answer: which metrics regressed.
+        w.key("regressions").beginArray();
+        for (const MetricDelta &d : p.deltas) {
+            if (d.regression)
+                w.value(d.metric);
+        }
+        w.endArray();
+
+        w.key("metrics").beginArray();
+        for (const MetricDelta &d : p.deltas) {
+            w.beginObject();
+            w.field("name", d.metric);
+            w.field("baseline", d.base);
+            w.field("candidate", d.cand);
+            w.field("rel", d.rel);
+            w.field("threshold", d.threshold);
+            w.field("status", d.regression    ? "regression"
+                              : d.improvement ? "improvement"
+                                              : "ok");
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("baselineOnly").beginArray();
+    for (const std::string &k : baselineOnly)
+        w.value(k);
+    w.endArray();
+    w.key("candidateOnly").beginArray();
+    for (const std::string &k : candidateOnly)
+        w.value(k);
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace zerodev::obs

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Run-report comparison: the perf-regression gate behind
+ * `trace_tool compare`. Loads run reports (v1 or v2, single files or
+ * whole directories), pairs baseline and candidate runs by config
+ * fingerprint + workload, applies per-metric relative noise thresholds,
+ * and renders the outcome as a human-readable markdown table and a
+ * machine-readable JSON verdict ("zerodev-compare-v1").
+ *
+ * Every gated metric is a "higher is worse" count (cycles, misses,
+ * traffic, DEV invalidations, per-component critical-path cycles), so a
+ * relative increase beyond the metric's threshold is a regression and a
+ * matching decrease is reported as an improvement.
+ */
+
+#ifndef ZERODEV_OBS_COMPARE_HH
+#define ZERODEV_OBS_COMPARE_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace zerodev::obs
+{
+
+/** One run report reduced to the fields the comparator needs. */
+struct LoadedReport
+{
+    std::string path;        //!< file it came from
+    std::string configName;  //!< config.name
+    std::string fingerprint; //!< config.fingerprint (hex string)
+    std::string workload;    //!< result.workload
+    std::vector<double> coreIpc; //!< per-core IPC (weighted speedup)
+    /** Gated metrics: result counters plus "latency.<component>"
+     *  critical-path cycle totals (v2 reports only). */
+    std::map<std::string, double> metrics;
+
+    /** Pairing key: fingerprint + "/" + workload. */
+    std::string key() const { return fingerprint + "/" + workload; }
+};
+
+/**
+ * Parse one run-report file. Returns nullopt (with a reason in @p err)
+ * when the file is unreadable, not valid JSON, or fails
+ * validateRunReport(). Non-report JSON documents (e.g. bench
+ * trajectories) also return nullopt.
+ */
+std::optional<LoadedReport> loadReportFile(const std::string &path,
+                                           std::string *err = nullptr);
+
+/**
+ * Load @p path into @p out: a single report file, or a directory whose
+ * "*.json" entries are loaded in sorted order (files that are valid
+ * JSON but not run reports — trajectory files, verdicts — are skipped
+ * silently). Returns false (with @p err) when the path does not exist,
+ * a report file is malformed, or a directory yields no reports.
+ */
+bool loadReports(const std::string &path, std::vector<LoadedReport> &out,
+                 std::string *err = nullptr);
+
+/** Comparison knobs. */
+struct CompareOptions
+{
+    /** Relative threshold a metric may grow by before it regresses. */
+    double defaultThreshold = 0.01;
+
+    /** Longest-prefix-match overrides; latency components and DEV
+     *  invalidation counts are noisier than end-to-end cycles. */
+    std::vector<std::pair<std::string, double>> prefixThresholds = {
+        {"latency.", 0.05},
+        {"devInvalidations", 0.05},
+    };
+
+    double thresholdFor(const std::string &metric) const;
+};
+
+/** One metric's baseline/candidate delta. */
+struct MetricDelta
+{
+    std::string metric;
+    double base = 0.0;
+    double cand = 0.0;
+    double rel = 0.0; //!< (cand - base) / base; huge when base == 0
+    double threshold = 0.0;
+    bool regression = false;  //!< rel > threshold
+    bool improvement = false; //!< rel < -threshold
+};
+
+/** All metric deltas for one (fingerprint, workload) pair. */
+struct PairComparison
+{
+    std::string key;
+    std::string configName;
+    std::string workload;
+    /** Candidate weighted speedup over baseline (per-core IPC ratio
+     *  mean); 1.0 means unchanged. */
+    double weightedSpeedup = 0.0;
+    std::vector<MetricDelta> deltas;
+
+    bool regression() const;
+};
+
+/** Outcome of comparing two report sets. */
+struct CompareResult
+{
+    std::vector<PairComparison> pairs;
+    std::vector<std::string> baselineOnly;  //!< keys without a candidate
+    std::vector<std::string> candidateOnly; //!< keys without a baseline
+
+    /** True iff any pair regressed. Unpaired runs are reported but do
+     *  not trip the gate (sweeps grow and shrink legitimately). */
+    bool regression() const;
+
+    /** Markdown tables, one section per pair. */
+    std::string markdown() const;
+
+    /** "zerodev-compare-v1" verdict document. */
+    std::string verdictJson() const;
+};
+
+/** Pair up and diff two loaded report sets. */
+CompareResult compareReports(const std::vector<LoadedReport> &base,
+                             const std::vector<LoadedReport> &cand,
+                             const CompareOptions &opt = {});
+
+} // namespace zerodev::obs
+
+#endif // ZERODEV_OBS_COMPARE_HH

@@ -483,6 +483,23 @@ writeTextFile(const std::string &path, const std::string &content)
     return true;
 }
 
+bool
+appendTextFile(const std::string &path, const std::string &content)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    if (!os) {
+        warn("cannot open %s for appending", path.c_str());
+        return false;
+    }
+    os << content;
+    os.flush();
+    if (!os) {
+        warn("short write to %s", path.c_str());
+        return false;
+    }
+    return true;
+}
+
 std::optional<std::string>
 readTextFile(const std::string &path)
 {

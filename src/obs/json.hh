@@ -127,6 +127,9 @@ std::optional<JsonValue> parseJson(std::string_view text,
 /** Write @p content to @p path; returns false (and warns) on I/O error. */
 bool writeTextFile(const std::string &path, const std::string &content);
 
+/** Append @p content to @p path (created if absent); false on error. */
+bool appendTextFile(const std::string &path, const std::string &content);
+
 /** Read the whole file; nullopt on I/O error. */
 std::optional<std::string> readTextFile(const std::string &path);
 

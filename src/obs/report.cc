@@ -3,8 +3,11 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <cmath>
+
 #include "common/log.hh"
 #include "obs/json.hh"
+#include "obs/latency.hh"
 
 namespace zerodev::obs
 {
@@ -46,6 +49,58 @@ cacheKv(std::string &out, const char *name, const CacheConfig &c)
     kv(out, (pfx + ".size").c_str(), c.sizeBytes);
     kv(out, (pfx + ".ways").c_str(), std::uint64_t(c.ways));
     kv(out, (pfx + ".lookup").c_str(), std::uint64_t(c.lookupCycles));
+}
+
+void
+latencyBreakdownToJson(JsonWriter &w, const LatencyBreakdown &lat)
+{
+    w.beginObject();
+    w.field("transactions", lat.transactions);
+    w.field("totalCycles", lat.totalCycles);
+    w.field("overlapCycles", lat.overlapCycles);
+
+    w.key("components").beginObject();
+    for (std::size_t i = 0; i < LatencyBreakdown::kNumComps; ++i) {
+        const auto &c = lat.components[i];
+        w.key(toString(static_cast<LatComp>(i))).beginObject();
+        w.field("cycles", c.cycles);
+        w.field("samples", c.samples);
+        w.field("mean", c.mean);
+        w.field("p50", c.p50);
+        w.field("p95", c.p95);
+        w.field("p99", c.p99);
+        w.endObject();
+    }
+    w.endObject();
+
+    w.key("perClass").beginObject();
+    for (std::size_t k = 0; k < LatencyBreakdown::kMaxClasses; ++k) {
+        const auto &row = lat.classes[k];
+        if (row.count == 0)
+            continue;
+        // The class index is an AccessClass ordinal; name it so reports
+        // stay readable without the enum definition at hand.
+        w.key(toString(static_cast<AccessClass>(k))).beginObject();
+        w.field("count", row.count);
+        w.field("cycles", row.cycles);
+        w.key("components").beginObject();
+        for (std::size_t i = 0; i < LatencyBreakdown::kNumComps; ++i) {
+            if (row.compCycles[i])
+                w.field(toString(static_cast<LatComp>(i)),
+                        row.compCycles[i]);
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endObject();
+
+    w.key("background").beginObject();
+    for (std::size_t i = 0; i < LatencyBreakdown::kNumComps; ++i) {
+        if (lat.background[i])
+            w.field(toString(static_cast<LatComp>(i)), lat.background[i]);
+    }
+    w.endObject();
+    w.endObject();
 }
 
 } // namespace
@@ -161,7 +216,7 @@ runReportJson(const SystemConfig &cfg, const RunResult &res)
 {
     JsonWriter w;
     w.beginObject();
-    w.field("schema", "zerodev-run-report-v1");
+    w.field("schema", "zerodev-run-report-v2");
 
     w.key("config");
     configToJson(w, cfg);
@@ -192,6 +247,11 @@ runReportJson(const SystemConfig &cfg, const RunResult &res)
     w.field("cyclesPerSecond",
             wall > 0.0 ? static_cast<double>(res.cycles) / wall : 0.0);
     w.endObject();
+
+    // Where the cycles went: zeros unless a LatencyProfiler was
+    // attached, but always present so v2 consumers need no probing.
+    w.key("latency_breakdown");
+    latencyBreakdownToJson(w, res.latency);
 
     // The full StatDump: every counter the console dump prints, flat.
     w.key("stats").beginObject();
@@ -253,8 +313,10 @@ validateRunReport(const JsonValue &doc, std::string *err)
         if (!doc.has(k))
             return fail("missing top-level key: " + k);
     }
-    if (doc.str("schema") != "zerodev-run-report-v1")
-        return fail("unexpected schema: " + doc.str("schema"));
+    const std::string schema = doc.str("schema");
+    const bool v2 = schema == "zerodev-run-report-v2";
+    if (!v2 && schema != "zerodev-run-report-v1")
+        return fail("unexpected schema: " + schema);
 
     const JsonValue *config = doc.find("config");
     if (!config->isObject() || config->str("fingerprint").empty())
@@ -279,6 +341,28 @@ validateRunReport(const JsonValue &doc, std::string *err)
 
     if (!doc.find("stats")->isObject())
         return fail("stats is not an object");
+
+    if (v2) {
+        const JsonValue *lat = doc.find("latency_breakdown");
+        if (!lat || !lat->isObject())
+            return fail("latency_breakdown missing (v2)");
+        const JsonValue *comps = lat->find("components");
+        if (!comps || !comps->isObject())
+            return fail("latency_breakdown.components missing");
+        if (lat->num("transactions") > 0.0) {
+            // Attribution is exact by construction; allow 1% slack for
+            // the double round-trip through JSON.
+            double sum = 0.0;
+            for (const auto &[name, comp] : comps->object) {
+                (void)name;
+                sum += comp.num("cycles");
+            }
+            const double total = lat->num("totalCycles");
+            if (std::fabs(sum - total) > 0.01 * total)
+                return fail("latency_breakdown components do not sum to "
+                            "totalCycles");
+        }
+    }
     return true;
 }
 

@@ -3,10 +3,15 @@
  * Machine-readable run reports: every bench / example can emit one JSON
  * document per run carrying the configuration (with a stable
  * fingerprint), the RunResult metrics, host-side profiling (wall-clock,
- * simulation rate), and the full StatDump. Downstream tooling diffs
- * reports across commits or sweeps without scraping console output.
+ * simulation rate), the critical-path latency attribution, and the full
+ * StatDump. Downstream tooling (obs/compare.hh, trace_tool compare)
+ * diffs reports across commits or sweeps without scraping console
+ * output.
  *
- * Schema identifier: "zerodev-run-report-v1".
+ * Schema identifier: "zerodev-run-report-v2". v2 adds the
+ * "latency_breakdown" section (per-component cycles/percentiles,
+ * per-class rows, background work); the validator still accepts v1
+ * documents, which simply lack it.
  */
 
 #ifndef ZERODEV_OBS_REPORT_HH
@@ -53,13 +58,15 @@ bool writeRunReport(const std::string &path, const SystemConfig &cfg,
 bool maybeWriteRunReport(const std::string &name, const SystemConfig &cfg,
                          const RunResult &res);
 
-/** Top-level keys every v1 report must carry. */
+/** Top-level keys every report (v1 and v2) must carry. */
 const std::vector<std::string> &requiredReportKeys();
 
 /**
- * Structural validation of a parsed report: schema identifier, required
- * top-level keys, and the numeric result fields. On failure stores a
- * reason in @p err (when non-null).
+ * Structural validation of a parsed report: schema identifier (v1 or
+ * v2), required top-level keys, the numeric result fields, and — for v2
+ * documents with completed transactions — that the latency_breakdown
+ * component cycles sum to within 1% of its totalCycles. On failure
+ * stores a reason in @p err (when non-null).
  */
 bool validateRunReport(const JsonValue &doc, std::string *err = nullptr);
 

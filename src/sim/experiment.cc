@@ -26,18 +26,7 @@ speedup(const RunResult &base, const RunResult &test)
 double
 weightedSpeedup(const RunResult &base, const RunResult &test)
 {
-    const std::size_t n =
-        std::min(base.coreCycles.size(), test.coreCycles.size());
-    if (n == 0)
-        return 0.0;
-    double sum = 0.0;
-    for (std::size_t c = 0; c < n; ++c) {
-        const double b = base.ipc(static_cast<std::uint32_t>(c));
-        const double t = test.ipc(static_cast<std::uint32_t>(c));
-        if (b > 0.0)
-            sum += t / b;
-    }
-    return sum / static_cast<double>(n);
+    return test.weightedSpeedupOver(base);
 }
 
 double

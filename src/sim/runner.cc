@@ -6,6 +6,7 @@
 
 #include "common/log.hh"
 #include "core/invariants.hh"
+#include "obs/latency.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
 
@@ -31,11 +32,13 @@ class ObserverScope
 {
   public:
     ObserverScope(CmpSystem &sys, const RunConfig &rc)
-        : sys_(sys), sampler_(rc.sampler),
+        : sys_(sys), sampler_(rc.sampler), latency_(rc.latency),
           start_(std::chrono::steady_clock::now())
     {
         if (rc.tracer)
             sys_.attachTracer(rc.tracer);
+        if (latency_)
+            sys_.attachLatencyProfiler(latency_);
     }
 
     /** Advance the sampler to the latest completion time seen. */
@@ -53,22 +56,57 @@ class ObserverScope
     {
         if (sampler_)
             sampler_->finish(res.cycles);
+        if (latency_)
+            res.latency = latency_->snapshot();
         res.wallSeconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - start_)
                 .count();
     }
 
-    ~ObserverScope() { sys_.attachTracer(nullptr); }
+    ~ObserverScope()
+    {
+        sys_.attachTracer(nullptr);
+        sys_.attachLatencyProfiler(nullptr);
+    }
 
   private:
     CmpSystem &sys_;
     obs::IntervalSampler *sampler_;
+    obs::LatencyProfiler *latency_;
     std::chrono::steady_clock::time_point start_;
     Cycle horizon_ = 0;
 };
 
 } // namespace
+
+double
+weightedSpeedup(const std::vector<double> &base_ipc,
+                const std::vector<double> &test_ipc)
+{
+    const std::size_t n = std::min(base_ipc.size(), test_ipc.size());
+    if (n == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+        if (base_ipc[c] > 0.0)
+            sum += test_ipc[c] / base_ipc[c];
+    }
+    return sum / static_cast<double>(n);
+}
+
+double
+RunResult::weightedSpeedupOver(const RunResult &base) const
+{
+    std::vector<double> b, t;
+    b.reserve(base.coreCycles.size());
+    t.reserve(coreCycles.size());
+    for (std::uint32_t c = 0; c < base.coreCycles.size(); ++c)
+        b.push_back(base.ipc(c));
+    for (std::uint32_t c = 0; c < coreCycles.size(); ++c)
+        t.push_back(ipc(c));
+    return zerodev::weightedSpeedup(b, t);
+}
 
 RunResult
 run(CmpSystem &sys, const Workload &workload, const RunConfig &rc)

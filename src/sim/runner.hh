@@ -18,6 +18,7 @@
 #include "common/log.hh"
 #include "common/stats.hh"
 #include "core/cmp_system.hh"
+#include "obs/latency.hh"
 #include "workload/trace.hh"
 #include "workload/workload.hh"
 
@@ -52,6 +53,10 @@ struct RunConfig
     /** Optional interval sampler, ticked as simulated time advances and
      *  finished at the run's completion cycle. */
     obs::IntervalSampler *sampler = nullptr;
+
+    /** Optional critical-path latency profiler, attached to the system
+     *  for the run; its snapshot lands in RunResult::latency. */
+    obs::LatencyProfiler *latency = nullptr;
 };
 
 /** Aggregated result of one run. */
@@ -66,6 +71,10 @@ struct RunResult
     std::uint64_t trafficBytes = 0;
     std::uint64_t devInvalidations = 0;
     StatDump system; //!< the full CmpSystem dump
+
+    /** Critical-path latency attribution (zeros unless a profiler was
+     *  attached through RunConfig::latency). */
+    obs::LatencyBreakdown latency;
 
     /** Host wall-clock seconds the run consumed (sim-rate profiling). */
     double wallSeconds = 0.0;
@@ -82,7 +91,18 @@ struct RunResult
                    : static_cast<double>(coreInstructions[core]) /
                          static_cast<double>(coreCycles[core]);
     }
+
+    /** The paper's multi-programmed metric: weighted speedup of this run
+     *  over @p base — mean over the common cores of IPC / base IPC. */
+    double weightedSpeedupOver(const RunResult &base) const;
 };
+
+/** Weighted speedup of @p test_ipc over @p base_ipc: sum of test/base
+ *  IPC ratios over the common prefix (cores whose base IPC is zero
+ *  contribute 0), divided by the common core count. Returns 0 when the
+ *  prefix is empty. */
+double weightedSpeedup(const std::vector<double> &base_ipc,
+                       const std::vector<double> &test_ipc);
 
 /** Execute @p workload on @p sys. Thread i of the workload drives global
  *  core i; cores beyond the workload's thread count stay idle. */

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Exit-code and usage-path tests for the trace_tool CLI. The binary's
+ * path is injected at build time (TRACE_TOOL_PATH); every subcommand
+ * must honour the shared exit-code contract:
+ *   0 ok / no regression, 1 runtime failure, 2 usage error,
+ *   3 compare load failure, 4 regression detected.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <sys/wait.h>
+
+namespace
+{
+
+/** Run trace_tool with @p args, returning its exit status. */
+int
+toolExit(const std::string &args)
+{
+    const std::string cmd = std::string(TRACE_TOOL_PATH) + " " + args +
+                            " >/dev/null 2>&1";
+    const int rc = std::system(cmd.c_str());
+    EXPECT_NE(rc, -1);
+    EXPECT_TRUE(WIFEXITED(rc));
+    return WEXITSTATUS(rc);
+}
+
+TEST(TraceToolCli, HelpExitsZeroEverywhere)
+{
+    EXPECT_EQ(toolExit("--help"), 0);
+    EXPECT_EQ(toolExit("-h"), 0);
+    EXPECT_EQ(toolExit("help"), 0);
+    EXPECT_EQ(toolExit("sim --help"), 0);
+    EXPECT_EQ(toolExit("inspect --help"), 0);
+    EXPECT_EQ(toolExit("compare --help"), 0);
+}
+
+TEST(TraceToolCli, UsageErrorsExitTwo)
+{
+    EXPECT_EQ(toolExit(""), 2);
+    EXPECT_EQ(toolExit("frobnicate"), 2);
+    EXPECT_EQ(toolExit("gen"), 2);
+    EXPECT_EQ(toolExit("info"), 2);
+    EXPECT_EQ(toolExit("replay"), 2);
+    EXPECT_EQ(toolExit("sim"), 2);
+    EXPECT_EQ(toolExit("inspect"), 2);
+    EXPECT_EQ(toolExit("compare"), 2);
+    EXPECT_EQ(toolExit("compare onlyone"), 2);
+    EXPECT_EQ(toolExit("compare a b c"), 2);
+    EXPECT_EQ(toolExit("compare a b --json"), 2);
+}
+
+TEST(TraceToolCli, RuntimeFailuresExitOne)
+{
+    EXPECT_EQ(toolExit("inspect /nonexistent/trace.jsonl"), 1);
+}
+
+TEST(TraceToolCli, CompareLoadFailureExitsThree)
+{
+    EXPECT_EQ(toolExit("compare /nonexistent/base /nonexistent/cand"), 3);
+}
+
+} // namespace

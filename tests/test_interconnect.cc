@@ -65,6 +65,34 @@ TEST(Mesh, AverageHopsPositive)
     EXPECT_LT(avg, 6.0);
 }
 
+TEST(Mesh, TraversalStatsAndHopHistogram)
+{
+    // Each latency() call is one costed traversal: the counters and the
+    // hop histogram feeding the latency probes must agree with it.
+    const Mesh m(16, 2); // 4x4
+    EXPECT_EQ(m.stats().traversals, 0u);
+    EXPECT_EQ(m.hopHist().samples(), 0u);
+
+    (void)m.latency(0, 15); // 6 hops
+    (void)m.latency(0, 3);  // 3 hops
+    (void)m.latency(5, 5);  // 0 hops
+    EXPECT_EQ(m.stats().traversals, 3u);
+    EXPECT_EQ(m.stats().hops, 9u);
+    EXPECT_EQ(m.hopHist().samples(), 3u);
+    EXPECT_EQ(m.hopHist().bucket(6), 1u);
+    EXPECT_EQ(m.hopHist().bucket(3), 1u);
+    EXPECT_EQ(m.hopHist().bucket(0), 1u);
+    EXPECT_EQ(m.hopHist().percentile(1.0), 6u);
+    // A traversal's cycle cost is hops * hopCycles.
+    EXPECT_EQ(m.hopCycles(), 2u);
+
+    Mesh copy(16, 2);
+    (void)copy.latency(0, 15);
+    copy.clearStats();
+    EXPECT_EQ(copy.stats().traversals, 0u);
+    EXPECT_EQ(copy.hopHist().samples(), 0u);
+}
+
 TEST(Message, ControlVsDataSizes)
 {
     // Control messages are header-only; data responses carry the block.

@@ -16,6 +16,7 @@
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "obs/json.hh"
+#include "obs/latency.hh"
 #include "obs/report.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
@@ -317,6 +318,40 @@ TEST(StatsJson, HistogramRoundTripAndEmptyGuards)
     EXPECT_EQ(counts->num("4"), 1.0); // overflow bucket is index 4
 }
 
+TEST(StatsJson, HistogramSingleObservationPercentiles)
+{
+    Histogram h(8);
+    h.record(5);
+    const auto v = parseJson(h.toJson());
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->num("samples"), 1.0);
+    EXPECT_EQ(v->num("mean"), 5.0);
+    EXPECT_EQ(v->num("p50"), 5.0);
+    EXPECT_EQ(v->num("p95"), 5.0);
+    EXPECT_EQ(v->num("p99"), 5.0);
+
+    StatDump d;
+    h.addTo(d, "h");
+    EXPECT_EQ(d.get("h.p95"), 5.0);
+}
+
+TEST(StatsJson, HistogramSaturatedOverflowBucket)
+{
+    // Every observation beyond the exact range lands in the overflow
+    // bucket, which percentiles report as the bucket count.
+    Histogram h(4);
+    for (int i = 0; i < 10; ++i)
+        h.record(100);
+    EXPECT_EQ(h.bucket(4), 10u);
+    EXPECT_EQ(h.percentile(0.5), 4u);
+    EXPECT_EQ(h.percentile(0.99), 4u);
+    EXPECT_DOUBLE_EQ(h.meanValue(), 100.0);
+    const auto v = parseJson(h.toJson());
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->num("p95"), 4.0);
+    EXPECT_EQ(v->find("counts")->num("4"), 10.0);
+}
+
 // --- RunResult::ipc bounds check (satellite) -------------------------
 
 TEST(RunResultDeathTest, IpcOutOfRangePanics)
@@ -357,7 +392,7 @@ TEST(Report, FingerprintIsStableAndDiscriminates)
     EXPECT_NE(obs::configFingerprint(a), obs::configFingerprint(b));
 }
 
-TEST(Report, EmitsValidV1Document)
+TEST(Report, EmitsValidV2Document)
 {
     const SystemConfig cfg = makeEightCoreConfig();
     const RunResult res = fakeResult();
@@ -367,6 +402,17 @@ TEST(Report, EmitsValidV1Document)
 
     std::string err;
     EXPECT_TRUE(obs::validateRunReport(*v, &err)) << err;
+    EXPECT_EQ(v->str("schema"), "zerodev-run-report-v2");
+
+    // v2: the latency section is always present (zeros when no profiler
+    // ran) with one entry per component.
+    const JsonValue *lat = v->find("latency_breakdown");
+    ASSERT_NE(lat, nullptr);
+    const JsonValue *comps = lat->find("components");
+    ASSERT_NE(comps, nullptr);
+    EXPECT_EQ(comps->object.size(), obs::LatencyBreakdown::kNumComps);
+    EXPECT_TRUE(comps->has("dram"));
+    EXPECT_TRUE(comps->has("inv_stall"));
     for (const std::string &k : obs::requiredReportKeys())
         EXPECT_TRUE(v->has(k)) << k;
 
@@ -404,6 +450,137 @@ TEST(Report, ValidatorRejectsBrokenDocuments)
     }
     EXPECT_FALSE(obs::validateRunReport(*v, &err));
     EXPECT_NE(err.find("profile"), std::string::npos);
+}
+
+TEST(Report, ValidatorAcceptsLegacyV1)
+{
+    // A v1 document is a v2 document minus the latency section and with
+    // the old schema string; the validator must keep parsing it.
+    std::string doc = obs::runReportJson(makeEightCoreConfig(),
+                                         fakeResult());
+    const std::string v2 = "zerodev-run-report-v2";
+    doc.replace(doc.find(v2), v2.size(), "zerodev-run-report-v1");
+    const auto v = parseJson(doc);
+    ASSERT_TRUE(v.has_value());
+    std::string err;
+    EXPECT_TRUE(obs::validateRunReport(*v, &err)) << err;
+}
+
+TEST(Report, ValidatorRejectsMismatchedLatencySums)
+{
+    RunResult res = fakeResult();
+    res.latency.transactions = 10;
+    res.latency.totalCycles = 1000;
+    res.latency.components[0].cycles = 10; // sums to 1% of the total
+    const auto v =
+        parseJson(obs::runReportJson(makeEightCoreConfig(), res));
+    ASSERT_TRUE(v.has_value());
+    std::string err;
+    EXPECT_FALSE(obs::validateRunReport(*v, &err));
+    EXPECT_NE(err.find("sum"), std::string::npos);
+}
+
+// --- Latency attribution profiler ------------------------------------
+
+TEST(LatencyProfiler, ResidualGoesToOther)
+{
+    obs::LatencyProfiler lp;
+    lp.beginTxn();
+    lp.add(obs::LatComp::Mesh, 4);
+    lp.add(obs::LatComp::Dram, 10);
+    lp.endTxn(0, 20);
+
+    const obs::LatencyBreakdown s = lp.snapshot();
+    EXPECT_EQ(s.transactions, 1u);
+    EXPECT_EQ(s.totalCycles, 20u);
+    EXPECT_EQ(s.overlapCycles, 0u);
+    const auto comp = [&s](obs::LatComp c) {
+        return s.components[static_cast<std::size_t>(c)].cycles;
+    };
+    EXPECT_EQ(comp(obs::LatComp::Mesh), 4u);
+    EXPECT_EQ(comp(obs::LatComp::Dram), 10u);
+    EXPECT_EQ(comp(obs::LatComp::Other), 6u);
+    EXPECT_EQ(s.attributedCycles(), s.totalCycles);
+}
+
+TEST(LatencyProfiler, OverlapChargesAreClippedInEnumOrder)
+{
+    // max()-joined parallel paths can tag more cycles than the
+    // transaction took; the excess must not inflate the attribution.
+    obs::LatencyProfiler lp;
+    lp.beginTxn();
+    lp.add(obs::LatComp::Mesh, 15);
+    lp.add(obs::LatComp::Dram, 10);
+    lp.endTxn(0, 20);
+
+    const obs::LatencyBreakdown s = lp.snapshot();
+    EXPECT_EQ(s.totalCycles, 20u);
+    EXPECT_EQ(s.overlapCycles, 5u);
+    const auto comp = [&s](obs::LatComp c) {
+        return s.components[static_cast<std::size_t>(c)].cycles;
+    };
+    // Mesh precedes Dram in the enum, so Dram absorbs the clip.
+    EXPECT_EQ(comp(obs::LatComp::Mesh), 15u);
+    EXPECT_EQ(comp(obs::LatComp::Dram), 5u);
+    EXPECT_EQ(comp(obs::LatComp::Other), 0u);
+    EXPECT_EQ(s.attributedCycles(), s.totalCycles);
+}
+
+TEST(LatencyProfiler, OffPathWorkStaysOutOfTransactionTotals)
+{
+    obs::LatencyProfiler lp;
+    lp.addOffPath(obs::LatComp::DeMemory, 7);
+    lp.beginTxn();
+    lp.addOffPath(obs::LatComp::DeMemory, 3);
+    lp.endTxn(0, 5);
+
+    const obs::LatencyBreakdown s = lp.snapshot();
+    EXPECT_EQ(
+        s.background[static_cast<std::size_t>(obs::LatComp::DeMemory)],
+        10u);
+    EXPECT_EQ(s.totalCycles, 5u); // the txn itself, all residual
+    EXPECT_EQ(s.components[static_cast<std::size_t>(obs::LatComp::Other)]
+                  .cycles,
+              5u);
+}
+
+TEST(LatencyProfiler, DisabledAndOutOfTxnChargesAreIgnored)
+{
+    obs::LatencyProfiler lp;
+    lp.add(obs::LatComp::Mesh, 9); // no beginTxn: dropped
+    lp.setEnabled(false);
+    lp.beginTxn();
+    lp.add(obs::LatComp::Mesh, 9);
+    lp.endTxn(0, 9);
+    EXPECT_EQ(lp.transactions(), 0u);
+    EXPECT_EQ(lp.snapshot().totalCycles, 0u);
+}
+
+TEST(LatencyProfiler, PerClassRowsAndPercentiles)
+{
+    obs::LatencyProfiler lp;
+    for (int i = 0; i < 3; ++i) {
+        lp.beginTxn();
+        lp.add(obs::LatComp::Dram, 8);
+        lp.endTxn(2, 10);
+    }
+    lp.beginTxn();
+    lp.endTxn(99, 10); // class out of range: txn counted, row dropped
+
+    const obs::LatencyBreakdown s = lp.snapshot();
+    EXPECT_EQ(s.transactions, 4u);
+    EXPECT_EQ(s.classes[2].count, 3u);
+    EXPECT_EQ(s.classes[2].cycles, 30u);
+    EXPECT_EQ(
+        s.classes[2]
+            .compCycles[static_cast<std::size_t>(obs::LatComp::Dram)],
+        24u);
+    const auto &dram =
+        s.components[static_cast<std::size_t>(obs::LatComp::Dram)];
+    EXPECT_EQ(dram.samples, 3u);
+    EXPECT_EQ(dram.p50, 8u);
+    EXPECT_EQ(dram.p99, 8u);
+    EXPECT_DOUBLE_EQ(dram.mean, 8.0);
 }
 
 } // namespace
