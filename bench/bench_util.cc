@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/parallel.hh"
 #include "core/cmp_system.hh"
 #include "obs/json.hh"
 #include "obs/latency.hh"
@@ -24,84 +25,88 @@ envOverride(const char *name, std::uint64_t dflt)
     return parsed == 0 ? dflt : parsed;
 }
 
-/** Figure slug recorded by banner(), used to name the report files. */
-std::string &
-figureSlug()
+const char *
+reportDir()
 {
-    static std::string slug = "bench";
-    return slug;
-}
-
-/** One trajectory entry: a run reduced to its perf-history metrics. */
-struct TrajectoryRun
-{
-    std::string fingerprint;
-    std::string workload;
-    std::uint64_t cycles;
-    std::uint64_t coreCacheMisses;
-    std::uint64_t trafficBytes;
-    std::uint64_t devInvalidations;
-};
-
-std::vector<TrajectoryRun> &
-pendingRuns()
-{
-    static std::vector<TrajectoryRun> runs;
-    return runs;
+    const char *dir = std::getenv("ZERODEV_REPORT_DIR");
+    return (dir && *dir) ? dir : nullptr;
 }
 
 /**
- * At process exit, append one JSON line to "<dir>/BENCH_<figure>.json"
- * (schema "zerodev-bench-trajectory-v1"): the commit (ZERODEV_COMMIT
- * environment variable, when set) plus every run's fingerprint and key
- * metrics. Append-mode so successive commits accumulate a perf history
- * in one file per figure.
+ * One run on a fresh system. Latency attribution costs a few array adds
+ * per transaction, so it is only attached when the reports that would
+ * carry it are actually written.
  */
-void
-flushBenchTrajectory()
+RunResult
+runOne(const SystemConfig &cfg, const Workload &w, std::uint64_t accesses,
+       bool with_latency)
 {
-    const char *dir = std::getenv("ZERODEV_REPORT_DIR");
-    if (!dir || !*dir || pendingRuns().empty())
-        return;
-    const char *commit = std::getenv("ZERODEV_COMMIT");
+    CmpSystem sys(cfg);
+    RunConfig rc;
+    rc.accessesPerCore = accesses;
+    obs::LatencyProfiler latency;
+    if (with_latency)
+        rc.latency = &latency;
+    return run(sys, w, rc);
+}
 
-    obs::JsonWriter w;
-    w.beginObject();
-    w.field("schema", "zerodev-bench-trajectory-v1");
-    w.field("figure", figureSlug());
-    w.field("commit", commit ? commit : "");
-    w.key("runs").beginArray();
-    for (const TrajectoryRun &r : pendingRuns()) {
-        w.beginObject();
-        w.field("fingerprint", r.fingerprint);
-        w.field("workload", r.workload);
-        w.field("cycles", r.cycles);
-        w.field("coreCacheMisses", r.coreCacheMisses);
-        w.field("trafficBytes", r.trafficBytes);
-        w.field("devInvalidations", r.devInvalidations);
-        w.endObject();
-    }
-    w.endArray();
-    w.endObject();
-    obs::appendTextFile(std::string(dir) + "/BENCH_" + figureSlug() +
-                            ".json",
-                        w.str() + "\n");
+} // namespace
+
+BenchReporter &
+BenchReporter::instance()
+{
+    static BenchReporter reporter;
+    return reporter;
+}
+
+bool
+BenchReporter::enabled() const
+{
+    return reportDir() != nullptr;
 }
 
 void
-recordRunReport(const SystemConfig &cfg, const RunResult &res)
+BenchReporter::setFigure(const std::string &slug)
 {
-    const char *dir = std::getenv("ZERODEV_REPORT_DIR");
-    if (!dir || !*dir)
-        return;
-    if (pendingRuns().empty())
-        std::atexit(flushBenchTrajectory);
+    std::lock_guard<std::mutex> lock(mu_);
+    slug_ = slug;
+}
 
-    // One v2 report per run, numbered in execution order; the compare
-    // tool re-pairs them by config fingerprint + workload.
+std::string
+BenchReporter::figure() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return slug_;
+}
+
+std::size_t
+BenchReporter::reserveSlot()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!atexitRegistered_) {
+        atexitRegistered_ = true;
+        std::atexit([] { BenchReporter::instance().flush(); });
+    }
+    const std::size_t slot = runs_.size();
+    runs_.emplace_back();
+    return slot;
+}
+
+void
+BenchReporter::record(std::size_t slot, const SystemConfig &cfg,
+                      const RunResult &res)
+{
+    const char *dir = reportDir();
+    if (!dir)
+        return;
+
+    // One v2 report per run, numbered by reservation (= submission)
+    // order; the compare tool re-pairs reports by config fingerprint +
+    // workload, so the numbering only has to be stable, which slot
+    // reservation guarantees under any worker interleaving.
     char name[32];
-    std::snprintf(name, sizeof(name), "_run%04zu", pendingRuns().size());
-    obs::writeRunReport(std::string(dir) + "/" + figureSlug() + name +
+    std::snprintf(name, sizeof(name), "_run%04zu", slot);
+    obs::writeRunReport(std::string(dir) + "/" + figure() + name +
                             ".json",
                         cfg, res);
 
@@ -109,12 +114,80 @@ recordRunReport(const SystemConfig &cfg, const RunResult &res)
     std::snprintf(fp, sizeof(fp), "%016llx",
                   static_cast<unsigned long long>(
                       obs::configFingerprint(cfg)));
-    pendingRuns().push_back({fp, res.workload, res.cycles,
-                             res.coreCacheMisses, res.trafficBytes,
-                             res.devInvalidations});
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slot >= runs_.size()) {
+        std::fprintf(stderr,
+                     "BenchReporter: record() of unreserved slot %zu\n",
+                     slot);
+        return;
+    }
+    TrajectoryRun &r = runs_[slot];
+    r.fingerprint = fp;
+    r.workload = res.workload;
+    r.cycles = res.cycles;
+    r.coreCacheMisses = res.coreCacheMisses;
+    r.trafficBytes = res.trafficBytes;
+    r.devInvalidations = res.devInvalidations;
+    r.maccessesPerSecond = res.maccessesPerSecond();
+    r.recorded = true;
 }
 
-} // namespace
+/**
+ * Append one JSON line to "<dir>/BENCH_<figure>.json" (schema
+ * "zerodev-bench-trajectory-v1"): the commit (ZERODEV_COMMIT
+ * environment variable, when set) plus every recorded run's fingerprint
+ * and key metrics — including the informational host sim-rate.
+ * Append-mode so successive commits accumulate a perf history in one
+ * file per figure.
+ */
+void
+BenchReporter::flush()
+{
+    const char *dir = reportDir();
+    if (!dir)
+        return;
+    const char *commit = std::getenv("ZERODEV_COMMIT");
+
+    std::lock_guard<std::mutex> lock(mu_);
+    bool any = false;
+    for (const TrajectoryRun &r : runs_)
+        any = any || (r.recorded && !r.flushed);
+    if (!any)
+        return;
+
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("schema", "zerodev-bench-trajectory-v1");
+    w.field("figure", slug_);
+    w.field("commit", commit ? commit : "");
+    w.key("runs").beginArray();
+    for (TrajectoryRun &r : runs_) {
+        if (!r.recorded || r.flushed)
+            continue;
+        r.flushed = true;
+        w.beginObject();
+        w.field("fingerprint", r.fingerprint);
+        w.field("workload", r.workload);
+        w.field("cycles", r.cycles);
+        w.field("coreCacheMisses", r.coreCacheMisses);
+        w.field("trafficBytes", r.trafficBytes);
+        w.field("devInvalidations", r.devInvalidations);
+        w.field("maccessesPerSecond", r.maccessesPerSecond);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    obs::appendTextFile(std::string(dir) + "/BENCH_" + slug_ + ".json",
+                        w.str() + "\n");
+}
+
+void
+BenchReporter::resetForTesting()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    runs_.clear();
+}
 
 std::uint64_t
 accessesPerCore(std::uint64_t dflt)
@@ -132,18 +205,36 @@ RunResult
 runWorkload(const SystemConfig &cfg, const Workload &w,
             std::uint64_t accesses)
 {
-    const char *dir = std::getenv("ZERODEV_REPORT_DIR");
-    CmpSystem sys(cfg);
-    RunConfig rc;
-    rc.accessesPerCore = accesses;
-    // Attribution costs a few array adds per transaction; only pay for
-    // it when the reports that would carry it are actually written.
-    obs::LatencyProfiler latency;
-    if (dir && *dir)
-        rc.latency = &latency;
-    RunResult res = run(sys, w, rc);
-    recordRunReport(cfg, res);
+    BenchReporter &rep = BenchReporter::instance();
+    if (!rep.enabled())
+        return runOne(cfg, w, accesses, false);
+    const std::size_t slot = rep.reserveSlot();
+    RunResult res = runOne(cfg, w, accesses, true);
+    rep.record(slot, cfg, res);
     return res;
+}
+
+std::vector<RunResult>
+runSweep(const std::vector<SweepJob> &jobs)
+{
+    BenchReporter &rep = BenchReporter::instance();
+    const bool report = rep.enabled();
+
+    // Reserve report slots up front, in job order: the serial numbering
+    // the compare/trajectory consumers expect, however workers race.
+    std::vector<std::size_t> slots(jobs.size(), 0);
+    if (report) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            slots[i] = rep.reserveSlot();
+    }
+
+    return parallelMap(jobs.size(), [&](std::size_t i) {
+        const SweepJob &j = jobs[i];
+        RunResult res = runOne(j.cfg, j.w, j.accesses, report);
+        if (report)
+            rep.record(slots[i], j.cfg, res);
+        return res;
+    });
 }
 
 Workload
@@ -167,18 +258,32 @@ sweepSuite(const std::string &suite,
            const std::vector<std::function<SystemConfig()>> &test_cfgs,
            std::uint64_t accesses)
 {
-    std::vector<SuiteRow> rows;
+    // Materialise the whole (app x config) grid up front — config
+    // factories run on this thread, in serial order — then execute the
+    // embarrassingly parallel grid in one sweep.
+    std::vector<SweepJob> jobs;
+    std::vector<std::string> apps;
     for (const AppProfile &p : suiteProfiles(suite)) {
         const SystemConfig bcfg = base_cfg();
-        const Workload w = workloadFor(
-            p, bcfg.coresPerSocket * bcfg.sockets);
-        const RunResult base = runWorkload(bcfg, w, accesses);
+        const Workload w =
+            workloadFor(p, bcfg.coresPerSocket * bcfg.sockets);
+        apps.push_back(p.name);
+        jobs.push_back({bcfg, w, accesses});
+        for (const auto &make_cfg : test_cfgs)
+            jobs.push_back({make_cfg(), w, accesses});
+    }
+
+    const std::vector<RunResult> results = runSweep(jobs);
+
+    const std::size_t stride = test_cfgs.size() + 1;
+    std::vector<SuiteRow> rows;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const RunResult &base = results[a * stride];
         SuiteRow row;
-        row.app = p.name;
-        for (const auto &make_cfg : test_cfgs) {
-            const RunResult test =
-                runWorkload(make_cfg(), w, accesses);
-            row.values.push_back(perfMetric(w, base, test));
+        row.app = apps[a];
+        for (std::size_t t = 0; t < test_cfgs.size(); ++t) {
+            row.values.push_back(perfMetric(jobs[a * stride].w, base,
+                                            results[a * stride + 1 + t]));
         }
         rows.push_back(std::move(row));
     }
@@ -250,7 +355,7 @@ banner(const std::string &figure, const std::string &what)
         slug += ok ? c : '_';
     }
     if (!slug.empty())
-        figureSlug() = slug;
+        BenchReporter::instance().setFigure(slug);
 }
 
 } // namespace zerodev::bench

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,65 @@
 
 namespace zerodev::bench
 {
+
+/**
+ * Serialises all per-run report output of a bench process: the figure
+ * slug set by banner(), the v2 run-report files and the trajectory line
+ * appended at exit. Run slots are *reserved* in submission order and
+ * recorded on completion, so a parallel sweep produces exactly the
+ * runNNNN numbering and trajectory order of the serial loop no matter
+ * how workers interleave.
+ */
+class BenchReporter
+{
+  public:
+    static BenchReporter &instance();
+
+    /** True when ZERODEV_REPORT_DIR names an output directory. */
+    bool enabled() const;
+
+    /** Record the figure slug used in report/trajectory file names. */
+    void setFigure(const std::string &slug);
+    std::string figure() const;
+
+    /** Reserve the next runNNNN slot; call in submission order. */
+    std::size_t reserveSlot();
+
+    /** Write slot @p slot's v2 run report and stage its trajectory
+     *  entry. Safe to call concurrently from sweep workers. */
+    void record(std::size_t slot, const SystemConfig &cfg,
+                const RunResult &res);
+
+    /** Append one trajectory line covering every entry recorded since
+     *  the previous flush (registered atexit; idempotent between
+     *  recordings). */
+    void flush();
+
+    /** Tests only: drop staged entries and restart slot numbering so a
+     *  second sweep reproduces the same file names. */
+    void resetForTesting();
+
+  private:
+    BenchReporter() = default;
+
+    struct TrajectoryRun
+    {
+        std::string fingerprint;
+        std::string workload;
+        std::uint64_t cycles = 0;
+        std::uint64_t coreCacheMisses = 0;
+        std::uint64_t trafficBytes = 0;
+        std::uint64_t devInvalidations = 0;
+        double maccessesPerSecond = 0.0;
+        bool recorded = false;
+        bool flushed = false;
+    };
+
+    mutable std::mutex mu_;
+    std::string slug_ = "bench";
+    std::vector<TrajectoryRun> runs_; //!< indexed by slot
+    bool atexitRegistered_ = false;
+};
 
 /** Accesses per core for 8-core runs (env ZERODEV_ACCESSES overrides). */
 std::uint64_t accessesPerCore(std::uint64_t dflt = 60000);
@@ -48,6 +108,23 @@ RunResult runWorkload(const SystemConfig &cfg, const Workload &w,
  * @p cores threads; SPEC CPU 2017 runs @p cores rate copies.
  */
 Workload workloadFor(const AppProfile &p, std::uint32_t cores);
+
+/** One (config, workload) simulation of a sweep. */
+struct SweepJob
+{
+    SystemConfig cfg;
+    Workload w;
+    std::uint64_t accesses = 0;
+};
+
+/**
+ * Execute every job on zerodev::jobs() workers (ZERODEV_JOBS / --jobs
+ * via setJobs(); 1 = serial). Each job runs on a private CmpSystem, so
+ * results — returned by job index — are bit-identical to the serial
+ * loop; report slots are reserved in job order before execution starts,
+ * keeping runNNNN numbering stable under any interleaving.
+ */
+std::vector<RunResult> runSweep(const std::vector<SweepJob> &jobs);
 
 /** Performance metric: execution-time speedup for multi-threaded
  *  workloads, weighted speedup for multi-programmed ones. */

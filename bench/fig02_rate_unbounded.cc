@@ -33,10 +33,19 @@ main()
     double max_mpki_saved = 0;
     std::string max_app;
 
-    for (const AppProfile &p : cpu2017Profiles()) {
+    const std::vector<AppProfile> apps = cpu2017Profiles();
+    std::vector<SweepJob> jobs;
+    for (const AppProfile &p : apps) {
         const Workload w = workloadFor(p, 8);
-        const RunResult base = runWorkload(base_cfg, w, acc);
-        const RunResult test = runWorkload(unb_cfg, w, acc);
+        jobs.push_back({base_cfg, w, acc});
+        jobs.push_back({unb_cfg, w, acc});
+    }
+    const std::vector<RunResult> results = runSweep(jobs);
+
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const AppProfile &p = apps[a];
+        const RunResult &base = results[2 * a];
+        const RunResult &test = results[2 * a + 1];
         const double tr = ratio(static_cast<double>(test.trafficBytes),
                                 static_cast<double>(base.trafficBytes));
         const double ms =

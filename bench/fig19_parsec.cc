@@ -10,10 +10,10 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_util.hh"
 #include "common/config.hh"
-#include "core/cmp_system.hh"
 
 using namespace zerodev;
 using namespace zerodev::bench;
@@ -33,28 +33,40 @@ main()
     std::uint64_t total_writes = 0, de_writes = 0, total_reads = 0,
                   corrupted_reads = 0;
 
-    for (const AppProfile &p : parsecProfiles()) {
+    const std::vector<AppProfile> apps = parsecProfiles();
+    std::vector<SweepJob> jobs;
+    for (const AppProfile &p : apps) {
         const Workload w = workloadFor(p, 8);
-        const RunResult base = runWorkload(base_cfg, w, acc);
+        jobs.push_back({base_cfg, w, acc});
+        for (double r : ratios)
+            jobs.push_back({zdevEightCore(r), w, acc});
+    }
+    const std::vector<RunResult> results = runSweep(jobs);
+
+    const std::size_t stride = 1 + std::size(ratios);
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const RunResult &base = results[a * stride];
         std::vector<double> row;
-        for (double r : ratios) {
-            CmpSystem sys(zdevEightCore(r));
-            RunConfig rc;
-            rc.accessesPerCore = acc;
-            const RunResult test = run(sys, w, rc);
-            row.push_back(perfMetric(w, base, test));
-            if (r == 0.0) {
-                const DramStats d = sys.totalDramStats();
-                total_writes += d.writes;
-                de_writes += d.deWrites;
-                total_reads += d.reads;
-                corrupted_reads += sys.protoStats().corruptedReadMisses;
+        for (std::size_t i = 0; i < std::size(ratios); ++i) {
+            const RunResult &test = results[a * stride + 1 + i];
+            row.push_back(perfMetric(jobs[a * stride].w, base, test));
+            if (ratios[i] == 0.0) {
+                // The full-system StatDump carries the DRAM and
+                // protocol counters the claims aggregate.
+                total_writes += static_cast<std::uint64_t>(
+                    test.system.get("dram.writes"));
+                de_writes += static_cast<std::uint64_t>(
+                    test.system.get("dram.de_writes"));
+                total_reads += static_cast<std::uint64_t>(
+                    test.system.get("dram.reads"));
+                corrupted_reads += static_cast<std::uint64_t>(
+                    test.system.get("corrupted_read_misses"));
             }
         }
         c1.push_back(row[0]);
         c8.push_back(row[1]);
         c0.push_back(row[2]);
-        t.addRow(p.name, row);
+        t.addRow(apps[a].name, row);
     }
     t.addRow("GEOMEAN", {geomean(c1), geomean(c8), geomean(c0)});
     t.print();

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Host simulation-throughput micro bench: how many simulated memory
+ * accesses per host second the protocol engine sustains under each
+ * directory policy (baseline sparse, ZeroDEV SpillAll / FPSS /
+ * FuseAll). The Maccesses/s figures are informational — they depend on
+ * the host — but the trajectory line this emits (via runWorkload when
+ * ZERODEV_REPORT_DIR is set) makes sim-rate regressions visible in
+ * BENCH_micro_simrate.json across commits.
+ *
+ * Runs execute serially on purpose: per-run wall time is the metric,
+ * and concurrent runs would contend for cores and skew it.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/config.hh"
+#include "core/cmp_system.hh"
+
+using namespace zerodev;
+using namespace zerodev::bench;
+
+int
+main()
+{
+    banner("micro_simrate",
+           "host simulation throughput (Maccesses/s) per policy");
+
+    const std::uint64_t accesses = accessesPerCore(20000);
+
+    struct Point
+    {
+        const char *name;
+        SystemConfig cfg;
+    };
+    const auto zdevWith = [](DirCachePolicy pol) {
+        SystemConfig cfg = zdevEightCore(0.0);
+        cfg.dirCachePolicy = pol;
+        return cfg;
+    };
+    const std::vector<Point> points = {
+        {"Baseline", makeEightCoreConfig()},
+        {"SpillAll", zdevWith(DirCachePolicy::SpillAll)},
+        {"FPSS", zdevWith(DirCachePolicy::Fpss)},
+        {"FuseAll", zdevWith(DirCachePolicy::FuseAll)},
+    };
+
+    const AppProfile p = profileByName("canneal");
+    const Workload w = workloadFor(p, 8);
+
+    Table t({"policy", "cycles", "accesses", "wall (s)", "Maccesses/s"});
+    for (const Point &pt : points) {
+        const RunResult r = runWorkload(pt.cfg, w, accesses);
+        t.addRow({pt.name, std::to_string(r.cycles),
+                  std::to_string(r.accesses), fmt(r.wallSeconds, 3),
+                  fmt(r.maccessesPerSecond(), 2)});
+    }
+    t.print();
+    return 0;
+}

@@ -14,20 +14,40 @@
  *
  * The access count is fixed — not ZERODEV_ACCESSES-overridable — so the
  * checked-in baseline and the CI run always simulate the same work.
+ *
+ * Runs execute on the parallel sweep engine: --jobs N (or ZERODEV_JOBS)
+ * picks the worker count, defaulting to the host's hardware threads.
+ * Simulated output is bit-identical at any job count; only the wall
+ * time and the informational Maccesses/s sim-rate depend on the host.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "bench_util.hh"
 #include "common/config.hh"
+#include "common/parallel.hh"
 #include "core/cmp_system.hh"
 
 using namespace zerodev;
 using namespace zerodev::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            setJobs(static_cast<unsigned>(std::atoi(argv[++i])));
+        } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            setJobs(static_cast<unsigned>(std::atoi(argv[i] + 7)));
+        } else {
+            std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+            return 2;
+        }
+    }
+
     banner("smoke", "reduced-access sweep for the CI perf gate");
 
     // Fixed work: the baseline on disk was generated with exactly this.
@@ -48,19 +68,40 @@ main()
         [] { return zdevEightCore(0.0); },
     };
 
-    Table t({"app", "config", "cycles", "misses", "DEVs"});
+    std::vector<SweepJob> jobs;
     for (const char *app : apps) {
         const AppProfile p = profileByName(app);
         const Workload w = workloadFor(p, 8);
-        for (const auto &make_cfg : configs) {
-            const SystemConfig cfg = make_cfg();
-            const RunResult r = runWorkload(cfg, w, kAccesses);
-            t.addRow({p.name, toString(cfg.dirOrg),
-                      std::to_string(r.cycles),
-                      std::to_string(r.coreCacheMisses),
-                      std::to_string(r.devInvalidations)});
-        }
+        for (const auto &make_cfg : configs)
+            jobs.push_back({make_cfg(), w, kAccesses});
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<RunResult> results = runSweep(jobs);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    Table t({"app", "config", "cycles", "misses", "DEVs"});
+    std::uint64_t total_accesses = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const RunResult &r = results[i];
+        total_accesses += r.accesses;
+        t.setRow(i, {profileByName(apps[i / configs.size()]).name,
+                     toString(jobs[i].cfg.dirOrg),
+                     std::to_string(r.cycles),
+                     std::to_string(r.coreCacheMisses),
+                     std::to_string(r.devInvalidations)});
     }
     t.print();
+
+    std::printf("\nsweep: %zu runs, %.2f s wall, %.2f Maccesses/s "
+                "(jobs=%u)\n",
+                jobs.size(), wall,
+                wall > 0.0 ? static_cast<double>(total_accesses) / wall /
+                                 1e6
+                           : 0.0,
+                zerodev::jobs());
     return 0;
 }

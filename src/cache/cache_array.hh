@@ -37,7 +37,10 @@ class CacheArray
 {
   public:
     CacheArray(std::size_t sets, std::uint32_t ways)
-        : sets_(sets), ways_(ways), lines_(sets * ways)
+        : sets_(sets), ways_(ways), setMask_(sets - 1),
+          pow2Sets_(isPowerOfTwo(sets)),
+          tagShift_(pow2Sets_ ? floorLog2(sets) : 0),
+          lines_(sets * ways)
     {
         if (sets == 0 || ways == 0)
             fatal("cache array with zero sets or ways");
@@ -45,6 +48,22 @@ class CacheArray
 
     std::size_t numSets() const { return sets_; }
     std::uint32_t numWays() const { return ways_; }
+
+    /** Set index of @p addr: the low index bits (same contract as the
+     *  free setIndex(), precomputed once per array). */
+    std::size_t
+    setOfAddr(std::uint64_t addr) const
+    {
+        return static_cast<std::size_t>(addr & setMask_);
+    }
+
+    /** Tag of @p addr: addr / sets, strength-reduced to a shift for the
+     *  power-of-two geometries every shipped config uses. */
+    std::uint64_t
+    tagOfAddr(std::uint64_t addr) const
+    {
+        return pow2Sets_ ? (addr >> tagShift_) : (addr / sets_);
+    }
 
     LineT &line(std::size_t set, std::uint32_t way)
     {
@@ -66,27 +85,38 @@ class CacheArray
     WayRef
     find(std::size_t set, std::uint64_t tag, Pred &&pred) const
     {
+        const LineT *row = rowPtr(set);
         for (std::uint32_t w = 0; w < ways_; ++w) {
-            const LineT &l = line(set, w);
+            const LineT &l = row[w];
             if (l.occupied() && l.tag == tag && pred(l))
                 return {set, w, true};
         }
         return {set, 0, false};
     }
 
-    /** Find matching @p tag among occupied lines (no extra predicate). */
+    /** Find matching @p tag among occupied lines (no extra predicate).
+     *  Spelled out (not delegated through a lambda) so the tag scan —
+     *  the hottest loop in the simulator — stays a tight compare loop
+     *  over the contiguous set even without inlining. */
     WayRef
     find(std::size_t set, std::uint64_t tag) const
     {
-        return find(set, tag, [](const LineT &) { return true; });
+        const LineT *row = rowPtr(set);
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            const LineT &l = row[w];
+            if (l.occupied() && l.tag == tag)
+                return {set, w, true};
+        }
+        return {set, 0, false};
     }
 
     /** First free way in @p set, if any. */
     WayRef
     findFree(std::size_t set) const
     {
+        const LineT *row = rowPtr(set);
         for (std::uint32_t w = 0; w < ways_; ++w) {
-            if (!line(set, w).occupied())
+            if (!row[w].occupied())
                 return {set, w, true};
         }
         return {set, 0, false};
@@ -113,8 +143,9 @@ class CacheArray
         int best_class = std::numeric_limits<int>::max();
         std::uint64_t best_use = std::numeric_limits<std::uint64_t>::max();
         bool found = false;
+        const LineT *row = rowPtr(set);
         for (std::uint32_t w = 0; w < ways_; ++w) {
-            const LineT &l = line(set, w);
+            const LineT &l = row[w];
             if (!l.occupied())
                 return w;
             const int cls = classify(l);
@@ -166,8 +197,17 @@ class CacheArray
     }
 
   private:
+    const LineT *
+    rowPtr(std::size_t set) const
+    {
+        return lines_.data() + set * ways_;
+    }
+
     std::size_t sets_;
     std::uint32_t ways_;
+    std::size_t setMask_;
+    bool pow2Sets_;
+    unsigned tagShift_;
     std::vector<LineT> lines_;
     LruClock clock_;
 };

@@ -14,6 +14,14 @@ Llc::Llc(const SystemConfig &cfg)
       totalBlocks_(cfg.llcBlocks()),
       policy_(cfg.llcReplPolicy)
 {
+    // Precompute the bank/set/tag decomposition: probe() runs on every
+    // uncore access and the per-call floorLog2 + division dominated it.
+    bankShift_ = floorLog2(numBanks_);
+    bankMask_ = numBanks_ - 1;
+    setMask_ = setsPerBank_ - 1;
+    setsPow2_ = isPowerOfTwo(setsPerBank_);
+    tagShift_ = setsPow2_ ? bankShift_ + floorLog2(setsPerBank_) : 0;
+
     banks_.reserve(numBanks_);
     for (std::uint32_t b = 0; b < numBanks_; ++b)
         banks_.emplace_back(setsPerBank_, ways_);
@@ -22,7 +30,7 @@ Llc::Llc(const SystemConfig &cfg)
 std::uint32_t
 Llc::bankOfBlock(BlockAddr block) const
 {
-    return bankOf(block, numBanks_);
+    return static_cast<std::uint32_t>(block & bankMask_);
 }
 
 LlcProbe
@@ -31,8 +39,8 @@ Llc::probe(BlockAddr block)
     ++stats_.lookups;
     LlcProbe p;
     auto &bank = banks_[bankOfBlock(block)];
-    p.set = bankSetIndex(block, numBanks_, setsPerBank_);
-    const std::uint64_t tag = bankTag(block, numBanks_, setsPerBank_);
+    p.set = setOfBlock(block);
+    const std::uint64_t tag = tagOfBlock(block);
     for (std::uint32_t w = 0; w < ways_; ++w) {
         LlcLine &l = bank.line(p.set, w);
         if (!l.occupied() || l.tag != tag)
@@ -89,8 +97,8 @@ Llc::allocate(BlockAddr block, LlcLineKind kind, bool dirty,
     if (kind == LlcLineKind::Invalid)
         panic("allocating an Invalid LLC line");
     auto &bank = banks_[bankOfBlock(block)];
-    const std::size_t set = bankSetIndex(block, numBanks_, setsPerBank_);
-    const std::uint64_t tag = bankTag(block, numBanks_, setsPerBank_);
+    const std::size_t set = setOfBlock(block);
+    const std::uint64_t tag = tagOfBlock(block);
 
     // Victim selection with optional way exclusion.
     std::uint32_t way = ways_;

@@ -180,8 +180,31 @@ class Llc
 
     void bumpDeLines(LlcLineKind kind, std::int64_t delta);
 
+    /** Set index of @p block within its bank (precomputed mask/shift
+     *  form of bankSetIndex()). */
+    std::size_t
+    setOfBlock(BlockAddr block) const
+    {
+        return static_cast<std::size_t>((block >> bankShift_) &
+                                        setMask_);
+    }
+
+    /** Tag of @p block within its bank (bankTag(), division strength-
+     *  reduced to a shift for power-of-two sets-per-bank). */
+    std::uint64_t
+    tagOfBlock(BlockAddr block) const
+    {
+        return setsPow2_ ? (block >> tagShift_)
+                         : ((block >> bankShift_) / setsPerBank_);
+    }
+
     std::uint32_t numBanks_;
     std::uint64_t setsPerBank_;
+    unsigned bankShift_ = 0;
+    std::uint64_t bankMask_ = 0;
+    std::uint64_t setMask_ = 0;
+    bool setsPow2_ = false;
+    unsigned tagShift_ = 0;
     std::uint32_t ways_;
     std::uint32_t tagCycles_;
     std::uint32_t dataCycles_;

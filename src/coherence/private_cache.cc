@@ -25,8 +25,8 @@ PrivateCache::access(AccessType type, BlockAddr block)
       case AccessType::Ifetch: ++stats_.ifetches; break;
     }
 
-    const std::size_t l2set = setIndex(block, l2_.numSets());
-    const std::uint64_t l2tag = tagOf(block, l2_.numSets());
+    const std::size_t l2set = l2_.setOfAddr(block);
+    const std::uint64_t l2tag = l2_.tagOfAddr(block);
     const WayRef l2ref = l2_.find(l2set, l2tag);
     if (!l2ref.found) {
         ++stats_.misses;
@@ -46,8 +46,8 @@ PrivateCache::access(AccessType type, BlockAddr block)
     l2_.touch(l2set, l2ref.way);
 
     auto &l1 = l1For(type);
-    const std::size_t l1set = setIndex(block, l1.numSets());
-    const std::uint64_t l1tag = tagOf(block, l1.numSets());
+    const std::size_t l1set = l1.setOfAddr(block);
+    const std::uint64_t l1tag = l1.tagOfAddr(block);
     const WayRef l1ref = l1.find(l1set, l1tag);
     if (l1ref.found) {
         l1.touch(l1set, l1ref.way);
@@ -63,11 +63,11 @@ void
 PrivateCache::fillL1(AccessType type, BlockAddr block)
 {
     auto &l1 = l1For(type);
-    const std::size_t set = setIndex(block, l1.numSets());
+    const std::size_t set = l1.setOfAddr(block);
     const std::uint32_t way = l1.victimLru(set);
     L1Line &line = l1.line(set, way);
     line.valid = true;
-    line.tag = tagOf(block, l1.numSets());
+    line.tag = l1.tagOfAddr(block);
     l1.touch(set, way);
     // L1 evictions are silent: the L2 is inclusive and already tracks
     // the block in the right state.
@@ -80,8 +80,8 @@ PrivateCache::fill(AccessType type, BlockAddr block, MesiState state)
         panic("filling a block in Invalid state");
 
     PrivateEviction ev;
-    const std::size_t set = setIndex(block, l2_.numSets());
-    const std::uint64_t tag = tagOf(block, l2_.numSets());
+    const std::size_t set = l2_.setOfAddr(block);
+    const std::uint64_t tag = l2_.tagOfAddr(block);
     WayRef ref = l2_.find(set, tag);
     if (!ref.found) {
         const std::uint32_t way = l2_.victimLru(set);
@@ -108,8 +108,8 @@ PrivateCache::fill(AccessType type, BlockAddr block, MesiState state)
 MesiState
 PrivateCache::state(BlockAddr block) const
 {
-    const std::size_t set = setIndex(block, l2_.numSets());
-    const WayRef ref = l2_.find(set, tagOf(block, l2_.numSets()));
+    const std::size_t set = l2_.setOfAddr(block);
+    const WayRef ref = l2_.find(set, l2_.tagOfAddr(block));
     if (!ref.found)
         return MesiState::Invalid;
     return l2_.line(set, ref.way).state;
@@ -118,8 +118,8 @@ PrivateCache::state(BlockAddr block) const
 MesiState
 PrivateCache::invalidate(BlockAddr block, bool dev)
 {
-    const std::size_t set = setIndex(block, l2_.numSets());
-    const WayRef ref = l2_.find(set, tagOf(block, l2_.numSets()));
+    const std::size_t set = l2_.setOfAddr(block);
+    const WayRef ref = l2_.find(set, l2_.tagOfAddr(block));
     if (!ref.found)
         return MesiState::Invalid;
     L2Line &line = l2_.line(set, ref.way);
@@ -135,8 +135,8 @@ PrivateCache::invalidate(BlockAddr block, bool dev)
 MesiState
 PrivateCache::downgrade(BlockAddr block)
 {
-    const std::size_t set = setIndex(block, l2_.numSets());
-    const WayRef ref = l2_.find(set, tagOf(block, l2_.numSets()));
+    const std::size_t set = l2_.setOfAddr(block);
+    const WayRef ref = l2_.find(set, l2_.tagOfAddr(block));
     if (!ref.found)
         panic("downgrade of absent block");
     L2Line &line = l2_.line(set, ref.way);
@@ -150,8 +150,8 @@ PrivateCache::downgrade(BlockAddr block)
 void
 PrivateCache::upgradeToModified(BlockAddr block)
 {
-    const std::size_t set = setIndex(block, l2_.numSets());
-    const WayRef ref = l2_.find(set, tagOf(block, l2_.numSets()));
+    const std::size_t set = l2_.setOfAddr(block);
+    const WayRef ref = l2_.find(set, l2_.tagOfAddr(block));
     if (!ref.found)
         panic("upgrade of absent block");
     l2_.line(set, ref.way).state = MesiState::Modified;
@@ -161,8 +161,8 @@ void
 PrivateCache::dropFromL1s(BlockAddr block)
 {
     for (CacheArray<L1Line> *l1 : {&l1i_, &l1d_}) {
-        const std::size_t set = setIndex(block, l1->numSets());
-        const WayRef ref = l1->find(set, tagOf(block, l1->numSets()));
+        const std::size_t set = l1->setOfAddr(block);
+        const WayRef ref = l1->find(set, l1->tagOfAddr(block));
         if (ref.found)
             l1->line(set, ref.way).reset();
     }

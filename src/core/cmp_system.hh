@@ -334,6 +334,11 @@ class CmpSystem
     void installNewTracking(Socket &s, BlockAddr block,
                             const DirEntry &entry, Cycle now);
 
+    /** Write @p entry through the baseline organisation and apply the
+     *  forced invalidations it reports, reusing invScratch_. */
+    void applyOrgSet(Socket &s, BlockAddr block, const DirEntry &entry,
+                     Cycle now);
+
     /** Accommodate @p entry in the LLC per the configured policy. */
     void cacheEntryInLlc(Socket &s, BlockAddr block, const DirEntry &entry,
                          Cycle now);
@@ -395,6 +400,10 @@ class CmpSystem
     Histogram devSize_{kMaxCores};
     obs::Tracer *trc_ = nullptr;
     obs::LatencyProfiler *lat_ = nullptr;
+    /** Reusable forced-invalidation buffer for applyOrgSet(): hoists a
+     *  per-access heap allocation out of the baseline-organisation hot
+     *  path (borrowed via swap, so re-entrant DEV handling is safe). */
+    std::vector<Invalidation> invScratch_;
     std::uint64_t txn_ = 0;   //!< id of the in-flight transaction
     CoreId txnCore_ = 0;      //!< global core that issued it
     BlockAddr txnBlock_ = 0;  //!< block it targets

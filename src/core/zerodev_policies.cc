@@ -51,14 +51,28 @@ CmpSystem::findTracking(Socket &s, BlockAddr block)
 }
 
 void
+CmpSystem::applyOrgSet(Socket &s, BlockAddr block, const DirEntry &entry,
+                       Cycle now)
+{
+    // Borrow the member scratch instead of allocating a vector on every
+    // set() — this runs once per access in the baseline organisations.
+    // Borrow-by-move (not a reference) because applyInvalidation() can
+    // re-enter this function via LLC victim handling; a nested call then
+    // simply starts from an empty buffer.
+    std::vector<Invalidation> invs = std::move(invScratch_);
+    invs.clear();
+    s.dirOrg->set(block, entry, invs);
+    for (const Invalidation &inv : invs)
+        applyInvalidation(s, inv, now);
+    invScratch_ = std::move(invs);
+}
+
+void
 CmpSystem::writeTracking(Socket &s, BlockAddr block, TrackWhere where,
                          const DirEntry &entry, Cycle now)
 {
     if (s.dirOrg) {
-        std::vector<Invalidation> invs;
-        s.dirOrg->set(block, entry, invs);
-        for (const Invalidation &inv : invs)
-            applyInvalidation(s, inv, now);
+        applyOrgSet(s, block, entry, now);
         return;
     }
 
@@ -160,10 +174,7 @@ CmpSystem::installNewTracking(Socket &s, BlockAddr block,
                               const DirEntry &entry, Cycle now)
 {
     if (s.dirOrg) {
-        std::vector<Invalidation> invs;
-        s.dirOrg->set(block, entry, invs);
-        for (const Invalidation &inv : invs)
-            applyInvalidation(s, inv, now);
+        applyOrgSet(s, block, entry, now);
         return;
     }
     if (s.sparseDir) {

@@ -19,9 +19,12 @@ SparseDirectory::SparseDirectory(std::uint32_t slices,
     if (slices == 0 || !isPowerOfTwo(slices))
         fatal("sparse directory slice count %u must be a power of two",
               slices);
+    sliceShift_ = floorLog2(slices);
     if (!unbounded_) {
         if (!isPowerOfTwo(sets_per_slice))
             fatal("sparse directory sets/slice must be a power of two");
+        setMask_ = sets_per_slice - 1;
+        tagShift_ = sliceShift_ + floorLog2(sets_per_slice);
         slices_.reserve(slices);
         for (std::uint32_t i = 0; i < slices; ++i)
             slices_.emplace_back(sets_per_slice, ways);
@@ -43,14 +46,13 @@ SparseDirectory::sliceOf(BlockAddr block) const
 std::size_t
 SparseDirectory::setOf(BlockAddr block) const
 {
-    return static_cast<std::size_t>((block >> floorLog2(numSlices_)) &
-                                    (setsPerSlice_ - 1));
+    return static_cast<std::size_t>((block >> sliceShift_) & setMask_);
 }
 
 std::uint64_t
 SparseDirectory::tagOfBlock(BlockAddr block) const
 {
-    return (block >> floorLog2(numSlices_)) / setsPerSlice_;
+    return block >> tagShift_;
 }
 
 DirEntry *

@@ -159,6 +159,12 @@ class SparseDirectory
     std::uint32_t ways_;
     bool replacementDisabled_;
     bool unbounded_;
+    /** Precomputed decomposition (slices and sets/slice are enforced
+     *  powers of two): block -> slice | set | tag without per-lookup
+     *  floorLog2 or division. */
+    unsigned sliceShift_ = 0;
+    std::uint64_t setMask_ = 0;
+    unsigned tagShift_ = 0;
 
     std::vector<Slice> slices_;
     std::unordered_map<BlockAddr, DirEntry> map_; //!< unbounded mode

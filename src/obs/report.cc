@@ -246,6 +246,11 @@ runReportJson(const SystemConfig &cfg, const RunResult &res)
             wall > 0.0 ? static_cast<double>(res.instructions) / wall : 0.0);
     w.field("cyclesPerSecond",
             wall > 0.0 ? static_cast<double>(res.cycles) / wall : 0.0);
+    // Host sim-rate (informational, never gated: the compare tool only
+    // extracts result/latency metrics, so profile fields cannot fail a
+    // perf gate).
+    w.field("simAccesses", res.accesses);
+    w.field("maccessesPerSecond", res.maccessesPerSecond());
     w.endObject();
 
     // Where the cycles went: zeros unless a LatencyProfiler was

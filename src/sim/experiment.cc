@@ -1,5 +1,6 @@
 #include "sim/experiment.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <iomanip>
 #include <sstream>
@@ -11,8 +12,20 @@ namespace zerodev
 
 namespace
 {
-int gFailedClaims = 0;
+std::atomic<int> gFailedClaims{0};
+
+std::vector<std::string>
+labelledCells(const std::string &label, const std::vector<double> &vals,
+              int precision)
+{
+    std::vector<std::string> cells;
+    cells.reserve(vals.size() + 1);
+    cells.push_back(label);
+    for (double v : vals)
+        cells.push_back(fmt(v, precision));
+    return cells;
 }
+} // namespace
 
 double
 speedup(const RunResult &base, const RunResult &test)
@@ -51,6 +64,7 @@ Table::Table(std::vector<std::string> headers)
 void
 Table::addRow(std::vector<std::string> cells)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     rows_.push_back(std::move(cells));
 }
 
@@ -58,16 +72,29 @@ void
 Table::addRow(const std::string &label, const std::vector<double> &vals,
               int precision)
 {
-    std::vector<std::string> cells;
-    cells.push_back(label);
-    for (double v : vals)
-        cells.push_back(fmt(v, precision));
-    rows_.push_back(std::move(cells));
+    addRow(labelledCells(label, vals, precision));
+}
+
+void
+Table::setRow(std::size_t index, std::vector<std::string> cells)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (index >= rows_.size())
+        rows_.resize(index + 1);
+    rows_[index] = std::move(cells);
+}
+
+void
+Table::setRow(std::size_t index, const std::string &label,
+              const std::vector<double> &vals, int precision)
+{
+    setRow(index, labelledCells(label, vals, precision));
 }
 
 std::string
 Table::render() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::vector<std::size_t> width(headers_.size());
     for (std::size_t i = 0; i < headers_.size(); ++i)
         width[i] = headers_[i].size();

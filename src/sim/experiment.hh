@@ -9,6 +9,8 @@
 #ifndef ZERODEV_SIM_EXPERIMENT_HH
 #define ZERODEV_SIM_EXPERIMENT_HH
 
+#include <cstddef>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,7 +32,14 @@ double weightedSpeedup(const RunResult &base, const RunResult &test);
 /** Ratio helper for normalised traffic/miss bars. */
 double ratio(double test, double base);
 
-/** A printable results table. */
+/**
+ * A printable results table.
+ *
+ * Row insertion is safe under concurrent sweep workers: addRow()
+ * appends under a lock, and setRow() places a row at a fixed index so
+ * workers finishing out of order still produce the submission-ordered
+ * table a serial sweep would have printed.
+ */
 class Table
 {
   public:
@@ -42,12 +51,21 @@ class Table
     void addRow(const std::string &label, const std::vector<double> &vals,
                 int precision = 3);
 
+    /** Place @p cells at row @p index (growing the table as needed):
+     *  rows keyed by submission index, not completion order. */
+    void setRow(std::size_t index, std::vector<std::string> cells);
+
+    /** setRow() with the label-plus-numbers convenience format. */
+    void setRow(std::size_t index, const std::string &label,
+                const std::vector<double> &vals, int precision = 3);
+
     /** Render with aligned columns. */
     std::string render() const;
 
     void print() const;
 
   private:
+    mutable std::mutex mu_;
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;
 };

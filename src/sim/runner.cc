@@ -185,6 +185,7 @@ run(CmpSystem &sys, const Workload &workload, const RunConfig &rc)
     res.coreCacheMisses = sys.protoStats().l2Misses;
     res.trafficBytes = sys.totalTrafficBytes();
     res.devInvalidations = sys.protoStats().devInvalidations;
+    res.accesses = sys.protoStats().accesses;
     res.system = sys.report();
     observers.complete(res);
     return res;
@@ -225,6 +226,7 @@ replay(CmpSystem &sys, const TraceReader &trace, const RunConfig &rc)
     res.coreCacheMisses = sys.protoStats().l2Misses;
     res.trafficBytes = sys.totalTrafficBytes();
     res.devInvalidations = sys.protoStats().devInvalidations;
+    res.accesses = sys.protoStats().accesses;
     res.system = sys.report();
     observers.complete(res);
     return res;

@@ -76,8 +76,23 @@ struct RunResult
      *  attached through RunConfig::latency). */
     obs::LatencyBreakdown latency;
 
+    /** Simulated memory accesses executed (protocol transactions,
+     *  including warm-up) — the work unit of the sim-rate metric. */
+    std::uint64_t accesses = 0;
+
     /** Host wall-clock seconds the run consumed (sim-rate profiling). */
     double wallSeconds = 0.0;
+
+    /** Host simulation rate in million accesses per second; 0 when the
+     *  wall clock was zeroed (determinism comparisons). Informational
+     *  only — never a gated metric. */
+    double
+    maccessesPerSecond() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(accesses) / wallSeconds / 1e6
+                   : 0.0;
+    }
 
     /** Per-core IPC (weighted-speedup ingredient). */
     double ipc(std::uint32_t core) const
