@@ -1,0 +1,508 @@
+/**
+ * @file
+ * Differential config-equivalence fuzz farm CLI.
+ *
+ * `run` drives the differential harness (src/verify/) over adversarial
+ * access streams, one seed per job, across the standard config cross
+ * product: unbounded directory, sparse baselines, every ZeroDEV flavour,
+ * and multi-socket splits. Any divergence — a load observing a different
+ * value, a destroyed memory copy being served, an invariant violation, a
+ * strict core-cache-state mismatch — is automatically ddmin-shrunk to a
+ * minimal repro and written out next to a machine-readable
+ * `zerodev-fuzz-report-v1` JSON report. `shrink` and `replay` operate on
+ * saved traces (the nightly-failure reproduction workflow); `gen` writes
+ * a fuzz stream to a trace file for corpus seeding.
+ *
+ * Exit codes (aligned with trace_tool — see docs/OBSERVABILITY.md):
+ *   0  success / no divergence
+ *   1  runtime failure (I/O)
+ *   2  usage error
+ *   3  trace load failure
+ *   4  divergence detected
+ */
+
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "obs/json.hh"
+#include "verify/differ.hh"
+#include "verify/shrink.hh"
+#include "workload/trace.hh"
+
+using namespace zerodev;
+using namespace zerodev::verify;
+
+namespace
+{
+
+// Exit codes — keep in sync with the file header and docs.
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitLoad = 3;
+constexpr int kExitDivergence = 4;
+
+const char *const kUsage =
+    "usage: fuzz_tool <subcommand> [args]\n"
+    "\n"
+    "subcommands:\n"
+    "  run [--seeds N] [--minutes M] [--jobs J] [--accesses A]\n"
+    "      [--cores C] [--out DIR] [--quick] [--plant-fault I,B,S]\n"
+    "      differentially fuzz the config cross product. Runs N seeds\n"
+    "      (default 8), or waves of seeds until M minutes elapsed when\n"
+    "      --minutes is given. On divergence the trace is ddmin-shrunk\n"
+    "      and both traces land in DIR (default .) next to\n"
+    "      fuzz-report.json. --plant-fault injects a synthetic\n"
+    "      mis-observation into variant I for block B after S stores\n"
+    "      (pipeline self-test only).\n"
+    "  shrink <trace> [--out FILE] [--quick]\n"
+    "      ddmin-shrink a diverging trace to a minimal repro\n"
+    "      (FILE defaults to <trace>.min.trc)\n"
+    "  replay <trace> [--quick]\n"
+    "      replay a trace through the differential harness\n"
+    "  gen <seed> <cores> <accesses> <file>\n"
+    "      write the fuzz stream for a seed to a trace file\n"
+    "\n"
+    "exit codes: 0 ok/no divergence, 1 runtime failure, 2 usage error,\n"
+    "            3 trace load failure, 4 divergence detected\n";
+
+int
+usage(const char *why = nullptr)
+{
+    if (why)
+        std::fprintf(stderr, "fuzz_tool: %s\n", why);
+    std::fputs(kUsage, stderr);
+    return kExitUsage;
+}
+
+/** Strict decimal parse; nullopt on garbage, sign or overflow. */
+std::optional<std::uint64_t>
+parseCount(const char *s)
+{
+    if (!s || !*s)
+        return std::nullopt;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (errno != 0 || *end != '\0' || s[0] == '-')
+        return std::nullopt;
+    return static_cast<std::uint64_t>(v);
+}
+
+std::optional<std::uint32_t>
+parseCores(const char *s)
+{
+    const auto v = parseCount(s);
+    if (!v || *v == 0 || *v > kMaxCores * kMaxSockets)
+        return std::nullopt;
+    return static_cast<std::uint32_t>(*v);
+}
+
+/** "I,B,S" (variant index, block, store count) for --plant-fault. */
+std::optional<FaultHook>
+parseFault(const char *s)
+{
+    FaultHook hook;
+    unsigned long long i = 0, b = 0, n = 0;
+    char extra = 0;
+    if (std::sscanf(s, "%llu,%llu,%llu%c", &i, &b, &n, &extra) != 3)
+        return std::nullopt;
+    hook.enabled = true;
+    hook.instance = static_cast<std::size_t>(i);
+    hook.block = b;
+    hook.afterStores = n;
+    return hook;
+}
+
+bool
+writeTrace(const std::string &path, std::uint32_t cores,
+           const std::vector<TraceRecord> &records)
+{
+    TraceWriter w(path, cores);
+    for (const TraceRecord &rec : records)
+        w.append(rec);
+    w.close();
+    return w.written() == records.size();
+}
+
+struct RunOptions
+{
+    std::uint64_t seeds = 8;
+    std::uint64_t minutes = 0; //!< 0 = fixed seed count
+    unsigned jobs = 0;         //!< 0 = library default
+    std::uint64_t accesses = 20000;
+    std::uint32_t cores = 4;
+    std::string outDir = ".";
+    bool quick = false;
+    FaultHook fault;
+};
+
+struct SeedOutcome
+{
+    std::uint64_t seed = 0;
+    DifferResult result;
+};
+
+void
+printDivergence(const std::string &label, const Divergence &d)
+{
+    std::printf("DIVERGENCE %s: rule=%s instance=%s access=%" PRIu64
+                "\n  %s\n",
+                label.c_str(), d.rule.c_str(), d.instance.c_str(),
+                d.accessIndex, d.detail.c_str());
+}
+
+/** The machine-readable run summary consumed by CI. */
+std::string
+fuzzReport(const RunOptions &opt, const Differ &differ,
+           std::uint64_t seedsRun, double elapsedSec,
+           const SeedOutcome *bad, const ShrinkResult *shrunk,
+           const std::string &tracePath, const std::string &minPath)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("schema", "zerodev-fuzz-report-v1");
+    w.field("mode", opt.minutes ? "minutes" : "seeds");
+    w.field("seeds_run", seedsRun);
+    w.field("accesses_per_seed", opt.accesses);
+    w.field("cores", static_cast<std::uint64_t>(opt.cores));
+    w.field("elapsed_seconds", elapsedSec);
+    w.field("fault_planted", opt.fault.enabled);
+    w.key("variants").beginArray();
+    for (const Variant &v : differ.variants())
+        w.value(v.name);
+    w.endArray();
+    w.key("divergence");
+    if (!bad) {
+        w.null();
+    } else {
+        const Divergence &d = bad->result.divergence;
+        w.beginObject();
+        w.field("seed", bad->seed);
+        w.field("rule", d.rule);
+        w.field("instance", d.instance);
+        w.field("access_index", d.accessIndex);
+        w.field("detail", d.detail);
+        w.field("trace", tracePath);
+        if (shrunk && shrunk->shrunk()) {
+            w.field("shrunk_trace", minPath);
+            w.field("original_accesses",
+                    static_cast<std::uint64_t>(shrunk->originalSize));
+            w.field("shrunk_accesses",
+                    static_cast<std::uint64_t>(shrunk->trace.size()));
+            w.field("shrink_candidates", shrunk->candidatesTried);
+            w.field("shrink_hit_cap", shrunk->hitCandidateCap);
+        }
+        w.endObject();
+    }
+    w.endObject();
+    return w.str();
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    RunOptions opt;
+    for (int i = 2; i < argc; ++i) {
+        const auto want = [&](const char *flag) {
+            if (std::strcmp(argv[i], flag) != 0)
+                return false;
+            if (i + 1 >= argc)
+                return false;
+            return true;
+        };
+        if (want("--seeds")) {
+            const auto v = parseCount(argv[++i]);
+            if (!v || *v == 0)
+                return usage("run: --seeds needs a positive count");
+            opt.seeds = *v;
+        } else if (want("--minutes")) {
+            const auto v = parseCount(argv[++i]);
+            if (!v)
+                return usage("run: --minutes needs a count");
+            opt.minutes = *v;
+        } else if (want("--jobs")) {
+            const auto v = parseCount(argv[++i]);
+            if (!v || *v == 0)
+                return usage("run: --jobs needs a positive count");
+            opt.jobs = static_cast<unsigned>(*v);
+        } else if (want("--accesses")) {
+            const auto v = parseCount(argv[++i]);
+            if (!v || *v == 0)
+                return usage("run: --accesses needs a positive count");
+            opt.accesses = *v;
+        } else if (want("--cores")) {
+            const auto v = parseCores(argv[++i]);
+            if (!v)
+                return usage("run: --cores must be a valid core count");
+            opt.cores = *v;
+        } else if (want("--out")) {
+            opt.outDir = argv[++i];
+        } else if (want("--plant-fault")) {
+            const auto hook = parseFault(argv[++i]);
+            if (!hook)
+                return usage("run: --plant-fault needs I,B,S");
+            opt.fault = *hook;
+        } else if (!std::strcmp(argv[i], "--quick")) {
+            opt.quick = true;
+        } else {
+            return usage("run: unknown or incomplete option");
+        }
+    }
+
+    Differ differ(opt.quick ? Differ::quickVariants(opt.cores)
+                            : Differ::standardVariants(opt.cores));
+    if (opt.fault.enabled) {
+        if (opt.fault.instance >= differ.variants().size())
+            return usage("run: --plant-fault variant index out of range");
+        differ.setFaultHook(opt.fault);
+    }
+
+    std::error_code ec;
+    std::filesystem::create_directories(opt.outDir, ec);
+    if (ec) {
+        std::fprintf(stderr, "fuzz_tool: cannot create %s: %s\n",
+                     opt.outDir.c_str(), ec.message().c_str());
+        return kExitRuntime;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto elapsed = [&] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+    const auto runSeed = [&](std::uint64_t seed) {
+        SeedOutcome out;
+        out.seed = seed;
+        out.result =
+            differ.run(fuzzStream(seed, differ.cores(), opt.accesses));
+        return out;
+    };
+
+    std::printf("fuzz: %zu variants x %" PRIu64
+                " accesses/seed, %u cores%s\n",
+                differ.variants().size(), opt.accesses, opt.cores,
+                opt.fault.enabled ? " [fault planted]" : "");
+
+    std::vector<SeedOutcome> outcomes;
+    std::uint64_t nextSeed = 1;
+    bool timedOut = false;
+    while (true) {
+        // Seed-count mode runs one exact batch; time-budget mode keeps
+        // issuing waves of one-per-worker until the budget is spent.
+        std::uint64_t wave;
+        if (opt.minutes == 0) {
+            wave = opt.seeds - (nextSeed - 1);
+            if (wave == 0)
+                break;
+        } else {
+            if (elapsed() >= static_cast<double>(opt.minutes) * 60.0) {
+                timedOut = true;
+                break;
+            }
+            wave = opt.jobs ? opt.jobs : defaultJobs();
+        }
+        const std::uint64_t base = nextSeed;
+        auto batch = parallelMap(
+            static_cast<std::size_t>(wave),
+            [&](std::size_t i) { return runSeed(base + i); }, opt.jobs);
+        nextSeed += wave;
+        bool anyBad = false;
+        for (auto &o : batch) {
+            anyBad = anyBad || !o.result.ok();
+            outcomes.push_back(std::move(o));
+        }
+        if (anyBad)
+            break;
+    }
+
+    const SeedOutcome *bad = nullptr;
+    for (const auto &o : outcomes) {
+        if (!o.result.ok() && !bad)
+            bad = &o;
+    }
+
+    std::string tracePath, minPath;
+    ShrinkResult shrunk;
+    bool haveShrunk = false;
+    if (bad) {
+        printDivergence("seed " + std::to_string(bad->seed),
+                        bad->result.divergence);
+        const auto stream =
+            fuzzStream(bad->seed, differ.cores(), opt.accesses);
+        tracePath = opt.outDir + "/divergence-seed" +
+                    std::to_string(bad->seed) + ".trc";
+        if (!writeTrace(tracePath, differ.cores(), stream))
+            return kExitRuntime;
+        std::printf("wrote %s (%zu records); shrinking...\n",
+                    tracePath.c_str(), stream.size());
+        shrunk = shrinkTrace(differ, stream);
+        haveShrunk = shrunk.shrunk();
+        if (haveShrunk) {
+            minPath = opt.outDir + "/divergence-seed" +
+                      std::to_string(bad->seed) + ".min.trc";
+            if (!writeTrace(minPath, differ.cores(), shrunk.trace))
+                return kExitRuntime;
+            std::printf("shrunk %zu -> %zu records (%" PRIu64
+                        " candidates%s): %s\n",
+                        shrunk.originalSize, shrunk.trace.size(),
+                        shrunk.candidatesTried,
+                        shrunk.hitCandidateCap ? ", hit cap" : "",
+                        minPath.c_str());
+        }
+    }
+
+    const std::string report = fuzzReport(
+        opt, differ, outcomes.size(), elapsed(), bad,
+        haveShrunk ? &shrunk : nullptr, tracePath, minPath);
+    const std::string reportPath = opt.outDir + "/fuzz-report.json";
+    if (!obs::writeTextFile(reportPath, report + "\n"))
+        return kExitRuntime;
+
+    std::printf("%" PRIu64 " seed(s) in %.1fs%s -> %s\n",
+                static_cast<std::uint64_t>(outcomes.size()), elapsed(),
+                timedOut ? " (time budget reached)" : "",
+                reportPath.c_str());
+    if (bad)
+        return kExitDivergence;
+    std::printf("no divergence\n");
+    return kExitOk;
+}
+
+int
+cmdShrink(int argc, char **argv)
+{
+    std::string in, out;
+    bool quick = false;
+    for (int i = 2; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+            out = argv[++i];
+        } else if (!std::strcmp(argv[i], "--quick")) {
+            quick = true;
+        } else if (in.empty() && argv[i][0] != '-') {
+            in = argv[i];
+        } else {
+            return usage("shrink: unknown or incomplete option");
+        }
+    }
+    if (in.empty())
+        return usage("shrink needs <trace>");
+    if (out.empty())
+        out = in + ".min.trc";
+
+    TraceReader trace(in);
+    if (!trace.ok()) {
+        std::fprintf(stderr, "fuzz_tool: %s\n", trace.error().c_str());
+        return kExitLoad;
+    }
+    const Differ differ(quick ? Differ::quickVariants(trace.cores())
+                              : Differ::standardVariants(trace.cores()));
+    const ShrinkResult res = shrinkTrace(differ, trace.records());
+    if (!res.shrunk()) {
+        std::printf("trace does not diverge; nothing to shrink\n");
+        return kExitOk;
+    }
+    if (!writeTrace(out, differ.cores(), res.trace))
+        return kExitRuntime;
+    printDivergence(in, res.divergence);
+    std::printf("shrunk %zu -> %zu records (%" PRIu64
+                " candidates%s): %s\n",
+                res.originalSize, res.trace.size(), res.candidatesTried,
+                res.hitCandidateCap ? ", hit cap" : "", out.c_str());
+    return kExitDivergence;
+}
+
+int
+cmdReplay(int argc, char **argv)
+{
+    std::string in;
+    bool quick = false;
+    for (int i = 2; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--quick")) {
+            quick = true;
+        } else if (in.empty() && argv[i][0] != '-') {
+            in = argv[i];
+        } else {
+            return usage("replay: unknown option");
+        }
+    }
+    if (in.empty())
+        return usage("replay needs <trace>");
+
+    TraceReader trace(in);
+    if (!trace.ok()) {
+        std::fprintf(stderr, "fuzz_tool: %s\n", trace.error().c_str());
+        return kExitLoad;
+    }
+    const Differ differ(quick ? Differ::quickVariants(trace.cores())
+                              : Differ::standardVariants(trace.cores()));
+    const DifferResult res = differ.run(trace.records());
+    std::printf("%zu records x %zu variants: %" PRIu64 " sweeps\n",
+                trace.records().size(), differ.variants().size(),
+                res.sweeps);
+    if (!res.ok()) {
+        printDivergence(in, res.divergence);
+        return kExitDivergence;
+    }
+    std::printf("no divergence\n");
+    return kExitOk;
+}
+
+int
+cmdGen(int argc, char **argv)
+{
+    if (argc < 6)
+        return usage("gen needs <seed> <cores> <accesses> <file>");
+    const auto seed = parseCount(argv[2]);
+    const auto cores = parseCores(argv[3]);
+    const auto acc = parseCount(argv[4]);
+    if (!seed)
+        return usage("gen: <seed> must be a number");
+    if (!cores)
+        return usage("gen: <cores> must be a valid core count");
+    if (!acc || *acc == 0)
+        return usage("gen: <accesses> must be a positive count");
+    const auto stream = fuzzStream(*seed, *cores, *acc);
+    if (!writeTrace(argv[5], *cores, stream))
+        return kExitRuntime;
+    std::printf("wrote %zu records to %s\n", stream.size(), argv[5]);
+    return kExitOk;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+            std::fputs(kUsage, stdout);
+            return kExitOk;
+        }
+    }
+    if (!std::strcmp(argv[1], "help")) {
+        std::fputs(kUsage, stdout);
+        return kExitOk;
+    }
+    if (!std::strcmp(argv[1], "run"))
+        return cmdRun(argc, argv);
+    if (!std::strcmp(argv[1], "shrink"))
+        return cmdShrink(argc, argv);
+    if (!std::strcmp(argv[1], "replay"))
+        return cmdReplay(argc, argv);
+    if (!std::strcmp(argv[1], "gen"))
+        return cmdGen(argc, argv);
+    return usage("unknown subcommand");
+}

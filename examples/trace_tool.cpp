@@ -23,10 +23,12 @@
  */
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <string_view>
@@ -98,25 +100,53 @@ wantsHelp(int argc, char **argv)
     return false;
 }
 
+/** Strict decimal parse; nullopt on garbage, sign or overflow. */
+std::optional<std::uint64_t>
+parseCount(const char *s)
+{
+    if (!s || !*s)
+        return std::nullopt;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (errno != 0 || *end != '\0' || s[0] == '-')
+        return std::nullopt;
+    return static_cast<std::uint64_t>(v);
+}
+
+/** Core-count operand: an integer in [1, kMaxCores * kMaxSockets]. */
+std::optional<std::uint32_t>
+parseCores(const char *s)
+{
+    const auto v = parseCount(s);
+    if (!v || *v == 0 || *v > kMaxCores * kMaxSockets)
+        return std::nullopt;
+    return static_cast<std::uint32_t>(*v);
+}
+
 int
 cmdGen(int argc, char **argv)
 {
     if (argc < 6)
         return usage("gen needs <app> <cores> <accesses-per-core> <file>");
     const AppProfile p = profileByName(argv[2]);
-    const auto cores = static_cast<std::uint32_t>(std::atoi(argv[3]));
-    const std::uint64_t acc = std::strtoull(argv[4], nullptr, 10);
+    const auto cores = parseCores(argv[3]);
+    const auto acc = parseCount(argv[4]);
+    if (!cores)
+        return usage("gen: <cores> must be a positive core count");
+    if (!acc || *acc == 0)
+        return usage("gen: <accesses-per-core> must be a positive count");
     const Workload w = p.suite == "cpu2017"
-                           ? Workload::rate(p, cores)
-                           : Workload::multiThreaded(p, cores);
+                           ? Workload::rate(p, *cores)
+                           : Workload::multiThreaded(p, *cores);
 
-    TraceWriter out(argv[5], cores);
+    TraceWriter out(argv[5], *cores);
     std::vector<ThreadGenerator> gens;
-    for (std::uint32_t c = 0; c < cores; ++c)
+    for (std::uint32_t c = 0; c < *cores; ++c)
         gens.push_back(w.makeGenerator(c));
     // Round-robin interleave (replay re-times per core anyway).
-    for (std::uint64_t i = 0; i < acc; ++i) {
-        for (std::uint32_t c = 0; c < cores; ++c)
+    for (std::uint64_t i = 0; i < *acc; ++i) {
+        for (std::uint32_t c = 0; c < *cores; ++c)
             out.append({c, gens[c].next()});
     }
     std::printf("wrote %llu records to %s\n",
@@ -129,7 +159,7 @@ cmdInfo(int argc, char **argv)
 {
     if (argc < 3)
         return usage("info needs <file>");
-    const TraceReader trace(argv[2]);
+    const TraceReader trace = TraceReader::mustLoad(argv[2]);
     std::map<std::uint32_t, std::uint64_t> per_core;
     std::uint64_t loads = 0, stores = 0, ifetches = 0, instructions = 0;
     std::set<BlockAddr> footprint;
@@ -158,7 +188,8 @@ cmdInfo(int argc, char **argv)
     return kExitOk;
 }
 
-SystemConfig
+/** nullopt for an unknown organisation name (a usage error). */
+std::optional<SystemConfig>
 configFor(const char *org)
 {
     SystemConfig cfg = makeEightCoreConfig();
@@ -166,6 +197,8 @@ configFor(const char *org)
         cfg.dirOrg = DirOrg::Unbounded;
     } else if (!std::strcmp(org, "zerodev")) {
         applyZeroDev(cfg, 0.0);
+    } else if (std::strcmp(org, "baseline") != 0) {
+        return std::nullopt;
     }
     return cfg;
 }
@@ -175,19 +208,25 @@ cmdReplay(int argc, char **argv)
 {
     if (argc < 3)
         return usage("replay needs <file> [org]");
-    const TraceReader trace(argv[2]);
     const char *org = argc > 3 ? argv[3] : "baseline";
-    const SystemConfig cfg = configFor(org);
-    CmpSystem sys(cfg);
+    const auto cfg = configFor(org);
+    if (!cfg)
+        return usage("replay: org must be baseline|unbounded|zerodev");
+    const TraceReader trace = TraceReader::mustLoad(argv[2]);
+    CmpSystem sys(*cfg);
+    if (trace.cores() > sys.totalCores()) {
+        fatal("trace drives %u cores but the %s config has only %u",
+              trace.cores(), org, sys.totalCores());
+    }
     const RunResult r = replay(sys, trace, RunConfig{});
     std::printf("org: %s\ncycles: %llu\ncore cache misses: %llu\n"
                 "traffic bytes: %llu\nDEV invalidations: %llu\n",
-                toString(cfg.dirOrg),
+                toString(cfg->dirOrg),
                 static_cast<unsigned long long>(r.cycles),
                 static_cast<unsigned long long>(r.coreCacheMisses),
                 static_cast<unsigned long long>(r.trafficBytes),
                 static_cast<unsigned long long>(r.devInvalidations));
-    obs::maybeWriteRunReport(std::string("trace_replay_") + org, cfg, r);
+    obs::maybeWriteRunReport(std::string("trace_replay_") + org, *cfg, r);
     return kExitOk;
 }
 
@@ -199,15 +238,22 @@ cmdSim(int argc, char **argv)
             "sim needs <app> <cores> <accesses-per-core> <outdir> [org]");
     }
     const AppProfile p = profileByName(argv[2]);
-    const auto cores = static_cast<std::uint32_t>(std::atoi(argv[3]));
-    const std::uint64_t acc = std::strtoull(argv[4], nullptr, 10);
+    const auto cores = parseCores(argv[3]);
+    const auto acc = parseCount(argv[4]);
+    if (!cores)
+        return usage("sim: <cores> must be a positive core count");
+    if (!acc || *acc == 0)
+        return usage("sim: <accesses-per-core> must be a positive count");
     const std::string outdir = argv[5];
     const char *org = argc > 6 ? argv[6] : "zerodev";
 
-    const SystemConfig cfg = configFor(org);
+    const auto maybe_cfg = configFor(org);
+    if (!maybe_cfg)
+        return usage("sim: org must be baseline|unbounded|zerodev");
+    const SystemConfig &cfg = *maybe_cfg;
     const Workload w = p.suite == "cpu2017"
-                           ? Workload::rate(p, cores)
-                           : Workload::multiThreaded(p, cores);
+                           ? Workload::rate(p, *cores)
+                           : Workload::multiThreaded(p, *cores);
 
     CmpSystem sys(cfg);
     obs::Tracer tracer;
@@ -217,7 +263,7 @@ cmdSim(int argc, char **argv)
     obs::LatencyProfiler latency;
 
     RunConfig rc;
-    rc.accessesPerCore = acc;
+    rc.accessesPerCore = *acc;
     rc.tracer = &tracer;
     rc.sampler = &sampler;
     rc.latency = &latency;

@@ -235,9 +235,13 @@ CmpSystem::cacheEntryInLlc(Socket &s, BlockAddr block,
     }
 
     // Spill: for FPSS this is the S-state (or block-absent, e.g. EPD)
-    // case; for FuseAll the block-absent case.
+    // case; for FuseAll the block-absent case. A co-resident data line
+    // is excluded from victim selection (as in the SpillAll path above):
+    // victimising the very block being tracked would, under an inclusive
+    // LLC, invalidate the copies this entry is about to record.
     const LlcVictim victim = s.llc.allocate(
-        block, LlcLineKind::SpilledDe, false, entry, -1);
+        block, LlcLineKind::SpilledDe, false, entry,
+        block_resident ? static_cast<std::int32_t>(p.dataWay) : -1);
     ZDEV_TRACE(trc_, obs::TraceEventKind::Spill, obs::TraceComp::Llc,
                s.id, 0, block, now, 0, 0, txn_);
     handleLlcVictim(s, victim, now);

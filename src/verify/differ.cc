@@ -1,0 +1,525 @@
+#include "verify/differ.hh"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.hh"
+#include "core/cmp_system.hh"
+#include "core/invariants.hh"
+#include "workload/app_profiles.hh"
+#include "workload/workload.hh"
+
+namespace zerodev::verify
+{
+
+namespace
+{
+
+std::string
+hex(BlockAddr b)
+{
+    std::ostringstream os;
+    os << std::hex << "0x" << b;
+    return os.str();
+}
+
+/**
+ * Small-cache geometry (the tests' tiny config): 2 KB L1s, 4 KB L2,
+ * 64 KB LLC over 2 banks. Conflicts, entry spills and corrupted-memory
+ * flows all happen within a few thousand accesses, which is what makes
+ * differential fuzzing productive.
+ */
+SystemConfig
+smallConfig(std::uint32_t cores, std::uint32_t sockets)
+{
+    SystemConfig cfg;
+    cfg.name = "verify-small";
+    cfg.sockets = sockets;
+    cfg.coresPerSocket = cores / sockets;
+    cfg.l1i = CacheConfig{2 * 1024, 8, 3};
+    cfg.l1d = CacheConfig{2 * 1024, 8, 3};
+    cfg.l2 = CacheConfig{4 * 1024, 8, 8};
+    cfg.llcSizeBytes = 64 * 1024;
+    cfg.llcBanks = 2;
+    // A tiny socket-directory cache stresses the backing flows.
+    cfg.socketDirCacheSets = 8;
+    cfg.socketDirCacheWays = 2;
+    return cfg;
+}
+
+Variant
+zdevVariant(const std::string &name, std::uint32_t cores,
+            std::uint32_t sockets, double ratio, DirCachePolicy policy,
+            LlcReplPolicy repl, LlcFlavor flavor)
+{
+    SystemConfig cfg = smallConfig(cores, sockets);
+    applyZeroDev(cfg, ratio);
+    cfg.dirCachePolicy = policy;
+    cfg.llcReplPolicy = repl;
+    cfg.llcFlavor = flavor;
+    cfg.socketDirZeroDev = sockets > 1;
+    return {name, cfg};
+}
+
+Variant
+baseVariant(const std::string &name, std::uint32_t cores,
+            std::uint32_t sockets, DirOrg org, double ratio,
+            LlcFlavor flavor = LlcFlavor::NonInclusive)
+{
+    SystemConfig cfg = smallConfig(cores, sockets);
+    cfg.dirOrg = org;
+    cfg.directory.sizeRatio = ratio;
+    cfg.llcFlavor = flavor;
+    return {name, cfg};
+}
+
+/** The load-value an instance reports when it demonstrably served a
+ *  request from destroyed memory data. Folding the block address in
+ *  keeps two poisoned blocks from accidentally comparing equal. */
+std::uint64_t
+poisonValue(BlockAddr block)
+{
+    return 0xdead0000'00000000ull ^ block;
+}
+
+/** Per-instance lockstep state. */
+struct Instance
+{
+    const Variant *variant = nullptr;
+    std::unique_ptr<CmpSystem> sys;
+    Cycle now = 0;
+    /** Blocks whose data this instance has demonstrably corrupted. */
+    std::unordered_set<BlockAddr> poisoned;
+};
+
+using ClassCounts =
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(AccessClass::NumClasses)>;
+
+/** Sum of the corrupted-recovery flow counters (any of them moving
+ *  during an access means the protocol noticed the destroyed copy). */
+std::uint64_t
+recoveryFlows(const ProtocolStats &p)
+{
+    return p.corruptedResponses + p.corruptedReadMisses +
+           p.lastCopyRestores;
+}
+
+} // namespace
+
+Differ::Differ(std::vector<Variant> variants, DifferOptions opt)
+    : variants_(std::move(variants)), opt_(opt)
+{
+    if (variants_.empty())
+        panic("Differ needs at least one variant");
+    cores_ = variants_.front().cfg.sockets *
+             variants_.front().cfg.coresPerSocket;
+    for (const Variant &v : variants_) {
+        if (v.cfg.sockets * v.cfg.coresPerSocket != cores_) {
+            panic("variant '%s' disagrees on the total core count",
+                  v.name.c_str());
+        }
+    }
+
+    // Strict equivalence class: the paper claims ZeroDEV keeps the core
+    // caches bit-identical to an unbounded directory. That holds for the
+    // single-socket non-inclusive flavours (inclusive back-invalidations
+    // and EPD deallocations legitimately change private contents;
+    // sparse/SecDir/MgD baselines deliver DEVs). Multi-socket variants
+    // are value-only: the socket-directory cache evicts on a schedule
+    // that depends on LLC content, which ZeroDEV's in-LLC entries shift,
+    // so remote copies are recalled at different points across variants.
+    int group = -1;
+    strictGroup_.assign(variants_.size(), -1);
+    for (std::size_t i = 0; i < variants_.size(); ++i) {
+        const SystemConfig &cfg = variants_[i].cfg;
+        const bool strict = cfg.sockets == 1 &&
+                            cfg.llcFlavor == LlcFlavor::NonInclusive &&
+                            (cfg.dirOrg == DirOrg::Unbounded ||
+                             cfg.dirOrg == DirOrg::ZeroDev);
+        if (!strict)
+            continue;
+        if (group < 0)
+            group = 0;
+        strictGroup_[i] = group;
+    }
+}
+
+DifferResult
+Differ::run(const std::vector<TraceRecord> &stream) const
+{
+    DifferResult res;
+    std::vector<Instance> inst(variants_.size());
+    for (std::size_t i = 0; i < variants_.size(); ++i) {
+        inst[i].variant = &variants_[i];
+        inst[i].sys = std::make_unique<CmpSystem>(variants_[i].cfg);
+    }
+
+    // Shadow value oracle: version[b] = number of stores to b so far.
+    std::unordered_map<BlockAddr, std::uint64_t> version;
+
+    auto diverge = [&](std::size_t i, std::uint64_t index,
+                       const std::string &rule, const std::string &det) {
+        res.divergence.found = true;
+        res.divergence.rule = rule;
+        res.divergence.detail = det;
+        res.divergence.instance = variants_[i].name;
+        res.divergence.accessIndex = index;
+    };
+
+    // One full consistency sweep: invariants on every instance, then the
+    // strict-group private-cache comparison.
+    auto sweep = [&](std::uint64_t index, bool invariants,
+                     bool core_state) -> bool {
+        ++res.sweeps;
+        if (invariants) {
+            for (std::size_t i = 0; i < inst.size(); ++i) {
+                const auto violations = checkInvariants(*inst[i].sys);
+                if (!violations.empty()) {
+                    diverge(i, index, "invariant",
+                            violations.front().rule + ": " +
+                                violations.front().detail);
+                    return false;
+                }
+            }
+        }
+        if (!core_state)
+            return true;
+        for (std::size_t i = 0; i < inst.size(); ++i) {
+            const int g = strictGroup_[i];
+            if (g < 0)
+                continue;
+            // Head of the group: the first variant with this group id.
+            std::size_t head = i;
+            for (std::size_t j = 0; j < i; ++j) {
+                if (strictGroup_[j] == g) {
+                    head = j;
+                    break;
+                }
+            }
+            if (head == i)
+                continue;
+            const SystemConfig &hc = variants_[head].cfg;
+            const SystemConfig &ic = variants_[i].cfg;
+            // E vs S grants can legitimately differ across socket
+            // partitionings once forwarding is involved; within one
+            // group the partitioning is identical, so exact MESI
+            // equality is required.
+            for (CoreId c = 0; c < cores_; ++c) {
+                using BlockState = std::pair<BlockAddr, MesiState>;
+                std::vector<BlockState> a, b;
+                inst[head]
+                    .sys->privateCache(c / hc.coresPerSocket,
+                                       c % hc.coresPerSocket)
+                    .forEachBlock([&](BlockAddr blk, MesiState st) {
+                        a.emplace_back(blk, st);
+                    });
+                inst[i]
+                    .sys->privateCache(c / ic.coresPerSocket,
+                                       c % ic.coresPerSocket)
+                    .forEachBlock([&](BlockAddr blk, MesiState st) {
+                        b.emplace_back(blk, st);
+                    });
+                std::sort(a.begin(), a.end());
+                std::sort(b.begin(), b.end());
+                if (a == b)
+                    continue;
+                // Name the first differing block for the report.
+                std::string det = "core " + std::to_string(c) +
+                                  " diverges from " +
+                                  variants_[head].name;
+                for (std::size_t k = 0; k < std::max(a.size(), b.size());
+                     ++k) {
+                    if (k >= a.size() || k >= b.size() || a[k] != b[k]) {
+                        const BlockState &d =
+                            k < b.size() ? b[k]
+                                         : a[std::min(k, a.size() - 1)];
+                        det += " at block " + hex(d.first);
+                        break;
+                    }
+                }
+                diverge(i, index, "core-state", det);
+                return false;
+            }
+        }
+        return true;
+    };
+
+    for (std::uint64_t idx = 0; idx < stream.size(); ++idx) {
+        const TraceRecord &rec = stream[idx];
+        const AccessType type = rec.access.type;
+        const BlockAddr block = rec.access.block;
+        const CoreId core = rec.core;
+        if (core >= cores_) {
+            panic("stream record %llu targets core %u of %u",
+                  static_cast<unsigned long long>(idx), core, cores_);
+        }
+
+        if (type == AccessType::Store)
+            ++version[block];
+        const std::uint64_t expected = version[block];
+
+        // Value every instance claims the access observed; compared
+        // across the whole set below.
+        std::vector<std::uint64_t> observed(inst.size(), expected);
+
+        for (std::size_t i = 0; i < inst.size(); ++i) {
+            Instance &in = inst[i];
+            CmpSystem &sys = *in.sys;
+            const SystemConfig &cfg = in.variant->cfg;
+            const SocketId home = sys.homeSocket(block);
+            const bool destroyedPre = sys.memStore(home).destroyed(block);
+            const std::uint64_t recoveryPre =
+                recoveryFlows(sys.protoStats());
+            const ClassCounts classPre = sys.protoStats().classCount;
+
+            in.now = sys.access(core, type, block,
+                                in.now + rec.access.gap);
+
+            // Which service class completed the transaction?
+            const ClassCounts &classPost = sys.protoStats().classCount;
+            AccessClass cls = AccessClass::NumClasses;
+            for (std::size_t k = 0; k < classPre.size(); ++k) {
+                if (classPost[k] != classPre[k]) {
+                    cls = static_cast<AccessClass>(k);
+                    break;
+                }
+            }
+
+            // Per-access response contract: the requesting core must end
+            // up with a copy, writable after a store.
+            const MesiState st =
+                sys.privateCache(core / cfg.coresPerSocket,
+                                 core % cfg.coresPerSocket)
+                    .state(block);
+            if (st == MesiState::Invalid) {
+                diverge(i, idx, "response",
+                        "core " + std::to_string(core) +
+                            " has no copy of " + hex(block) +
+                            " after its own access");
+                return finish(res, idx + 1);
+            }
+            if (type == AccessType::Store && st != MesiState::Modified) {
+                diverge(i, idx, "response",
+                        "store by core " + std::to_string(core) +
+                            " left " + hex(block) + " in state " +
+                            toString(st));
+                return finish(res, idx + 1);
+            }
+
+            // Destroyed-data safety: a transaction that touched a block
+            // whose memory image is destroyed must either hit a cached
+            // copy or run one of the corrupted-recovery flows. Serving
+            // it straight from DRAM returns directory-entry bits as
+            // data.
+            if (destroyedPre && cls == AccessClass::Memory &&
+                recoveryFlows(sys.protoStats()) == recoveryPre) {
+                in.poisoned.insert(block);
+                diverge(i, idx, "destroyed-data",
+                        "access to " + hex(block) +
+                            " served from destroyed memory without a "
+                            "recovery flow");
+                return finish(res, idx + 1);
+            }
+
+            if (in.poisoned.count(block))
+                observed[i] = poisonValue(block);
+            if (hook_.enabled && i == hook_.instance &&
+                type == AccessType::Load && block == hook_.block &&
+                version[block] >= hook_.afterStores) {
+                observed[i] = expected + 1;
+            }
+        }
+
+        // The architectural-invisibility oracle: every instance observed
+        // the same value for this access.
+        for (std::size_t i = 1; i < inst.size(); ++i) {
+            if (observed[i] != observed[0]) {
+                diverge(i, idx, "load-value",
+                        toString(type) + std::string(" of ") +
+                            hex(block) + " by core " +
+                            std::to_string(core) + " observed value " +
+                            std::to_string(observed[i]) + ", " +
+                            variants_[0].name + " observed " +
+                            std::to_string(observed[0]));
+                return finish(res, idx + 1);
+            }
+        }
+
+        const std::uint64_t done = idx + 1;
+        const bool inv = opt_.invariantCadence &&
+                         done % opt_.invariantCadence == 0;
+        const bool cst = opt_.coreStateCadence &&
+                         done % opt_.coreStateCadence == 0;
+        if ((inv || cst) && !sweep(idx, inv, cst))
+            return finish(res, done);
+    }
+
+    if (!sweep(stream.empty() ? 0 : stream.size() - 1, true, true))
+        return finish(res, stream.size());
+
+    // Final image: for every block the stream touched, each instance
+    // must still be able to produce the last stored value — from a
+    // private cache, an LLC data line, or an intact memory copy — and
+    // none may have poisoned it.
+    if (opt_.finalImage) {
+        for (std::size_t i = 0; i < inst.size(); ++i) {
+            const CmpSystem &sys = *inst[i].sys;
+            const SystemConfig &cfg = inst[i].variant->cfg;
+            std::unordered_set<BlockAddr> retrievable;
+            for (SocketId s = 0; s < cfg.sockets; ++s) {
+                for (CoreId c = 0; c < cfg.coresPerSocket; ++c) {
+                    sys.privateCache(s, c).forEachBlock(
+                        [&](BlockAddr b, MesiState) {
+                            retrievable.insert(b);
+                        });
+                }
+                sys.llc(s).forEach([&](const LlcLine &l) {
+                    if (l.kind == LlcLineKind::Data)
+                        retrievable.insert(l.block);
+                });
+            }
+            for (const auto &[block, ver] : version) {
+                (void)ver;
+                if (inst[i].poisoned.count(block)) {
+                    diverge(i, stream.size(), "final-image",
+                            "block " + hex(block) +
+                                " ends the run poisoned");
+                    return finish(res, stream.size());
+                }
+                const SocketId home = sys.homeSocket(block);
+                if (sys.memStore(home).destroyed(block) &&
+                    !retrievable.count(block)) {
+                    diverge(i, stream.size(), "final-image",
+                            "block " + hex(block) +
+                                " is destroyed in memory with no "
+                                "cached copy left");
+                    return finish(res, stream.size());
+                }
+            }
+        }
+    }
+
+    return finish(res, stream.size());
+}
+
+DifferResult
+Differ::finish(DifferResult &res, std::uint64_t accesses)
+{
+    res.accesses = accesses;
+    return res;
+}
+
+std::vector<Variant>
+Differ::standardVariants(std::uint32_t cores)
+{
+    using P = DirCachePolicy;
+    using R = LlcReplPolicy;
+    using F = LlcFlavor;
+    std::vector<Variant> v;
+    v.push_back(baseVariant("unbounded", cores, 1, DirOrg::Unbounded, 1.0));
+    v.push_back(baseVariant("sparse-1x", cores, 1, DirOrg::SparseNru, 1.0));
+    v.push_back(
+        baseVariant("sparse-8th", cores, 1, DirOrg::SparseNru, 0.125));
+    v.push_back(zdevVariant("zdev-spillall", cores, 1, 0.125, P::SpillAll,
+                            R::SpLru, F::NonInclusive));
+    v.push_back(zdevVariant("zdev-fpss", cores, 1, 0.125, P::Fpss,
+                            R::DataLru, F::NonInclusive));
+    v.push_back(zdevVariant("zdev-fuseall", cores, 1, 0.125, P::FuseAll,
+                            R::DataLru, F::NonInclusive));
+    v.push_back(zdevVariant("zdev-nodir", cores, 1, 0.0, P::Fpss,
+                            R::DataLru, F::NonInclusive));
+    v.push_back(zdevVariant("zdev-fpss-incl", cores, 1, 0.125, P::Fpss,
+                            R::DataLru, F::Inclusive));
+    v.push_back(zdevVariant("zdev-fpss-epd", cores, 1, 0.125, P::Fpss,
+                            R::DataLru, F::Epd));
+    if (cores >= 2 && cores % 2 == 0) {
+        v.push_back(
+            baseVariant("unbounded-2s", cores, 2, DirOrg::Unbounded, 1.0));
+        v.push_back(zdevVariant("zdev-fpss-2s", cores, 2, 0.125, P::Fpss,
+                                R::DataLru, F::NonInclusive));
+        v.push_back(zdevVariant("zdev-fuseall-2s", cores, 2, 0.0,
+                                P::FuseAll, R::DataLru,
+                                F::NonInclusive));
+    }
+    return v;
+}
+
+std::vector<Variant>
+Differ::quickVariants(std::uint32_t cores)
+{
+    using P = DirCachePolicy;
+    using R = LlcReplPolicy;
+    using F = LlcFlavor;
+    std::vector<Variant> v;
+    v.push_back(baseVariant("unbounded", cores, 1, DirOrg::Unbounded, 1.0));
+    v.push_back(zdevVariant("zdev-fpss", cores, 1, 0.125, P::Fpss,
+                            R::DataLru, F::NonInclusive));
+    v.push_back(zdevVariant("zdev-fuseall", cores, 1, 0.0, P::FuseAll,
+                            R::DataLru, F::NonInclusive));
+    return v;
+}
+
+std::vector<TraceRecord>
+fuzzStream(std::uint64_t seed, std::uint32_t cores,
+           std::uint64_t accesses)
+{
+    Rng rng(seed);
+    std::vector<TraceRecord> out;
+    out.reserve(accesses);
+
+    // Structured traffic: one application profile drives all cores the
+    // way the paper's multi-threaded workloads do.
+    static const char *const kApps[] = {"fluidanimate", "canneal", "fft",
+                                        "mcf", "streamcluster"};
+    const AppProfile app =
+        profileByName(kApps[rng.below(std::size(kApps))]);
+    const Workload w = Workload::multiThreaded(app, cores, seed | 1);
+    std::vector<ThreadGenerator> gens;
+    for (std::uint32_t c = 0; c < cores; ++c)
+        gens.push_back(w.makeGenerator(c));
+
+    auto randomAccess = [&](BlockAddr block) {
+        TraceRecord rec;
+        rec.core = static_cast<CoreId>(rng.below(cores));
+        rec.access.block = block;
+        rec.access.gap = static_cast<std::uint32_t>(rng.below(20));
+        const double r = rng.uniform();
+        rec.access.type = r < 0.3    ? AccessType::Store
+                          : r < 0.37 ? AccessType::Ifetch
+                                     : AccessType::Load;
+        return rec;
+    };
+
+    while (out.size() < accesses) {
+        const std::uint64_t phaseLen =
+            std::min<std::uint64_t>(512 + rng.below(1024),
+                                    accesses - out.size());
+        const std::uint64_t phase = rng.below(4);
+        if (phase == 0) {
+            // Same-set conflict storm over a hot pool.
+            for (std::uint64_t i = 0; i < phaseLen; ++i)
+                out.push_back(randomAccess(rng.below(96)));
+        } else if (phase == 1) {
+            // Capacity churn.
+            for (std::uint64_t i = 0; i < phaseLen; ++i)
+                out.push_back(randomAccess(4096 + rng.below(4096)));
+        } else if (phase == 2) {
+            // Directory-set storm: one set, many tags.
+            for (std::uint64_t i = 0; i < phaseLen; ++i)
+                out.push_back(randomAccess(16 * (1 + rng.below(256))));
+        } else {
+            // Structured application phase, round-robin over the cores.
+            for (std::uint64_t i = 0; i < phaseLen; ++i) {
+                const auto c = static_cast<CoreId>(out.size() % cores);
+                out.push_back({c, gens[c].next()});
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace zerodev::verify

@@ -1,0 +1,89 @@
+#include "verify/shrink.hh"
+
+#include <algorithm>
+
+namespace zerodev::verify
+{
+
+namespace
+{
+
+/** @p trace minus the half-open chunk [begin, end). */
+std::vector<TraceRecord>
+without(const std::vector<TraceRecord> &trace, std::size_t begin,
+        std::size_t end)
+{
+    std::vector<TraceRecord> out;
+    out.reserve(trace.size() - (end - begin));
+    out.insert(out.end(), trace.begin(), trace.begin() + begin);
+    out.insert(out.end(), trace.begin() + end, trace.end());
+    return out;
+}
+
+} // namespace
+
+ShrinkResult
+shrinkTrace(const Differ &differ, std::vector<TraceRecord> trace,
+            const ShrinkOptions &opt)
+{
+    ShrinkResult res;
+    res.originalSize = trace.size();
+
+    auto diverges = [&](const std::vector<TraceRecord> &t,
+                        Divergence *d) {
+        ++res.candidatesTried;
+        const DifferResult r = differ.run(t);
+        if (r.divergence.found && d)
+            *d = r.divergence;
+        return r.divergence.found;
+    };
+
+    if (!diverges(trace, &res.divergence)) {
+        res.trace = std::move(trace); // nothing to shrink
+        return res;
+    }
+
+    // Zeller/Hildebrandt ddmin over records: try dropping ever-finer
+    // chunks; whenever a candidate still diverges, restart from it with
+    // coarser granularity.
+    std::size_t n = 2;
+    while (trace.size() >= 2 && n <= trace.size()) {
+        if (res.candidatesTried >= opt.maxCandidates) {
+            res.hitCandidateCap = true;
+            break;
+        }
+        const std::size_t chunk = (trace.size() + n - 1) / n;
+        bool reduced = false;
+        for (std::size_t begin = 0; begin < trace.size();
+             begin += chunk) {
+            if (res.candidatesTried >= opt.maxCandidates) {
+                res.hitCandidateCap = true;
+                break;
+            }
+            const std::size_t end =
+                std::min(begin + chunk, trace.size());
+            std::vector<TraceRecord> candidate =
+                without(trace, begin, end);
+            Divergence d;
+            if (!candidate.empty() && diverges(candidate, &d)) {
+                trace = std::move(candidate);
+                res.divergence = d;
+                n = std::max<std::size_t>(n - 1, 2);
+                reduced = true;
+                break;
+            }
+        }
+        if (res.hitCandidateCap)
+            break;
+        if (!reduced) {
+            if (n >= trace.size())
+                break; // 1-minimal: no single record can go
+            n = std::min(n * 2, trace.size());
+        }
+    }
+
+    res.trace = std::move(trace);
+    return res;
+}
+
+} // namespace zerodev::verify

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Delta-debugging trace shrinker. Given an access stream on which the
+ * differential harness reports a divergence (or an invariant violation),
+ * ddmin reduces it to a 1-minimal subsequence that still diverges:
+ * removing any single remaining record makes the failure disappear.
+ * Every candidate subsequence is re-validated by a full Differ::run(),
+ * so the shrunk trace is a true standalone repro — small enough to read,
+ * replay and check into tests/corpus/ as a permanent regression test.
+ */
+
+#ifndef ZERODEV_VERIFY_SHRINK_HH
+#define ZERODEV_VERIFY_SHRINK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "verify/differ.hh"
+
+namespace zerodev::verify
+{
+
+/** Shrink limits and accounting. */
+struct ShrinkOptions
+{
+    /** Hard cap on candidate re-validations (a shrink is O(n^2) runs in
+     *  the worst case; the cap bounds pathological inputs). */
+    std::uint64_t maxCandidates = 10000;
+};
+
+/** Outcome of one shrink. */
+struct ShrinkResult
+{
+    std::vector<TraceRecord> trace;   //!< the minimal diverging trace
+    Divergence divergence;            //!< divergence of `trace`
+    std::size_t originalSize = 0;
+    std::uint64_t candidatesTried = 0; //!< differ runs spent shrinking
+    bool hitCandidateCap = false;
+
+    /** False iff the input trace did not diverge at all (nothing to
+     *  shrink; `trace` echoes the input). */
+    bool shrunk() const { return divergence.found; }
+};
+
+/**
+ * Reduce @p trace to a 1-minimal subsequence on which @p differ still
+ * reports a divergence. The divergence *rule* is allowed to change
+ * while shrinking (any failure is kept — standard ddmin practice);
+ * the divergence of the final trace is returned for inspection.
+ */
+ShrinkResult shrinkTrace(const Differ &differ,
+                         std::vector<TraceRecord> trace,
+                         const ShrinkOptions &opt = {});
+
+} // namespace zerodev::verify
+
+#endif // ZERODEV_VERIFY_SHRINK_HH

@@ -61,16 +61,46 @@ TraceWriter::close()
 
 TraceReader::TraceReader(const std::string &path)
 {
+    auto fail = [&](const std::string &why) {
+        error_ = "'" + path + "': " + why;
+        cores_ = 0;
+        records_.clear();
+    };
+
     std::ifstream in(path, std::ios::binary);
-    if (!in)
-        fatal("cannot open trace file '%s'", path.c_str());
+    if (!in) {
+        fail("cannot open trace file");
+        return;
+    }
     char magic[8];
     in.read(magic, sizeof(magic));
-    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        fatal("'%s' is not a ZeroDEV trace", path.c_str());
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        fail("not a ZeroDEV trace (bad magic)");
+        return;
+    }
     in.read(reinterpret_cast<char *>(&cores_), sizeof(cores_));
+    if (!in) {
+        fail("truncated trace header");
+        return;
+    }
+    if (cores_ == 0 || cores_ > kMaxCores * kMaxSockets) {
+        fail("corrupt header: implausible core count " +
+             std::to_string(cores_));
+        return;
+    }
     PackedRecord p;
     while (in.read(reinterpret_cast<char *>(&p), sizeof(p))) {
+        if (p.core >= cores_) {
+            fail("record " + std::to_string(records_.size()) +
+                 " targets core " + std::to_string(p.core) + " of " +
+                 std::to_string(cores_));
+            return;
+        }
+        if (p.type > static_cast<std::uint8_t>(AccessType::Ifetch)) {
+            fail("record " + std::to_string(records_.size()) +
+                 " has invalid access type " + std::to_string(p.type));
+            return;
+        }
         TraceRecord rec;
         rec.core = p.core;
         rec.access.type = static_cast<AccessType>(p.type);
@@ -78,6 +108,19 @@ TraceReader::TraceReader(const std::string &path)
         rec.access.gap = p.gap;
         records_.push_back(rec);
     }
+    // A partial trailing record means the file was truncated mid-write;
+    // silently dropping it would turn data loss into a shorter trace.
+    if (in.gcount() != 0)
+        fail("truncated record at end of file");
+}
+
+TraceReader
+TraceReader::mustLoad(const std::string &path)
+{
+    TraceReader r(path);
+    if (!r.ok())
+        fatal("%s", r.error().c_str());
+    return r;
 }
 
 } // namespace zerodev

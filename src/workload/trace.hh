@@ -43,11 +43,24 @@ class TraceWriter
     bool open_ = false;
 };
 
-/** Whole-trace reader. */
+/**
+ * Whole-trace reader. Construction never exits the process: a missing
+ * file, a bad magic, a corrupt header, an out-of-range record or a
+ * truncated tail leave the reader in a failed state instead —
+ * ok() / error() report it, and records() is empty. Callers that cannot
+ * proceed without a trace use mustLoad().
+ */
 class TraceReader
 {
   public:
     explicit TraceReader(const std::string &path);
+
+    /** Construct-or-fatal(): exits with the load error (code 1) when
+     *  the trace is unusable. */
+    static TraceReader mustLoad(const std::string &path);
+
+    bool ok() const { return error_.empty(); }
+    const std::string &error() const { return error_; }
 
     std::uint32_t cores() const { return cores_; }
     const std::vector<TraceRecord> &records() const { return records_; }
@@ -55,6 +68,7 @@ class TraceReader
   private:
     std::uint32_t cores_ = 0;
     std::vector<TraceRecord> records_;
+    std::string error_;
 };
 
 } // namespace zerodev

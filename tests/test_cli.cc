@@ -1,14 +1,16 @@
 /**
  * @file
- * Exit-code and usage-path tests for the trace_tool CLI. The binary's
- * path is injected at build time (TRACE_TOOL_PATH); every subcommand
- * must honour the shared exit-code contract:
- *   0 ok / no regression, 1 runtime failure, 2 usage error,
- *   3 compare load failure, 4 regression detected.
+ * Exit-code and usage-path tests for the trace_tool and fuzz_tool CLIs.
+ * The binary paths are injected at build time (TRACE_TOOL_PATH /
+ * FUZZ_TOOL_PATH); both tools must honour the shared exit-code contract
+ * documented in docs/OBSERVABILITY.md:
+ *   0 ok / no divergence, 1 runtime failure, 2 usage error,
+ *   3 load failure, 4 regression / divergence detected.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <sys/wait.h>
@@ -16,17 +18,51 @@
 namespace
 {
 
-/** Run trace_tool with @p args, returning its exit status. */
 int
-toolExit(const std::string &args)
+runTool(const char *tool, const std::string &args)
 {
-    const std::string cmd = std::string(TRACE_TOOL_PATH) + " " + args +
-                            " >/dev/null 2>&1";
+    const std::string cmd =
+        std::string(tool) + " " + args + " >/dev/null 2>&1";
     const int rc = std::system(cmd.c_str());
     EXPECT_NE(rc, -1);
     EXPECT_TRUE(WIFEXITED(rc));
     return WEXITSTATUS(rc);
 }
+
+/** Run trace_tool with @p args, returning its exit status. */
+int
+toolExit(const std::string &args)
+{
+    return runTool(TRACE_TOOL_PATH, args);
+}
+
+/** Run fuzz_tool with @p args, returning its exit status. */
+int
+fuzzExit(const std::string &args)
+{
+    return runTool(FUZZ_TOOL_PATH, args);
+}
+
+class CliTempFiles : public ::testing::Test
+{
+  protected:
+    std::string
+    path(const std::string &name)
+    {
+        std::string p = ::testing::TempDir() + "zdev_cli_" + name;
+        tmp_.push_back(p);
+        return p;
+    }
+
+    void
+    TearDown() override
+    {
+        for (const std::string &p : tmp_)
+            std::remove(p.c_str());
+    }
+
+    std::vector<std::string> tmp_;
+};
 
 TEST(TraceToolCli, HelpExitsZeroEverywhere)
 {
@@ -53,14 +89,99 @@ TEST(TraceToolCli, UsageErrorsExitTwo)
     EXPECT_EQ(toolExit("compare a b --json"), 2);
 }
 
+TEST(TraceToolCli, MalformedOperandsExitTwo)
+{
+    // Non-numeric, signed or out-of-range counts must be usage errors,
+    // not whatever atoi() would have made of them.
+    EXPECT_EQ(toolExit("gen fft banana 10 /tmp/t.trc"), 2);
+    EXPECT_EQ(toolExit("gen fft -4 10 /tmp/t.trc"), 2);
+    EXPECT_EQ(toolExit("gen fft 4 zero /tmp/t.trc"), 2);
+    EXPECT_EQ(toolExit("gen fft 0 10 /tmp/t.trc"), 2);
+    EXPECT_EQ(toolExit("gen fft 99999 10 /tmp/t.trc"), 2);
+    EXPECT_EQ(toolExit("sim fft 4x 10 /tmp/out"), 2);
+    // An unknown organisation name must not silently mean "baseline".
+    EXPECT_EQ(toolExit("sim fft 2 10 /tmp/out zerodave"), 2);
+}
+
 TEST(TraceToolCli, RuntimeFailuresExitOne)
 {
     EXPECT_EQ(toolExit("inspect /nonexistent/trace.jsonl"), 1);
+    EXPECT_EQ(toolExit("info /nonexistent/trace.trc"), 1);
+    EXPECT_EQ(toolExit("replay /nonexistent/trace.trc"), 1);
 }
 
 TEST(TraceToolCli, CompareLoadFailureExitsThree)
 {
     EXPECT_EQ(toolExit("compare /nonexistent/base /nonexistent/cand"), 3);
+}
+
+TEST_F(CliTempFiles, TraceToolRejectsCorruptTraceWithExitOne)
+{
+    const std::string file = path("garbage.trc");
+    std::FILE *f = std::fopen(file.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a trace", f);
+    std::fclose(f);
+    EXPECT_EQ(toolExit("info " + file), 1);
+    EXPECT_EQ(toolExit("replay " + file), 1);
+}
+
+TEST_F(CliTempFiles, TraceToolReplayRejectsOversizedTrace)
+{
+    // A 16-core trace cannot replay on the 8-core example config.
+    const std::string file = path("wide.trc");
+    ASSERT_EQ(fuzzExit("gen 3 16 32 " + file), 0);
+    EXPECT_EQ(toolExit("replay " + file), 1);
+}
+
+TEST(FuzzToolCli, HelpExitsZero)
+{
+    EXPECT_EQ(fuzzExit("--help"), 0);
+    EXPECT_EQ(fuzzExit("help"), 0);
+    EXPECT_EQ(fuzzExit("run --help"), 0);
+}
+
+TEST(FuzzToolCli, UsageErrorsExitTwo)
+{
+    EXPECT_EQ(fuzzExit(""), 2);
+    EXPECT_EQ(fuzzExit("frobnicate"), 2);
+    EXPECT_EQ(fuzzExit("gen"), 2);
+    EXPECT_EQ(fuzzExit("gen 1 banana 10 /tmp/t.trc"), 2);
+    EXPECT_EQ(fuzzExit("shrink"), 2);
+    EXPECT_EQ(fuzzExit("replay"), 2);
+    EXPECT_EQ(fuzzExit("run --seeds"), 2);
+    EXPECT_EQ(fuzzExit("run --seeds 0"), 2);
+    EXPECT_EQ(fuzzExit("run --bogus"), 2);
+    EXPECT_EQ(fuzzExit("run --plant-fault nope"), 2);
+    EXPECT_EQ(fuzzExit("run --plant-fault 99,7,1"), 2);
+}
+
+TEST(FuzzToolCli, TraceLoadFailuresExitThree)
+{
+    EXPECT_EQ(fuzzExit("replay /nonexistent/trace.trc"), 3);
+    EXPECT_EQ(fuzzExit("shrink /nonexistent/trace.trc"), 3);
+}
+
+TEST_F(CliTempFiles, FuzzToolCleanPipelineExitsZero)
+{
+    const std::string file = path("clean.trc");
+    ASSERT_EQ(fuzzExit("gen 2 4 64 " + file), 0);
+    EXPECT_EQ(fuzzExit("replay " + file + " --quick"), 0);
+    EXPECT_EQ(fuzzExit("shrink " + file + " --quick --out " +
+                       path("clean.min.trc")),
+              0);
+}
+
+TEST_F(CliTempFiles, FuzzToolPlantedFaultExitsFour)
+{
+    const std::string dir = ::testing::TempDir() + "zdev_cli_fuzzdir";
+    tmp_.push_back(dir + "/fuzz-report.json");
+    tmp_.push_back(dir + "/divergence-seed1.trc");
+    tmp_.push_back(dir + "/divergence-seed1.min.trc");
+    EXPECT_EQ(fuzzExit("run --quick --seeds 2 --accesses 4000 "
+                       "--plant-fault 1,7,2 --out " +
+                       dir),
+              4);
 }
 
 } // namespace

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Corpus replay test. Every trace checked into tests/corpus/ is replayed
+ * through the full differential harness (the standard config cross
+ * product) and must come back divergence-free. Shrunk repros of fixed
+ * bugs land here so the bug class stays dead; adversarial seed streams
+ * land here so the differ's clean baseline is pinned. Corpus files are
+ * written by `fuzz_tool gen` / `fuzz_tool shrink` (see
+ * docs/VERIFICATION.md for the workflow).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "verify/differ.hh"
+#include "workload/trace.hh"
+
+#ifndef CORPUS_DIR
+#error "CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace zerodev::verify
+{
+namespace
+{
+
+std::vector<std::string>
+corpusFiles()
+{
+    std::vector<std::string> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(CORPUS_DIR)) {
+        if (entry.path().extension() == ".trc")
+            files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(Corpus, HasCheckedInTraces)
+{
+    ASSERT_TRUE(std::filesystem::is_directory(CORPUS_DIR))
+        << CORPUS_DIR;
+    EXPECT_GE(corpusFiles().size(), 2u);
+}
+
+TEST(Corpus, EveryTraceReplaysCleanUnderTheFullCrossProduct)
+{
+    for (const std::string &file : corpusFiles()) {
+        SCOPED_TRACE(file);
+        TraceReader trace(file);
+        ASSERT_TRUE(trace.ok()) << trace.error();
+        Differ differ(Differ::standardVariants(trace.cores()));
+        const DifferResult res = differ.run(trace.records());
+        EXPECT_TRUE(res.ok())
+            << res.divergence.rule << " @ " << res.divergence.accessIndex
+            << " [" << res.divergence.instance
+            << "]: " << res.divergence.detail;
+        EXPECT_EQ(res.accesses, trace.records().size());
+    }
+}
+
+} // namespace
+} // namespace zerodev::verify

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * TraceWriter / TraceReader round-trip and corruption tests: every
+ * access type and multi-socket core id must survive a write/read cycle
+ * bit-for-bit, and every malformed-file failure mode (missing file, bad
+ * magic, truncated header, implausible core count, out-of-range record,
+ * invalid access type, truncated tail) must surface through ok()/error()
+ * without terminating the process.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "workload/trace.hh"
+
+namespace zerodev
+{
+namespace
+{
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    std::string
+    path(const std::string &name)
+    {
+        std::string p = ::testing::TempDir() + "zdev_trace_" + name;
+        tmp_.push_back(p);
+        return p;
+    }
+
+    void
+    TearDown() override
+    {
+        for (const std::string &p : tmp_)
+            std::remove(p.c_str());
+    }
+
+    /** Byte-patch @p file at @p offset. */
+    static void
+    patch(const std::string &file, std::streamoff offset, char byte)
+    {
+        std::fstream f(file,
+                       std::ios::binary | std::ios::in | std::ios::out);
+        ASSERT_TRUE(f.is_open());
+        f.seekp(offset);
+        f.write(&byte, 1);
+    }
+
+    /** Truncate @p file to @p size bytes (via read + rewrite). */
+    static void
+    truncateTo(const std::string &file, std::size_t size)
+    {
+        std::ifstream in(file, std::ios::binary);
+        std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+        ASSERT_GE(bytes.size(), size);
+        std::ofstream out(file, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(size));
+    }
+
+    std::vector<std::string> tmp_;
+};
+
+TEST_F(TraceFileTest, RoundTripsAllAccessTypesAndWideCoreIds)
+{
+    const std::string file = path("roundtrip.trc");
+    // Multi-socket global core ids: socket = core / coresPerSocket, so
+    // ids well past one socket's worth must survive the trip.
+    const std::uint32_t cores = 3 * kMaxCores;
+    std::vector<TraceRecord> want;
+    const AccessType types[] = {AccessType::Load, AccessType::Store,
+                                AccessType::Ifetch};
+    for (std::uint32_t i = 0; i < 64; ++i) {
+        TraceRecord rec;
+        rec.core = (i * 37) % cores;
+        rec.access.type = types[i % 3];
+        rec.access.block = (static_cast<std::uint64_t>(i) << 40) | i;
+        rec.access.gap = i * 1000;
+        want.push_back(rec);
+    }
+    {
+        TraceWriter w(file, cores);
+        for (const TraceRecord &rec : want)
+            w.append(rec);
+        EXPECT_EQ(w.written(), want.size());
+    }
+    TraceReader r(file);
+    ASSERT_TRUE(r.ok()) << r.error();
+    EXPECT_EQ(r.cores(), cores);
+    ASSERT_EQ(r.records().size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(r.records()[i].core, want[i].core);
+        EXPECT_EQ(r.records()[i].access.type, want[i].access.type);
+        EXPECT_EQ(r.records()[i].access.block, want[i].access.block);
+        EXPECT_EQ(r.records()[i].access.gap, want[i].access.gap);
+    }
+}
+
+TEST_F(TraceFileTest, EmptyTraceIsValid)
+{
+    const std::string file = path("empty.trc");
+    { TraceWriter w(file, 4); }
+    TraceReader r(file);
+    ASSERT_TRUE(r.ok()) << r.error();
+    EXPECT_EQ(r.cores(), 4u);
+    EXPECT_TRUE(r.records().empty());
+}
+
+TEST_F(TraceFileTest, MissingFileFailsSoftly)
+{
+    TraceReader r(path("does_not_exist.trc"));
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("cannot open"), std::string::npos);
+    EXPECT_EQ(r.cores(), 0u);
+    EXPECT_TRUE(r.records().empty());
+}
+
+TEST_F(TraceFileTest, BadMagicIsRejected)
+{
+    const std::string file = path("badmagic.trc");
+    {
+        TraceWriter w(file, 4);
+        w.append(TraceRecord{});
+    }
+    patch(file, 0, 'X');
+    TraceReader r(file);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("bad magic"), std::string::npos);
+}
+
+TEST_F(TraceFileTest, TruncatedHeaderIsRejected)
+{
+    const std::string file = path("shorthdr.trc");
+    { TraceWriter w(file, 4); }
+    truncateTo(file, 10); // magic(8) + 2 of 4 core-count bytes
+    TraceReader r(file);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("truncated trace header"),
+              std::string::npos);
+}
+
+TEST_F(TraceFileTest, ImplausibleCoreCountIsRejected)
+{
+    const std::string zero = path("zerocores.trc");
+    { TraceWriter w(zero, 4); }
+    patch(zero, 8, 0); // core-count LSB: 4 -> 0
+    TraceReader r0(zero);
+    EXPECT_FALSE(r0.ok());
+    EXPECT_NE(r0.error().find("implausible core count"),
+              std::string::npos);
+
+    const std::string huge = path("hugecores.trc");
+    { TraceWriter w(huge, 4); }
+    patch(huge, 11, 0x7f); // core-count MSB: ~2 billion cores
+    TraceReader rBig(huge);
+    EXPECT_FALSE(rBig.ok());
+    EXPECT_NE(rBig.error().find("implausible core count"),
+              std::string::npos);
+}
+
+TEST_F(TraceFileTest, OutOfRangeRecordCoreIsRejected)
+{
+    const std::string file = path("badcore.trc");
+    {
+        TraceWriter w(file, 4);
+        TraceRecord rec;
+        rec.core = 9; // >= the 4 cores the header declares
+        w.append(rec);
+    }
+    TraceReader r(file);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("targets core 9 of 4"), std::string::npos);
+}
+
+TEST_F(TraceFileTest, InvalidAccessTypeIsRejected)
+{
+    const std::string file = path("badtype.trc");
+    {
+        TraceWriter w(file, 4);
+        w.append(TraceRecord{});
+    }
+    patch(file, 12 + 4, 0x42); // record 0's type byte
+    TraceReader r(file);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("invalid access type"), std::string::npos);
+}
+
+TEST_F(TraceFileTest, TruncatedTailIsRejectedNotDropped)
+{
+    const std::string file = path("shorttail.trc");
+    {
+        TraceWriter w(file, 4);
+        w.append(TraceRecord{});
+        w.append(TraceRecord{});
+    }
+    // 12-byte header + 2 * 24-byte records; cut the last record short.
+    truncateTo(file, 12 + 24 + 7);
+    TraceReader r(file);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("truncated record"), std::string::npos);
+}
+
+TEST_F(TraceFileTest, MustLoadDiesOnBadTrace)
+{
+    EXPECT_EXIT(
+        { TraceReader::mustLoad(path("gone.trc")); },
+        ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace zerodev
