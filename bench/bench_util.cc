@@ -33,21 +33,53 @@ reportDir()
 }
 
 /**
+ * Checkpoint path of run @p key (ZERODEV_SNAPSHOT_DIR; empty = resume
+ * disabled). Keyed by the figure slug and the deterministic submission
+ * index, so a re-invocation after a crash computes the same path, finds
+ * the interrupted run's file, and resumes it; @p kind separates the
+ * runWorkload() and runSweep() numbering spaces.
+ */
+std::string
+snapshotPathFor(const char *kind, std::size_t key)
+{
+    const char *dir = std::getenv("ZERODEV_SNAPSHOT_DIR");
+    if (!dir || !*dir)
+        return {};
+    char name[48];
+    std::snprintf(name, sizeof(name), "_%s%04zu.ckpt", kind, key);
+    return std::string(dir) + "/" + BenchReporter::instance().figure() +
+           name;
+}
+
+/**
  * One run on a fresh system. Latency attribution costs a few array adds
  * per transaction, so it is only attached when the reports that would
- * carry it are actually written.
+ * carry it are actually written — and never when checkpointing is on:
+ * profiler state is not part of a snapshot, so a resumed run with a
+ * profiler attached would report tail-only attribution and break the
+ * bit-identical-resume contract for the written reports.
  */
 RunResult
 runOne(const SystemConfig &cfg, const Workload &w, std::uint64_t accesses,
-       bool with_latency)
+       bool with_latency, const std::string &ckpt = {})
 {
     CmpSystem sys(cfg);
     RunConfig rc;
     rc.accessesPerCore = accesses;
     obs::LatencyProfiler latency;
-    if (with_latency)
+    if (with_latency && ckpt.empty())
         rc.latency = &latency;
-    return run(sys, w, rc);
+    if (!ckpt.empty()) {
+        rc.snapshotPath = ckpt;
+        if (std::FILE *f = std::fopen(ckpt.c_str(), "rb")) {
+            std::fclose(f);
+            rc.restorePath = ckpt;
+        }
+    }
+    RunResult res = run(sys, w, rc);
+    if (!ckpt.empty())
+        std::remove(ckpt.c_str());
+    return res;
 }
 
 } // namespace
@@ -205,11 +237,17 @@ RunResult
 runWorkload(const SystemConfig &cfg, const Workload &w,
             std::uint64_t accesses)
 {
+    // Deterministic per-call numbering: benches call this from the main
+    // thread in program order, so call N gets checkpoint "one000N" on
+    // every (re-)invocation.
+    static std::size_t calls = 0;
+    const std::string ckpt = snapshotPathFor("one", calls++);
+
     BenchReporter &rep = BenchReporter::instance();
     if (!rep.enabled())
-        return runOne(cfg, w, accesses, false);
+        return runOne(cfg, w, accesses, false, ckpt);
     const std::size_t slot = rep.reserveSlot();
-    RunResult res = runOne(cfg, w, accesses, true);
+    RunResult res = runOne(cfg, w, accesses, true, ckpt);
     rep.record(slot, cfg, res);
     return res;
 }
@@ -230,7 +268,8 @@ runSweep(const std::vector<SweepJob> &jobs)
 
     return parallelMap(jobs.size(), [&](std::size_t i) {
         const SweepJob &j = jobs[i];
-        RunResult res = runOne(j.cfg, j.w, j.accesses, report);
+        RunResult res = runOne(j.cfg, j.w, j.accesses, report,
+                               snapshotPathFor("job", i));
         if (report)
             rep.record(slots[i], j.cfg, res);
         return res;

@@ -98,6 +98,12 @@ std::uint64_t serverAccessesPerCore(std::uint64_t dflt = 8000);
  * ZERODEV_COMMIT, per-run fingerprints and key metrics) is *appended*
  * to "<dir>/BENCH_<figure>.json". <figure> is the slug of the last
  * banner() call.
+ *
+ * When ZERODEV_SNAPSHOT_DIR is set, the run additionally checkpoints to
+ * a deterministic per-call file in that directory (cadence from
+ * ZERODEV_SNAPSHOT_EVERY), resumes from it when one is already present
+ * (a previous invocation was interrupted), and deletes it on
+ * completion — resume is bit-identical, so reports are unaffected.
  */
 RunResult runWorkload(const SystemConfig &cfg, const Workload &w,
                       std::uint64_t accesses);
@@ -123,6 +129,11 @@ struct SweepJob
  * results — returned by job index — are bit-identical to the serial
  * loop; report slots are reserved in job order before execution starts,
  * keeping runNNNN numbering stable under any interleaving.
+ *
+ * With ZERODEV_SNAPSHOT_DIR set, every job checkpoints to a
+ * deterministic per-index file there and an interrupted sweep resumes:
+ * re-invoking the bench restores each leftover checkpoint and continues
+ * bit-identically; checkpoints are deleted as jobs complete.
  */
 std::vector<RunResult> runSweep(const std::vector<SweepJob> &jobs);
 

@@ -17,7 +17,7 @@
  *   0  success / no divergence
  *   1  runtime failure (I/O)
  *   2  usage error
- *   3  trace load failure
+ *   3  trace or snapshot load failure
  *   4  divergence detected
  */
 
@@ -57,23 +57,33 @@ const char *const kUsage =
     "subcommands:\n"
     "  run [--seeds N] [--minutes M] [--jobs J] [--accesses A]\n"
     "      [--cores C] [--out DIR] [--quick] [--plant-fault I,B,S]\n"
+    "      [--snapshot-every K]\n"
     "      differentially fuzz the config cross product. Runs N seeds\n"
     "      (default 8), or waves of seeds until M minutes elapsed when\n"
     "      --minutes is given. On divergence the trace is ddmin-shrunk\n"
     "      and both traces land in DIR (default .) next to\n"
     "      fuzz-report.json. --plant-fault injects a synthetic\n"
     "      mis-observation into variant I for block B after S stores\n"
-    "      (pipeline self-test only).\n"
+    "      (pipeline self-test only). --snapshot-every checkpoints the\n"
+    "      lockstep state every K accesses and saves the last\n"
+    "      pre-divergence checkpoint as divergence-seed<S>.ckpt.\n"
     "  shrink <trace> [--out FILE] [--quick]\n"
     "      ddmin-shrink a diverging trace to a minimal repro\n"
     "      (FILE defaults to <trace>.min.trc)\n"
-    "  replay <trace> [--quick]\n"
-    "      replay a trace through the differential harness\n"
+    "  replay <trace> [--quick] [--plant-fault I,B,S]\n"
+    "      [--snapshot-every K] [--save-checkpoint FILE]\n"
+    "      [--restore FILE]\n"
+    "      replay a trace through the differential harness. With\n"
+    "      --snapshot-every, a diverging replay is fast-forwarded: the\n"
+    "      last pre-divergence checkpoint is restored and only the tail\n"
+    "      re-runs (the replayed fraction is printed, and the\n"
+    "      checkpoint is saved with --save-checkpoint). --restore skips\n"
+    "      straight to a saved checkpoint and replays only the tail.\n"
     "  gen <seed> <cores> <accesses> <file>\n"
     "      write the fuzz stream for a seed to a trace file\n"
     "\n"
     "exit codes: 0 ok/no divergence, 1 runtime failure, 2 usage error,\n"
-    "            3 trace load failure, 4 divergence detected\n";
+    "            3 trace/snapshot load failure, 4 divergence detected\n";
 
 int
 usage(const char *why = nullptr)
@@ -144,6 +154,7 @@ struct RunOptions
     std::string outDir = ".";
     bool quick = false;
     FaultHook fault;
+    std::uint64_t snapshotEvery = 0;
 };
 
 struct SeedOutcome
@@ -166,7 +177,8 @@ std::string
 fuzzReport(const RunOptions &opt, const Differ &differ,
            std::uint64_t seedsRun, double elapsedSec,
            const SeedOutcome *bad, const ShrinkResult *shrunk,
-           const std::string &tracePath, const std::string &minPath)
+           const std::string &tracePath, const std::string &minPath,
+           const std::string &ckptPath)
 {
     obs::JsonWriter w;
     w.beginObject();
@@ -193,6 +205,11 @@ fuzzReport(const RunOptions &opt, const Differ &differ,
         w.field("access_index", d.accessIndex);
         w.field("detail", d.detail);
         w.field("trace", tracePath);
+        if (!ckptPath.empty()) {
+            w.field("checkpoint", ckptPath);
+            w.field("checkpoint_access_index",
+                    bad->result.checkpoint.accessIndex);
+        }
         if (shrunk && shrunk->shrunk()) {
             w.field("shrunk_trace", minPath);
             w.field("original_accesses",
@@ -247,6 +264,13 @@ cmdRun(int argc, char **argv)
             opt.cores = *v;
         } else if (want("--out")) {
             opt.outDir = argv[++i];
+        } else if (want("--snapshot-every")) {
+            const auto v = parseCount(argv[++i]);
+            if (!v || *v == 0) {
+                return usage(
+                    "run: --snapshot-every needs a positive count");
+            }
+            opt.snapshotEvery = *v;
         } else if (want("--plant-fault")) {
             const auto hook = parseFault(argv[++i]);
             if (!hook)
@@ -259,8 +283,11 @@ cmdRun(int argc, char **argv)
         }
     }
 
+    DifferOptions dopt;
+    dopt.snapshotCadence = opt.snapshotEvery;
     Differ differ(opt.quick ? Differ::quickVariants(opt.cores)
-                            : Differ::standardVariants(opt.cores));
+                            : Differ::standardVariants(opt.cores),
+                  dopt);
     if (opt.fault.enabled) {
         if (opt.fault.instance >= differ.variants().size())
             return usage("run: --plant-fault variant index out of range");
@@ -332,7 +359,7 @@ cmdRun(int argc, char **argv)
             bad = &o;
     }
 
-    std::string tracePath, minPath;
+    std::string tracePath, minPath, ckptPath;
     ShrinkResult shrunk;
     bool haveShrunk = false;
     if (bad) {
@@ -344,6 +371,21 @@ cmdRun(int argc, char **argv)
                     std::to_string(bad->seed) + ".trc";
         if (!writeTrace(tracePath, differ.cores(), stream))
             return kExitRuntime;
+        if (bad->result.checkpoint.valid) {
+            // The last lockstep state captured before the divergence:
+            // `fuzz_tool replay --restore` fast-forwards to it and
+            // re-runs only the tail.
+            ckptPath = opt.outDir + "/divergence-seed" +
+                       std::to_string(bad->seed) + ".ckpt";
+            std::string err;
+            if (!bad->result.checkpoint.save(ckptPath, &err)) {
+                std::fprintf(stderr, "fuzz_tool: %s\n", err.c_str());
+                return kExitRuntime;
+            }
+            std::printf("checkpoint at access %" PRIu64 ": %s\n",
+                        bad->result.checkpoint.accessIndex,
+                        ckptPath.c_str());
+        }
         std::printf("wrote %s (%zu records); shrinking...\n",
                     tracePath.c_str(), stream.size());
         shrunk = shrinkTrace(differ, stream);
@@ -364,7 +406,7 @@ cmdRun(int argc, char **argv)
 
     const std::string report = fuzzReport(
         opt, differ, outcomes.size(), elapsed(), bad,
-        haveShrunk ? &shrunk : nullptr, tracePath, minPath);
+        haveShrunk ? &shrunk : nullptr, tracePath, minPath, ckptPath);
     const std::string reportPath = opt.outDir + "/fuzz-report.json";
     if (!obs::writeTextFile(reportPath, report + "\n"))
         return kExitRuntime;
@@ -422,18 +464,53 @@ cmdShrink(int argc, char **argv)
     return kExitDivergence;
 }
 
+/** "replayed X of Y records (Z% of the stream)" — the fast-forward
+ *  payoff line the CI demo greps for. */
+void
+printTail(std::uint64_t from, std::uint64_t ran, std::size_t total)
+{
+    const double pct =
+        total ? 100.0 * static_cast<double>(ran) /
+                    static_cast<double>(total)
+              : 0.0;
+    std::printf("fast-forward: restored to access %" PRIu64
+                ", replayed %" PRIu64 " of %zu records (%.1f%%)\n",
+                from, ran, total, pct);
+}
+
 int
 cmdReplay(int argc, char **argv)
 {
-    std::string in;
+    std::string in, restorePath, savePath;
     bool quick = false;
+    std::uint64_t every = 0;
+    FaultHook fault;
     for (int i = 2; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--quick")) {
             quick = true;
+        } else if (!std::strcmp(argv[i], "--plant-fault") &&
+                   i + 1 < argc) {
+            const auto hook = parseFault(argv[++i]);
+            if (!hook)
+                return usage("replay: --plant-fault needs I,B,S");
+            fault = *hook;
+        } else if (!std::strcmp(argv[i], "--snapshot-every") &&
+                   i + 1 < argc) {
+            const auto v = parseCount(argv[++i]);
+            if (!v || *v == 0) {
+                return usage(
+                    "replay: --snapshot-every needs a positive count");
+            }
+            every = *v;
+        } else if (!std::strcmp(argv[i], "--save-checkpoint") &&
+                   i + 1 < argc) {
+            savePath = argv[++i];
+        } else if (!std::strcmp(argv[i], "--restore") && i + 1 < argc) {
+            restorePath = argv[++i];
         } else if (in.empty() && argv[i][0] != '-') {
             in = argv[i];
         } else {
-            return usage("replay: unknown option");
+            return usage("replay: unknown or incomplete option");
         }
     }
     if (in.empty())
@@ -444,14 +521,70 @@ cmdReplay(int argc, char **argv)
         std::fprintf(stderr, "fuzz_tool: %s\n", trace.error().c_str());
         return kExitLoad;
     }
-    const Differ differ(quick ? Differ::quickVariants(trace.cores())
-                              : Differ::standardVariants(trace.cores()));
+    DifferOptions dopt;
+    dopt.snapshotCadence = every;
+    Differ differ(quick ? Differ::quickVariants(trace.cores())
+                        : Differ::standardVariants(trace.cores()),
+                  dopt);
+    if (fault.enabled) {
+        if (fault.instance >= differ.variants().size())
+            return usage("replay: --plant-fault variant index out of range");
+        differ.setFaultHook(fault);
+    }
+
+    // Tail-only mode: skip straight to a saved checkpoint.
+    if (!restorePath.empty()) {
+        DifferCheckpoint ckpt;
+        std::string err;
+        if (!ckpt.load(restorePath, &err)) {
+            std::fprintf(stderr, "cannot restore %s: %s\n",
+                         restorePath.c_str(), err.c_str());
+            return kExitLoad;
+        }
+        const DifferResult res = differ.resume(ckpt, trace.records());
+        printTail(ckpt.accessIndex, res.accesses - ckpt.accessIndex,
+                  trace.records().size());
+        if (!res.ok()) {
+            printDivergence(in, res.divergence);
+            return kExitDivergence;
+        }
+        std::printf("no divergence\n");
+        return kExitOk;
+    }
+
     const DifferResult res = differ.run(trace.records());
     std::printf("%zu records x %zu variants: %" PRIu64 " sweeps\n",
                 trace.records().size(), differ.variants().size(),
                 res.sweeps);
     if (!res.ok()) {
         printDivergence(in, res.divergence);
+        if (res.checkpoint.valid) {
+            // Demonstrate the fast-forward: restore the last
+            // pre-divergence checkpoint and re-run only the tail; the
+            // verdict must be identical.
+            const DifferResult tail =
+                differ.resume(res.checkpoint, trace.records());
+            printTail(res.checkpoint.accessIndex,
+                      tail.accesses - res.checkpoint.accessIndex,
+                      trace.records().size());
+            if (tail.ok() ||
+                tail.divergence.accessIndex !=
+                    res.divergence.accessIndex ||
+                tail.divergence.rule != res.divergence.rule) {
+                std::fprintf(stderr,
+                             "fuzz_tool: fast-forwarded replay did not "
+                             "reproduce the divergence\n");
+                return kExitRuntime;
+            }
+            if (!savePath.empty()) {
+                std::string err;
+                if (!res.checkpoint.save(savePath, &err)) {
+                    std::fprintf(stderr, "fuzz_tool: %s\n", err.c_str());
+                    return kExitRuntime;
+                }
+                std::printf("checkpoint saved: %s\n", savePath.c_str());
+            }
+        }
         return kExitDivergence;
     }
     std::printf("no divergence\n");

@@ -18,7 +18,7 @@
  *   0  success (for `compare`: no regression)
  *   1  runtime failure (I/O, malformed trace)
  *   2  usage error (unknown subcommand / missing operands)
- *   3  `compare` could not load a report set
+ *   3  a load failure: `compare` report sets, or a `--restore` snapshot
  *   4  `compare` detected a regression
  */
 
@@ -43,6 +43,7 @@
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
 #include "sim/runner.hh"
+#include "sim/snapshot.hh"
 #include "workload/trace.hh"
 #include "workload/workload.hh"
 
@@ -67,7 +68,12 @@ const char *const kUsage =
     "  info <file>\n"
     "      summarise a binary access trace\n"
     "  replay <file> [baseline|unbounded|zerodev]\n"
-    "      replay a trace on a system configuration\n"
+    "      [--snapshot FILE [--every N]] [--restore FILE]\n"
+    "      replay a trace on a system configuration. --snapshot writes\n"
+    "      zerodev-snapshot-v1 checkpoints every N accesses (a \"{n}\"\n"
+    "      in FILE becomes the access count; default N from\n"
+    "      ZERODEV_SNAPSHOT_EVERY); --restore resumes bit-identically\n"
+    "      from a checkpoint\n"
     "  sim <app> <cores> <accesses-per-core> <outdir>\n"
     "      [baseline|unbounded|zerodev]\n"
     "      run with tracer+sampler+latency profiler attached; writes\n"
@@ -79,7 +85,7 @@ const char *const kUsage =
     "      + workload; prints a markdown table and a JSON verdict\n"
     "\n"
     "exit codes: 0 ok/no regression, 1 runtime failure, 2 usage error,\n"
-    "            3 compare load failure, 4 regression detected\n";
+    "            3 compare/snapshot load failure, 4 regression detected\n";
 
 int
 usage(const char *why = nullptr)
@@ -208,7 +214,29 @@ cmdReplay(int argc, char **argv)
 {
     if (argc < 3)
         return usage("replay needs <file> [org]");
-    const char *org = argc > 3 ? argv[3] : "baseline";
+    const char *org = "baseline";
+    RunConfig rc;
+    for (int i = 3; i < argc; ++i) {
+        const std::string_view a = argv[i];
+        if (a == "--snapshot" || a == "--restore" || a == "--every") {
+            if (i + 1 >= argc)
+                return usage("replay: missing value after option");
+            if (a == "--snapshot") {
+                rc.snapshotPath = argv[++i];
+            } else if (a == "--restore") {
+                rc.restorePath = argv[++i];
+            } else {
+                const auto v = parseCount(argv[++i]);
+                if (!v || *v == 0)
+                    return usage("replay: --every needs a positive count");
+                rc.snapshotEvery = *v;
+            }
+        } else if (a.size() && a[0] != '-') {
+            org = argv[i];
+        } else {
+            return usage("replay: unknown option");
+        }
+    }
     const auto cfg = configFor(org);
     if (!cfg)
         return usage("replay: org must be baseline|unbounded|zerodev");
@@ -218,7 +246,30 @@ cmdReplay(int argc, char **argv)
         fatal("trace drives %u cores but the %s config has only %u",
               trace.cores(), org, sys.totalCores());
     }
-    const RunResult r = replay(sys, trace, RunConfig{});
+
+    // Pre-validate the checkpoint under the shared exit contract (the
+    // engine itself treats a bad checkpoint as fatal): the container
+    // must parse, carry issue-engine state, and match this config's
+    // fingerprint. The engine re-reads it when the replay starts.
+    if (!rc.restorePath.empty()) {
+        Snapshot snap;
+        std::string err;
+        if (!snap.readFile(rc.restorePath, &err) ||
+            !restoreSystemSection(snap, sys, &err)) {
+            std::fprintf(stderr, "cannot restore %s: %s\n",
+                         rc.restorePath.c_str(), err.c_str());
+            return kExitCompareLoad;
+        }
+        if (!snap.has("runner")) {
+            std::fprintf(stderr,
+                         "cannot restore %s: snapshot has no runner "
+                         "section (not a mid-run checkpoint)\n",
+                         rc.restorePath.c_str());
+            return kExitCompareLoad;
+        }
+    }
+
+    const RunResult r = replay(sys, trace, rc);
     std::printf("org: %s\ncycles: %llu\ncore cache misses: %llu\n"
                 "traffic bytes: %llu\nDEV invalidations: %llu\n",
                 toString(cfg->dirOrg),

@@ -20,6 +20,7 @@
 #include "cache/replacement.hh"
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "common/serialize.hh"
 
 namespace zerodev
 {
@@ -193,6 +194,58 @@ class CacheArray
                 if (l.occupied())
                     fn(s, w, l);
             }
+        }
+    }
+
+    /**
+     * Snapshot the array: geometry guard, LRU clock, then only the
+     * occupied lines as (set, way, tag, lastUse, payload) tuples in
+     * set-major order. Sparse encoding keeps snapshots of mostly-empty
+     * arrays small, and the fixed iteration order makes restore →
+     * re-serialize byte-identical. @p saveLine encodes the fields the
+     * line type adds beyond tag/lastUse.
+     */
+    template <typename SaveLine>
+    void
+    save(SerialOut &out, SaveLine &&saveLine) const
+    {
+        out.u64(sets_);
+        out.u32(ways_);
+        out.u64(clock_.now());
+        out.u64(count([](const LineT &) { return true; }));
+        forEach([&](std::size_t s, std::uint32_t w, const LineT &l) {
+            out.u64(s);
+            out.u32(w);
+            out.u64(l.tag);
+            out.u64(l.lastUse);
+            saveLine(out, l);
+        });
+    }
+
+    /** Inverse of save(): clears every line, then repopulates the
+     *  occupied ones via @p loadLine (which decodes the payload fields
+     *  and must leave the line occupied). */
+    template <typename LoadLine>
+    void
+    restore(SerialIn &in, LoadLine &&loadLine)
+    {
+        if (!in.check(in.u64() == sets_, "cache array set count mismatch") ||
+            !in.check(in.u32() == ways_, "cache array way count mismatch"))
+            return;
+        clock_.setNow(in.u64());
+        for (LineT &l : lines_)
+            l = LineT{};
+        const std::uint64_t n = in.u64();
+        for (std::uint64_t i = 0; i < n && in.ok(); ++i) {
+            const std::uint64_t s = in.u64();
+            const std::uint32_t w = in.u32();
+            if (!in.check(s < sets_ && w < ways_,
+                          "cache array line out of range"))
+                return;
+            LineT &l = line(s, w);
+            l.tag = in.u64();
+            l.lastUse = in.u64();
+            loadLine(in, l);
         }
     }
 

@@ -2,6 +2,7 @@
 
 #include "cache/block_state.hh"
 #include "common/log.hh"
+#include "common/serialize.hh"
 
 namespace zerodev
 {
@@ -52,6 +53,37 @@ void
 NruState::reset(std::size_t set, std::uint32_t way)
 {
     ref_[idx(set, way)] = false;
+}
+
+void
+NruState::save(SerialOut &out) const
+{
+    out.u64(ref_.size());
+    // Packed 64 bits per word; the trailing word is zero-padded.
+    std::uint64_t word = 0;
+    for (std::size_t i = 0; i < ref_.size(); ++i) {
+        if (ref_[i])
+            word |= 1ull << (i % 64);
+        if (i % 64 == 63) {
+            out.u64(word);
+            word = 0;
+        }
+    }
+    if (ref_.size() % 64 != 0)
+        out.u64(word);
+}
+
+void
+NruState::restore(SerialIn &in)
+{
+    if (!in.check(in.u64() == ref_.size(), "NRU geometry mismatch"))
+        return;
+    std::uint64_t word = 0;
+    for (std::size_t i = 0; i < ref_.size(); ++i) {
+        if (i % 64 == 0)
+            word = in.u64();
+        ref_[i] = (word >> (i % 64)) & 1;
+    }
 }
 
 } // namespace zerodev

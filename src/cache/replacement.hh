@@ -22,6 +22,9 @@
 namespace zerodev
 {
 
+class SerialIn;
+class SerialOut;
+
 /** Monotonic stamp source backing LRU ordering for one cache array. */
 class LruClock
 {
@@ -31,6 +34,9 @@ class LruClock
 
     /** Current stamp (stamp of the most recent touch). */
     std::uint64_t now() const { return now_; }
+
+    /** Snapshot restore: resume stamping from @p now. */
+    void setNow(std::uint64_t now) { now_ = now; }
 
   private:
     std::uint64_t now_ = 0;
@@ -55,6 +61,11 @@ class NruState
 
     /** Clear the reference bit (e.g. on invalidation). */
     void reset(std::size_t set, std::uint32_t way);
+
+    /** Snapshot support: the reference bits are replacement state that
+     *  must survive checkpoint/restore for bit-identical resume. */
+    void save(SerialOut &out) const;
+    void restore(SerialIn &in);
 
   private:
     std::size_t idx(std::size_t set, std::uint32_t way) const

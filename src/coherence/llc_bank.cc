@@ -205,6 +205,70 @@ Llc::bumpDeLines(LlcLineKind kind, std::int64_t delta)
     stats_.peakDeLines = std::max(stats_.peakDeLines, deLines_);
 }
 
+void
+Llc::save(SerialOut &out) const
+{
+    out.u32(numBanks_);
+    for (const auto &bank : banks_) {
+        bank.save(out, [](SerialOut &o, const LlcLine &l) {
+            o.u8(static_cast<std::uint8_t>(l.kind));
+            o.b(l.dirty);
+            o.b(l.globalShared);
+            o.u64(l.block);
+            saveEntry(o, l.de);
+        });
+    }
+    out.u64(deLines_);
+    out.u64(spilledLines_);
+    out.u64(fusedLines_);
+    out.u64(stats_.lookups);
+    out.u64(stats_.dataHits);
+    out.u64(stats_.dataMisses);
+    out.u64(stats_.dataEvictions);
+    out.u64(stats_.dirtyWritebacks);
+    out.u64(stats_.spillAllocs);
+    out.u64(stats_.fuseOps);
+    out.u64(stats_.unfuseOps);
+    out.u64(stats_.deEvictions);
+    out.u64(stats_.deUpdates);
+    out.u64(stats_.peakDeLines);
+    out.u64(stats_.dataArrayReads);
+}
+
+void
+Llc::restore(SerialIn &in)
+{
+    if (!in.check(in.u32() == numBanks_, "LLC bank count mismatch"))
+        return;
+    for (auto &bank : banks_) {
+        bank.restore(in, [](SerialIn &i, LlcLine &l) {
+            l.kind = static_cast<LlcLineKind>(i.u8());
+            l.dirty = i.b();
+            l.globalShared = i.b();
+            l.block = i.u64();
+            l.de = loadEntry(i);
+            i.check(l.kind != LlcLineKind::Invalid &&
+                        l.kind <= LlcLineKind::FusedDe,
+                    "bad LLC line kind");
+        });
+    }
+    deLines_ = in.u64();
+    spilledLines_ = in.u64();
+    fusedLines_ = in.u64();
+    stats_.lookups = in.u64();
+    stats_.dataHits = in.u64();
+    stats_.dataMisses = in.u64();
+    stats_.dataEvictions = in.u64();
+    stats_.dirtyWritebacks = in.u64();
+    stats_.spillAllocs = in.u64();
+    stats_.fuseOps = in.u64();
+    stats_.unfuseOps = in.u64();
+    stats_.deEvictions = in.u64();
+    stats_.deUpdates = in.u64();
+    stats_.peakDeLines = in.u64();
+    stats_.dataArrayReads = in.u64();
+}
+
 std::uint64_t
 Llc::dataLines() const
 {

@@ -162,6 +162,11 @@ class Llc
 
     std::uint64_t totalBlocks() const { return totalBlocks_; }
 
+    /** Snapshot every bank including spilled/fused directory-entry
+     *  lines, the DE-line occupancy counters and the statistics. */
+    void save(SerialOut &out) const;
+    void restore(SerialIn &in);
+
     /** Visit every occupied line: fn(line). */
     template <typename Fn>
     void

@@ -174,4 +174,53 @@ PrivateCache::validBlocks() const
     return l2_.count([](const L2Line &) { return true; });
 }
 
+void
+PrivateCache::save(SerialOut &out) const
+{
+    const auto l1Line = [](SerialOut &, const L1Line &) {
+        // Occupancy is the only L1 payload; it is implied by presence.
+    };
+    l1i_.save(out, l1Line);
+    l1d_.save(out, l1Line);
+    l2_.save(out, [](SerialOut &o, const L2Line &l) {
+        o.u8(static_cast<std::uint8_t>(l.state));
+        o.u64(l.block);
+    });
+    out.u64(stats_.loads);
+    out.u64(stats_.stores);
+    out.u64(stats_.ifetches);
+    out.u64(stats_.l1Hits);
+    out.u64(stats_.l2Hits);
+    out.u64(stats_.upgrades);
+    out.u64(stats_.misses);
+    out.u64(stats_.evictions);
+    out.u64(stats_.invalidationsReceived);
+    out.u64(stats_.devInvalidations);
+}
+
+void
+PrivateCache::restore(SerialIn &in)
+{
+    const auto l1Line = [](SerialIn &, L1Line &l) { l.valid = true; };
+    l1i_.restore(in, l1Line);
+    l1d_.restore(in, l1Line);
+    l2_.restore(in, [](SerialIn &i, L2Line &l) {
+        l.state = static_cast<MesiState>(i.u8());
+        l.block = i.u64();
+        i.check(l.state != MesiState::Invalid &&
+                    l.state <= MesiState::Modified,
+                "bad L2 MESI state");
+    });
+    stats_.loads = in.u64();
+    stats_.stores = in.u64();
+    stats_.ifetches = in.u64();
+    stats_.l1Hits = in.u64();
+    stats_.l2Hits = in.u64();
+    stats_.upgrades = in.u64();
+    stats_.misses = in.u64();
+    stats_.evictions = in.u64();
+    stats_.invalidationsReceived = in.u64();
+    stats_.devInvalidations = in.u64();
+}
+
 } // namespace zerodev

@@ -99,6 +99,10 @@ class PrivateCache
     /** Number of valid L2 blocks (invariant checks). */
     std::uint64_t validBlocks() const;
 
+    /** Snapshot the full hierarchy state (L1I/L1D/L2 + counters). */
+    void save(SerialOut &out) const;
+    void restore(SerialIn &in);
+
     /** Visit every valid L2 block: fn(block, state). */
     template <typename Fn>
     void

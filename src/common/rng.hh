@@ -87,6 +87,12 @@ class Rng
         return lo + below(hi - lo);
     }
 
+    /** Raw engine state, exposed for snapshot serialization: restoring
+     *  the four words resumes the stream exactly where it left off. */
+    const std::array<std::uint64_t, 4> &state() const { return state_; }
+
+    void setState(const std::array<std::uint64_t, 4> &s) { state_ = s; }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "common/serialize.hh"
 
 namespace zerodev
 {
@@ -221,6 +222,28 @@ Histogram::clear()
     std::fill(counts_.begin(), counts_.end(), 0);
     samples_ = 0;
     sum_ = 0;
+}
+
+void
+Histogram::save(SerialOut &out) const
+{
+    out.u64(counts_.size());
+    for (std::uint64_t c : counts_)
+        out.u64(c);
+    out.u64(samples_);
+    out.u64(sum_);
+}
+
+void
+Histogram::restore(SerialIn &in)
+{
+    if (!in.check(in.u64() == counts_.size(),
+                  "histogram bucket count mismatch"))
+        return;
+    for (std::uint64_t &c : counts_)
+        c = in.u64();
+    samples_ = in.u64();
+    sum_ = in.u64();
 }
 
 double

@@ -19,6 +19,9 @@
 namespace zerodev
 {
 
+class SerialIn;
+class SerialOut;
+
 /** An ordered name -> value map produced by a component when reporting. */
 class StatDump
 {
@@ -89,6 +92,11 @@ class Histogram
     std::string toJson() const;
 
     void clear();
+
+    /** Snapshot support (counters are part of checkpointed state so a
+     *  resumed run reports the same statistics as a straight one). */
+    void save(SerialOut &out) const;
+    void restore(SerialIn &in);
 
   private:
     std::vector<std::uint64_t> counts_;

@@ -215,6 +215,30 @@ class CmpSystem
     void attachLatencyProfiler(obs::LatencyProfiler *p) { lat_ = p; }
     obs::LatencyProfiler *latencyProfiler() const { return lat_; }
 
+    // ----- snapshots (cmp_snapshot.cc / sim/snapshot.cc) -----
+
+    /**
+     * Serialize the complete architectural + statistics state: private
+     * caches, sparse directory (or baseline organisation), LLC banks
+     * including spilled/fused DE lines, memory-store DE regions, socket
+     * directory, DRAM timing state and every counter. The stream begins
+     * with the config fingerprint; restoreState() refuses a stream whose
+     * fingerprint does not match its own config. Must be called between
+     * transactions (never mid-access).
+     */
+    void saveState(SerialOut &out) const;
+
+    /** Inverse of saveState() on a system built from the same config.
+     *  On mismatch/corruption the error is reported through @p in. */
+    void restoreState(SerialIn &in);
+
+    /** Write / read a `zerodev-snapshot-v1` container file holding this
+     *  system's state. Returns false and sets @p err on failure. */
+    bool saveSnapshot(const std::string &path,
+                      std::string *err = nullptr) const;
+    bool restoreSnapshot(const std::string &path,
+                         std::string *err = nullptr);
+
   private:
     struct Socket
     {

@@ -1,5 +1,8 @@
 #include "core/socket_dir.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/log.hh"
 
 namespace zerodev
@@ -116,6 +119,57 @@ SocketDirectory::liveEntries() const
             ++n;
     }
     return n;
+}
+
+
+void
+SocketDirectory::save(SerialOut &out) const
+{
+    out.u8(backing_ == Backing::DirEvictBit ? 1 : 0);
+    tags_.save(out, [](SerialOut &o, const TagLine &l) {
+        o.u64(l.block);
+    });
+    std::vector<BlockAddr> keys;
+    keys.reserve(store_.size());
+    for (const auto &[block, e] : store_) {
+        (void)e;
+        keys.push_back(block);
+    }
+    std::sort(keys.begin(), keys.end());
+    out.u64(keys.size());
+    for (BlockAddr block : keys) {
+        out.u64(block);
+        saveEntry(out, store_.at(block));
+    }
+    out.u64(stats_.lookups);
+    out.u64(stats_.misses);
+    out.u64(stats_.evictions);
+    out.u64(stats_.housedFetches);
+    out.u64(stats_.backupFetches);
+}
+
+void
+SocketDirectory::restore(SerialIn &in)
+{
+    const bool devBit = in.u8() != 0;
+    if (!in.check(devBit == (backing_ == Backing::DirEvictBit),
+                  "socket directory backing mismatch"))
+        return;
+    tags_.restore(in, [](SerialIn &i, TagLine &l) {
+        l.valid = true;
+        l.block = i.u64();
+    });
+    store_.clear();
+    const std::uint64_t n = in.u64();
+    for (std::uint64_t i = 0; i < n && in.ok(); ++i) {
+        const BlockAddr block = in.u64();
+        store_[block] = zerodev::loadSocketEntry(in);
+    }
+    stats_.lookups = in.u64();
+    stats_.misses = in.u64();
+    stats_.evictions = in.u64();
+    stats_.housedFetches = in.u64();
+    stats_.backupFetches = in.u64();
 }
 
 } // namespace zerodev

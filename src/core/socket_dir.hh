@@ -82,6 +82,11 @@ class SocketDirectory
     /** Live (non-Invalid) entries across cache and backing. */
     std::uint64_t liveEntries() const;
 
+    /** Snapshot the cache tags, the stable entry store (sorted) and the
+     *  counters. The MemoryStore reference is serialized by its owner. */
+    void save(SerialOut &out) const;
+    void restore(SerialIn &in);
+
   private:
     struct TagLine
     {

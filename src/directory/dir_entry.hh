@@ -9,6 +9,7 @@
 #define ZERODEV_DIRECTORY_DIR_ENTRY_HH
 
 #include "common/log.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace zerodev
@@ -132,6 +133,42 @@ struct SocketDirEntry
         sharers.reset();
     }
 };
+
+/** Snapshot codecs shared by every structure that embeds an entry. */
+inline void
+saveEntry(SerialOut &out, const DirEntry &e)
+{
+    out.u8(static_cast<std::uint8_t>(e.state));
+    out.bits(e.sharers);
+}
+
+inline DirEntry
+loadEntry(SerialIn &in)
+{
+    DirEntry e;
+    e.state = static_cast<DirState>(in.u8());
+    e.sharers = in.bits<kMaxCores>();
+    in.check(e.state <= DirState::Shared, "bad DirEntry state");
+    return e;
+}
+
+inline void
+saveEntry(SerialOut &out, const SocketDirEntry &e)
+{
+    out.u8(static_cast<std::uint8_t>(e.state));
+    out.bits(e.sharers);
+}
+
+inline SocketDirEntry
+loadSocketEntry(SerialIn &in)
+{
+    SocketDirEntry e;
+    e.state = static_cast<SocketDirState>(in.u8());
+    e.sharers = in.bits<kMaxSockets>();
+    in.check(e.state <= SocketDirState::Corrupted,
+             "bad SocketDirEntry state");
+    return e;
+}
 
 } // namespace zerodev
 

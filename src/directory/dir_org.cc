@@ -52,4 +52,36 @@ SparseOrg::set(BlockAddr block, const DirEntry &e,
     *res.entry = e;
 }
 
+void
+DirOrgBase::saveOrgStats(SerialOut &out) const
+{
+    out.u64(orgStats_.lookups);
+    out.u64(orgStats_.hits);
+    out.u64(orgStats_.forcedInvalidations);
+    out.u64(orgStats_.entryEvictions);
+}
+
+void
+DirOrgBase::restoreOrgStats(SerialIn &in)
+{
+    orgStats_.lookups = in.u64();
+    orgStats_.hits = in.u64();
+    orgStats_.forcedInvalidations = in.u64();
+    orgStats_.entryEvictions = in.u64();
+}
+
+void
+SparseOrg::save(SerialOut &out) const
+{
+    dir_.save(out);
+    saveOrgStats(out);
+}
+
+void
+SparseOrg::restore(SerialIn &in)
+{
+    dir_.restore(in);
+    restoreOrgStats(in);
+}
+
 } // namespace zerodev

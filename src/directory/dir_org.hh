@@ -74,9 +74,17 @@ class DirOrgBase
      *  (occupancy probes report 0 occupancy then). */
     virtual std::uint64_t capacityEntries() const { return 0; }
 
+    /** Snapshot the organisation's full tracking + counter state. The
+     *  target of restore() must have been built from the same config. */
+    virtual void save(SerialOut &out) const = 0;
+    virtual void restore(SerialIn &in) = 0;
+
     const DirOrgStats &orgStats() const { return orgStats_; }
 
   protected:
+    void saveOrgStats(SerialOut &out) const;
+    void restoreOrgStats(SerialIn &in);
+
     DirOrgStats orgStats_;
 };
 
@@ -99,6 +107,9 @@ class SparseOrg : public DirOrgBase
     {
         return dir_.capacityEntries();
     }
+
+    void save(SerialOut &out) const override;
+    void restore(SerialIn &in) override;
 
     SparseDirectory &dir() { return dir_; }
 

@@ -269,4 +269,52 @@ MultiGrainDirectory::liveEntries() const
     return n;
 }
 
+void
+MultiGrainDirectory::save(SerialOut &out) const
+{
+    out.u32(cores_);
+    out.u32(numSlices_);
+    out.u32(blocksPerRegion_);
+    for (const Slice &slice : slices_) {
+        slice.array.save(out, [](SerialOut &o, const Line &l) {
+            o.b(l.isRegion);
+            o.u64(l.base);
+            o.u32(l.owner);
+            o.u32(l.presentMap);
+            saveEntry(o, l.payload);
+        });
+    }
+    out.u64(stats_.regionAllocs);
+    out.u64(stats_.blockAllocs);
+    out.u64(stats_.regionEvictions);
+    out.u64(stats_.blockEvictions);
+    out.u64(stats_.regionBreaks);
+    saveOrgStats(out);
+}
+
+void
+MultiGrainDirectory::restore(SerialIn &in)
+{
+    if (!in.check(in.u32() == cores_ && in.u32() == numSlices_ &&
+                      in.u32() == blocksPerRegion_,
+                  "MgD geometry mismatch"))
+        return;
+    for (Slice &slice : slices_) {
+        slice.array.restore(in, [](SerialIn &i, Line &l) {
+            l.valid = true;
+            l.isRegion = i.b();
+            l.base = i.u64();
+            l.owner = i.u32();
+            l.presentMap = i.u32();
+            l.payload = loadEntry(i);
+        });
+    }
+    stats_.regionAllocs = in.u64();
+    stats_.blockAllocs = in.u64();
+    stats_.regionEvictions = in.u64();
+    stats_.blockEvictions = in.u64();
+    stats_.regionBreaks = in.u64();
+    restoreOrgStats(in);
+}
+
 } // namespace zerodev

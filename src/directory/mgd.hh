@@ -59,6 +59,9 @@ class MultiGrainDirectory : public DirOrgBase
              std::vector<Invalidation> &invs) override;
     std::uint64_t liveEntries() const override;
 
+    void save(SerialOut &out) const override;
+    void restore(SerialIn &in) override;
+
     const MgdStats &stats() const { return stats_; }
 
   private:

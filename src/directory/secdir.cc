@@ -279,4 +279,53 @@ SecDir::liveEntries() const
     return blocks.size();
 }
 
+void
+SecDir::save(SerialOut &out) const
+{
+    out.u32(cores_);
+    out.u32(numSlices_);
+    for (const Slice &slice : slices_) {
+        slice.shared.save(out, [](SerialOut &o, const SharedLine &l) {
+            o.u64(l.block);
+            saveEntry(o, l.payload);
+        });
+        for (const auto &zone : slice.priv) {
+            zone.save(out, [](SerialOut &o, const PrivateLine &l) {
+                o.u64(l.block);
+                o.b(l.owned);
+            });
+        }
+    }
+    out.u64(stats_.sharedEvictions);
+    out.u64(stats_.privateEvictions);
+    out.u64(stats_.migrationsBack);
+    saveOrgStats(out);
+}
+
+void
+SecDir::restore(SerialIn &in)
+{
+    if (!in.check(in.u32() == cores_ && in.u32() == numSlices_,
+                  "SecDir geometry mismatch"))
+        return;
+    for (Slice &slice : slices_) {
+        slice.shared.restore(in, [](SerialIn &i, SharedLine &l) {
+            l.valid = true;
+            l.block = i.u64();
+            l.payload = loadEntry(i);
+        });
+        for (auto &zone : slice.priv) {
+            zone.restore(in, [](SerialIn &i, PrivateLine &l) {
+                l.valid = true;
+                l.block = i.u64();
+                l.owned = i.b();
+            });
+        }
+    }
+    stats_.sharedEvictions = in.u64();
+    stats_.privateEvictions = in.u64();
+    stats_.migrationsBack = in.u64();
+    restoreOrgStats(in);
+}
+
 } // namespace zerodev

@@ -68,6 +68,9 @@ class SecDir : public DirOrgBase
              std::vector<Invalidation> &invs) override;
     std::uint64_t liveEntries() const override;
 
+    void save(SerialOut &out) const override;
+    void restore(SerialIn &in) override;
+
     const SecDirStats &stats() const { return stats_; }
 
   private:

@@ -1,5 +1,7 @@
 #include "directory/sparse_directory.hh"
 
+#include <algorithm>
+
 #include "common/bitops.hh"
 #include "common/log.hh"
 
@@ -171,6 +173,84 @@ std::uint64_t
 SparseDirectory::liveEntries() const
 {
     return live_;
+}
+
+void
+SparseDirectory::save(SerialOut &out) const
+{
+    out.u32(numSlices_);
+    out.u64(setsPerSlice_);
+    out.u32(ways_);
+    out.b(replacementDisabled_);
+    out.b(unbounded_);
+    if (unbounded_) {
+        // Sorted so that restore -> re-serialize is byte-identical
+        // regardless of the hash map's iteration order.
+        std::vector<BlockAddr> keys;
+        keys.reserve(map_.size());
+        for (const auto &[block, e] : map_) {
+            (void)e;
+            keys.push_back(block);
+        }
+        std::sort(keys.begin(), keys.end());
+        out.u64(keys.size());
+        for (BlockAddr block : keys) {
+            out.u64(block);
+            saveEntry(out, map_.at(block));
+        }
+    } else {
+        for (const Slice &slice : slices_) {
+            slice.array.save(out, [](SerialOut &o, const Line &l) {
+                o.u64(l.block);
+                saveEntry(o, l.payload);
+            });
+            slice.nru.save(out);
+        }
+    }
+    out.u64(live_);
+    out.u64(peak_);
+    out.u64(stats_.lookups);
+    out.u64(stats_.hits);
+    out.u64(stats_.allocs);
+    out.u64(stats_.evictions);
+    out.u64(stats_.refusals);
+    out.u64(stats_.frees);
+}
+
+void
+SparseDirectory::restore(SerialIn &in)
+{
+    if (!in.check(in.u32() == numSlices_ &&
+                      in.u64() == setsPerSlice_ && in.u32() == ways_ &&
+                      in.b() == replacementDisabled_ &&
+                      in.b() == unbounded_,
+                  "sparse directory geometry mismatch"))
+        return;
+    if (unbounded_) {
+        map_.clear();
+        const std::uint64_t n = in.u64();
+        for (std::uint64_t i = 0; i < n && in.ok(); ++i) {
+            const BlockAddr block = in.u64();
+            map_[block] = loadEntry(in);
+        }
+    } else {
+        for (Slice &slice : slices_) {
+            slice.array.restore(in, [](SerialIn &i, Line &l) {
+                l.valid = true;
+                l.block = i.u64();
+                l.payload = loadEntry(i);
+            });
+            slice.nru.restore(in);
+        }
+    }
+    live_ = in.u64();
+    peak_ = in.u64();
+    stats_.lookups = in.u64();
+    stats_.hits = in.u64();
+    stats_.allocs = in.u64();
+    stats_.evictions = in.u64();
+    stats_.refusals = in.u64();
+    stats_.frees = in.u64();
 }
 
 } // namespace zerodev

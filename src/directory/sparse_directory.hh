@@ -103,6 +103,12 @@ class SparseDirectory
     const SparseDirStats &stats() const { return stats_; }
     void clearStats() { stats_ = SparseDirStats{}; }
 
+    /** Snapshot the slices (or the unbounded map, serialized in sorted
+     *  block order so re-serialization is byte-identical), the NRU bits
+     *  and the counters. */
+    void save(SerialOut &out) const;
+    void restore(SerialIn &in);
+
     /** Visit every live entry: fn(block, entry). */
     template <typename Fn>
     void

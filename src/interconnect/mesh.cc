@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "common/serialize.hh"
 
 namespace zerodev
 {
@@ -36,6 +37,23 @@ Mesh::averageHops() const
             total += hops(a, b);
     return static_cast<double>(total) /
            (static_cast<double>(tiles_) * tiles_);
+}
+
+
+void
+Mesh::save(SerialOut &out) const
+{
+    out.u64(stats_.traversals);
+    out.u64(stats_.hops);
+    hopHist_.save(out);
+}
+
+void
+Mesh::restore(SerialIn &in)
+{
+    stats_.traversals = in.u64();
+    stats_.hops = in.u64();
+    hopHist_.restore(in);
 }
 
 } // namespace zerodev

@@ -82,6 +82,11 @@ class Mesh
     /** Average hop count over all ordered tile pairs (for reporting). */
     double averageHops() const;
 
+    /** Snapshot the traversal counters + hop histogram (the mesh has no
+     *  architectural state, but its stats feed resumed run reports). */
+    void save(SerialOut &out) const;
+    void restore(SerialIn &in);
+
   private:
     std::uint32_t tiles_;
     std::uint32_t cols_;

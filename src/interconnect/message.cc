@@ -1,6 +1,7 @@
 #include "interconnect/message.hh"
 
 #include "common/bitops.hh"
+#include "common/serialize.hh"
 
 namespace zerodev
 {
@@ -135,6 +136,32 @@ TrafficStats::report() const
               static_cast<double>(bytes_[i]));
     }
     return d;
+}
+
+
+void
+TrafficStats::save(SerialOut &out) const
+{
+    out.u64(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+        out.u64(counts_[i]);
+        out.u64(bytes_[i]);
+    }
+    out.u64(totalBytes_);
+    out.u64(totalMsgs_);
+}
+
+void
+TrafficStats::restore(SerialIn &in)
+{
+    if (!in.check(in.u64() == kN, "traffic message-type count mismatch"))
+        return;
+    for (std::size_t i = 0; i < kN; ++i) {
+        counts_[i] = in.u64();
+        bytes_[i] = in.u64();
+    }
+    totalBytes_ = in.u64();
+    totalMsgs_ = in.u64();
 }
 
 } // namespace zerodev

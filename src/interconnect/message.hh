@@ -106,6 +106,10 @@ class TrafficStats
     /** Per-type dump. */
     StatDump report() const;
 
+    /** Snapshot the per-type counters and byte totals. */
+    void save(SerialOut &out) const;
+    void restore(SerialIn &in);
+
   private:
     static constexpr std::size_t kN =
         static_cast<std::size_t>(MsgType::NumTypes);

@@ -1,6 +1,7 @@
 #include "mem/dram.hh"
 
 #include "common/log.hh"
+#include "common/serialize.hh"
 
 namespace zerodev
 {
@@ -81,6 +82,41 @@ Dram::report() const
     d.add("de_reads", static_cast<double>(stats_.deReads));
     d.add("de_writes", static_cast<double>(stats_.deWrites));
     return d;
+}
+
+void
+Dram::save(SerialOut &out) const
+{
+    out.u64(banks_.size());
+    for (const Bank &b : banks_) {
+        out.i64(b.openRow);
+        out.u64(b.availableAt);
+    }
+    out.u64(stats_.reads);
+    out.u64(stats_.writes);
+    out.u64(stats_.rowHits);
+    out.u64(stats_.rowMisses);
+    out.u64(stats_.rowConflicts);
+    out.u64(stats_.deReads);
+    out.u64(stats_.deWrites);
+}
+
+void
+Dram::restore(SerialIn &in)
+{
+    if (!in.check(in.u64() == banks_.size(), "DRAM bank count mismatch"))
+        return;
+    for (Bank &b : banks_) {
+        b.openRow = in.i64();
+        b.availableAt = in.u64();
+    }
+    stats_.reads = in.u64();
+    stats_.writes = in.u64();
+    stats_.rowHits = in.u64();
+    stats_.rowMisses = in.u64();
+    stats_.rowConflicts = in.u64();
+    stats_.deReads = in.u64();
+    stats_.deWrites = in.u64();
 }
 
 } // namespace zerodev

@@ -58,6 +58,12 @@ class Dram
 
     StatDump report() const;
 
+    /** Snapshot the row-buffer/availability timing state + counters
+     *  (bank availability times shape post-resume scheduling, so they
+     *  are part of the bit-identical-resume contract). */
+    void save(SerialOut &out) const;
+    void restore(SerialIn &in);
+
   private:
     struct Bank
     {

@@ -1,5 +1,8 @@
 #include "mem/memory_store.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/log.hh"
 
 namespace zerodev
@@ -140,6 +143,64 @@ MemoryStore::maybeErase(BlockAddr block)
     auto it = blocks_.find(block);
     if (it != blocks_.end() && it->second.empty())
         blocks_.erase(it);
+}
+
+void
+MemoryStore::save(SerialOut &out) const
+{
+    std::vector<BlockAddr> keys;
+    keys.reserve(blocks_.size());
+    for (const auto &[block, meta] : blocks_) {
+        (void)meta;
+        keys.push_back(block);
+    }
+    std::sort(keys.begin(), keys.end());
+    out.u64(keys.size());
+    for (BlockAddr block : keys) {
+        const BlockMeta &meta = blocks_.at(block);
+        out.u64(block);
+        for (const auto &seg : meta.segments) {
+            out.b(seg.has_value());
+            if (seg)
+                saveEntry(out, *seg);
+        }
+        out.b(meta.socketEntry.has_value());
+        if (meta.socketEntry)
+            saveEntry(out, *meta.socketEntry);
+    }
+    std::vector<BlockAddr> dead(destroyed_.begin(), destroyed_.end());
+    std::sort(dead.begin(), dead.end());
+    out.u64(dead.size());
+    for (BlockAddr block : dead)
+        out.u64(block);
+    out.u64(corruptedCount_);
+    out.u64(dirEvictCount_);
+}
+
+void
+MemoryStore::restore(SerialIn &in)
+{
+    blocks_.clear();
+    destroyed_.clear();
+    const std::uint64_t nBlocks = in.u64();
+    for (std::uint64_t i = 0; i < nBlocks && in.ok(); ++i) {
+        const BlockAddr block = in.u64();
+        BlockMeta meta;
+        for (auto &seg : meta.segments) {
+            if (in.b())
+                seg = loadEntry(in);
+        }
+        // Qualified: the member loadSocketEntry(BlockAddr) would hide
+        // the namespace-scope codec.
+        if (in.b())
+            meta.socketEntry = zerodev::loadSocketEntry(in);
+        blocks_[block] = meta;
+    }
+    const std::uint64_t nDead = in.u64();
+    for (std::uint64_t i = 0; i < nDead && in.ok(); ++i)
+        destroyed_.insert(in.u64());
+    corruptedCount_ = in.u64();
+    dirEvictCount_ = in.u64();
 }
 
 } // namespace zerodev

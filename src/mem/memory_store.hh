@@ -106,6 +106,11 @@ class MemoryStore
     /** Number of blocks whose DirEvict bit is set. */
     std::uint64_t dirEvictBlocks() const { return dirEvictCount_; }
 
+    /** Snapshot every housed segment, socket entry and destroyed-data
+     *  bit, serialized in sorted block order. */
+    void save(SerialOut &out) const;
+    void restore(SerialIn &in);
+
   private:
     struct BlockMeta
     {

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 
 #include "common/log.hh"
+#include "common/serialize.hh"
 #include "core/invariants.hh"
 #include "obs/latency.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
+#include "sim/snapshot.hh"
 
 namespace zerodev
 {
@@ -78,6 +81,132 @@ class ObserverScope
     Cycle horizon_ = 0;
 };
 
+/** The "runner" snapshot section distinguishes the two issue engines:
+ *  resuming a generator run from a replay checkpoint (or vice versa)
+ *  would silently desynchronise, so the mode is checked. */
+constexpr std::uint8_t kRunnerModeRun = 0;
+constexpr std::uint8_t kRunnerModeReplay = 1;
+
+/** Substitute the "{n}" placeholder with the executed-access count. */
+std::string
+checkpointPath(const std::string &tmpl, std::uint64_t n)
+{
+    const std::size_t pos = tmpl.find("{n}");
+    if (pos == std::string::npos)
+        return tmpl;
+    return tmpl.substr(0, pos) + std::to_string(n) +
+           tmpl.substr(pos + 3);
+}
+
+/** Snapshot cadence: the RunConfig field, else ZERODEV_SNAPSHOT_EVERY
+ *  (only meaningful when a snapshot path exists to write to). */
+std::uint64_t
+effectiveSnapshotEvery(const RunConfig &rc)
+{
+    if (rc.snapshotPath.empty())
+        return 0;
+    if (rc.snapshotEvery)
+        return rc.snapshotEvery;
+    if (const char *env = std::getenv("ZERODEV_SNAPSHOT_EVERY"))
+        return std::strtoull(env, nullptr, 10);
+    return 0;
+}
+
+void
+saveCoreStates(SerialOut &out, const std::vector<CoreState> &state)
+{
+    out.u32(static_cast<std::uint32_t>(state.size()));
+    for (const CoreState &cs : state) {
+        out.u64(cs.ready);
+        out.u64(cs.done);
+        out.u64(cs.instructions);
+        out.u64(cs.finish);
+        out.b(cs.active);
+    }
+}
+
+void
+restoreCoreStates(SerialIn &in, std::vector<CoreState> &state)
+{
+    if (!in.check(in.u32() == state.size(),
+                  "checkpoint core count mismatch"))
+        return;
+    for (CoreState &cs : state) {
+        cs.ready = in.u64();
+        cs.done = in.u64();
+        cs.instructions = in.u64();
+        cs.finish = in.u64();
+        cs.active = in.b();
+    }
+}
+
+/** Write one mid-run checkpoint (system + issue-engine state). */
+void
+writeCheckpoint(const CmpSystem &sys, std::uint8_t mode,
+                const std::vector<CoreState> &state,
+                const std::vector<ThreadGenerator> *gens,
+                std::uint64_t executed, const std::string &path)
+{
+    Snapshot snap;
+    sys.saveState(snap.section("system"));
+    SerialOut &r = snap.section("runner");
+    r.u8(mode);
+    r.u64(executed);
+    saveCoreStates(r, state);
+    r.b(gens != nullptr);
+    if (gens) {
+        r.u32(static_cast<std::uint32_t>(gens->size()));
+        for (const ThreadGenerator &g : *gens)
+            g.save(r);
+    }
+    std::string err;
+    if (!snap.writeFile(path, &err))
+        fatal("checkpoint write failed: %s", err.c_str());
+}
+
+/** Restore a mid-run checkpoint; returns the executed-access count the
+ *  run continues from. Any mismatch with the current run setup is fatal
+ *  (the tools pre-validate with CmpSystem::restoreSnapshot and the
+ *  shared exit contract; the engine itself has no partial-failure
+ *  story). */
+std::uint64_t
+loadCheckpoint(CmpSystem &sys, std::uint8_t mode,
+               std::vector<CoreState> &state,
+               std::vector<ThreadGenerator> *gens,
+               const std::string &path)
+{
+    Snapshot snap;
+    std::string err;
+    if (!snap.readFile(path, &err))
+        fatal("cannot restore checkpoint %s: %s", path.c_str(),
+              err.c_str());
+    if (!restoreSystemSection(snap, sys, &err))
+        fatal("cannot restore checkpoint %s: %s", path.c_str(),
+              err.c_str());
+    const std::vector<std::uint8_t> *bytes = snap.find("runner");
+    if (!bytes)
+        fatal("checkpoint %s has no runner section", path.c_str());
+    SerialIn in(*bytes);
+    in.check(in.u8() == mode, "checkpoint issue-engine mode mismatch");
+    const std::uint64_t executed = in.u64();
+    restoreCoreStates(in, state);
+    const bool hasGens = in.b();
+    if (gens) {
+        in.check(hasGens, "checkpoint lacks workload generator state");
+        in.check(in.u32() == gens->size(),
+                 "checkpoint generator count mismatch");
+        if (in.ok()) {
+            for (ThreadGenerator &g : *gens)
+                g.restore(in);
+        }
+    }
+    if (!in.exhausted())
+        fatal("cannot restore checkpoint %s: %s", path.c_str(),
+              in.ok() ? "trailing bytes in runner section"
+                      : in.error().c_str());
+    return executed;
+}
+
 } // namespace
 
 double
@@ -133,8 +262,16 @@ run(CmpSystem &sys, const Workload &workload, const RunConfig &rc)
     const std::uint64_t total =
         rc.warmupPerCore + rc.accessesPerCore;
     std::uint64_t executed = 0;
+    if (!rc.restorePath.empty()) {
+        executed = loadCheckpoint(sys, kRunnerModeRun, state, &gens,
+                                  rc.restorePath);
+    }
+    const std::uint64_t snap_every = effectiveSnapshotEvery(rc);
+    std::uint64_t next_snap =
+        snap_every ? (executed / snap_every + 1) * snap_every : ~0ull;
     std::uint64_t next_check =
-        rc.invariantCheckInterval ? rc.invariantCheckInterval : ~0ull;
+        rc.invariantCheckInterval ? executed + rc.invariantCheckInterval
+                                  : ~0ull;
 
     // Issue in globally non-decreasing ready-time order: a linear scan
     // over <= 128 cores per transaction keeps the engine simple and is
@@ -166,9 +303,15 @@ run(CmpSystem &sys, const Workload &workload, const RunConfig &rc)
         if (cs.done >= total)
             cs.active = false;
 
-        if (++executed >= next_check) {
+        ++executed;
+        if (executed >= next_check) {
             assertInvariants(sys);
             next_check += rc.invariantCheckInterval;
+        }
+        if (executed >= next_snap) {
+            writeCheckpoint(sys, kRunnerModeRun, state, &gens, executed,
+                            checkpointPath(rc.snapshotPath, executed));
+            next_snap += snap_every;
         }
     }
 
@@ -198,7 +341,22 @@ replay(CmpSystem &sys, const TraceReader &trace, const RunConfig &rc)
     std::vector<CoreState> state(cores);
     ObserverScope observers(sys, rc);
 
-    for (const TraceRecord &rec : trace.records()) {
+    std::uint64_t executed = 0;
+    if (!rc.restorePath.empty()) {
+        executed = loadCheckpoint(sys, kRunnerModeReplay, state, nullptr,
+                                  rc.restorePath);
+    }
+    const std::uint64_t snap_every = effectiveSnapshotEvery(rc);
+    std::uint64_t next_snap =
+        snap_every ? (executed / snap_every + 1) * snap_every : ~0ull;
+
+    const std::vector<TraceRecord> &records = trace.records();
+    if (executed > records.size()) {
+        fatal("checkpoint is %llu records in, but the trace has only %zu",
+              static_cast<unsigned long long>(executed), records.size());
+    }
+    for (std::size_t i = executed; i < records.size(); ++i) {
+        const TraceRecord &rec = records[i];
         if (rec.core >= cores)
             fatal("trace record references core %u of %u", rec.core,
                   cores);
@@ -211,6 +369,14 @@ replay(CmpSystem &sys, const TraceReader &trace, const RunConfig &rc)
         cs.finish = done;
         cs.instructions += rec.access.gap + 1;
         ++cs.done;
+
+        ++executed;
+        if (executed >= next_snap) {
+            writeCheckpoint(sys, kRunnerModeReplay, state, nullptr,
+                            executed,
+                            checkpointPath(rc.snapshotPath, executed));
+            next_snap += snap_every;
+        }
     }
 
     RunResult res;

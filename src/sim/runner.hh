@@ -57,6 +57,25 @@ struct RunConfig
     /** Optional critical-path latency profiler, attached to the system
      *  for the run; its snapshot lands in RunResult::latency. */
     obs::LatencyProfiler *latency = nullptr;
+
+    // --- checkpointing (sim/snapshot.hh) ---
+
+    /** Write a checkpoint every N executed accesses (0 = disabled; the
+     *  ZERODEV_SNAPSHOT_EVERY environment variable supplies the cadence
+     *  when this is 0). Checkpoints only happen when snapshotPath is
+     *  set, and are always taken between transactions. */
+    std::uint64_t snapshotEvery = 0;
+
+    /** Checkpoint file path. A "{n}" placeholder is replaced with the
+     *  executed-access count (keeping every checkpoint); without it the
+     *  latest checkpoint overwrites the file. */
+    std::string snapshotPath;
+
+    /** Resume from this checkpoint file: the system state and the issue
+     *  engine (per-core progress, workload RNG streams) continue exactly
+     *  where the checkpoint was taken, so the completed run is
+     *  bit-identical to an uninterrupted one. */
+    std::string restorePath;
 };
 
 /** Aggregated result of one run. */

@@ -7,8 +7,10 @@
 #include <unordered_set>
 
 #include "common/rng.hh"
+#include "common/serialize.hh"
 #include "core/cmp_system.hh"
 #include "core/invariants.hh"
+#include "sim/snapshot.hh"
 #include "workload/app_profiles.hh"
 #include "workload/workload.hh"
 
@@ -110,6 +112,78 @@ recoveryFlows(const ProtocolStats &p)
 
 } // namespace
 
+bool
+DifferCheckpoint::save(const std::string &path, std::string *err) const
+{
+    Snapshot snap;
+    SerialOut &out = snap.section("differ");
+    out.u64(accessIndex);
+    out.u32(static_cast<std::uint32_t>(instances.size()));
+    for (const InstanceState &st : instances) {
+        out.u64(st.system.size());
+        out.raw(st.system.data(), st.system.size());
+        out.u64(st.now);
+        out.u64(st.poisoned.size());
+        for (BlockAddr b : st.poisoned)
+            out.u64(b);
+    }
+    out.u64(versions.size());
+    for (const auto &[block, ver] : versions) {
+        out.u64(block);
+        out.u64(ver);
+    }
+    return snap.writeFile(path, err);
+}
+
+bool
+DifferCheckpoint::load(const std::string &path, std::string *err)
+{
+    valid = false;
+    instances.clear();
+    versions.clear();
+
+    Snapshot snap;
+    if (!snap.readFile(path, err))
+        return false;
+    const std::vector<std::uint8_t> *bytes = snap.find("differ");
+    if (!bytes) {
+        if (err)
+            *err = "snapshot has no differ section";
+        return false;
+    }
+    SerialIn in(*bytes);
+    accessIndex = in.u64();
+    const std::uint32_t n = in.u32();
+    for (std::uint32_t i = 0; i < n && in.ok(); ++i) {
+        InstanceState st;
+        const std::uint64_t size = in.u64();
+        if (!in.check(in.remaining() >= size, "snapshot truncated"))
+            break;
+        st.system.resize(size);
+        for (std::uint64_t b = 0; b < size; ++b)
+            st.system[b] = in.u8();
+        st.now = in.u64();
+        const std::uint64_t poisoned = in.u64();
+        for (std::uint64_t p = 0; p < poisoned && in.ok(); ++p)
+            st.poisoned.push_back(in.u64());
+        instances.push_back(std::move(st));
+    }
+    const std::uint64_t vn = in.u64();
+    for (std::uint64_t v = 0; v < vn && in.ok(); ++v) {
+        const BlockAddr block = in.u64();
+        const std::uint64_t ver = in.u64();
+        versions.emplace_back(block, ver);
+    }
+    if (!in.exhausted()) {
+        if (err)
+            *err = in.ok() ? "trailing bytes in differ section"
+                           : in.error();
+        return false;
+    }
+    valid = true;
+    return true;
+}
+
 Differ::Differ(std::vector<Variant> variants, DifferOptions opt)
     : variants_(std::move(variants)), opt_(opt)
 {
@@ -151,6 +225,20 @@ Differ::Differ(std::vector<Variant> variants, DifferOptions opt)
 DifferResult
 Differ::run(const std::vector<TraceRecord> &stream) const
 {
+    return runImpl(stream, nullptr);
+}
+
+DifferResult
+Differ::resume(const DifferCheckpoint &from,
+               const std::vector<TraceRecord> &stream) const
+{
+    return runImpl(stream, &from);
+}
+
+DifferResult
+Differ::runImpl(const std::vector<TraceRecord> &stream,
+                const DifferCheckpoint *from) const
+{
     DifferResult res;
     std::vector<Instance> inst(variants_.size());
     for (std::size_t i = 0; i < variants_.size(); ++i) {
@@ -160,6 +248,60 @@ Differ::run(const std::vector<TraceRecord> &stream) const
 
     // Shadow value oracle: version[b] = number of stores to b so far.
     std::unordered_map<BlockAddr, std::uint64_t> version;
+
+    std::uint64_t start = 0;
+    if (from) {
+        if (!from->valid)
+            panic("resuming the Differ from an invalid checkpoint");
+        if (from->instances.size() != inst.size()) {
+            panic("checkpoint has %zu instances, differ has %zu",
+                  from->instances.size(), inst.size());
+        }
+        if (from->accessIndex > stream.size()) {
+            panic("checkpoint is %llu records in, stream has only %zu",
+                  static_cast<unsigned long long>(from->accessIndex),
+                  stream.size());
+        }
+        for (std::size_t i = 0; i < inst.size(); ++i) {
+            const DifferCheckpoint::InstanceState &st =
+                from->instances[i];
+            SerialIn in(st.system);
+            inst[i].sys->restoreState(in);
+            if (!in.exhausted()) {
+                panic("checkpoint instance '%s': %s",
+                      variants_[i].name.c_str(),
+                      in.ok() ? "trailing bytes" : in.error().c_str());
+            }
+            inst[i].now = st.now;
+            inst[i].poisoned.insert(st.poisoned.begin(),
+                                    st.poisoned.end());
+        }
+        for (const auto &[block, ver] : from->versions)
+            version[block] = ver;
+        start = from->accessIndex;
+    }
+
+    // Snapshot of every instance + the harness state, kept one cadence
+    // behind the execution front so it is always pre-divergence.
+    auto capture = [&](std::uint64_t done) {
+        DifferCheckpoint &cp = res.checkpoint;
+        cp.valid = true;
+        cp.accessIndex = done;
+        cp.instances.clear();
+        cp.instances.reserve(inst.size());
+        for (const Instance &in : inst) {
+            DifferCheckpoint::InstanceState st;
+            SerialOut out;
+            in.sys->saveState(out);
+            st.system = out.data();
+            st.now = in.now;
+            st.poisoned.assign(in.poisoned.begin(), in.poisoned.end());
+            std::sort(st.poisoned.begin(), st.poisoned.end());
+            cp.instances.push_back(std::move(st));
+        }
+        cp.versions.assign(version.begin(), version.end());
+        std::sort(cp.versions.begin(), cp.versions.end());
+    };
 
     auto diverge = [&](std::size_t i, std::uint64_t index,
                        const std::string &rule, const std::string &det) {
@@ -248,7 +390,7 @@ Differ::run(const std::vector<TraceRecord> &stream) const
         return true;
     };
 
-    for (std::uint64_t idx = 0; idx < stream.size(); ++idx) {
+    for (std::uint64_t idx = start; idx < stream.size(); ++idx) {
         const TraceRecord &rec = stream[idx];
         const AccessType type = rec.access.type;
         const BlockAddr block = rec.access.block;
@@ -356,6 +498,8 @@ Differ::run(const std::vector<TraceRecord> &stream) const
                          done % opt_.coreStateCadence == 0;
         if ((inv || cst) && !sweep(idx, inv, cst))
             return finish(res, done);
+        if (opt_.snapshotCadence && done % opt_.snapshotCadence == 0)
+            capture(done);
     }
 
     if (!sweep(stream.empty() ? 0 : stream.size() - 1, true, true))

@@ -85,6 +85,39 @@ struct DifferOptions
 
     /** Cross-check the final retrievable memory image. */
     bool finalImage = true;
+
+    /** Capture an in-memory checkpoint of every instance each N
+     *  accesses (0 = never). The last checkpoint taken before a
+     *  divergence lands in DifferResult::checkpoint, so the repro can
+     *  be fast-forwarded: Differ::resume() re-runs only the tail. */
+    std::uint64_t snapshotCadence = 0;
+};
+
+/**
+ * A lockstep checkpoint: every instance's serialized system image plus
+ * the harness state (simulated time, poisoned blocks, the shadow
+ * store-version oracle). Saved files use the zerodev-snapshot-v1
+ * container (one "differ" section), so they share the magic/CRC/version
+ * handling with run checkpoints.
+ */
+struct DifferCheckpoint
+{
+    bool valid = false;
+    std::uint64_t accessIndex = 0; //!< stream records already executed
+
+    struct InstanceState
+    {
+        std::vector<std::uint8_t> system; //!< CmpSystem::saveState bytes
+        std::uint64_t now = 0;
+        std::vector<BlockAddr> poisoned; //!< sorted
+    };
+    std::vector<InstanceState> instances;
+
+    /** Shadow oracle: (block, store count), sorted by block. */
+    std::vector<std::pair<BlockAddr, std::uint64_t>> versions;
+
+    bool save(const std::string &path, std::string *err) const;
+    bool load(const std::string &path, std::string *err);
 };
 
 /** Outcome of one differential run. */
@@ -93,6 +126,10 @@ struct DifferResult
     Divergence divergence;
     std::uint64_t accesses = 0; //!< stream records executed per instance
     std::uint64_t sweeps = 0;   //!< invariant/core-state sweeps performed
+
+    /** Last checkpoint captured before the run ended (valid only when
+     *  DifferOptions::snapshotCadence fired at least once). */
+    DifferCheckpoint checkpoint;
 
     bool ok() const { return !divergence.found; }
 };
@@ -119,6 +156,15 @@ class Differ
      *  common total core count. */
     DifferResult run(const std::vector<TraceRecord> &stream) const;
 
+    /** Fast-forward: restore every instance from @p from and execute
+     *  only stream records [from.accessIndex, end). The checkpoint must
+     *  come from a run of the same variant set over the same stream
+     *  prefix (the per-instance config fingerprints are checked);
+     *  sweeps and end-of-stream checks land exactly as in a full run,
+     *  so the verdict is identical — only the work is smaller. */
+    DifferResult resume(const DifferCheckpoint &from,
+                        const std::vector<TraceRecord> &stream) const;
+
     /** Total cores every variant must agree on. */
     std::uint32_t cores() const { return cores_; }
 
@@ -139,6 +185,10 @@ class Differ
   private:
     /** Stamp the executed-access count and return @p res. */
     static DifferResult finish(DifferResult &res, std::uint64_t accesses);
+
+    /** Shared engine behind run() / resume(). */
+    DifferResult runImpl(const std::vector<TraceRecord> &stream,
+                         const DifferCheckpoint *from) const;
 
     std::vector<Variant> variants_;
     DifferOptions opt_;

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "common/rng.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace zerodev
@@ -126,6 +127,32 @@ class ThreadGenerator
 
     /** Accesses generated so far. */
     std::uint64_t generated() const { return count_; }
+
+    /** Snapshot the mutable stream state (engine words + positions);
+     *  the profile/layout are reconstructed from the workload config. */
+    void
+    save(SerialOut &out) const
+    {
+        for (std::uint64_t w : rng_.state())
+            out.u64(w);
+        out.u64(count_);
+        out.u64(streamPos_);
+        out.u64(coldPos_);
+        out.u32(coldRemaining_);
+    }
+
+    void
+    restore(SerialIn &in)
+    {
+        std::array<std::uint64_t, 4> s;
+        for (std::uint64_t &w : s)
+            w = in.u64();
+        rng_.setState(s);
+        count_ = in.u64();
+        streamPos_ = in.u64();
+        coldPos_ = in.u64();
+        coldRemaining_ = in.u32();
+    }
 
   private:
     BlockAddr pickPrivate();

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the CACTI-lite energy/area model
+ * (core/energy_model.hh): SRAM and sparse-directory scaling, the
+ * directory entry layout, and energyOfRun()'s integration rules — in
+ * particular the ZeroDEV-specific event classes (DE accesses billed as
+ * quarter-writes of the LLC data array; spill/fuse traffic folded into
+ * data writes) and the zero-activity / zero-time edge cases. Ends with
+ * an integration run mapping real LlcStats the way bench/energy_model.cc
+ * does.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cmp_system.hh"
+#include "core/energy_model.hh"
+#include "sim/runner.hh"
+#include "test_util.hh"
+#include "workload/workload.hh"
+
+namespace zerodev
+{
+namespace
+{
+
+TEST(EnergyModel, SramScalesWithCapacityAndWays)
+{
+    const StructureEnergy small = estimateSram(32 * 1024, 4);
+    const StructureEnergy large = estimateSram(2 * 1024 * 1024, 4);
+    EXPECT_GT(small.readNj, 0.0);
+    EXPECT_GT(large.readNj, small.readNj);
+    EXPECT_GT(large.leakageMw, small.leakageMw);
+    EXPECT_GT(large.areaMm2, small.areaMm2);
+
+    // Associativity costs dynamic energy but not capacity-driven
+    // leakage or area.
+    const StructureEnergy assoc = estimateSram(32 * 1024, 16);
+    EXPECT_GT(assoc.readNj, small.readNj);
+    EXPECT_DOUBLE_EQ(assoc.leakageMw, small.leakageMw);
+    EXPECT_DOUBLE_EQ(assoc.areaMm2, small.areaMm2);
+
+    // Writes are uniformly costlier than reads.
+    EXPECT_DOUBLE_EQ(small.writeNj, small.readNj * 1.15);
+    EXPECT_DOUBLE_EQ(large.writeNj, large.readNj * 1.15);
+}
+
+TEST(EnergyModel, DirectoryCostsMoreThanPlainSramOfItsSize)
+{
+    // The highly-associative search structure pays peripheral overhead
+    // (area/leakage via the byte inflation) and parallel-way-read
+    // energy on top of the plain SRAM of the same raw capacity.
+    const std::uint64_t entries = 16 * 1024;
+    const std::uint32_t cores = 8, ways = 16;
+    const StructureEnergy dir = estimateDirectory(entries, cores, ways);
+    const StructureEnergy raw =
+        estimateSram(entries * dirEntryBytes(cores), ways);
+    EXPECT_GT(dir.readNj, raw.readNj);
+    EXPECT_GT(dir.leakageMw, raw.leakageMw);
+    EXPECT_DOUBLE_EQ(dir.writeNj, dir.readNj * 1.15);
+
+    // More sharer bits -> bigger entries -> more energy.
+    const StructureEnergy wide = estimateDirectory(entries, 128, ways);
+    EXPECT_GT(wide.readNj, dir.readNj);
+    EXPECT_GT(wide.leakageMw, dir.leakageMw);
+}
+
+TEST(EnergyModel, DirEntryBytesMatchesTheFullMapLayout)
+{
+    // 26 tag + 2 state + 1 busy + N sharer bits, rounded up to bytes.
+    EXPECT_EQ(dirEntryBytes(8), (26u + 2 + 1 + 8 + 7) / 8);   // 5
+    EXPECT_EQ(dirEntryBytes(8), 5u);
+    EXPECT_EQ(dirEntryBytes(128), (26u + 2 + 1 + 128 + 7) / 8); // 20
+    EXPECT_EQ(dirEntryBytes(128), 20u);
+    EXPECT_GE(dirEntryBytes(1), 4u); // tag+state+busy alone need 4
+}
+
+TEST(EnergyModel, ZeroActivityZeroTimeIsZeroEnergy)
+{
+    const EnergyReport rep =
+        energyOfRun(makeEightCoreConfig(), EnergyActivity{});
+    EXPECT_DOUBLE_EQ(rep.dirDynamicMj, 0.0);
+    EXPECT_DOUBLE_EQ(rep.dirLeakageMj, 0.0);
+    EXPECT_DOUBLE_EQ(rep.llcDynamicMj, 0.0);
+    EXPECT_DOUBLE_EQ(rep.llcLeakageMj, 0.0);
+    EXPECT_DOUBLE_EQ(rep.totalMj(), 0.0);
+}
+
+TEST(EnergyModel, ZeroCyclesStillBillsDynamicEvents)
+{
+    // Events without elapsed time: dynamic energy only, no leakage.
+    EnergyActivity act;
+    act.llcTagLookups = 1000;
+    act.llcDataReads = 500;
+    const EnergyReport rep = energyOfRun(makeEightCoreConfig(), act);
+    EXPECT_GT(rep.llcDynamicMj, 0.0);
+    EXPECT_DOUBLE_EQ(rep.llcLeakageMj, 0.0);
+    EXPECT_DOUBLE_EQ(rep.dirLeakageMj, 0.0);
+
+    // And the converse: pure idle time is leakage only.
+    EnergyActivity idle;
+    idle.cycles = 4'000'000'000; // one second at 4 GHz
+    const EnergyReport quiet = energyOfRun(makeEightCoreConfig(), idle);
+    EXPECT_DOUBLE_EQ(quiet.llcDynamicMj, 0.0);
+    EXPECT_GT(quiet.llcLeakageMj, 0.0);
+    EXPECT_GT(quiet.dirLeakageMj, 0.0); // baseline has a directory
+}
+
+TEST(EnergyModel, NoSparseDirectoryMeansNoDirectoryEnergy)
+{
+    EnergyActivity act;
+    act.dirLookups = 10'000; // must be ignored without a directory
+    act.dirWrites = 5'000;
+    act.cycles = 1'000'000;
+
+    SystemConfig zdev = makeEightCoreConfig();
+    applyZeroDev(zdev, 0.0); // sizeRatio == 0: directory-free
+    const EnergyReport rep = energyOfRun(zdev, act);
+    EXPECT_DOUBLE_EQ(rep.dirDynamicMj, 0.0);
+    EXPECT_DOUBLE_EQ(rep.dirLeakageMj, 0.0);
+    EXPECT_GT(rep.llcLeakageMj, 0.0);
+
+    const EnergyReport base = energyOfRun(makeEightCoreConfig(), act);
+    EXPECT_GT(base.dirDynamicMj, 0.0);
+    EXPECT_GT(base.dirLeakageMj, 0.0);
+}
+
+TEST(EnergyModel, DeAccessesAreBilledAsQuarterWrites)
+{
+    // The DE event class models masked sub-block writes: adding N DE
+    // accesses must cost exactly a quarter of adding N full data-array
+    // writes.
+    const SystemConfig cfg = makeEightCoreConfig();
+    EnergyActivity base;
+    base.llcTagLookups = 100;
+    const double e0 = energyOfRun(cfg, base).llcDynamicMj;
+
+    EnergyActivity de = base;
+    de.llcDeAccesses = 1000;
+    const double deDelta = energyOfRun(cfg, de).llcDynamicMj - e0;
+
+    EnergyActivity wr = base;
+    wr.llcDataWrites = 1000;
+    const double wrDelta = energyOfRun(cfg, wr).llcDynamicMj - e0;
+
+    EXPECT_GT(deDelta, 0.0);
+    EXPECT_NEAR(deDelta, wrDelta * 0.25, wrDelta * 1e-9);
+}
+
+TEST(EnergyModel, IntegrationOverARealZeroDevRun)
+{
+    // Drive a real spill-heavy ZeroDEV run and integrate its LlcStats
+    // exactly as bench/energy_model.cc's activityOf() does; the DE event
+    // classes (spill allocations and fuses as data writes, in-place DE
+    // updates as quarter-writes) must all contribute.
+    const SystemConfig cfg = testutil::tinyZeroDev(0.125);
+    CmpSystem sys(cfg);
+    const Workload w = Workload::multiThreaded(profileByName("canneal"),
+                                               sys.totalCores());
+    RunConfig rc;
+    rc.accessesPerCore = 4000;
+    const RunResult r = run(sys, w, rc);
+
+    const LlcStats &l = sys.llc(0).stats();
+    EnergyActivity act;
+    act.llcTagLookups = l.lookups;
+    act.llcDataReads = l.dataHits;
+    act.llcDataWrites =
+        l.dataEvictions + l.dirtyWritebacks + l.spillAllocs + l.fuseOps;
+    act.llcDeAccesses = l.deUpdates;
+    act.cycles = r.cycles;
+
+    ASSERT_GT(l.lookups, 0u);
+    ASSERT_GT(l.deUpdates, 0u) << "workload produced no DE activity";
+
+    const EnergyReport rep = energyOfRun(cfg, act);
+    EXPECT_GT(rep.llcDynamicMj, 0.0);
+    EXPECT_GT(rep.llcLeakageMj, 0.0);
+    EXPECT_GT(rep.totalMj(), 0.0);
+
+    // Dropping the DE events strictly lowers the bill: the ZeroDEV
+    // energy trade-off is visible through this accounting.
+    EnergyActivity noDe = act;
+    noDe.llcDeAccesses = 0;
+    EXPECT_LT(energyOfRun(cfg, noDe).llcDynamicMj, rep.llcDynamicMj);
+}
+
+} // namespace
+} // namespace zerodev

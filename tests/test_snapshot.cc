@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Snapshot round-trip and rejection tests for the zerodev-snapshot-v1
+ * container (sim/snapshot.hh) and the full-system serializer
+ * (CmpSystem::saveState/restoreState).
+ *
+ * The round-trip contract is byte-exact: serializing a warmed-up system,
+ * restoring it into a fresh one and serializing again must reproduce the
+ * identical byte string — for every configuration of the differential
+ * harness's standard cross product (unordered containers are serialized
+ * in sorted order precisely so this holds). The rejection tests pin the
+ * container's failure modes: truncation, CRC corruption, an unsupported
+ * version, and a config-fingerprint mismatch; the CLI half of the
+ * contract (`trace_tool replay --restore` exits 3 on any of these) is
+ * exercised through the real binary.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <sys/wait.h>
+#include <vector>
+
+#include "common/serialize.hh"
+#include "core/cmp_system.hh"
+#include "sim/snapshot.hh"
+#include "test_util.hh"
+#include "verify/differ.hh"
+
+namespace zerodev
+{
+namespace
+{
+
+/** Warm @p sys with a deterministic adversarial stream. */
+void
+warmUp(CmpSystem &sys, std::uint64_t seed, std::uint64_t accesses)
+{
+    Cycle now = 0;
+    for (const TraceRecord &rec :
+         verify::fuzzStream(seed, sys.totalCores(), accesses)) {
+        now = sys.access(rec.core, rec.access.type, rec.access.block,
+                         now + rec.access.gap);
+    }
+}
+
+std::vector<std::uint8_t>
+stateBytes(const CmpSystem &sys)
+{
+    SerialOut out;
+    sys.saveState(out);
+    return out.data();
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + "zdev_snap_" + name;
+}
+
+bool
+writeBytes(const std::string &path, const std::vector<std::uint8_t> &b)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const bool ok = std::fwrite(b.data(), 1, b.size(), f) == b.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+TEST(SnapshotRoundTrip, ByteIdenticalAcrossTheStandardCrossProduct)
+{
+    const auto variants = verify::Differ::standardVariants(4);
+    ASSERT_GE(variants.size(), 12u);
+    for (const verify::Variant &v : variants) {
+        SCOPED_TRACE(v.name);
+        CmpSystem sys(v.cfg);
+        warmUp(sys, 7, 3000);
+        const std::vector<std::uint8_t> a = stateBytes(sys);
+        ASSERT_FALSE(a.empty());
+
+        CmpSystem copy(v.cfg);
+        SerialIn in(a);
+        copy.restoreState(in);
+        ASSERT_TRUE(in.exhausted()) << in.error();
+        EXPECT_EQ(stateBytes(copy), a);
+    }
+}
+
+TEST(SnapshotRoundTrip, RestoredSystemContinuesBitIdentically)
+{
+    // Beyond byte-equality of the image: the restored system must
+    // *behave* like the original from here on.
+    const SystemConfig cfg = testutil::tinyZeroDev(0.125);
+    CmpSystem a(cfg);
+    warmUp(a, 11, 2000);
+
+    CmpSystem b(cfg);
+    const std::vector<std::uint8_t> image = stateBytes(a);
+    SerialIn in(image); // SerialIn reads the caller-owned buffer
+    b.restoreState(in);
+    ASSERT_TRUE(in.exhausted()) << in.error();
+
+    Cycle nowA = 123456, nowB = 123456;
+    for (const TraceRecord &rec : verify::fuzzStream(13, 2, 500)) {
+        nowA = a.access(rec.core, rec.access.type, rec.access.block,
+                        nowA + rec.access.gap);
+        nowB = b.access(rec.core, rec.access.type, rec.access.block,
+                        nowB + rec.access.gap);
+        ASSERT_EQ(nowA, nowB);
+    }
+    EXPECT_EQ(stateBytes(a), stateBytes(b));
+}
+
+TEST(SnapshotRoundTrip, FileRoundTripThroughTheContainer)
+{
+    const SystemConfig cfg = testutil::tinyZeroDev();
+    CmpSystem sys(cfg);
+    warmUp(sys, 3, 1500);
+    const std::string path = tmpPath("roundtrip.snap");
+
+    std::string err;
+    ASSERT_TRUE(sys.saveSnapshot(path, &err)) << err;
+
+    Snapshot snap;
+    ASSERT_TRUE(snap.readFile(path, &err)) << err;
+    EXPECT_TRUE(snap.has("system"));
+    EXPECT_FALSE(snap.has("runner")); // a state image, not a checkpoint
+
+    CmpSystem copy(cfg);
+    ASSERT_TRUE(copy.restoreSnapshot(path, &err)) << err;
+    EXPECT_EQ(stateBytes(copy), stateBytes(sys));
+    std::remove(path.c_str());
+}
+
+class SnapshotRejection : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        CmpSystem sys(testutil::tinyZeroDev());
+        warmUp(sys, 5, 1000);
+        Snapshot snap;
+        sys.saveState(snap.section("system"));
+        bytes_ = snap.encode();
+        ASSERT_GT(bytes_.size(), 64u);
+    }
+
+    /** Expect decode failure whose message contains @p what. */
+    void
+    expectRejected(const std::vector<std::uint8_t> &file,
+                   const std::string &what)
+    {
+        Snapshot snap;
+        std::string err;
+        EXPECT_FALSE(snap.decode(file.data(), file.size(), &err));
+        EXPECT_NE(err.find(what), std::string::npos) << err;
+
+        // The same bytes through the file path and into a system.
+        const std::string path = tmpPath("reject.snap");
+        ASSERT_TRUE(writeBytes(path, file));
+        CmpSystem sys(testutil::tinyZeroDev());
+        err.clear();
+        EXPECT_FALSE(sys.restoreSnapshot(path, &err));
+        EXPECT_NE(err.find(what), std::string::npos) << err;
+        std::remove(path.c_str());
+    }
+
+    /** Recompute and patch the trailing CRC (for crafted mutations). */
+    void
+    fixCrc(std::vector<std::uint8_t> &file)
+    {
+        const std::uint32_t crc =
+            crc32(file.data() + 8, file.size() - 8 - 4);
+        SerialOut tail;
+        tail.u32(crc);
+        std::copy(tail.data().begin(), tail.data().end(),
+                  file.end() - 4);
+    }
+
+    std::vector<std::uint8_t> bytes_;
+};
+
+TEST_F(SnapshotRejection, Truncated)
+{
+    std::vector<std::uint8_t> shorter(bytes_.begin(),
+                                      bytes_.begin() + 10);
+    expectRejected(shorter, "truncated");
+    // Mid-file truncation lands on the CRC first — still a rejection.
+    std::vector<std::uint8_t> chopped(bytes_.begin(),
+                                      bytes_.end() - bytes_.size() / 3);
+    Snapshot snap;
+    std::string err;
+    EXPECT_FALSE(snap.decode(chopped.data(), chopped.size(), &err));
+}
+
+TEST_F(SnapshotRejection, BadMagic)
+{
+    std::vector<std::uint8_t> file = bytes_;
+    file[0] ^= 0xff;
+    expectRejected(file, "magic");
+}
+
+TEST_F(SnapshotRejection, CrcCorruption)
+{
+    std::vector<std::uint8_t> file = bytes_;
+    file[file.size() / 2] ^= 0x01; // single bit, mid-payload
+    expectRejected(file, "CRC");
+}
+
+TEST_F(SnapshotRejection, VersionBump)
+{
+    std::vector<std::uint8_t> file = bytes_;
+    file[8] = static_cast<std::uint8_t>(kSnapshotVersion + 1);
+    fixCrc(file); // valid container, future version
+    expectRejected(file, "version");
+}
+
+TEST_F(SnapshotRejection, FingerprintMismatch)
+{
+    // A perfectly well-formed snapshot of one config must refuse to
+    // restore into a differently-configured system.
+    const std::string path = tmpPath("fingerprint.snap");
+    ASSERT_TRUE(writeBytes(path, bytes_));
+    CmpSystem other(testutil::tinyConfig()); // baseline, not ZeroDEV
+    std::string err;
+    EXPECT_FALSE(other.restoreSnapshot(path, &err));
+    EXPECT_NE(err.find("fingerprint"), std::string::npos) << err;
+    std::remove(path.c_str());
+}
+
+/** Exit status of `trace_tool <args>` (shared 0/1/2/3/4 contract). */
+int
+toolExit(const std::string &args)
+{
+    const std::string cmd =
+        std::string(TRACE_TOOL_PATH) + " " + args + " >/dev/null 2>&1";
+    const int rc = std::system(cmd.c_str());
+    EXPECT_NE(rc, -1);
+    EXPECT_TRUE(WIFEXITED(rc));
+    return WEXITSTATUS(rc);
+}
+
+TEST(SnapshotExitContract, ReplayRestoreFailuresExitThree)
+{
+    const std::string trc = tmpPath("contract.trc");
+    ASSERT_EQ(toolExit("gen fft 2 50 " + trc), 0);
+
+    // Missing file.
+    EXPECT_EQ(toolExit("replay " + trc + " --restore /nonexistent.snap"),
+              3);
+
+    // Well-formed container without issue-engine state.
+    const std::string stateOnly = tmpPath("contract-state.snap");
+    {
+        SystemConfig cfg = makeEightCoreConfig();
+        CmpSystem sys(cfg);
+        std::string err;
+        ASSERT_TRUE(sys.saveSnapshot(stateOnly, &err)) << err;
+    }
+    EXPECT_EQ(toolExit("replay " + trc + " --restore " + stateOnly), 3);
+
+    // Corrupted container.
+    const std::string corrupt = tmpPath("contract-corrupt.snap");
+    ASSERT_TRUE(writeBytes(corrupt, {'Z', 'D', 'E', 'V', 'S', 'N'}));
+    EXPECT_EQ(toolExit("replay " + trc + " --restore " + corrupt), 3);
+
+    // Usage errors stay usage errors.
+    EXPECT_EQ(toolExit("replay " + trc + " --restore"), 2);
+    EXPECT_EQ(toolExit("replay " + trc + " --every nope"), 2);
+
+    std::remove(trc.c_str());
+    std::remove(stateOnly.c_str());
+    std::remove(corrupt.c_str());
+}
+
+} // namespace
+} // namespace zerodev
