@@ -3,11 +3,14 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <algorithm>
+
 #include "common/parallel.hh"
 #include "core/cmp_system.hh"
 #include "obs/json.hh"
 #include "obs/latency.hh"
 #include "obs/report.hh"
+#include "obs/telemetry.hh"
 
 namespace zerodev::bench
 {
@@ -25,11 +28,12 @@ envOverride(const char *name, std::uint64_t dflt)
     return parsed == 0 ? dflt : parsed;
 }
 
-const char *
+std::string
 reportDir()
 {
-    const char *dir = std::getenv("ZERODEV_REPORT_DIR");
-    return (dir && *dir) ? dir : nullptr;
+    // Hardened: creates the directory recursively, exits 2 with a clear
+    // message when it cannot be created or written.
+    return obs::outputDirFromEnv("ZERODEV_REPORT_DIR");
 }
 
 /**
@@ -42,13 +46,39 @@ reportDir()
 std::string
 snapshotPathFor(const char *kind, std::size_t key)
 {
-    const char *dir = std::getenv("ZERODEV_SNAPSHOT_DIR");
-    if (!dir || !*dir)
+    const std::string dir =
+        obs::outputDirFromEnv("ZERODEV_SNAPSHOT_DIR");
+    if (dir.empty())
         return {};
     char name[48];
     std::snprintf(name, sizeof(name), "_%s%04zu.ckpt", kind, key);
-    return std::string(dir) + "/" + BenchReporter::instance().figure() +
-           name;
+    return dir + "/" + BenchReporter::instance().figure() + name;
+}
+
+/**
+ * Register one telemetry job for a run about to execute (nullptr when
+ * ZERODEV_TELEMETRY_DIR is unset). @p key matches the run's report slot
+ * when reporting is on, so "<figure>_runNNNN" names the same run in
+ * status.json and in the v2 report file — one source of truth.
+ */
+obs::TelemetryJob *
+beginTelemetryJob(const SystemConfig &cfg, const Workload &w,
+                  std::uint64_t accesses, std::size_t key)
+{
+    obs::TelemetrySink *sink = obs::TelemetrySink::fromEnv();
+    if (!sink)
+        return nullptr;
+    const std::string figure = BenchReporter::instance().figure();
+    char name[32];
+    std::snprintf(name, sizeof(name), "_run%04zu", key);
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(
+                      obs::configFingerprint(cfg)));
+    const std::uint64_t cores =
+        std::min<std::uint64_t>(cfg.coresPerSocket * cfg.sockets,
+                                w.threadCount());
+    return sink->beginJob(figure + name, figure, fp, accesses * cores);
 }
 
 /**
@@ -61,11 +91,13 @@ snapshotPathFor(const char *kind, std::size_t key)
  */
 RunResult
 runOne(const SystemConfig &cfg, const Workload &w, std::uint64_t accesses,
-       bool with_latency, const std::string &ckpt = {})
+       bool with_latency, const std::string &ckpt = {},
+       obs::TelemetryJob *tj = nullptr)
 {
     CmpSystem sys(cfg);
     RunConfig rc;
     rc.accessesPerCore = accesses;
+    rc.telemetry = tj;
     obs::LatencyProfiler latency;
     if (with_latency && ckpt.empty())
         rc.latency = &latency;
@@ -79,6 +111,8 @@ runOne(const SystemConfig &cfg, const Workload &w, std::uint64_t accesses,
     RunResult res = run(sys, w, rc);
     if (!ckpt.empty())
         std::remove(ckpt.c_str());
+    if (tj)
+        tj->complete(obs::completionOf(res));
     return res;
 }
 
@@ -94,7 +128,7 @@ BenchReporter::instance()
 bool
 BenchReporter::enabled() const
 {
-    return reportDir() != nullptr;
+    return !reportDir().empty();
 }
 
 void
@@ -128,8 +162,8 @@ void
 BenchReporter::record(std::size_t slot, const SystemConfig &cfg,
                       const RunResult &res)
 {
-    const char *dir = reportDir();
-    if (!dir)
+    const std::string dir = reportDir();
+    if (dir.empty())
         return;
 
     // One v2 report per run, numbered by reservation (= submission)
@@ -138,9 +172,7 @@ BenchReporter::record(std::size_t slot, const SystemConfig &cfg,
     // reservation guarantees under any worker interleaving.
     char name[32];
     std::snprintf(name, sizeof(name), "_run%04zu", slot);
-    obs::writeRunReport(std::string(dir) + "/" + figure() + name +
-                            ".json",
-                        cfg, res);
+    obs::writeRunReport(dir + "/" + figure() + name + ".json", cfg, res);
 
     char fp[32];
     std::snprintf(fp, sizeof(fp), "%016llx",
@@ -176,10 +208,9 @@ BenchReporter::record(std::size_t slot, const SystemConfig &cfg,
 void
 BenchReporter::flush()
 {
-    const char *dir = reportDir();
-    if (!dir)
+    const std::string dir = reportDir();
+    if (dir.empty())
         return;
-    const char *commit = std::getenv("ZERODEV_COMMIT");
 
     std::lock_guard<std::mutex> lock(mu_);
     bool any = false;
@@ -190,9 +221,8 @@ BenchReporter::flush()
 
     obs::JsonWriter w;
     w.beginObject();
-    w.field("schema", "zerodev-bench-trajectory-v1");
+    obs::stampArtifact(w, "zerodev-bench-trajectory-v1");
     w.field("figure", slug_);
-    w.field("commit", commit ? commit : "");
     w.key("runs").beginArray();
     for (TrajectoryRun &r : runs_) {
         if (!r.recorded || r.flushed)
@@ -210,7 +240,7 @@ BenchReporter::flush()
     }
     w.endArray();
     w.endObject();
-    obs::appendTextFile(std::string(dir) + "/BENCH_" + slug_ + ".json",
+    obs::appendTextFile(dir + "/BENCH_" + slug_ + ".json",
                         w.str() + "\n");
 }
 
@@ -241,13 +271,17 @@ runWorkload(const SystemConfig &cfg, const Workload &w,
     // thread in program order, so call N gets checkpoint "one000N" on
     // every (re-)invocation.
     static std::size_t calls = 0;
-    const std::string ckpt = snapshotPathFor("one", calls++);
+    const std::size_t call = calls++;
+    const std::string ckpt = snapshotPathFor("one", call);
 
     BenchReporter &rep = BenchReporter::instance();
-    if (!rep.enabled())
-        return runOne(cfg, w, accesses, false, ckpt);
+    if (!rep.enabled()) {
+        return runOne(cfg, w, accesses, false, ckpt,
+                      beginTelemetryJob(cfg, w, accesses, call));
+    }
     const std::size_t slot = rep.reserveSlot();
-    RunResult res = runOne(cfg, w, accesses, true, ckpt);
+    RunResult res = runOne(cfg, w, accesses, true, ckpt,
+                           beginTelemetryJob(cfg, w, accesses, slot));
     rep.record(slot, cfg, res);
     return res;
 }
@@ -266,10 +300,19 @@ runSweep(const std::vector<SweepJob> &jobs)
             slots[i] = rep.reserveSlot();
     }
 
+    // Telemetry jobs registered up front too (from this thread, in job
+    // order), so status.json lists the whole sweep before work starts.
+    std::vector<obs::TelemetryJob *> tjs(jobs.size(), nullptr);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        tjs[i] = beginTelemetryJob(jobs[i].cfg, jobs[i].w,
+                                   jobs[i].accesses,
+                                   report ? slots[i] : i);
+    }
+
     return parallelMap(jobs.size(), [&](std::size_t i) {
         const SweepJob &j = jobs[i];
         RunResult res = runOne(j.cfg, j.w, j.accesses, report,
-                               snapshotPathFor("job", i));
+                               snapshotPathFor("job", i), tjs[i]);
         if (report)
             rep.record(slots[i], j.cfg, res);
         return res;

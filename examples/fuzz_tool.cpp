@@ -34,6 +34,8 @@
 
 #include "common/parallel.hh"
 #include "obs/json.hh"
+#include "obs/report.hh"
+#include "obs/telemetry.hh"
 #include "verify/differ.hh"
 #include "verify/shrink.hh"
 #include "workload/trace.hh"
@@ -182,7 +184,7 @@ fuzzReport(const RunOptions &opt, const Differ &differ,
 {
     obs::JsonWriter w;
     w.beginObject();
-    w.field("schema", "zerodev-fuzz-report-v1");
+    obs::stampArtifact(w, "zerodev-fuzz-report-v1");
     w.field("mode", opt.minutes ? "minutes" : "seeds");
     w.field("seeds_run", seedsRun);
     w.field("accesses_per_seed", opt.accesses);
@@ -311,8 +313,32 @@ cmdRun(int argc, char **argv)
     const auto runSeed = [&](std::uint64_t seed) {
         SeedOutcome out;
         out.seed = seed;
-        out.result =
-            differ.run(fuzzStream(seed, differ.cores(), opt.accesses));
+        const auto stream =
+            fuzzStream(seed, differ.cores(), opt.accesses);
+        obs::TelemetrySink *sink = obs::TelemetrySink::fromEnv();
+        if (!sink) {
+            out.result = differ.run(stream);
+            return out;
+        }
+        // Live telemetry: a per-seed Differ (same variants, same fault
+        // hook) carries a progress hook feeding this seed's job.
+        obs::TelemetryJob *tj =
+            sink->beginJob("seed" + std::to_string(seed), "fuzz", "",
+                           stream.size());
+        DifferOptions sopt = differ.options();
+        sopt.progress = [tj](std::uint64_t done) {
+            tj->progress(done, 0);
+        };
+        Differ seedDiffer(differ.variants(), sopt);
+        seedDiffer.setFaultHook(differ.faultHook());
+        out.result = seedDiffer.run(stream);
+        obs::JobCompletion c;
+        c.workload = "fuzz";
+        c.accesses = out.result.accesses;
+        c.failed = !out.result.ok();
+        if (c.failed)
+            c.error = out.result.divergence.rule;
+        tj->complete(c);
         return out;
     };
 

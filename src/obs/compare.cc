@@ -283,7 +283,7 @@ CompareResult::verdictJson() const
 {
     JsonWriter w;
     w.beginObject();
-    w.field("schema", "zerodev-compare-v1");
+    stampArtifact(w, "zerodev-compare-v1");
     w.field("regression", regression());
 
     w.key("pairs").beginArray();

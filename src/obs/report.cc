@@ -1,9 +1,14 @@
 #include "obs/report.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include <cmath>
+
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "common/log.hh"
 #include "obs/json.hh"
@@ -11,6 +16,73 @@
 
 namespace zerodev::obs
 {
+
+namespace
+{
+
+/** mkdir -p: create @p path and every missing parent. */
+bool
+makeDirs(const std::string &path)
+{
+    std::string prefix;
+    std::size_t pos = 0;
+    while (pos <= path.size()) {
+        const std::size_t slash = path.find('/', pos);
+        prefix = slash == std::string::npos ? path
+                                            : path.substr(0, slash);
+        pos = slash == std::string::npos ? path.size() + 1 : slash + 1;
+        if (prefix.empty())
+            continue; // leading '/'
+        if (::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST)
+            return false;
+    }
+    struct ::stat st;
+    return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+} // namespace
+
+std::string
+buildCommit()
+{
+    const char *commit = std::getenv("ZERODEV_COMMIT");
+    return commit ? commit : "";
+}
+
+void
+stampArtifact(JsonWriter &w, std::string_view schema)
+{
+    w.field("schema", schema);
+    w.field("commit", buildCommit());
+}
+
+std::string
+outputDirFromEnv(const char *var)
+{
+    const char *dir = std::getenv(var);
+    if (!dir || !*dir)
+        return {};
+    const std::string path(dir);
+    if (!makeDirs(path)) {
+        std::fprintf(stderr,
+                     "zerodev: cannot create %s directory '%s': %s\n",
+                     var, path.c_str(), std::strerror(errno));
+        std::exit(2);
+    }
+    // Probe writability up front: a full run whose reports all vanish
+    // into EACCES at the end is strictly worse than failing now.
+    const std::string probe = path + "/.zerodev-writable";
+    std::FILE *f = std::fopen(probe.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr,
+                     "zerodev: %s directory '%s' is not writable: %s\n",
+                     var, path.c_str(), std::strerror(errno));
+        std::exit(2);
+    }
+    std::fclose(f);
+    ::unlink(probe.c_str());
+    return path;
+}
 
 namespace
 {
@@ -216,7 +288,7 @@ runReportJson(const SystemConfig &cfg, const RunResult &res)
 {
     JsonWriter w;
     w.beginObject();
-    w.field("schema", "zerodev-run-report-v2");
+    stampArtifact(w, "zerodev-run-report-v2");
 
     w.key("config");
     configToJson(w, cfg);
@@ -279,8 +351,8 @@ bool
 maybeWriteRunReport(const std::string &name, const SystemConfig &cfg,
                     const RunResult &res)
 {
-    const char *dir = std::getenv("ZERODEV_REPORT_DIR");
-    if (!dir || !*dir)
+    const std::string dir = outputDirFromEnv("ZERODEV_REPORT_DIR");
+    if (dir.empty())
         return false;
     std::string file;
     for (char c : name) {
@@ -291,8 +363,7 @@ maybeWriteRunReport(const std::string &name, const SystemConfig &cfg,
     }
     if (file.empty())
         file = "run";
-    return writeRunReport(std::string(dir) + "/" + file + ".json", cfg,
-                          res);
+    return writeRunReport(dir + "/" + file + ".json", cfg, res);
 }
 
 const std::vector<std::string> &

@@ -30,6 +30,28 @@ namespace zerodev::obs
 struct JsonValue;
 class JsonWriter;
 
+/** The commit identifier artifacts are stamped with: the value of the
+ *  ZERODEV_COMMIT environment variable, or "" when unset. */
+std::string buildCommit();
+
+/**
+ * Provenance stamp shared by every JSON artifact writer (run reports,
+ * fuzz reports, compare verdicts, bench trajectories, telemetry events
+ * and status): emits the "schema" and "commit" fields. Call immediately
+ * after beginObject() so the stamp leads the document.
+ */
+void stampArtifact(JsonWriter &w, std::string_view schema);
+
+/**
+ * Resolve an output-directory environment variable (ZERODEV_REPORT_DIR,
+ * ZERODEV_SNAPSHOT_DIR, ZERODEV_TELEMETRY_DIR): returns "" when the
+ * variable is unset or empty; otherwise creates the directory
+ * recursively and probes that it is writable, terminating the process
+ * with exit code 2 and a clear stderr message when it is not — output
+ * the user asked for is never silently dropped.
+ */
+std::string outputDirFromEnv(const char *var);
+
 /**
  * Canonical "key=value;" rendering of every SystemConfig field, in a
  * fixed order. Two configs produce the same string iff they describe

@@ -3,7 +3,9 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "common/serialize.hh"
 #include "obs/json.hh"
+#include "obs/report.hh"
 
 namespace zerodev::obs
 {
@@ -100,9 +102,9 @@ std::string
 IntervalSampler::toJson() const
 {
     JsonWriter w;
-    w.beginObject()
-        .field("schema", "zerodev-interval-stats-v1")
-        .field("interval", interval_)
+    w.beginObject();
+    stampArtifact(w, "zerodev-interval-stats-v1");
+    w.field("interval", interval_)
         .field("samples", static_cast<std::uint64_t>(samples_.size()))
         .field("overflowed", overflowed_);
     w.key("cycles").beginArray();
@@ -118,6 +120,32 @@ IntervalSampler::toJson() const
     }
     w.endObject().endObject();
     return w.str();
+}
+
+void
+IntervalSampler::save(SerialOut &out) const
+{
+    out.u64(interval_);
+    out.u64(next_);
+    out.u32(static_cast<std::uint32_t>(probes_.size()));
+    for (const Probe &p : probes_)
+        out.f64(p.prev);
+}
+
+void
+IntervalSampler::restore(SerialIn &in)
+{
+    if (!samples_.empty())
+        panic("sampler restore after sampling began");
+    if (!in.check(in.u64() == interval_,
+                  "checkpoint sampler interval mismatch"))
+        return;
+    next_ = in.u64();
+    if (!in.check(in.u32() == probes_.size(),
+                  "checkpoint sampler probe count mismatch"))
+        return;
+    for (Probe &p : probes_)
+        p.prev = in.f64();
 }
 
 bool

@@ -27,6 +27,12 @@
 
 #include "common/types.hh"
 
+namespace zerodev
+{
+class SerialOut;
+class SerialIn;
+} // namespace zerodev
+
 namespace zerodev::obs
 {
 
@@ -87,6 +93,20 @@ class IntervalSampler
 
     bool writeCsv(const std::string &path) const;
     bool writeJson(const std::string &path) const;
+
+    /**
+     * Serialize the resume-critical state — the next aligned boundary
+     * and every probe's Rate baseline — into a checkpoint section
+     * (sim/runner.cc writes it as "sampler"). Collected samples are NOT
+     * saved: a resumed run re-collects only the post-restore suffix,
+     * and restore() keeps that suffix phase-aligned and delta-correct
+     * against a straight run.
+     */
+    void save(SerialOut &out) const;
+
+    /** Restore state written by save(). The same probes must already be
+     *  registered (count-checked); sampling must not have started. */
+    void restore(SerialIn &in);
 
   private:
     struct Probe

@@ -4,12 +4,14 @@
 #include <chrono>
 #include <cstdlib>
 #include <memory>
+#include <thread>
 
 #include "common/log.hh"
 #include "common/serialize.hh"
 #include "core/invariants.hh"
 #include "obs/latency.hh"
 #include "obs/sampler.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace.hh"
 #include "sim/snapshot.hh"
 
@@ -52,6 +54,9 @@ class ObserverScope
         if (sampler_)
             sampler_->tick(horizon_);
     }
+
+    /** Latest simulated completion time seen (heartbeat payload). */
+    Cycle horizon() const { return horizon_; }
 
     /** Close out the run: final sample and wall-clock accounting. */
     void
@@ -140,12 +145,16 @@ restoreCoreStates(SerialIn &in, std::vector<CoreState> &state)
     }
 }
 
-/** Write one mid-run checkpoint (system + issue-engine state). */
+/** Write one mid-run checkpoint (system + issue-engine state; when a
+ *  sampler is attached its phase state rides along in a "sampler"
+ *  section so resumed time series stay aligned with a straight run). */
 void
 writeCheckpoint(const CmpSystem &sys, std::uint8_t mode,
                 const std::vector<CoreState> &state,
                 const std::vector<ThreadGenerator> *gens,
-                std::uint64_t executed, const std::string &path)
+                std::uint64_t executed,
+                const obs::IntervalSampler *sampler,
+                const std::string &path)
 {
     Snapshot snap;
     sys.saveState(snap.section("system"));
@@ -159,6 +168,8 @@ writeCheckpoint(const CmpSystem &sys, std::uint8_t mode,
         for (const ThreadGenerator &g : *gens)
             g.save(r);
     }
+    if (sampler)
+        sampler->save(snap.section("sampler"));
     std::string err;
     if (!snap.writeFile(path, &err))
         fatal("checkpoint write failed: %s", err.c_str());
@@ -173,7 +184,7 @@ std::uint64_t
 loadCheckpoint(CmpSystem &sys, std::uint8_t mode,
                std::vector<CoreState> &state,
                std::vector<ThreadGenerator> *gens,
-               const std::string &path)
+               obs::IntervalSampler *sampler, const std::string &path)
 {
     Snapshot snap;
     std::string err;
@@ -204,6 +215,20 @@ loadCheckpoint(CmpSystem &sys, std::uint8_t mode,
         fatal("cannot restore checkpoint %s: %s", path.c_str(),
               in.ok() ? "trailing bytes in runner section"
                       : in.error().c_str());
+
+    // A sampler attached to the resumed run continues the checkpointed
+    // phase (older checkpoints without the section start it fresh; a
+    // section without an attached sampler is simply unused).
+    if (sampler) {
+        if (const std::vector<std::uint8_t> *sb = snap.find("sampler")) {
+            SerialIn sin(*sb);
+            sampler->restore(sin);
+            if (!sin.exhausted())
+                fatal("cannot restore checkpoint %s: %s", path.c_str(),
+                      sin.ok() ? "trailing bytes in sampler section"
+                               : sin.error().c_str());
+        }
+    }
     return executed;
 }
 
@@ -264,7 +289,7 @@ run(CmpSystem &sys, const Workload &workload, const RunConfig &rc)
     std::uint64_t executed = 0;
     if (!rc.restorePath.empty()) {
         executed = loadCheckpoint(sys, kRunnerModeRun, state, &gens,
-                                  rc.restorePath);
+                                  rc.sampler, rc.restorePath);
     }
     const std::uint64_t snap_every = effectiveSnapshotEvery(rc);
     std::uint64_t next_snap =
@@ -272,6 +297,9 @@ run(CmpSystem &sys, const Workload &workload, const RunConfig &rc)
     std::uint64_t next_check =
         rc.invariantCheckInterval ? executed + rc.invariantCheckInterval
                                   : ~0ull;
+    const std::uint64_t beat =
+        rc.telemetry ? rc.telemetry->heartbeatEvery() : 0;
+    std::uint64_t next_beat = beat ? (executed / beat + 1) * beat : ~0ull;
 
     // Issue in globally non-decreasing ready-time order: a linear scan
     // over <= 128 cores per transaction keeps the engine simple and is
@@ -310,10 +338,29 @@ run(CmpSystem &sys, const Workload &workload, const RunConfig &rc)
         }
         if (executed >= next_snap) {
             writeCheckpoint(sys, kRunnerModeRun, state, &gens, executed,
+                            rc.sampler,
                             checkpointPath(rc.snapshotPath, executed));
             next_snap += snap_every;
         }
+        if (executed >= next_beat) {
+            rc.telemetry->progress(executed, observers.horizon());
+            if (rc.telemetry->stallSnapshotRequested()) {
+                const std::string p = rc.telemetry->claimStallSnapshot();
+                if (!p.empty()) {
+                    writeCheckpoint(sys, kRunnerModeRun, state, &gens,
+                                    executed, rc.sampler, p);
+                }
+            }
+            next_beat += beat;
+        }
+        if (rc.plantStallAt && executed == rc.plantStallAt &&
+            rc.plantStallSeconds > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(rc.plantStallSeconds));
+        }
     }
+    if (rc.telemetry)
+        rc.telemetry->progress(executed, observers.horizon());
 
     RunResult res;
     res.workload = workload.name();
@@ -344,11 +391,14 @@ replay(CmpSystem &sys, const TraceReader &trace, const RunConfig &rc)
     std::uint64_t executed = 0;
     if (!rc.restorePath.empty()) {
         executed = loadCheckpoint(sys, kRunnerModeReplay, state, nullptr,
-                                  rc.restorePath);
+                                  rc.sampler, rc.restorePath);
     }
     const std::uint64_t snap_every = effectiveSnapshotEvery(rc);
     std::uint64_t next_snap =
         snap_every ? (executed / snap_every + 1) * snap_every : ~0ull;
+    const std::uint64_t beat =
+        rc.telemetry ? rc.telemetry->heartbeatEvery() : 0;
+    std::uint64_t next_beat = beat ? (executed / beat + 1) * beat : ~0ull;
 
     const std::vector<TraceRecord> &records = trace.records();
     if (executed > records.size()) {
@@ -373,11 +423,29 @@ replay(CmpSystem &sys, const TraceReader &trace, const RunConfig &rc)
         ++executed;
         if (executed >= next_snap) {
             writeCheckpoint(sys, kRunnerModeReplay, state, nullptr,
-                            executed,
+                            executed, rc.sampler,
                             checkpointPath(rc.snapshotPath, executed));
             next_snap += snap_every;
         }
+        if (executed >= next_beat) {
+            rc.telemetry->progress(executed, observers.horizon());
+            if (rc.telemetry->stallSnapshotRequested()) {
+                const std::string p = rc.telemetry->claimStallSnapshot();
+                if (!p.empty()) {
+                    writeCheckpoint(sys, kRunnerModeReplay, state,
+                                    nullptr, executed, rc.sampler, p);
+                }
+            }
+            next_beat += beat;
+        }
+        if (rc.plantStallAt && executed == rc.plantStallAt &&
+            rc.plantStallSeconds > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(rc.plantStallSeconds));
+        }
     }
+    if (rc.telemetry)
+        rc.telemetry->progress(executed, observers.horizon());
 
     RunResult res;
     res.workload = "trace";

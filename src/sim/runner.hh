@@ -29,6 +29,7 @@ namespace obs
 {
 class Tracer;
 class IntervalSampler;
+class TelemetryJob;
 } // namespace obs
 
 /** Run-control parameters. */
@@ -57,6 +58,19 @@ struct RunConfig
     /** Optional critical-path latency profiler, attached to the system
      *  for the run; its snapshot lands in RunResult::latency. */
     obs::LatencyProfiler *latency = nullptr;
+
+    /** Optional live-telemetry job (obs/telemetry.hh): the issue loop
+     *  publishes a heartbeat — accesses executed, simulated time — every
+     *  heartbeatEvery() accesses and services snapshot-on-stall requests
+     *  at those same (checkpoint-safe) boundaries. Completion is
+     *  published by the caller from the RunResult. */
+    obs::TelemetryJob *telemetry = nullptr;
+
+    /** Test-only planted stall for the watchdog self-test: after
+     *  executing access #plantStallAt the loop sleeps plantStallSeconds
+     *  of host time (0 = disabled; never set outside tests/tools). */
+    std::uint64_t plantStallAt = 0;
+    double plantStallSeconds = 0.0;
 
     // --- checkpointing (sim/snapshot.hh) ---
 

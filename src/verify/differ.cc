@@ -500,7 +500,13 @@ Differ::runImpl(const std::vector<TraceRecord> &stream,
             return finish(res, done);
         if (opt_.snapshotCadence && done % opt_.snapshotCadence == 0)
             capture(done);
+        if (opt_.progress && opt_.progressCadence &&
+            done % opt_.progressCadence == 0) {
+            opt_.progress(done);
+        }
     }
+    if (opt_.progress)
+        opt_.progress(stream.size());
 
     if (!sweep(stream.empty() ? 0 : stream.size() - 1, true, true))
         return finish(res, stream.size());

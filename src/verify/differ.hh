@@ -29,6 +29,7 @@
 #define ZERODEV_VERIFY_DIFFER_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -91,6 +92,12 @@ struct DifferOptions
      *  divergence lands in DifferResult::checkpoint, so the repro can
      *  be fast-forwarded: Differ::resume() re-runs only the tail. */
     std::uint64_t snapshotCadence = 0;
+
+    /** Live-telemetry hook: called with the executed-record count every
+     *  progressCadence stream records (and once at the end of the
+     *  stream). Runs on the thread driving run()/resume(). */
+    std::function<void(std::uint64_t)> progress;
+    std::uint64_t progressCadence = 2048;
 };
 
 /**

@@ -1,17 +1,25 @@
 /**
  * @file
- * Exit-code and usage-path tests for the trace_tool and fuzz_tool CLIs.
- * The binary paths are injected at build time (TRACE_TOOL_PATH /
- * FUZZ_TOOL_PATH); both tools must honour the shared exit-code contract
- * documented in docs/OBSERVABILITY.md:
+ * Exit-code and usage-path tests for the trace_tool, fuzz_tool and
+ * telemetry_tool CLIs. The binary paths are injected at build time
+ * (TRACE_TOOL_PATH / FUZZ_TOOL_PATH / TELEMETRY_TOOL_PATH); all tools
+ * must honour the shared exit-code contract documented in
+ * docs/OBSERVABILITY.md:
  *   0 ok / no divergence, 1 runtime failure, 2 usage error,
- *   3 load failure, 4 regression / divergence detected.
+ *   3 load failure, 4 regression / divergence / stall detected.
+ *
+ * Also covers the ZERODEV_REPORT_DIR / ZERODEV_SNAPSHOT_DIR contract:
+ * both are created recursively on first use and an unwritable path is
+ * a hard exit-2 up front, not a silent loss of artifacts at the end of
+ * a long run.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <sys/wait.h>
 
@@ -19,21 +27,24 @@ namespace
 {
 
 int
-runTool(const char *tool, const std::string &args)
+runTool(const char *tool, const std::string &args,
+        const std::string &env = "")
 {
-    const std::string cmd =
-        std::string(tool) + " " + args + " >/dev/null 2>&1";
+    const std::string cmd = (env.empty() ? "" : env + " ") +
+                            std::string(tool) + " " + args +
+                            " >/dev/null 2>&1";
     const int rc = std::system(cmd.c_str());
     EXPECT_NE(rc, -1);
     EXPECT_TRUE(WIFEXITED(rc));
     return WEXITSTATUS(rc);
 }
 
-/** Run trace_tool with @p args, returning its exit status. */
+/** Run trace_tool with @p args (and optional env), returning its exit
+ *  status. */
 int
-toolExit(const std::string &args)
+toolExit(const std::string &args, const std::string &env = "")
 {
-    return runTool(TRACE_TOOL_PATH, args);
+    return runTool(TRACE_TOOL_PATH, args, env);
 }
 
 /** Run fuzz_tool with @p args, returning its exit status. */
@@ -41,6 +52,14 @@ int
 fuzzExit(const std::string &args)
 {
     return runTool(FUZZ_TOOL_PATH, args);
+}
+
+/** Run telemetry_tool with @p args (and optional env), returning its
+ *  exit status. */
+int
+telemetryExit(const std::string &args, const std::string &env = "")
+{
+    return runTool(TELEMETRY_TOOL_PATH, args, env);
 }
 
 class CliTempFiles : public ::testing::Test
@@ -54,15 +73,45 @@ class CliTempFiles : public ::testing::Test
         return p;
     }
 
+    /** A fresh directory path (not created), removed recursively. */
+    std::string
+    dirPath(const std::string &name)
+    {
+        std::string p = ::testing::TempDir() + "zdev_cli_" + name;
+        dirs_.push_back(p);
+        std::filesystem::remove_all(p);
+        return p;
+    }
+
     void
     TearDown() override
     {
         for (const std::string &p : tmp_)
             std::remove(p.c_str());
+        for (const std::string &d : dirs_) {
+            std::error_code ec;
+            std::filesystem::remove_all(d, ec);
+        }
     }
 
     std::vector<std::string> tmp_;
+    std::vector<std::string> dirs_;
 };
+
+/** Files under @p dir whose name contains @p needle. */
+int
+countFilesContaining(const std::string &dir, const std::string &needle)
+{
+    int n = 0;
+    std::error_code ec;
+    for (const auto &e :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (e.path().filename().string().find(needle) !=
+            std::string::npos)
+            ++n;
+    }
+    return n;
+}
 
 TEST(TraceToolCli, HelpExitsZeroEverywhere)
 {
@@ -182,6 +231,112 @@ TEST_F(CliTempFiles, FuzzToolPlantedFaultExitsFour)
                        "--plant-fault 1,7,2 --out " +
                        dir),
               4);
+}
+
+TEST(TelemetryToolCli, HelpExitsZero)
+{
+    EXPECT_EQ(telemetryExit("--help"), 0);
+    EXPECT_EQ(telemetryExit("help"), 0);
+    EXPECT_EQ(telemetryExit("top --help"), 0);
+}
+
+TEST(TelemetryToolCli, UsageErrorsExitTwo)
+{
+    EXPECT_EQ(telemetryExit(""), 2);
+    EXPECT_EQ(telemetryExit("frobnicate"), 2);
+    EXPECT_EQ(telemetryExit("top"), 2);
+    EXPECT_EQ(telemetryExit("check-prom"), 2);
+    EXPECT_EQ(telemetryExit("check-status"), 2);
+    EXPECT_EQ(telemetryExit("selftest-stall"), 2);
+    EXPECT_EQ(telemetryExit("selftest-stall /tmp/x --bogus"), 2);
+    EXPECT_EQ(telemetryExit("selftest-stall /tmp/x --stall-seconds -1"),
+              2);
+}
+
+TEST_F(CliTempFiles, CheckPromFollowsTheExitContract)
+{
+    EXPECT_EQ(telemetryExit("check-prom /nonexistent/metrics.prom"), 3);
+
+    const std::string bad = path("bad.prom");
+    std::ofstream(bad) << "zdev_x 1\n# TYPE zdev_x counter\nzdev_x 2\n";
+    EXPECT_EQ(telemetryExit("check-prom " + bad), 4);
+
+    const std::string good = path("good.prom");
+    std::ofstream(good) << "# HELP zdev_x help\n"
+                           "# TYPE zdev_x counter\n"
+                           "zdev_x 42\n";
+    EXPECT_EQ(telemetryExit("check-prom " + good), 0);
+}
+
+TEST_F(CliTempFiles, CheckStatusFollowsTheExitContract)
+{
+    EXPECT_EQ(telemetryExit("check-status /nonexistent/status.json"), 3);
+
+    const std::string bad = path("bad-status.json");
+    std::ofstream(bad) << "{\"schema\":\"zerodev-status-v2\"}";
+    EXPECT_EQ(telemetryExit("check-status " + bad), 4);
+
+    const std::string good = path("good-status.json");
+    std::ofstream(good)
+        << "{\"schema\":\"zerodev-status-v1\",\"commit\":\"\","
+           "\"generated_ms\":1,\"state\":\"completed\",\"jobs\":["
+           "{\"name\":\"j\",\"state\":\"completed\","
+           "\"total_accesses\":10,\"accesses\":10,\"progress\":1.0}]}";
+    EXPECT_EQ(telemetryExit("check-status " + good), 0);
+    EXPECT_EQ(telemetryExit("check-status " + good +
+                            " --state completed --min-jobs 1"),
+              0);
+    EXPECT_EQ(telemetryExit("check-status " + good + " --state running"),
+              4);
+    EXPECT_EQ(telemetryExit("check-status " + good + " --min-jobs 2"), 4);
+}
+
+TEST_F(CliTempFiles, ReportDirIsCreatedRecursively)
+{
+    // A replay with ZERODEV_REPORT_DIR pointing at a directory that
+    // does not exist yet (two levels deep) must create it and land the
+    // v2 run report inside.
+    const std::string trace = path("report-env.trc");
+    ASSERT_EQ(fuzzExit("gen 2 4 64 " + trace), 0);
+    const std::string dir = dirPath("reports") + "/nested/deep";
+    EXPECT_EQ(toolExit("replay " + trace, "ZERODEV_REPORT_DIR=" + dir),
+              0);
+    EXPECT_TRUE(std::filesystem::is_directory(dir));
+    EXPECT_GE(countFilesContaining(dir, "trace_replay"), 1);
+}
+
+TEST_F(CliTempFiles, UnwritableReportDirExitsTwoUpFront)
+{
+    // /dev/null/x can never become a directory: the run must fail fast
+    // with the usage/environment exit code, not lose the report later.
+    const std::string trace = path("report-ro.trc");
+    ASSERT_EQ(fuzzExit("gen 2 4 64 " + trace), 0);
+    EXPECT_EQ(toolExit("replay " + trace,
+                       "ZERODEV_REPORT_DIR=/dev/null/x"),
+              2);
+}
+
+TEST_F(CliTempFiles, SnapshotDirIsCreatedRecursivelyForStallCkpts)
+{
+    // The planted-stall self-test must detect its own stall (exit 4 is
+    // the expected outcome) and, with ZERODEV_SNAPSHOT_DIR set, drop
+    // the stall checkpoint into that (freshly created) directory.
+    const std::string tele = dirPath("tele-snapdir");
+    const std::string snaps = dirPath("snaps") + "/a/b";
+    EXPECT_EQ(telemetryExit("selftest-stall " + tele +
+                                " --stall-seconds 0.3",
+                            "ZERODEV_SNAPSHOT_DIR=" + snaps),
+              4);
+    EXPECT_TRUE(std::filesystem::exists(
+        snaps + "/stall-selftest_stall.ckpt"));
+}
+
+TEST_F(CliTempFiles, UnwritableSnapshotDirExitsTwoUpFront)
+{
+    const std::string tele = dirPath("tele-snapro");
+    EXPECT_EQ(telemetryExit("selftest-stall " + tele,
+                            "ZERODEV_SNAPSHOT_DIR=/dev/null/x"),
+              2);
 }
 
 } // namespace

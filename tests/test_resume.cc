@@ -21,7 +21,9 @@
 
 #include "common/serialize.hh"
 #include "core/cmp_system.hh"
+#include "obs/probes.hh"
 #include "obs/report.hh"
+#include "obs/sampler.hh"
 #include "sim/runner.hh"
 #include "sim/snapshot.hh"
 #include "test_util.hh"
@@ -203,6 +205,73 @@ TEST(Resume, CadenceFallsBackToEnvironmentVariable)
     off.snapshotEvery = 10;
     CmpSystem sys2(cfg);
     run(sys2, w, off); // must not crash trying to write nowhere
+}
+
+TEST(Resume, SamplerSeriesIsPhaseAlignedAcrossRestore)
+{
+    // An interval sampler attached across a checkpoint/restore must
+    // produce exactly the straight run's series: same aligned sample
+    // boundaries (phase), same Level values, same Rate deltas — the
+    // "sampler" checkpoint section carries the next boundary and every
+    // Rate baseline, and the resumed run re-collects only the suffix.
+    const SystemConfig cfg = testutil::tinyZeroDev();
+    const Workload w = cannealOn(cfg);
+    const std::uint64_t perCore = 1500; // 3000 accesses total
+    const Cycle interval = 2000;
+
+    // The uninterrupted reference series.
+    CmpSystem refSys(cfg);
+    obs::IntervalSampler ref(interval);
+    obs::registerSystemProbes(ref, refSys);
+    RunConfig straight;
+    straight.accessesPerCore = perCore;
+    straight.sampler = &ref;
+    run(refSys, w, straight);
+    ASSERT_GE(ref.samples().size(), 4u)
+        << "reference run too short to cross sample boundaries";
+
+    // Leg 1: sampled run with one mid-run checkpoint (cadence 1600
+    // fires once: 3200 > 3000). Checkpointing must not perturb the
+    // series.
+    const std::string ckpt = tmpPath("sampler.snap");
+    CmpSystem sys1(cfg);
+    obs::IntervalSampler s1(interval);
+    obs::registerSystemProbes(s1, sys1);
+    RunConfig leg1;
+    leg1.accessesPerCore = perCore;
+    leg1.snapshotEvery = 1600;
+    leg1.snapshotPath = ckpt;
+    leg1.sampler = &s1;
+    const RunResult r1 = run(sys1, w, leg1);
+    EXPECT_EQ(s1.toCsv(), ref.toCsv());
+
+    // Leg 2: fresh system, fresh sampler, restore, continue. The
+    // restored sampler collects only the post-checkpoint suffix.
+    CmpSystem sys2(cfg);
+    obs::IntervalSampler s2(interval);
+    obs::registerSystemProbes(s2, sys2);
+    RunConfig leg2;
+    leg2.accessesPerCore = perCore;
+    leg2.restorePath = ckpt;
+    leg2.sampler = &s2;
+    const RunResult r2 = run(sys2, w, leg2);
+    expectSameResult(r2, r1);
+
+    ASSERT_LE(s2.samples().size(), ref.samples().size());
+    ASSERT_GT(s2.samples().size(), 0u);
+    EXPECT_EQ(s2.names(), ref.names());
+    const std::size_t off = ref.samples().size() - s2.samples().size();
+    for (std::size_t i = 0; i < s2.samples().size(); ++i) {
+        SCOPED_TRACE("suffix sample " + std::to_string(i));
+        const auto &got = s2.samples()[i];
+        const auto &want = ref.samples()[off + i];
+        EXPECT_EQ(got.cycle, want.cycle); // phase alignment
+        ASSERT_EQ(got.values.size(), want.values.size());
+        for (std::size_t c = 0; c < got.values.size(); ++c)
+            EXPECT_EQ(got.values[c], want.values[c])
+                << "column " << ref.names()[c];
+    }
+    std::remove(ckpt.c_str());
 }
 
 TEST(Resume, CheckpointFilesCarryRunnerStateAndValidate)
