@@ -319,6 +319,38 @@ runSweep(const std::vector<SweepJob> &jobs)
     });
 }
 
+void
+runSweep(const std::vector<TaskJob> &jobs)
+{
+    // Telemetry jobs registered up front from this thread, in task
+    // order, mirroring the workload overload. Task names (not slot
+    // numbers) key the status entries: a task is not a run report, so
+    // there is no runNNNN numbering to match.
+    std::vector<obs::TelemetryJob *> tjs(jobs.size(), nullptr);
+    if (obs::TelemetrySink *sink = obs::TelemetrySink::fromEnv()) {
+        const std::string figure = BenchReporter::instance().figure();
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            char fp[32];
+            std::snprintf(fp, sizeof(fp), "%016llx",
+                          static_cast<unsigned long long>(
+                              obs::configFingerprint(jobs[i].cfg)));
+            tjs[i] = sink->beginJob(figure + "_" + jobs[i].name, figure,
+                                    fp, jobs[i].units);
+        }
+    }
+
+    parallelMap(jobs.size(), [&](std::size_t i) {
+        jobs[i].run(tjs[i]);
+        if (tjs[i]) {
+            obs::JobCompletion c;
+            c.workload = jobs[i].name;
+            c.accesses = jobs[i].units;
+            tjs[i]->complete(c);
+        }
+        return 0;
+    });
+}
+
 Workload
 workloadFor(const AppProfile &p, std::uint32_t cores)
 {

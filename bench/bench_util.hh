@@ -20,6 +20,11 @@
 #include "sim/runner.hh"
 #include "workload/workload.hh"
 
+namespace zerodev::obs
+{
+class TelemetryJob;
+} // namespace zerodev::obs
+
 namespace zerodev::bench
 {
 
@@ -136,6 +141,39 @@ struct SweepJob
  * bit-identically; checkpoints are deleted as jobs complete.
  */
 std::vector<RunResult> runSweep(const std::vector<SweepJob> &jobs);
+
+/**
+ * One generic tracked task of a sweep: work that drives its own
+ * simulation loop (e.g. an attack scenario's trial sequence) instead of
+ * a plain workload run, but still wants the sweep machinery — parallel
+ * execution and a pre-registered live-telemetry job.
+ */
+struct TaskJob
+{
+    /** Filesystem-safe slug; names the telemetry job as
+     *  "<figure>_<name>" in status.json. */
+    std::string name;
+
+    /** Fingerprinted into the telemetry status. */
+    SystemConfig cfg;
+
+    /** Total progress units the task will report (ETA denominator). */
+    std::uint64_t units = 0;
+
+    /** The work. Heartbeat through the job's progress() (the pointer is
+     *  null when telemetry is off); completion is reported by the sweep
+     *  driver after the callback returns. */
+    std::function<void(obs::TelemetryJob *)> run;
+};
+
+/**
+ * Execute every task on zerodev::jobs() workers. Telemetry jobs are
+ * registered up front in task order (status.json lists the whole sweep
+ * before work starts) and completed as tasks finish. Unlike the
+ * workload overload, tasks produce no RunResult, so no v2 run reports
+ * or trajectory entries are written — tasks own their artifacts.
+ */
+void runSweep(const std::vector<TaskJob> &jobs);
 
 /** Performance metric: execution-time speedup for multi-threaded
  *  workloads, weighted speedup for multi-programmed ones. */

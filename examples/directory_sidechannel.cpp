@@ -13,6 +13,12 @@
  *
  * This is a defensive demonstration of the vulnerability the paper sets
  * out to close, on a deliberately tiny directory so one access suffices.
+ *
+ * It is the two-minute narrative version. The measured version — many
+ * trials, channel-capacity / bit-error-rate estimates, the full config
+ * cross product, and a CI-gated verdict — is the side-channel lab:
+ * src/attack/scenario.hh + obs/leakage.hh driven by
+ * examples/sidechannel_tool.cpp (see docs/SIDECHANNEL.md).
  */
 
 #include <cstdio>

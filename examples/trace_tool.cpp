@@ -356,6 +356,7 @@ cmdInspect(int argc, char **argv)
     }
 
     std::map<std::string, std::uint64_t> by_kind, by_comp;
+    std::map<std::uint64_t, std::uint64_t> by_prov;
     std::set<std::uint64_t> txns;
     std::uint64_t events = 0, bad = 0;
     std::uint64_t min_cycle = ~0ull, max_cycle = 0;
@@ -383,6 +384,11 @@ cmdInspect(int argc, char **argv)
         const auto txn = static_cast<std::uint64_t>(v->num("txn"));
         if (txn)
             txns.insert(txn);
+        // "prov" is the v2 eviction-provenance member (the global core
+        // whose transaction induced a dev/llc_victim); v1 traces simply
+        // have no such member.
+        if (v->has("prov"))
+            ++by_prov[static_cast<std::uint64_t>(v->num("prov"))];
     }
 
     std::printf("events: %llu", static_cast<unsigned long long>(events));
@@ -403,6 +409,13 @@ cmdInspect(int argc, char **argv)
         for (const auto &[c, n] : by_comp)
             std::printf("  %-12s %llu\n", c.c_str(),
                         static_cast<unsigned long long>(n));
+        if (!by_prov.empty()) {
+            std::printf("evictions by inducing core:\n");
+            for (const auto &[core, n] : by_prov)
+                std::printf("  core %-6llu %llu\n",
+                            static_cast<unsigned long long>(core),
+                            static_cast<unsigned long long>(n));
+        }
     }
     return kExitOk;
 }

@@ -1,0 +1,256 @@
+#include "attack/scenario.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "core/cmp_system.hh"
+#include "core/invariants.hh"
+
+namespace zerodev::attack
+{
+
+namespace
+{
+
+/**
+ * The address-decomposition facts a scenario plans around: how a block
+ * maps onto directory slices/sets (mirroring SparseDirectory) and onto
+ * LLC banks/sets (mirroring Llc). The directory conflict is aimed with
+ * the slice/set mapping; the LLC mapping keeps the attacker's monitored
+ * blocks out of the LLC sets the victim can touch, so inclusive-LLC
+ * back-invalidations and ZeroDEV spills never alias into the probe.
+ */
+struct Geometry
+{
+    std::uint32_t slices = 1;
+    std::uint64_t sets = 1;
+    unsigned sliceShift = 0;
+    unsigned tagShift = 0;
+    unsigned llcBankBits = 0;
+    std::uint64_t llcSets = 1;
+
+    std::uint32_t dirSliceOf(BlockAddr b) const
+    {
+        return static_cast<std::uint32_t>(b & (slices - 1));
+    }
+
+    std::uint64_t dirSetOf(BlockAddr b) const
+    {
+        return (b >> sliceShift) & (sets - 1);
+    }
+
+    std::uint64_t llcSetOf(BlockAddr b) const
+    {
+        return (b >> llcBankBits) & (llcSets - 1);
+    }
+};
+
+Geometry
+geometryOf(const SystemConfig &cfg)
+{
+    Geometry g;
+    g.slices = cfg.llcBanks;
+    g.sliceShift = floorLog2(cfg.llcBanks);
+    std::uint64_t sets = cfg.directory.sizeRatio > 0.0
+                             ? floorPow2(cfg.dirSetsPerSlice())
+                             : 0;
+    if (sets == 0)
+        sets = 1; // no (bounded) directory: any consistent mapping works
+    g.sets = sets;
+    g.tagShift = g.sliceShift + floorLog2(sets);
+    g.llcBankBits = floorLog2(cfg.llcBanks);
+    g.llcSets = cfg.llcSetsPerBank();
+    return g;
+}
+
+/** LLC-set halves keeping attacker and victim footprints disjoint. */
+enum class LlcHalf
+{
+    Lower,
+    Upper,
+    Any
+};
+
+/**
+ * The first @p count distinct blocks mapping to directory (slice, set)
+ * whose LLC set falls in @p half. When the geometry collapses the LLC
+ * halves (every candidate lands in one half), the constraint is relaxed
+ * rather than failing — the directory conflict is the load-bearing part.
+ */
+std::vector<BlockAddr>
+blocksInDirSet(const Geometry &g, std::uint32_t slice, std::uint64_t set,
+               LlcHalf half, std::size_t count)
+{
+    std::vector<BlockAddr> out;
+    const std::uint64_t half_size = g.llcSets / 2;
+    const auto matches = [&](BlockAddr b, LlcHalf h) {
+        if (h == LlcHalf::Any || half_size == 0)
+            return true;
+        const bool upper = g.llcSetOf(b) >= half_size;
+        return (h == LlcHalf::Upper) == upper;
+    };
+    for (int relax = 0; relax < 2 && out.size() < count; ++relax) {
+        const LlcHalf h = relax ? LlcHalf::Any : half;
+        for (std::uint64_t k = 1;
+             out.size() < count && k < (1ull << 20); ++k) {
+            const BlockAddr b = (k << g.tagShift) |
+                                (set << g.sliceShift) | slice;
+            if (matches(b, h) &&
+                std::find(out.begin(), out.end(), b) == out.end()) {
+                out.push_back(b);
+            }
+        }
+    }
+    if (out.size() < count)
+        fatal("scenario geometry produced only %zu of %zu blocks",
+              out.size(), count);
+    return out;
+}
+
+/** One trial's fully planned access pattern. */
+struct Plan
+{
+    std::vector<BlockAddr> prime;    //!< attacker's primed blocks
+    std::vector<BlockAddr> victim1;  //!< victim pattern when secret = 1
+    std::vector<BlockAddr> victim0;  //!< victim pattern when secret = 0
+    std::vector<BlockAddr> noisePool;
+};
+
+Plan
+planScenario(const SystemConfig &cfg, ScenarioKind kind)
+{
+    const Geometry g = geometryOf(cfg);
+    const std::uint32_t ways = cfg.directory.ways;
+    // With one slice the "other slice" escape hatch collapses; the
+    // victim's secret=0 pattern then uses the farthest set instead.
+    const std::uint32_t other_slice = g.slices > 1 ? 1 : 0;
+    const std::uint64_t other_set =
+        g.slices > 1 ? 0 : (g.sets > 1 ? g.sets / 2 : 0);
+
+    Plan plan;
+    switch (kind) {
+      case ScenarioKind::DirPrimeProbe:
+        plan.prime =
+            blocksInDirSet(g, 0, 0, LlcHalf::Upper, ways);
+        plan.victim1 = blocksInDirSet(g, 0, 0, LlcHalf::Lower, 1);
+        plan.victim0 = blocksInDirSet(g, other_slice, other_set,
+                                      LlcHalf::Lower, 1);
+        break;
+      case ScenarioKind::DirOccupancy: {
+        const std::uint64_t covered = std::min<std::uint64_t>(g.sets, 2);
+        for (std::uint64_t s = 0; s < covered; ++s) {
+            for (BlockAddr b :
+                 blocksInDirSet(g, 0, s, LlcHalf::Upper, ways))
+                plan.prime.push_back(b);
+            for (BlockAddr b :
+                 blocksInDirSet(g, 0, s, LlcHalf::Lower, 2))
+                plan.victim1.push_back(b);
+            for (BlockAddr b :
+                 blocksInDirSet(g, other_slice,
+                                g.slices > 1 ? s : other_set,
+                                LlcHalf::Lower, 2))
+                plan.victim0.push_back(b);
+        }
+        break;
+      }
+    }
+
+    // Noise pool: high-tag blocks in the other slice's set 0, away from
+    // both the attacker's monitored blocks and the primed directory
+    // sets. The noise stream perturbs shared timing state (DRAM rows,
+    // replacement bits) without ever carrying the secret.
+    for (std::uint64_t k = 0; k < 32; ++k) {
+        plan.noisePool.push_back(((4096 + k) << g.tagShift) |
+                                 other_slice);
+    }
+    return plan;
+}
+
+} // namespace
+
+const char *
+toString(ScenarioKind kind)
+{
+    switch (kind) {
+      case ScenarioKind::DirPrimeProbe: return "dir-prime-probe";
+      case ScenarioKind::DirOccupancy: return "dir-occupancy";
+    }
+    return "?";
+}
+
+ScenarioResult
+runScenario(const SystemConfig &cfg, const ScenarioOptions &opt,
+            const std::function<void(std::uint64_t)> &progress)
+{
+    const Plan plan = planScenario(cfg, opt.kind);
+    constexpr Cycle kGap = 50; //!< issue spacing between agent accesses
+
+    ScenarioResult res;
+    res.secrets.reserve(opt.trials);
+    res.observables.reserve(opt.trials);
+
+    for (std::uint64_t trial = 0; trial < opt.trials; ++trial) {
+        // Unrelated per-trial streams: splitmix in the Rng constructor
+        // decorrelates consecutive trial seeds.
+        Rng rng(opt.seed + trial * 0x9e3779b97f4a7c15ull);
+        const bool secret = (rng.next() >> 17) & 1;
+
+        CmpSystem sys(cfg);
+        const std::uint32_t cores = sys.totalCores();
+        const std::uint32_t noise_core = cores - 1;
+        const bool noisy = opt.noiseAccesses > 0 && cores > 2;
+        Cycle t = 0;
+
+        const auto run_agent = [&](std::uint32_t core,
+                                   const std::vector<BlockAddr> &blocks) {
+            for (BlockAddr b : blocks)
+                t = sys.access(core, AccessType::Load, b, t + kGap);
+        };
+        const auto run_noise = [&](std::uint32_t accesses) {
+            if (!noisy)
+                return;
+            for (std::uint32_t i = 0; i < accesses; ++i) {
+                const BlockAddr b =
+                    plan.noisePool[rng.below(plan.noisePool.size())];
+                t = sys.access(noise_core, AccessType::Load, b, t + kGap);
+            }
+        };
+
+        // Prime -> (noise) -> victim -> (noise) -> probe.
+        run_agent(res.attackerCore, plan.prime);
+        run_noise(opt.noiseAccesses / 2);
+        run_agent(res.victimCore, secret ? plan.victim1 : plan.victim0);
+        run_noise(opt.noiseAccesses - opt.noiseAccesses / 2);
+
+        std::uint64_t observable = 0;
+        for (BlockAddr b : plan.prime) {
+            const Cycle issue = t + kGap;
+            t = sys.access(res.attackerCore, AccessType::Load, b, issue);
+            observable += t - issue;
+        }
+
+        res.secrets.push_back(secret ? 1 : 0);
+        res.observables.push_back(observable);
+
+        const ProtocolStats &proto = sys.protoStats();
+        res.devByInducer.resize(proto.devByInducer.size(), 0);
+        res.inclusionByInducer.resize(proto.inclusionByInducer.size(), 0);
+        for (std::size_t c = 0; c < proto.devByInducer.size(); ++c)
+            res.devByInducer[c] += proto.devByInducer[c];
+        for (std::size_t c = 0; c < proto.inclusionByInducer.size(); ++c)
+            res.inclusionByInducer[c] += proto.inclusionByInducer[c];
+        res.devInvalidations += proto.devInvalidations;
+        res.inclusionInvalidations += proto.inclusionInvalidations;
+
+        if (opt.checkInvariants)
+            res.invariantViolations += checkInvariants(sys).size();
+
+        if (progress)
+            progress(trial + 1);
+    }
+    return res;
+}
+
+} // namespace zerodev::attack

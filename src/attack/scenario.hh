@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Synthetic side-channel scenarios over the coherence substrate: the
+ * measured half of the leakage lab (docs/SIDECHANNEL.md).
+ *
+ * Each scenario runs repeated independent trials. A trial constructs a
+ * fresh CmpSystem, plants a per-trial secret bit, lets an attacker agent
+ * prime shared directory state, lets a victim agent execute a
+ * secret-dependent access pattern (plus an optional noise agent that is
+ * independent of the secret), and finally records the attacker's probe
+ * observable: the summed completion latency of re-touching its primed
+ * blocks. Directory-eviction victims (DEVs) induced by the victim
+ * invalidate the attacker's private copies and inflate the observable —
+ * the channel the paper's Section I-A2 describes. The
+ * (secret, observable) pairs feed obs/leakage.hh, which turns them into
+ * a channel-capacity estimate.
+ *
+ * Everything is simulated-time deterministic: a scenario's result is a
+ * pure function of (config, scenario options), independent of host
+ * threading or wall clock.
+ */
+
+#ifndef ZERODEV_ATTACK_SCENARIO_HH
+#define ZERODEV_ATTACK_SCENARIO_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+
+namespace zerodev::attack
+{
+
+/** The attacker's observation strategy. */
+enum class ScenarioKind
+{
+    /** Prime one directory set of slice 0 to capacity, probe after the
+     *  victim touched (secret=1) or avoided (secret=0) that set. */
+    DirPrimeProbe,
+
+    /** Occupancy flavour: prime every set of directory slice 0, while
+     *  the victim hammers multiple blocks of slice 0 (secret=1) or
+     *  slice 1 (secret=0) — the aggregate-occupancy counterpart of the
+     *  single-set conflict. */
+    DirOccupancy,
+};
+
+const char *toString(ScenarioKind kind);
+
+/** Trial-count and determinism knobs of one scenario run. */
+struct ScenarioOptions
+{
+    ScenarioKind kind = ScenarioKind::DirPrimeProbe;
+
+    /** Independent trials (one secret bit each). */
+    std::uint64_t trials = 64;
+
+    /** Seed of the per-trial secret/noise streams. */
+    std::uint64_t seed = 1;
+
+    /** Noise-agent accesses per trial (0 disables the noise core; the
+     *  noise stream is independent of the secret, so it dilutes the
+     *  observable without creating a channel). */
+    std::uint32_t noiseAccesses = 16;
+
+    /** Run checkInvariants() on every trial's final system state; any
+     *  violation (including provenance-conservation) is counted. */
+    bool checkInvariants = true;
+};
+
+/** Everything one scenario run produced. */
+struct ScenarioResult
+{
+    /** Planted secret bit per trial. */
+    std::vector<std::uint8_t> secrets;
+
+    /** Attacker probe observable per trial (summed probe latency in
+     *  simulated cycles). */
+    std::vector<std::uint64_t> observables;
+
+    /** Eviction provenance, summed over all trials: invalidations
+     *  attributed to each inducing global core. */
+    std::vector<std::uint64_t> devByInducer;
+    std::vector<std::uint64_t> inclusionByInducer;
+    std::uint64_t devInvalidations = 0;
+    std::uint64_t inclusionInvalidations = 0;
+
+    /** Invariant violations across all trials (0 on a healthy run). */
+    std::uint64_t invariantViolations = 0;
+
+    /** Global core ids of the agents (introspection/reporting). */
+    std::uint32_t attackerCore = 0;
+    std::uint32_t victimCore = 1;
+};
+
+/**
+ * Run @p opt.trials independent trials of the scenario on fresh systems
+ * configured as @p cfg. @p progress (optional) is called after every
+ * trial with the number of completed trials — the live-telemetry
+ * heartbeat hook.
+ */
+ScenarioResult runScenario(const SystemConfig &cfg,
+                           const ScenarioOptions &opt,
+                           const std::function<void(std::uint64_t)>
+                               &progress = {});
+
+} // namespace zerodev::attack
+
+#endif // ZERODEV_ATTACK_SCENARIO_HH

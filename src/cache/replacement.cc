@@ -49,6 +49,17 @@ NruState::victim(std::size_t set) const
     panic("NRU set has every reference bit set");
 }
 
+std::uint32_t
+NruState::victimIn(std::size_t set, std::uint32_t first,
+                   std::uint32_t count) const
+{
+    for (std::uint32_t w = first; w < first + count; ++w) {
+        if (!ref_[idx(set, w)])
+            return w;
+    }
+    return first;
+}
+
 void
 NruState::reset(std::size_t set, std::uint32_t way)
 {

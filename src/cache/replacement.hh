@@ -59,6 +59,16 @@ class NruState
     /** Way to evict from @p set. */
     std::uint32_t victim(std::size_t set) const;
 
+    /**
+     * Way to evict from @p set restricted to ways
+     * [@p first, @p first + @p count). Because touch() only clears
+     * reference bits when the *whole* set saturates, a partition's range
+     * can be fully referenced while the set is not; the first way of the
+     * range is the deterministic victim then (partitioned-tag mode).
+     */
+    std::uint32_t victimIn(std::size_t set, std::uint32_t first,
+                           std::uint32_t count) const;
+
     /** Clear the reference bit (e.g. on invalidation). */
     void reset(std::size_t set, std::uint32_t way);
 

@@ -33,6 +33,13 @@ ceilLog2(std::uint64_t v)
     return v <= 1 ? 0 : floorLog2(v - 1) + 1;
 }
 
+/** Round @p v down to a power of two (at least 1). */
+constexpr std::uint64_t
+floorPow2(std::uint64_t v)
+{
+    return v <= 1 ? 1 : 1ull << floorLog2(v);
+}
+
 /** Extract bit field [lo, lo+len) of @p v. */
 constexpr std::uint64_t
 bits(std::uint64_t v, std::uint32_t lo, std::uint32_t len)

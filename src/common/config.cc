@@ -141,6 +141,21 @@ SystemConfig::validate() const
         dirOrg != DirOrg::Unbounded) {
         fatal("a %s directory cannot be sized 0x", toString(dirOrg));
     }
+    if (directory.tagPartitions != 0) {
+        if (dirOrg != DirOrg::SparseNru) {
+            fatal("directory tag partitioning requires the sparse-NRU "
+                  "organisation");
+        }
+        if (directory.ways % directory.tagPartitions != 0) {
+            fatal("%u directory ways do not divide into %u tag "
+                  "partitions",
+                  directory.ways, directory.tagPartitions);
+        }
+        if (directory.tagPartitions > coresPerSocket) {
+            fatal("%u tag partitions exceed %u cores per socket",
+                  directory.tagPartitions, coresPerSocket);
+        }
+    }
 }
 
 SystemConfig

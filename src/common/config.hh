@@ -53,6 +53,18 @@ struct DirectoryConfig
      * entry; if the set is full it goes to the LLC instead.
      */
     bool replacementDisabled = false;
+
+    /**
+     * "Partitioned Tags, Shared Data"-style strict isolation: statically
+     * partition each set's ways into this many per-core domains.
+     * Lookups search every way (sharing is unrestricted), but a core
+     * allocates — and therefore evicts — only within its own way range,
+     * so one core's directory conflicts can never victimise another
+     * core's entries. 0 disables partitioning; `ways` must divide
+     * evenly. Only meaningful for the sparse-NRU organisation (the
+     * side-channel lab's strict-isolation comparison point).
+     */
+    std::uint32_t tagPartitions = 0;
 };
 
 /** DDR3-2133-style DRAM timing, expressed in core-clock cycles (4 GHz). */

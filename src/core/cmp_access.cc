@@ -500,7 +500,8 @@ CmpSystem::applyInvalidation(Socket &s, const Invalidation &inv, Cycle now)
     devSize_.record(inv.cores.count());
     ZDEV_TRACE(trc_, obs::TraceEventKind::Dev, obs::TraceComp::Directory,
                s.id, 0, inv.block, now, 0,
-               static_cast<std::uint32_t>(inv.cores.count()), txn_);
+               static_cast<std::uint32_t>(inv.cores.count()), txn_,
+               txnCore_);
     bool dirty_retrieved = false;
     for (CoreId x = 0; x < cfg_.coresPerSocket; ++x) {
         if (!inv.cores.test(x))
@@ -508,7 +509,7 @@ CmpSystem::applyInvalidation(Socket &s, const Invalidation &inv, Cycle now)
         const MesiState prev = s.cores[x].invalidate(inv.block, true);
         if (prev == MesiState::Invalid)
             continue;
-        ++proto_.devInvalidations;
+        noteDevInvalidation();
         s.traffic.record(MsgType::Inv);
         s.traffic.record(MsgType::InvAck);
         if (prev == MesiState::Modified || prev == MesiState::Exclusive)

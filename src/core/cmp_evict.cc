@@ -180,7 +180,7 @@ CmpSystem::handleLlcVictim(Socket &s, const LlcVictim &victim, Cycle now)
     Socket &h = home(block);
     ZDEV_TRACE(trc_, obs::TraceEventKind::LlcVictim, obs::TraceComp::Llc,
                s.id, 0, block, now, 0,
-               static_cast<std::uint32_t>(victim.kind), txn_);
+               static_cast<std::uint32_t>(victim.kind), txn_, txnCore_);
 
     if (victim.kind == LlcLineKind::Data) {
         if (cfg_.llcFlavor == LlcFlavor::Inclusive)
@@ -233,7 +233,7 @@ CmpSystem::handleLlcVictim(Socket &s, const LlcVictim &victim, Cycle now)
                 continue;
             const MesiState prev = s.cores[x].invalidate(block, false);
             if (prev != MesiState::Invalid) {
-                ++proto_.inclusionInvalidations;
+                noteInclusionInvalidation();
                 s.traffic.record(MsgType::Inv);
                 s.traffic.record(MsgType::InvAck);
                 if (prev == MesiState::Modified) {
@@ -280,7 +280,7 @@ CmpSystem::inclusionInvalidate(Socket &s, BlockAddr block, Cycle now)
             continue;
         const MesiState prev = s.cores[x].invalidate(block, false);
         if (prev != MesiState::Invalid) {
-            ++proto_.inclusionInvalidations;
+            noteInclusionInvalidation();
             s.traffic.record(MsgType::Inv);
             s.traffic.record(MsgType::InvAck);
             if (prev == MesiState::Modified)

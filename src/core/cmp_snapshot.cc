@@ -25,6 +25,13 @@ constexpr std::size_t kNumClasses =
 void
 saveProtoStats(SerialOut &out, const ProtocolStats &p)
 {
+    // Eviction-provenance attribution vectors (sized by core count,
+    // which the config fingerprint already pins).
+    out.u64(p.devByInducer.size());
+    for (std::uint64_t v : p.devByInducer)
+        out.u64(v);
+    for (std::uint64_t v : p.inclusionByInducer)
+        out.u64(v);
     out.u64(p.accesses);
     out.u64(p.l2Misses);
     out.u64(p.devInvalidations);
@@ -48,6 +55,13 @@ saveProtoStats(SerialOut &out, const ProtocolStats &p)
 void
 restoreProtoStats(SerialIn &in, ProtocolStats &p)
 {
+    if (!in.check(in.u64() == p.devByInducer.size(),
+                  "provenance vector size mismatch"))
+        return;
+    for (std::uint64_t &v : p.devByInducer)
+        v = in.u64();
+    for (std::uint64_t &v : p.inclusionByInducer)
+        v = in.u64();
     p.accesses = in.u64();
     p.l2Misses = in.u64();
     p.devInvalidations = in.u64();

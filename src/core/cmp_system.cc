@@ -12,20 +12,6 @@
 namespace zerodev
 {
 
-namespace
-{
-
-/** Round @p v down to a power of two (at least 1). */
-std::uint64_t
-floorPow2(std::uint64_t v)
-{
-    if (v <= 1)
-        return 1;
-    return 1ull << floorLog2(v);
-}
-
-} // namespace
-
 CmpSystem::Socket::Socket(const SystemConfig &cfg, SocketId sid)
     : id(sid),
       llc(cfg),
@@ -56,6 +42,45 @@ CmpSystem::CmpSystem(const SystemConfig &cfg) : cfg_(cfg)
         }
         sockets_.push_back(std::move(sock));
     }
+
+    // Eviction provenance: one attribution slot (and one process-wide
+    // Prometheus series) per possible inducing core. Registration is
+    // idempotent, so concurrently constructed systems share the series.
+    const std::uint32_t cores = totalCores();
+    proto_.devByInducer.assign(cores, 0);
+    proto_.inclusionByInducer.assign(cores, 0);
+    devInducerMetrics_.resize(cores, nullptr);
+    inclInducerMetrics_.resize(cores, nullptr);
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        const std::string label =
+            "inducing_core=\"" + std::to_string(c) + "\"";
+        devInducerMetrics_[c] = reg.counter(
+            "zerodev_dev_invalidations_total",
+            "Directory-eviction-victim invalidations attributed to the "
+            "inducing core",
+            label);
+        inclInducerMetrics_[c] = reg.counter(
+            "zerodev_inclusion_invalidations_total",
+            "Inclusion back-invalidations attributed to the inducing core",
+            label);
+    }
+}
+
+void
+CmpSystem::noteDevInvalidation()
+{
+    ++proto_.devInvalidations;
+    ++proto_.devByInducer[txnCore_];
+    ZDEV_METRIC_ADD(devInducerMetrics_[txnCore_], 1);
+}
+
+void
+CmpSystem::noteInclusionInvalidation()
+{
+    ++proto_.inclusionInvalidations;
+    ++proto_.inclusionByInducer[txnCore_];
+    ZDEV_METRIC_ADD(inclInducerMetrics_[txnCore_], 1);
 }
 
 std::unique_ptr<SparseDirectory>
@@ -80,7 +105,8 @@ CmpSystem::buildDirOrg() const
         return nullptr;
       case DirOrg::SparseNru:
         return std::make_unique<SparseOrg>(SparseDirectory(
-            cfg_.llcBanks, sets, cfg_.directory.ways, false));
+            cfg_.llcBanks, sets, cfg_.directory.ways, false,
+            cfg_.directory.tagPartitions));
       case DirOrg::Unbounded:
         return std::make_unique<SparseOrg>(
             SparseDirectory::makeUnbounded(cfg_.llcBanks));
@@ -291,6 +317,14 @@ CmpSystem::report() const
           static_cast<double>(proto_.devOwnedInvalidations));
     d.add("inclusion_invalidations",
           static_cast<double>(proto_.inclusionInvalidations));
+    for (std::size_t c = 0; c < proto_.devByInducer.size(); ++c) {
+        d.add("prov.dev_by_core." + std::to_string(c),
+              static_cast<double>(proto_.devByInducer[c]));
+    }
+    for (std::size_t c = 0; c < proto_.inclusionByInducer.size(); ++c) {
+        d.add("prov.incl_by_core." + std::to_string(c),
+              static_cast<double>(proto_.inclusionByInducer[c]));
+    }
     d.add("two_hop_reads", static_cast<double>(proto_.twoHopReads));
     d.add("three_hop_reads", static_cast<double>(proto_.threeHopReads));
     d.add("llc_de_evict_wbs", static_cast<double>(proto_.llcDeEvictWbs));

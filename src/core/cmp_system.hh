@@ -37,6 +37,7 @@
 #include "interconnect/message.hh"
 #include "mem/dram.hh"
 #include "mem/memory_store.hh"
+#include "obs/metrics.hh"
 
 namespace zerodev
 {
@@ -84,6 +85,17 @@ const char *toString(AccessClass c);
 /** System-wide protocol counters. */
 struct ProtocolStats
 {
+    /**
+     * Eviction provenance (leakage observability): every DEV and
+     * inclusion invalidation is attributed to the *inducing* core — the
+     * global core whose in-flight transaction forced the eviction.
+     * Indexed by global core id; sized by CmpSystem's constructor. The
+     * per-core sums always equal devInvalidations respectively
+     * inclusionInvalidations (the provenance-conservation invariant).
+     */
+    std::vector<std::uint64_t> devByInducer;
+    std::vector<std::uint64_t> inclusionByInducer;
+
     std::uint64_t accesses = 0;
     std::uint64_t l2Misses = 0;       //!< core cache misses (paper metric)
     std::uint64_t devInvalidations = 0; //!< DEV blocks invalidated
@@ -417,9 +429,18 @@ class CmpSystem
      *  transaction-completion trace event (cmp_system.cc). */
     Cycle finishAccess(AccessClass cls, Cycle start, Cycle done);
 
+    /** Attribute one DEV / inclusion invalidation to the inducing core
+     *  of the in-flight transaction (provenance + live metrics). */
+    void noteDevInvalidation();
+    void noteInclusionInvalidation();
+
     SystemConfig cfg_;
     std::vector<std::unique_ptr<Socket>> sockets_;
     ProtocolStats proto_;
+    /** Per-inducing-core Prometheus series (process-wide registry;
+     *  registration is idempotent, so every system shares them). */
+    std::vector<obs::Counter *> devInducerMetrics_;
+    std::vector<obs::Counter *> inclInducerMetrics_;
     Histogram sharingDegree_{kMaxCores};
     Histogram devSize_{kMaxCores};
     obs::Tracer *trc_ = nullptr;

@@ -195,6 +195,32 @@ checkInvariants(const CmpSystem &sys)
             }
         }
 
+        // 6a. Provenance conservation: every DEV and inclusion
+        // invalidation is attributed to exactly one inducing core, so
+        // the per-core attribution vectors sum to the totals.
+        if (s == 0) { // system-wide counters; check once
+            std::uint64_t dev_sum = 0, incl_sum = 0;
+            for (std::uint64_t v : sys.protoStats().devByInducer)
+                dev_sum += v;
+            for (std::uint64_t v : sys.protoStats().inclusionByInducer)
+                incl_sum += v;
+            if (dev_sum != sys.protoStats().devInvalidations) {
+                violate("provenance-conservation",
+                        "attributed DEVs " + std::to_string(dev_sum) +
+                            " != total " +
+                            std::to_string(
+                                sys.protoStats().devInvalidations));
+            }
+            if (incl_sum != sys.protoStats().inclusionInvalidations) {
+                violate("provenance-conservation",
+                        "attributed inclusion invalidations " +
+                            std::to_string(incl_sum) + " != total " +
+                            std::to_string(
+                                sys.protoStats()
+                                    .inclusionInvalidations));
+            }
+        }
+
         // 6. ZeroDEV guarantee: no DEV has ever been delivered.
         if (zerodev && sys.protoStats().devInvalidations != 0) {
             violate("zero-dev",

@@ -61,7 +61,7 @@ CmpSystem::applyOrgSet(Socket &s, BlockAddr block, const DirEntry &entry,
     // simply starts from an empty buffer.
     std::vector<Invalidation> invs = std::move(invScratch_);
     invs.clear();
-    s.dirOrg->set(block, entry, invs);
+    s.dirOrg->set(block, entry, invs, localCore(txnCore_));
     for (const Invalidation &inv : invs)
         applyInvalidation(s, inv, now);
     invScratch_ = std::move(invs);

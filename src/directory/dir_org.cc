@@ -27,7 +27,7 @@ SparseOrg::peek(BlockAddr block) const
 
 void
 SparseOrg::set(BlockAddr block, const DirEntry &e,
-               std::vector<Invalidation> &invs)
+               std::vector<Invalidation> &invs, CoreId requester)
 {
     DirEntry *existing = dir_.find(block);
     if (!e.live()) {
@@ -39,7 +39,7 @@ SparseOrg::set(BlockAddr block, const DirEntry &e,
         *existing = e;
         return;
     }
-    DirAllocResult res = dir_.alloc(block);
+    DirAllocResult res = dir_.alloc(block, requester);
     if (!res.entry)
         panic("SparseOrg: allocation refused (replacement-disabled sparse "
               "directories must be driven through the ZeroDEV paths)");

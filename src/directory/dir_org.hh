@@ -63,9 +63,22 @@ class DirOrgBase
      * Record that @p block is now tracked as @p e (a dead @p e erases the
      * tracking). Forced invalidations caused by conflicts are appended to
      * @p invs. The caller must apply them to the private caches.
+     * @p requester is the in-socket core driving the update; partitioned
+     * organisations confine any allocation to its domain (others ignore
+     * it).
      */
     virtual void set(BlockAddr block, const DirEntry &e,
-                     std::vector<Invalidation> &invs) = 0;
+                     std::vector<Invalidation> &invs,
+                     CoreId requester) = 0;
+
+    /** Convenience overload for callers with no meaningful requester
+     *  (tests, unpartitioned organisations): domain 0. */
+    void
+    set(BlockAddr block, const DirEntry &e,
+        std::vector<Invalidation> &invs)
+    {
+        set(block, e, invs, 0);
+    }
 
     /** Number of live tracked blocks. */
     virtual std::uint64_t liveEntries() const = 0;
@@ -96,8 +109,9 @@ class SparseOrg : public DirOrgBase
 
     std::optional<DirEntry> lookup(BlockAddr block) override;
     std::optional<DirEntry> peek(BlockAddr block) const override;
+    using DirOrgBase::set;
     void set(BlockAddr block, const DirEntry &e,
-             std::vector<Invalidation> &invs) override;
+             std::vector<Invalidation> &invs, CoreId requester) override;
     std::uint64_t liveEntries() const override
     {
         return dir_.liveEntries();

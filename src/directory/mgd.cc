@@ -183,8 +183,9 @@ MultiGrainDirectory::peek(BlockAddr block) const
 
 void
 MultiGrainDirectory::set(BlockAddr block, const DirEntry &e,
-                         std::vector<Invalidation> &invs)
+                         std::vector<Invalidation> &invs, CoreId requester)
 {
+    (void)requester; // no way partitioning in MgD
     Line *bl = findBlockLine(block);
     Line *rl = findRegionLine(block);
     const std::uint32_t off =

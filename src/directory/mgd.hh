@@ -55,8 +55,9 @@ class MultiGrainDirectory : public DirOrgBase
 
     std::optional<DirEntry> lookup(BlockAddr block) override;
     std::optional<DirEntry> peek(BlockAddr block) const override;
+    using DirOrgBase::set;
     void set(BlockAddr block, const DirEntry &e,
-             std::vector<Invalidation> &invs) override;
+             std::vector<Invalidation> &invs, CoreId requester) override;
     std::uint64_t liveEntries() const override;
 
     void save(SerialOut &out) const override;

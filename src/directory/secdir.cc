@@ -220,8 +220,9 @@ SecDir::installShared(Slice &slice, BlockAddr block, const DirEntry &e,
 
 void
 SecDir::set(BlockAddr block, const DirEntry &e,
-            std::vector<Invalidation> &invs)
+            std::vector<Invalidation> &invs, CoreId requester)
 {
+    (void)requester; // no way partitioning in SecDir
     Slice &slice = slices_[sliceOf(block)];
     const std::uint64_t sa = sliceAddr(block);
     const std::size_t sset = setIndex(sa, slice.shared.numSets());

@@ -11,16 +11,21 @@ namespace zerodev
 SparseDirectory::SparseDirectory(std::uint32_t slices,
                                  std::uint64_t sets_per_slice,
                                  std::uint32_t ways,
-                                 bool replacement_disabled)
+                                 bool replacement_disabled,
+                                 std::uint32_t tag_partitions)
     : numSlices_(slices),
       setsPerSlice_(sets_per_slice),
       ways_(ways),
       replacementDisabled_(replacement_disabled),
-      unbounded_(sets_per_slice == 0)
+      unbounded_(sets_per_slice == 0),
+      tagPartitions_(tag_partitions)
 {
     if (slices == 0 || !isPowerOfTwo(slices))
         fatal("sparse directory slice count %u must be a power of two",
               slices);
+    if (tag_partitions != 0 && ways % tag_partitions != 0)
+        fatal("%u directory ways do not divide into %u tag partitions",
+              ways, tag_partitions);
     sliceShift_ = floorLog2(slices);
     if (!unbounded_) {
         if (!isPowerOfTwo(sets_per_slice))
@@ -95,7 +100,7 @@ SparseDirectory::peek(BlockAddr block) const
 }
 
 DirAllocResult
-SparseDirectory::alloc(BlockAddr block)
+SparseDirectory::alloc(BlockAddr block, std::uint32_t domain)
 {
     DirAllocResult res;
     ++stats_.allocs;
@@ -114,7 +119,27 @@ SparseDirectory::alloc(BlockAddr block)
     Slice &slice = slices_[sliceOf(block)];
     const std::size_t set = setOf(block);
 
-    WayRef free_way = slice.array.findFree(set);
+    // Partitioned tags: allocation (and therefore eviction) is confined
+    // to the requesting domain's way range; lookups stay set-wide.
+    std::uint32_t way_first = 0;
+    std::uint32_t way_count = ways_;
+    if (tagPartitions_ != 0) {
+        way_count = ways_ / tagPartitions_;
+        way_first = (domain % tagPartitions_) * way_count;
+    }
+
+    WayRef free_way;
+    if (tagPartitions_ == 0) {
+        free_way = slice.array.findFree(set);
+    } else {
+        for (std::uint32_t w = way_first; w < way_first + way_count;
+             ++w) {
+            if (!slice.array.line(set, w).occupied()) {
+                free_way = {set, w, true};
+                break;
+            }
+        }
+    }
     if (!free_way.found) {
         if (replacementDisabled_) {
             // ZeroDEV: never evict a valid entry; the caller will
@@ -123,7 +148,10 @@ SparseDirectory::alloc(BlockAddr block)
             --stats_.allocs;
             return res;
         }
-        const std::uint32_t victim = slice.nru.victim(set);
+        const std::uint32_t victim =
+            tagPartitions_ == 0
+                ? slice.nru.victim(set)
+                : slice.nru.victimIn(set, way_first, way_count);
         Line &vline = slice.array.line(set, victim);
         res.evictedVictim = true;
         res.victimBlock = vline.block;

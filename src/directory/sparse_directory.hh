@@ -57,9 +57,14 @@ class SparseDirectory
      * @param sets_per_slice sets in each slice; 0 selects unbounded mode
      * @param ways slice associativity
      * @param replacement_disabled ZeroDEV mode (Section III-C4)
+     * @param tag_partitions partitioned-tag strict isolation: split each
+     *        set's ways into this many per-core domains; an allocation
+     *        only uses (and only victimises) its domain's way range.
+     *        0 disables partitioning; must divide @p ways evenly.
      */
     SparseDirectory(std::uint32_t slices, std::uint64_t sets_per_slice,
-                    std::uint32_t ways, bool replacement_disabled);
+                    std::uint32_t ways, bool replacement_disabled,
+                    std::uint32_t tag_partitions = 0);
 
     /** Unbounded-mode factory. */
     static SparseDirectory makeUnbounded(std::uint32_t slices);
@@ -76,8 +81,12 @@ class SparseDirectory
      * In normal mode a full set evicts its NRU victim and reports it; in
      * replacement-disabled mode a full set returns entry == nullptr; in
      * unbounded mode allocation always succeeds.
+     *
+     * With tag partitioning active, @p domain (the requesting core's
+     * in-socket id) selects the way range the allocation — and any
+     * victim — is confined to; @p domain is ignored otherwise.
      */
-    DirAllocResult alloc(BlockAddr block);
+    DirAllocResult alloc(BlockAddr block, std::uint32_t domain = 0);
 
     /** Free the entry tracking @p block (it became untracked). */
     void free(BlockAddr block);
@@ -99,6 +108,7 @@ class SparseDirectory
 
     bool unbounded() const { return unbounded_; }
     bool replacementDisabled() const { return replacementDisabled_; }
+    std::uint32_t tagPartitions() const { return tagPartitions_; }
 
     const SparseDirStats &stats() const { return stats_; }
     void clearStats() { stats_ = SparseDirStats{}; }
@@ -165,6 +175,10 @@ class SparseDirectory
     std::uint32_t ways_;
     bool replacementDisabled_;
     bool unbounded_;
+    /** Per-core way-partition count (0 = off). Config-derived, so it is
+     *  deliberately not serialized: the snapshot fingerprint guard
+     *  already pins the configuration. */
+    std::uint32_t tagPartitions_ = 0;
     /** Precomputed decomposition (slices and sets/slice are enforced
      *  powers of two): block -> slice | set | tag without per-lookup
      *  floorLog2 or division. */

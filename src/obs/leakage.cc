@@ -1,0 +1,173 @@
+#include "obs/leakage.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+
+#include "common/log.hh"
+
+namespace zerodev::obs
+{
+
+namespace
+{
+
+constexpr double kLn2 = 0.6931471805599453;
+
+/**
+ * Quantize observables to at most @p maxBins symbols. Few distinct
+ * values map 1:1 (exact); beyond that, equal-width ranges over
+ * [min, max] coarsen the alphabet, which both bounds the estimator's
+ * bias and mirrors a realistic timer granularity.
+ */
+std::vector<std::uint32_t>
+quantize(const std::vector<std::uint64_t> &observables,
+         std::uint32_t maxBins, std::uint32_t *bins_out)
+{
+    std::map<std::uint64_t, std::uint32_t> distinct;
+    for (std::uint64_t o : observables)
+        distinct.emplace(o, 0);
+
+    std::vector<std::uint32_t> out(observables.size());
+    if (distinct.size() <= maxBins) {
+        std::uint32_t next = 0;
+        for (auto &[value, bin] : distinct) {
+            (void)value;
+            bin = next++;
+        }
+        for (std::size_t i = 0; i < observables.size(); ++i)
+            out[i] = distinct.at(observables[i]);
+        *bins_out = next;
+        return out;
+    }
+
+    const std::uint64_t lo = distinct.begin()->first;
+    const std::uint64_t hi = distinct.rbegin()->first;
+    const double width =
+        static_cast<double>(hi - lo) / static_cast<double>(maxBins);
+    for (std::size_t i = 0; i < observables.size(); ++i) {
+        auto bin = static_cast<std::uint32_t>(
+            static_cast<double>(observables[i] - lo) / width);
+        out[i] = std::min(bin, maxBins - 1);
+    }
+    *bins_out = maxBins;
+    return out;
+}
+
+/** I(S;O) in bits for the binary prior (p, 1-p) over the empirical
+ *  conditionals @p cond (cond[s][o] = P(o | S = s)). */
+double
+miForPrior(double p, const std::array<std::vector<double>, 2> &cond)
+{
+    const double prior[2] = {p, 1.0 - p};
+    double mi = 0.0;
+    for (std::size_t o = 0; o < cond[0].size(); ++o) {
+        const double po =
+            prior[0] * cond[0][o] + prior[1] * cond[1][o];
+        if (po <= 0.0)
+            continue;
+        for (int s = 0; s < 2; ++s) {
+            const double joint = prior[s] * cond[s][o];
+            if (joint > 0.0)
+                mi += joint * std::log2(cond[s][o] / po);
+        }
+    }
+    return mi;
+}
+
+} // namespace
+
+LeakageEstimate
+estimateLeakage(const std::vector<std::uint8_t> &secrets,
+                const std::vector<std::uint64_t> &observables,
+                std::uint32_t maxBins)
+{
+    if (secrets.size() != observables.size() || secrets.empty())
+        fatal("estimateLeakage: %zu secrets vs %zu observables",
+              secrets.size(), observables.size());
+    if (maxBins < 2)
+        fatal("estimateLeakage: need at least 2 observable bins");
+
+    LeakageEstimate est;
+    est.trials = secrets.size();
+
+    std::uint32_t bins = 0;
+    const std::vector<std::uint32_t> sym =
+        quantize(observables, maxBins, &bins);
+    est.bins = bins;
+
+    // Empirical joint counts n[s][o] and marginals.
+    std::array<std::vector<std::uint64_t>, 2> n;
+    n[0].assign(bins, 0);
+    n[1].assign(bins, 0);
+    std::uint64_t ns[2] = {0, 0};
+    for (std::size_t i = 0; i < secrets.size(); ++i) {
+        const int s = secrets[i] ? 1 : 0;
+        ++n[s][sym[i]];
+        ++ns[s];
+    }
+
+    // A single-class sample set cannot witness a channel.
+    if (ns[0] == 0 || ns[1] == 0) {
+        est.capacityBits = 0.0;
+        est.miBits = 0.0;
+        est.ber = 0.5;
+        return est;
+    }
+
+    const double total = static_cast<double>(est.trials);
+
+    // Miller-Madow first-order bias of a plug-in MI estimate:
+    // (non-empty joint cells - non-empty rows - non-empty cols + 1)
+    // / (2 N ln 2), clamped at 0.
+    std::uint64_t k_joint = 0, k_obs = 0;
+    for (std::uint32_t o = 0; o < bins; ++o) {
+        if (n[0][o] + n[1][o] > 0)
+            ++k_obs;
+        k_joint += (n[0][o] > 0) + (n[1][o] > 0);
+    }
+    const double dof = static_cast<double>(k_joint) - 2.0 -
+                       static_cast<double>(k_obs) + 1.0;
+    const double bias =
+        dof > 0.0 ? dof / (2.0 * total * kLn2) : 0.0;
+
+    std::array<std::vector<double>, 2> cond;
+    for (int s = 0; s < 2; ++s) {
+        cond[s].assign(bins, 0.0);
+        for (std::uint32_t o = 0; o < bins; ++o) {
+            cond[s][o] = static_cast<double>(n[s][o]) /
+                         static_cast<double>(ns[s]);
+        }
+    }
+
+    // MI under the empirical secret prior.
+    const double empirical_p = static_cast<double>(ns[0]) / total;
+    est.miBits =
+        std::max(0.0, miForPrior(empirical_p, cond) - bias);
+
+    // Capacity: I(p) is concave in the binary prior, so a ternary
+    // search converges to the maximum.
+    double lo = 0.0, hi = 1.0;
+    for (int it = 0; it < 100; ++it) {
+        const double m1 = lo + (hi - lo) / 3.0;
+        const double m2 = hi - (hi - lo) / 3.0;
+        if (miForPrior(m1, cond) < miForPrior(m2, cond))
+            lo = m1;
+        else
+            hi = m2;
+    }
+    est.capacityBits =
+        std::max(0.0, miForPrior((lo + hi) / 2.0, cond) - bias);
+
+    // Maximum-likelihood single-trial decoder: per observed symbol,
+    // guess the majority secret; the minority counts are the errors.
+    std::uint64_t errors = 0;
+    for (std::uint32_t o = 0; o < bins; ++o)
+        errors += std::min(n[0][o], n[1][o]);
+    est.ber = static_cast<double>(errors) / total;
+
+    return est;
+}
+
+} // namespace zerodev::obs

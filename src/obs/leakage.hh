@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Information-theoretic leakage metrics over (secret, observable) trial
+ * pairs, the measurement half of the side-channel lab
+ * (docs/SIDECHANNEL.md).
+ *
+ * The channel is the map from a planted binary secret to the attacker's
+ * observable (a probe-latency sum). From the empirical joint
+ * distribution the estimator derives:
+ *  - mutual information I(S;O) under the empirical secret prior,
+ *  - channel capacity: max over binary priors of I(S;O) given the
+ *    empirical conditionals P(O|S) — the worst-case bits/trial bound,
+ *  - bit-error rate of the maximum-likelihood single-trial decoder.
+ *
+ * Finite-sample positive bias is tamed twice: observables are quantized
+ * to at most maxBins bins before estimation, and the Miller-Madow
+ * correction ((non-empty joint cells - rows - cols + 1) / (2 N ln 2))
+ * is subtracted, clamped at zero. A truly independent observable
+ * therefore reports ~0 bits instead of spurious leakage.
+ */
+
+#ifndef ZERODEV_OBS_LEAKAGE_HH
+#define ZERODEV_OBS_LEAKAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace zerodev::obs
+{
+
+/** Leakage metrics of one (secret, observable) sample set. */
+struct LeakageEstimate
+{
+    /** Channel capacity in bits/trial (0 when only one secret value was
+     *  sampled — the channel is unobservable then). */
+    double capacityBits = 0.0;
+
+    /** Mutual information under the empirical secret prior, bits. */
+    double miBits = 0.0;
+
+    /** Maximum-likelihood single-trial decoder bit-error rate; 0.5 when
+     *  the observable carries nothing. */
+    double ber = 0.5;
+
+    /** Samples the estimate used. */
+    std::uint64_t trials = 0;
+
+    /** Observable bins after quantization. */
+    std::uint32_t bins = 0;
+};
+
+/**
+ * Estimate the leakage of binary @p secrets through @p observables
+ * (same length, pairwise matched). @p maxBins caps the observable
+ * alphabet: distinct values beyond it are quantized into equal-width
+ * ranges. Passing mismatched or empty inputs is fatal.
+ */
+LeakageEstimate estimateLeakage(const std::vector<std::uint8_t> &secrets,
+                                const std::vector<std::uint64_t>
+                                    &observables,
+                                std::uint32_t maxBins = 16);
+
+} // namespace zerodev::obs
+
+#endif // ZERODEV_OBS_LEAKAGE_HH

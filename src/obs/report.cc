@@ -197,6 +197,10 @@ configCanonicalString(const SystemConfig &cfg)
     kv(s, "dir.ways", std::uint64_t(cfg.directory.ways));
     kv(s, "dir.lookup", std::uint64_t(cfg.directory.lookupCycles));
     kv(s, "dir.replDisabled", cfg.directory.replacementDisabled);
+    // Appended only when active so every pre-partitioning fingerprint
+    // (checked-in baselines, golden snapshots) is preserved verbatim.
+    if (cfg.directory.tagPartitions != 0)
+        kv(s, "dir.parts", std::uint64_t(cfg.directory.tagPartitions));
     kv(s, "dram.channels", std::uint64_t(cfg.dram.channels));
     kv(s, "dram.ranks", std::uint64_t(cfg.dram.ranksPerChannel));
     kv(s, "dram.banks", std::uint64_t(cfg.dram.banksPerRank));
@@ -274,6 +278,10 @@ configToJson(JsonWriter &w, const SystemConfig &cfg)
     w.field("ways", std::uint64_t(cfg.directory.ways));
     w.field("lookupCycles", std::uint64_t(cfg.directory.lookupCycles));
     w.field("replacementDisabled", cfg.directory.replacementDisabled);
+    if (cfg.directory.tagPartitions != 0) {
+        w.field("tagPartitions",
+                std::uint64_t(cfg.directory.tagPartitions));
+    }
     w.endObject();
 
     w.key("mesh").beginObject();
@@ -324,6 +332,25 @@ runReportJson(const SystemConfig &cfg, const RunResult &res)
     w.field("simAccesses", res.accesses);
     w.field("maccessesPerSecond", res.maccessesPerSecond());
     w.endObject();
+
+    // Eviction provenance: which core induced every DEV / inclusion
+    // invalidation. The per-core vectors sum to the totals (the
+    // provenance-conservation invariant, checked by validateRunReport).
+    // Synthetic RunResults without attribution vectors (and pre-
+    // provenance consumers) simply omit the section.
+    if (!res.devByInducer.empty()) {
+        w.key("leakage").beginObject();
+        w.field("devInvalidations", res.devInvalidations);
+        w.key("devByInducingCore").beginArray();
+        for (std::uint64_t v : res.devByInducer)
+            w.value(v);
+        w.endArray();
+        w.key("inclusionByInducingCore").beginArray();
+        for (std::uint64_t v : res.inclusionByInducer)
+            w.value(v);
+        w.endArray();
+        w.endObject();
+    }
 
     // Where the cycles went: zeros unless a LatencyProfiler was
     // attached, but always present so v2 consumers need no probing.
@@ -417,6 +444,24 @@ validateRunReport(const JsonValue &doc, std::string *err)
 
     if (!doc.find("stats")->isObject())
         return fail("stats is not an object");
+
+    // Leakage section (reports written since the provenance layer):
+    // the attributed per-core DEVs must conserve the total DEV counter.
+    // Optional, so pre-provenance v2 reports (checked-in baselines)
+    // still validate.
+    if (const JsonValue *leak = doc.find("leakage")) {
+        if (!leak->isObject())
+            return fail("leakage is not an object");
+        const JsonValue *by = leak->find("devByInducingCore");
+        if (!by || !by->isArray())
+            return fail("leakage.devByInducingCore missing");
+        double sum = 0.0;
+        for (const JsonValue &v : by->array)
+            sum += v.number;
+        if (sum != leak->num("devInvalidations"))
+            return fail("leakage.devByInducingCore does not sum to "
+                        "devInvalidations (provenance conservation)");
+    }
 
     if (v2) {
         const JsonValue *lat = doc.find("latency_breakdown");

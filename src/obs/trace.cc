@@ -107,8 +107,12 @@ appendEventObject(JsonWriter &w, const TraceEvent &e)
         .field("socket", static_cast<std::uint64_t>(e.socket))
         .field("core", static_cast<std::uint64_t>(e.core))
         .field("block", blockHex(e.block))
-        .field("arg", static_cast<std::uint64_t>(e.arg))
-        .endObject();
+        .field("arg", static_cast<std::uint64_t>(e.arg));
+    // Provenance is optional so pre-provenance traces and new ones share
+    // one schema: consumers treat an absent "prov" as "no inducer".
+    if (e.prov != kTraceNoProv)
+        w.field("prov", static_cast<std::uint64_t>(e.prov));
+    w.endObject();
 }
 
 } // namespace

@@ -70,7 +70,10 @@ enum class TraceEventKind : std::uint8_t
 
 const char *toString(TraceEventKind k);
 
-/** One recorded event. 48 bytes; the ring buffer is allocated up front. */
+/** Provenance sentinel: the event has no inducing agent. */
+constexpr std::uint16_t kTraceNoProv = 0xffff;
+
+/** One recorded event. 56 bytes; the ring buffer is allocated up front. */
 struct TraceEvent
 {
     std::uint64_t seq = 0;   //!< global record order (monotonic)
@@ -83,6 +86,11 @@ struct TraceEvent
     TraceComp comp = TraceComp::Protocol;
     std::uint8_t socket = 0;
     std::uint8_t core = 0;
+    /** Inducing agent (global core of the transaction that forced the
+     *  eviction) for Dev / LlcVictim events; kTraceNoProv otherwise.
+     *  Added by the v2 JSONL writer — emitted as an optional "prov"
+     *  member, so v1 traces (no member) still parse. */
+    std::uint16_t prov = kTraceNoProv;
 };
 
 class Tracer
@@ -104,7 +112,8 @@ class Tracer
     void
     record(TraceEventKind kind, TraceComp comp, std::uint32_t socket,
            std::uint32_t core, BlockAddr block, Cycle cycle,
-           Cycle dur = 0, std::uint32_t arg = 0, std::uint64_t txn = 0)
+           Cycle dur = 0, std::uint32_t arg = 0, std::uint64_t txn = 0,
+           std::uint32_t prov = kTraceNoProv)
     {
         if (!enabled_ || !(compMask_ & (1u << static_cast<unsigned>(comp))))
             return;
@@ -119,6 +128,7 @@ class Tracer
         e.comp = comp;
         e.socket = static_cast<std::uint8_t>(socket);
         e.core = static_cast<std::uint8_t>(core);
+        e.prov = static_cast<std::uint16_t>(prov);
         ++accepted_;
     }
 

@@ -375,6 +375,8 @@ run(CmpSystem &sys, const Workload &workload, const RunConfig &rc)
     res.coreCacheMisses = sys.protoStats().l2Misses;
     res.trafficBytes = sys.totalTrafficBytes();
     res.devInvalidations = sys.protoStats().devInvalidations;
+    res.devByInducer = sys.protoStats().devByInducer;
+    res.inclusionByInducer = sys.protoStats().inclusionByInducer;
     res.accesses = sys.protoStats().accesses;
     res.system = sys.report();
     observers.complete(res);
@@ -460,6 +462,8 @@ replay(CmpSystem &sys, const TraceReader &trace, const RunConfig &rc)
     res.coreCacheMisses = sys.protoStats().l2Misses;
     res.trafficBytes = sys.totalTrafficBytes();
     res.devInvalidations = sys.protoStats().devInvalidations;
+    res.devByInducer = sys.protoStats().devByInducer;
+    res.inclusionByInducer = sys.protoStats().inclusionByInducer;
     res.accesses = sys.protoStats().accesses;
     res.system = sys.report();
     observers.complete(res);

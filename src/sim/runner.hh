@@ -103,6 +103,11 @@ struct RunResult
     std::uint64_t coreCacheMisses = 0;
     std::uint64_t trafficBytes = 0;
     std::uint64_t devInvalidations = 0;
+    /** Eviction provenance: DEV / inclusion invalidations attributed to
+     *  each inducing global core (leakage observability; the sums equal
+     *  devInvalidations resp. the inclusion counter in `system`). */
+    std::vector<std::uint64_t> devByInducer;
+    std::vector<std::uint64_t> inclusionByInducer;
     StatDump system; //!< the full CmpSystem dump
 
     /** Critical-path latency attribution (zeros unless a profiler was

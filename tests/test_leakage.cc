@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Known-channel fixtures for the leakage estimator (obs/leakage.hh):
+ * channels whose capacity / mutual information / bit-error rate are
+ * analytically known, so the estimator's numbers can be asserted
+ * against ground truth instead of against itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/leakage.hh"
+
+using namespace zerodev;
+using obs::estimateLeakage;
+using obs::LeakageEstimate;
+
+namespace
+{
+
+/** Deterministic secret sequence: balanced, aperiodic enough to break
+ *  accidental alignment with observable patterns. */
+std::vector<std::uint8_t>
+secretsOf(std::size_t n)
+{
+    std::vector<std::uint8_t> s(n);
+    std::uint64_t x = 0x243f6a8885a308d3ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s[i] = static_cast<std::uint8_t>((x >> 33) & 1);
+    }
+    return s;
+}
+
+} // namespace
+
+TEST(Leakage, PerfectOneBitChannelHasCapacityOne)
+{
+    const std::vector<std::uint8_t> s = secretsOf(128);
+    std::vector<std::uint64_t> o(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i)
+        o[i] = 100 + 50 * s[i]; // two cleanly separated latencies
+
+    const LeakageEstimate est = estimateLeakage(s, o);
+    EXPECT_EQ(est.bins, 2u);
+    EXPECT_EQ(est.trials, s.size());
+    // Miller-Madow subtracts a small finite-sample bias, so allow a
+    // hair under the analytic 1 bit.
+    EXPECT_GT(est.capacityBits, 0.95);
+    EXPECT_GT(est.miBits, 0.9);
+    EXPECT_DOUBLE_EQ(est.ber, 0.0);
+}
+
+TEST(Leakage, IndependentObservableReportsNoLeakage)
+{
+    const std::vector<std::uint8_t> s = secretsOf(256);
+    std::vector<std::uint64_t> o(s.size());
+    std::uint64_t x = 0x9e3779b97f4a7c15ull; // unrelated to the secrets
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        o[i] = 100 + ((x >> 40) & 7);
+    }
+
+    const LeakageEstimate est = estimateLeakage(s, o);
+    EXPECT_LT(est.capacityBits, 0.08);
+    EXPECT_LT(est.miBits, 0.08);
+    EXPECT_GT(est.ber, 0.3); // ML decoding of noise barely beats chance
+}
+
+TEST(Leakage, BinarySymmetricChannelBerRoundTrips)
+{
+    // 100 trials per class; 25 of each observed flipped. The ML decoder
+    // errs on exactly the minority cells: BER = 50/200 = 0.25, and
+    // capacity approaches 1 - H(0.25) ~ 0.1887 bits.
+    std::vector<std::uint8_t> s;
+    std::vector<std::uint64_t> o;
+    for (int c = 0; c < 2; ++c) {
+        for (int i = 0; i < 100; ++i) {
+            s.push_back(static_cast<std::uint8_t>(c));
+            o.push_back(i < 25 ? 1 - c : c);
+        }
+    }
+
+    const LeakageEstimate est = estimateLeakage(s, o);
+    EXPECT_DOUBLE_EQ(est.ber, 0.25);
+    EXPECT_NEAR(est.capacityBits, 0.1887, 0.03);
+}
+
+TEST(Leakage, SingleClassSampleIsUnobservable)
+{
+    const std::vector<std::uint8_t> s(64, 0);
+    std::vector<std::uint64_t> o(64);
+    for (std::size_t i = 0; i < o.size(); ++i)
+        o[i] = i; // maximally varied, but only one secret value seen
+
+    const LeakageEstimate est = estimateLeakage(s, o);
+    EXPECT_DOUBLE_EQ(est.capacityBits, 0.0);
+    EXPECT_DOUBLE_EQ(est.miBits, 0.0);
+    EXPECT_DOUBLE_EQ(est.ber, 0.5);
+}
+
+TEST(Leakage, WideObservablesQuantizeToMaxBins)
+{
+    const std::vector<std::uint8_t> s = secretsOf(128);
+    std::vector<std::uint64_t> o(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i)
+        o[i] = 1000 * s[i] + i; // >16 distinct values, still separable
+
+    const LeakageEstimate est = estimateLeakage(s, o, 16);
+    EXPECT_EQ(est.bins, 16u);
+    // Quantization preserves the class separation entirely.
+    EXPECT_GT(est.capacityBits, 0.9);
+    EXPECT_DOUBLE_EQ(est.ber, 0.0);
+}
+
+TEST(Leakage, MismatchedInputsAreFatal)
+{
+    const std::vector<std::uint8_t> s(4, 0);
+    const std::vector<std::uint64_t> o(5, 0);
+    EXPECT_DEATH(estimateLeakage(s, o), "secrets");
+    EXPECT_DEATH(estimateLeakage({}, {}), "secrets");
+}

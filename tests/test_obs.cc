@@ -159,6 +159,22 @@ TEST(Tracer, JsonlRoundTrip)
     EXPECT_EQ(v->num("arg"), 4.0);
     EXPECT_EQ(v->num("txn"), 9.0);
     EXPECT_EQ(v->str("block"), "0xabc0");
+    // No provenance passed: the optional "prov" member must be absent
+    // (v1 consumers never see it on non-eviction events).
+    EXPECT_FALSE(v->has("prov"));
+}
+
+TEST(Tracer, JsonlCarriesEvictionProvenance)
+{
+    Tracer t(16);
+    t.setEnabled(true);
+    t.record(TraceEventKind::Dev, TraceComp::Directory, 0, 1, 0x40, 7,
+             /*dur=*/0, /*arg=*/0, /*txn=*/2, /*prov=*/3);
+    const std::string jsonl = t.toJsonl();
+    const auto v = parseJson(jsonl.substr(0, jsonl.find('\n')));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->str("kind"), "dev");
+    EXPECT_EQ(v->num("prov"), 3.0);
 }
 
 TEST(Tracer, ChromeJsonSchema)
