@@ -155,7 +155,16 @@ BenchReporter::reserveSlot()
     }
     const std::size_t slot = runs_.size();
     runs_.emplace_back();
+    runs_.back().label = std::move(pendingLabel_);
+    pendingLabel_.clear();
     return slot;
+}
+
+void
+BenchReporter::setNextRunLabel(const std::string &label)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    pendingLabel_ = label;
 }
 
 void
@@ -229,6 +238,8 @@ BenchReporter::flush()
             continue;
         r.flushed = true;
         w.beginObject();
+        if (!r.label.empty())
+            w.field("label", r.label);
         w.field("fingerprint", r.fingerprint);
         w.field("workload", r.workload);
         w.field("cycles", r.cycles);

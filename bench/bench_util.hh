@@ -51,6 +51,13 @@ class BenchReporter
     /** Reserve the next runNNNN slot; call in submission order. */
     std::size_t reserveSlot();
 
+    /** Label the next reserved slot (e.g. the policy name of a
+     *  per-policy sweep row); consumed by the next reserveSlot() and
+     *  emitted as the run's "label" in the trajectory line, so
+     *  BENCH_<figure>.json rows are legible without decoding config
+     *  fingerprints. */
+    void setNextRunLabel(const std::string &label);
+
     /** Write slot @p slot's v2 run report and stage its trajectory
      *  entry. Safe to call concurrently from sweep workers. */
     void record(std::size_t slot, const SystemConfig &cfg,
@@ -70,6 +77,7 @@ class BenchReporter
 
     struct TrajectoryRun
     {
+        std::string label;
         std::string fingerprint;
         std::string workload;
         std::uint64_t cycles = 0;
@@ -83,6 +91,7 @@ class BenchReporter
 
     mutable std::mutex mu_;
     std::string slug_ = "bench";
+    std::string pendingLabel_;
     std::vector<TrajectoryRun> runs_; //!< indexed by slot
     bool atexitRegistered_ = false;
 };

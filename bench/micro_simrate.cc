@@ -6,56 +6,151 @@
  * FuseAll). The Maccesses/s figures are informational — they depend on
  * the host — but the trajectory line this emits (via runWorkload when
  * ZERODEV_REPORT_DIR is set) makes sim-rate regressions visible in
- * BENCH_micro_simrate.json across commits.
+ * BENCH_micro_simrate.json across commits; each run carries its policy
+ * name as the trajectory "label".
+ *
+ * Gate mode (`--gate <floor.json>`): after measuring, compare each
+ * policy's rate against the checked-in floor
+ * (bench/baselines/simrate.json) minus the file's tolerance, and exit
+ * with the standard regression contract — 0 = all policies at or above
+ * the effective floor, 4 = sim-rate regression, 2 = unusable floor
+ * file. Floors are deliberately conservative (CI runners vary widely in
+ * single-thread speed); the gate exists to catch structural
+ * regressions, not percent-level noise.
  *
  * Runs execute serially on purpose: per-run wall time is the metric,
  * and concurrent runs would contend for cores and skew it.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench_util.hh"
 #include "common/config.hh"
 #include "core/cmp_system.hh"
+#include "obs/json.hh"
 
 using namespace zerodev;
 using namespace zerodev::bench;
 
-int
-main()
+namespace
 {
+
+struct Point
+{
+    const char *name;
+    SystemConfig cfg;
+    double rate = 0.0;
+};
+
+/** Gate every measured policy rate against the floor file. Returns the
+ *  process exit code (0 / 2 / 4 per the header contract). */
+int
+gate(const std::string &floor_path, const std::vector<Point> &points)
+{
+    const auto text = obs::readTextFile(floor_path);
+    if (!text) {
+        std::fprintf(stderr, "gate: cannot read %s\n",
+                     floor_path.c_str());
+        return 2;
+    }
+    std::string err;
+    const auto doc = obs::parseJson(*text, &err);
+    if (!doc || !doc->isObject()) {
+        std::fprintf(stderr, "gate: %s: %s\n", floor_path.c_str(),
+                     err.empty() ? "not a JSON object" : err.c_str());
+        return 2;
+    }
+    if (doc->str("schema") != "zerodev-simrate-floor-v1") {
+        std::fprintf(stderr, "gate: %s: unexpected schema \"%s\"\n",
+                     floor_path.c_str(), doc->str("schema").c_str());
+        return 2;
+    }
+    const double tolerance = doc->num("tolerance", 0.15);
+    const obs::JsonValue *floors = doc->find("floors");
+    if (!floors || !floors->isObject()) {
+        std::fprintf(stderr, "gate: %s: no \"floors\" object\n",
+                     floor_path.c_str());
+        return 2;
+    }
+
+    bool fail = false;
+    for (const Point &pt : points) {
+        const obs::JsonValue *f = floors->find(pt.name);
+        if (!f || !f->isNumber()) {
+            std::fprintf(stderr, "gate: %s: no floor for policy %s\n",
+                         floor_path.c_str(), pt.name);
+            return 2;
+        }
+        const double eff = f->number * (1.0 - tolerance);
+        const bool ok = pt.rate >= eff;
+        fail = fail || !ok;
+        std::printf("gate: %-8s floor %.2f (-%2.0f%% => %.2f) "
+                    "measured %.2f Maccesses/s  %s\n",
+                    pt.name, f->number, tolerance * 100.0, eff, pt.rate,
+                    ok ? "ok" : "REGRESSED");
+    }
+    if (fail) {
+        std::printf("gate: FAIL — sim-rate below the checked-in floor "
+                    "(%s)\n",
+                    floor_path.c_str());
+        return 4;
+    }
+    std::printf("gate: PASS — every policy at or above its floor\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string floor_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--gate") == 0 && i + 1 < argc) {
+            floor_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--gate <simrate-floor.json>]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
     banner("micro_simrate",
            "host simulation throughput (Maccesses/s) per policy");
 
     const std::uint64_t accesses = accessesPerCore(20000);
 
-    struct Point
-    {
-        const char *name;
-        SystemConfig cfg;
-    };
     const auto zdevWith = [](DirCachePolicy pol) {
         SystemConfig cfg = zdevEightCore(0.0);
         cfg.dirCachePolicy = pol;
         return cfg;
     };
-    const std::vector<Point> points = {
-        {"Baseline", makeEightCoreConfig()},
-        {"SpillAll", zdevWith(DirCachePolicy::SpillAll)},
-        {"FPSS", zdevWith(DirCachePolicy::Fpss)},
-        {"FuseAll", zdevWith(DirCachePolicy::FuseAll)},
+    std::vector<Point> points = {
+        {"Baseline", makeEightCoreConfig(), 0.0},
+        {"SpillAll", zdevWith(DirCachePolicy::SpillAll), 0.0},
+        {"FPSS", zdevWith(DirCachePolicy::Fpss), 0.0},
+        {"FuseAll", zdevWith(DirCachePolicy::FuseAll), 0.0},
     };
 
     const AppProfile p = profileByName("canneal");
     const Workload w = workloadFor(p, 8);
 
     Table t({"policy", "cycles", "accesses", "wall (s)", "Maccesses/s"});
-    for (const Point &pt : points) {
+    for (Point &pt : points) {
+        BenchReporter::instance().setNextRunLabel(pt.name);
         const RunResult r = runWorkload(pt.cfg, w, accesses);
+        pt.rate = r.maccessesPerSecond();
         t.addRow({pt.name, std::to_string(r.cycles),
                   std::to_string(r.accesses), fmt(r.wallSeconds, 3),
-                  fmt(r.maccessesPerSecond(), 2)});
+                  fmt(pt.rate, 2)});
     }
     t.print();
+
+    if (!floor_path.empty())
+        return gate(floor_path, points);
     return 0;
 }

@@ -1,5 +1,7 @@
 #include "coherence/llc_bank.hh"
 
+#include <bit>
+
 #include "common/log.hh"
 
 namespace zerodev
@@ -21,6 +23,7 @@ Llc::Llc(const SystemConfig &cfg)
     setMask_ = setsPerBank_ - 1;
     setsPow2_ = isPowerOfTwo(setsPerBank_);
     tagShift_ = setsPow2_ ? bankShift_ + floorLog2(setsPerBank_) : 0;
+    setDiv_ = MulShiftDiv(setsPerBank_);
 
     banks_.reserve(numBanks_);
     for (std::uint32_t b = 0; b < numBanks_; ++b)
@@ -41,10 +44,9 @@ Llc::probe(BlockAddr block)
     auto &bank = banks_[bankOfBlock(block)];
     p.set = setOfBlock(block);
     const std::uint64_t tag = tagOfBlock(block);
-    for (std::uint32_t w = 0; w < ways_; ++w) {
+    for (std::uint64_t m = bank.matchMask(p.set, tag); m != 0; m &= m - 1) {
+        const auto w = static_cast<std::uint32_t>(std::countr_zero(m));
         LlcLine &l = bank.line(p.set, w);
-        if (!l.occupied() || l.tag != tag)
-            continue;
         if (l.kind == LlcLineKind::SpilledDe) {
             p.spilled = &l;
             p.spilledWay = w;
@@ -100,37 +102,13 @@ Llc::allocate(BlockAddr block, LlcLineKind kind, bool dirty,
     const std::size_t set = setOfBlock(block);
     const std::uint64_t tag = tagOfBlock(block);
 
-    // Victim selection with optional way exclusion.
-    std::uint32_t way = ways_;
-    {
-        std::uint32_t best_way = ways_;
-        int best_class = 0x7fffffff;
-        std::uint64_t best_use = ~0ull;
-        for (std::uint32_t w = 0; w < ways_; ++w) {
-            if (static_cast<std::int32_t>(w) == exclude_way)
-                continue;
-            const LlcLine &l = bank.line(set, w);
-            if (!l.occupied()) {
-                best_way = w;
-                best_class = -1;
-                break;
-            }
-            const int cls = replClass(l);
-            if (cls < best_class ||
-                (cls == best_class && l.lastUse < best_use)) {
-                best_class = cls;
-                best_use = l.lastUse;
-                best_way = w;
-            }
-        }
-        if (best_way == ways_)
-            panic("LLC allocation found no victim way");
-        way = best_way;
-    }
+    const std::uint32_t way = bank.victim(
+        set, [this](const LlcLine &l) { return replClass(l); },
+        exclude_way);
 
     LlcLine &line = bank.line(set, way);
     LlcVictim victim;
-    if (line.occupied()) {
+    if (bank.occupiedAt(set, way)) {
         victim.valid = true;
         victim.kind = line.kind;
         victim.block = line.block;
@@ -144,11 +122,11 @@ Llc::allocate(BlockAddr block, LlcLineKind kind, bool dirty,
             if (line.dirty)
                 ++stats_.dirtyWritebacks;
         }
-        line.reset();
+        bank.release(set, way);
     }
+    bank.occupy(set, way, tag);
 
     line.kind = kind;
-    line.tag = tag;
     line.block = block;
     line.dirty = dirty;
     line.de = de;
@@ -190,7 +168,9 @@ Llc::invalidateLine(LlcLine &line)
         return;
     if (line.holdsDe())
         bumpDeLines(line.kind, -1);
-    line.reset();
+    auto &bank = banks_[bankOfBlock(line.block)];
+    const WayRef r = bank.refOf(&line);
+    bank.release(r.set, r.way);
 }
 
 void

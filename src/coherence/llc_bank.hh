@@ -28,11 +28,9 @@
 namespace zerodev
 {
 
-/** One LLC line. */
+/** One LLC line (payload fields; tag/LRU live in the CacheArray). */
 struct LlcLine
 {
-    std::uint64_t tag = 0;
-    std::uint64_t lastUse = 0;
     LlcLineKind kind = LlcLineKind::Invalid;
     bool dirty = false; //!< data dirty bit (preserved across fusion)
     /** Multi-socket: other sockets may also hold copies, so a local
@@ -195,12 +193,13 @@ class Llc
     }
 
     /** Tag of @p block within its bank (bankTag(), division strength-
-     *  reduced to a shift for power-of-two sets-per-bank). */
+     *  reduced to a shift for power-of-two sets-per-bank and to a
+     *  multiply-shift reciprocal otherwise). */
     std::uint64_t
     tagOfBlock(BlockAddr block) const
     {
         return setsPow2_ ? (block >> tagShift_)
-                         : ((block >> bankShift_) / setsPerBank_);
+                         : setDiv_(block >> bankShift_);
     }
 
     std::uint32_t numBanks_;
@@ -210,6 +209,7 @@ class Llc
     std::uint64_t setMask_ = 0;
     bool setsPow2_ = false;
     unsigned tagShift_ = 0;
+    MulShiftDiv setDiv_;
     std::uint32_t ways_;
     std::uint32_t tagCycles_;
     std::uint32_t dataCycles_;

@@ -65,9 +65,7 @@ PrivateCache::fillL1(AccessType type, BlockAddr block)
     auto &l1 = l1For(type);
     const std::size_t set = l1.setOfAddr(block);
     const std::uint32_t way = l1.victimLru(set);
-    L1Line &line = l1.line(set, way);
-    line.valid = true;
-    line.tag = l1.tagOfAddr(block);
+    l1.occupy(set, way, l1.tagOfAddr(block));
     l1.touch(set, way);
     // L1 evictions are silent: the L2 is inclusive and already tracks
     // the block in the right state.
@@ -85,20 +83,20 @@ PrivateCache::fill(AccessType type, BlockAddr block, MesiState state)
     WayRef ref = l2_.find(set, tag);
     if (!ref.found) {
         const std::uint32_t way = l2_.victimLru(set);
-        L2Line &vline = l2_.line(set, way);
-        if (vline.occupied()) {
+        if (l2_.occupiedAt(set, way)) {
+            const L2Line &vline = l2_.line(set, way);
             ev.block = vline.block;
             ev.state = vline.state;
             ev.valid = true;
             ++stats_.evictions;
             dropFromL1s(vline.block);
+            l2_.release(set, way);
         }
-        vline.reset();
+        l2_.occupy(set, way, tag);
         ref = {set, way, true};
     }
     L2Line &line = l2_.line(set, ref.way);
     line.state = state;
-    line.tag = tag;
     line.block = block;
     l2_.touch(set, ref.way);
     fillL1(type, block);
@@ -122,9 +120,8 @@ PrivateCache::invalidate(BlockAddr block, bool dev)
     const WayRef ref = l2_.find(set, l2_.tagOfAddr(block));
     if (!ref.found)
         return MesiState::Invalid;
-    L2Line &line = l2_.line(set, ref.way);
-    const MesiState prev = line.state;
-    line.reset();
+    const MesiState prev = l2_.line(set, ref.way).state;
+    l2_.release(set, ref.way);
     dropFromL1s(block);
     ++stats_.invalidationsReceived;
     if (dev)
@@ -164,14 +161,14 @@ PrivateCache::dropFromL1s(BlockAddr block)
         const std::size_t set = l1->setOfAddr(block);
         const WayRef ref = l1->find(set, l1->tagOfAddr(block));
         if (ref.found)
-            l1->line(set, ref.way).reset();
+            l1->release(set, ref.way);
     }
 }
 
 std::uint64_t
 PrivateCache::validBlocks() const
 {
-    return l2_.count([](const L2Line &) { return true; });
+    return l2_.occupiedCount();
 }
 
 void
@@ -201,7 +198,7 @@ PrivateCache::save(SerialOut &out) const
 void
 PrivateCache::restore(SerialIn &in)
 {
-    const auto l1Line = [](SerialIn &, L1Line &l) { l.valid = true; };
+    const auto l1Line = [](SerialIn &, L1Line &) {};
     l1i_.restore(in, l1Line);
     l1d_.restore(in, l1Line);
     l2_.restore(in, [](SerialIn &i, L2Line &l) {

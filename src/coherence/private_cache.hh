@@ -114,24 +114,17 @@ class PrivateCache
     }
 
   private:
+    /** L1 lines carry no payload beyond the array's own tag/LRU state. */
     struct L1Line
     {
-        std::uint64_t tag = 0;
-        std::uint64_t lastUse = 0;
-        bool valid = false;
-
-        bool occupied() const { return valid; }
-        void reset() { valid = false; }
+        void reset() {}
     };
 
     struct L2Line
     {
-        std::uint64_t tag = 0;
-        std::uint64_t lastUse = 0;
         MesiState state = MesiState::Invalid;
         BlockAddr block = 0;
 
-        bool occupied() const { return state != MesiState::Invalid; }
         void reset() { state = MesiState::Invalid; }
     };
 

@@ -57,6 +57,59 @@ insertBits(std::uint64_t v, std::uint32_t lo, std::uint32_t len,
     return (v & ~mask) | ((field << lo) & mask);
 }
 
+/**
+ * Exact unsigned division by a construction-time divisor, strength-
+ * reduced to a multiply-high + shift (Granlund-Montgomery style, the
+ * libdivide technique). The magic multiplier underestimates 2^(64+s)/d,
+ * so the mul-shift quotient never overshoots and is at most 2 short; a
+ * remainder-based fix-up loop closes the gap, keeping the result exactly
+ * floor(n/d) for every 64-bit @p n. Used by the cache arrays' rare
+ * non-power-of-two set-count geometries, where a hardware divide per
+ * tag computation would sit inside the hottest scan loops.
+ */
+class MulShiftDiv
+{
+  public:
+    MulShiftDiv() = default;
+
+    explicit MulShiftDiv(std::uint64_t d) : d_(d == 0 ? 1 : d)
+    {
+        if (isPowerOfTwo(d_)) {
+            mul_ = 0; // shift-only fast path
+            shift_ = floorLog2(d_);
+        } else {
+            shift_ = floorLog2(d_);
+            mul_ = static_cast<std::uint64_t>(
+                (static_cast<unsigned __int128>(1) << (64 + shift_)) /
+                d_);
+        }
+    }
+
+    /** floor(@p n / divisor), exactly. */
+    std::uint64_t
+    operator()(std::uint64_t n) const
+    {
+        if (mul_ == 0)
+            return n >> shift_;
+        std::uint64_t q = static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(n) * mul_) >> 64);
+        q >>= shift_;
+        std::uint64_t r = n - q * d_; // q <= n/d, so this cannot wrap
+        while (r >= d_) {
+            ++q;
+            r -= d_;
+        }
+        return q;
+    }
+
+    std::uint64_t divisor() const { return d_; }
+
+  private:
+    std::uint64_t d_ = 1;
+    std::uint64_t mul_ = 0;
+    std::uint32_t shift_ = 0;
+};
+
 } // namespace zerodev
 
 #endif // ZERODEV_COMMON_BITOPS_HH

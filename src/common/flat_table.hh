@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Open-addressed hash containers keyed by 64-bit addresses, used on the
+ * simulator's hot path in place of the node-based std::unordered_map /
+ * std::unordered_set: FlatTable (key -> value) and FlatSet (keys only).
+ *
+ * Layout: power-of-two capacity, robin-hood linear probing (an insert
+ * displaces any occupant closer to its home slot), and tombstone-free
+ * backward-shift deletion, so lookups stay short even after heavy
+ * insert/erase churn and every probe walks contiguous arrays.
+ *
+ * Pointer stability: a value pointer returned by find()/tryEmplace() is
+ * invalidated by ANY subsequent insert or erase (robin-hood displacement
+ * moves values even without a rehash). Callers must copy out or finish
+ * writing through the pointer before mutating the table again — the
+ * simulator's directory/memory-store access patterns already do.
+ *
+ * Iteration order is unspecified; callers that serialize collect and
+ * sort the keys (as they already did for the std:: containers), keeping
+ * snapshot bytes identical.
+ */
+
+#ifndef ZERODEV_COMMON_FLAT_TABLE_HH
+#define ZERODEV_COMMON_FLAT_TABLE_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace zerodev
+{
+
+template <typename V>
+class FlatTable
+{
+  public:
+    FlatTable() { rehash(kMinCapacity); }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Value tracked under @p key, or null. */
+    V *
+    find(std::uint64_t key)
+    {
+        const std::size_t idx = findIndex(key);
+        return idx == kNotFound ? nullptr : &vals_[idx];
+    }
+
+    const V *
+    find(std::uint64_t key) const
+    {
+        const std::size_t idx = findIndex(key);
+        return idx == kNotFound ? nullptr : &vals_[idx];
+    }
+
+    bool contains(std::uint64_t key) const
+    {
+        return findIndex(key) != kNotFound;
+    }
+
+    /**
+     * Insert a default-constructed value under @p key if absent.
+     * Returns {value pointer, inserted}. The pointer is valid only until
+     * the next mutation (see the header comment).
+     */
+    std::pair<V *, bool>
+    tryEmplace(std::uint64_t key)
+    {
+        if ((size_ + 1) * 8 > capacity() * 7)
+            rehash(capacity() * 2);
+        for (;;) {
+            std::size_t idx = homeOf(key);
+            std::uint8_t d = 1;
+            bool overflow = false;
+            for (;;) {
+                if (dist_[idx] == 0) {
+                    keys_[idx] = key;
+                    vals_[idx] = V{};
+                    dist_[idx] = d;
+                    ++size_;
+                    return {&vals_[idx], true};
+                }
+                if (dist_[idx] < d)
+                    break; // displace the richer occupant (robin hood)
+                if (keys_[idx] == key)
+                    return {&vals_[idx], false};
+                idx = (idx + 1) & mask_;
+                if (++d == kMaxDist) {
+                    overflow = true;
+                    break;
+                }
+            }
+            if (overflow) {
+                // Pathological probe chain: grow and retry from scratch.
+                rehash(capacity() * 2);
+                continue;
+            }
+            // Swap the new element into the displaced slot, then push the
+            // evicted occupant down the probe chain. The new element does
+            // not move again, so its pointer survives the shuffle.
+            std::uint64_t ck = keys_[idx];
+            V cv = std::move(vals_[idx]);
+            std::uint8_t cd = dist_[idx];
+            keys_[idx] = key;
+            vals_[idx] = V{};
+            dist_[idx] = d;
+            ++size_;
+            V *result = &vals_[idx];
+            if (!placeCarried(ck, std::move(cv), (idx + 1) & mask_,
+                              static_cast<std::uint8_t>(cd + 1))) {
+                // Overflow while re-homing the carried element (the new
+                // element is already placed): grow — which re-inserts
+                // everything — then re-locate the new element.
+                rehash(capacity() * 2);
+                result = find(key);
+            }
+            return {result, true};
+        }
+    }
+
+    V &operator[](std::uint64_t key) { return *tryEmplace(key).first; }
+
+    /** Remove @p key; returns whether it was present. Backward-shift:
+     *  the displaced probe chain closes up, no tombstones. */
+    bool
+    erase(std::uint64_t key)
+    {
+        std::size_t idx = findIndex(key);
+        if (idx == kNotFound)
+            return false;
+        std::size_t next = (idx + 1) & mask_;
+        while (dist_[next] > 1) {
+            keys_[idx] = keys_[next];
+            vals_[idx] = std::move(vals_[next]);
+            dist_[idx] = static_cast<std::uint8_t>(dist_[next] - 1);
+            idx = next;
+            next = (next + 1) & mask_;
+        }
+        dist_[idx] = 0;
+        vals_[idx] = V{};
+        --size_;
+        return true;
+    }
+
+    void
+    clear()
+    {
+        keys_.clear();
+        vals_.clear();
+        dist_.clear();
+        size_ = 0;
+        mask_ = 0;
+        rehash(kMinCapacity);
+    }
+
+    /** Visit every entry: fn(key, value). Unspecified order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < dist_.size(); ++i) {
+            if (dist_[i] != 0)
+                fn(keys_[i], vals_[i]);
+        }
+    }
+
+  private:
+    static constexpr std::size_t kMinCapacity = 16;
+    static constexpr std::uint8_t kMaxDist = 255;
+    static constexpr std::size_t kNotFound = ~static_cast<std::size_t>(0);
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+    /** splitmix64 finalizer: full-avalanche mix of the block address so
+     *  strided access patterns spread over the table. */
+    static std::uint64_t
+    hashKey(std::uint64_t x)
+    {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+
+    std::size_t homeOf(std::uint64_t key) const
+    {
+        return static_cast<std::size_t>(hashKey(key)) & mask_;
+    }
+
+    std::size_t
+    findIndex(std::uint64_t key) const
+    {
+        std::size_t idx = homeOf(key);
+        std::uint8_t d = 1;
+        for (;;) {
+            const std::uint8_t occ = dist_[idx];
+            if (occ == 0 || occ < d)
+                return kNotFound; // a richer slot means the key is absent
+            if (keys_[idx] == key)
+                return idx;
+            idx = (idx + 1) & mask_;
+            if (++d == kMaxDist)
+                return kNotFound;
+        }
+    }
+
+    /** Robin-hood push of an already-resident element displaced by an
+     *  insert. Returns false on probe-distance overflow. */
+    bool
+    placeCarried(std::uint64_t ck, V cv, std::size_t idx, std::uint8_t cd)
+    {
+        for (;;) {
+            if (cd == kMaxDist)
+                return false;
+            if (dist_[idx] == 0) {
+                keys_[idx] = ck;
+                vals_[idx] = std::move(cv);
+                dist_[idx] = cd;
+                return true;
+            }
+            if (dist_[idx] < cd) {
+                std::swap(ck, keys_[idx]);
+                std::swap(cv, vals_[idx]);
+                std::swap(cd, dist_[idx]);
+            }
+            idx = (idx + 1) & mask_;
+            ++cd;
+        }
+    }
+
+    void
+    rehash(std::size_t new_capacity)
+    {
+        std::vector<std::uint64_t> old_keys = std::move(keys_);
+        std::vector<V> old_vals = std::move(vals_);
+        std::vector<std::uint8_t> old_dist = std::move(dist_);
+
+        keys_.assign(new_capacity, 0);
+        vals_.assign(new_capacity, V{});
+        dist_.assign(new_capacity, 0);
+        mask_ = new_capacity - 1;
+        size_ = 0;
+
+        for (std::size_t i = 0; i < old_dist.size(); ++i) {
+            if (old_dist[i] != 0)
+                *tryEmplace(old_keys[i]).first = std::move(old_vals[i]);
+        }
+    }
+
+    std::vector<std::uint64_t> keys_;
+    std::vector<V> vals_;
+    std::vector<std::uint8_t> dist_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+/** Key-only companion of FlatTable (replaces std::unordered_set of
+ *  block addresses). */
+class FlatSet
+{
+  public:
+    std::size_t size() const { return table_.size(); }
+    bool empty() const { return table_.empty(); }
+    bool contains(std::uint64_t key) const { return table_.contains(key); }
+
+    /** Returns whether the key was newly inserted. */
+    bool insert(std::uint64_t key) { return table_.tryEmplace(key).second; }
+
+    bool erase(std::uint64_t key) { return table_.erase(key); }
+    void clear() { table_.clear(); }
+
+    /** Visit every key. Unspecified order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        table_.forEach([&](std::uint64_t key, const Unit &) { fn(key); });
+    }
+
+  private:
+    struct Unit
+    {
+    };
+
+    FlatTable<Unit> table_;
+};
+
+} // namespace zerodev
+
+#endif // ZERODEV_COMMON_FLAT_TABLE_HH

@@ -73,6 +73,10 @@ class Histogram
 
     std::uint64_t samples() const { return samples_; }
 
+    /** Sum of all recorded observations (overflow values contribute
+     *  their true magnitude, not the bucket index). */
+    std::uint64_t sum() const { return sum_; }
+
     /** Count of observations equal to @p v (or >= buckets for the
      *  overflow bucket). */
     std::uint64_t bucket(std::size_t v) const;

@@ -30,8 +30,8 @@ CmpSystem::handleMiss(Socket &s, CoreId c, AccessType type,
     Cycle base = now + lookup + to_bank;
     ZDEV_LAT(lat_, obs::LatComp::CoreLookup, lookup);
     ZDEV_LAT(lat_, obs::LatComp::Mesh, to_bank);
-    s.traffic.record(type == AccessType::Store ? MsgType::GetX
-                                               : MsgType::GetS);
+    send(s, type == AccessType::Store ? MsgType::GetX
+                                               : MsgType::GetS, block);
     base += s.llc.tagCycles();
     ZDEV_LAT(lat_, obs::LatComp::DirLookup, s.llc.tagCycles());
 
@@ -56,7 +56,7 @@ CmpSystem::handleMiss(Socket &s, CoreId c, AccessType type,
         Cycle lat = base + s.llc.dataCycles() + back;
         ZDEV_LAT(lat_, obs::LatComp::LlcData, s.llc.dataCycles());
         ZDEV_LAT(lat_, obs::LatComp::Mesh, back);
-        s.traffic.record(MsgType::DataResp);
+        send(s, MsgType::DataResp, block);
         ++proto_.twoHopReads;
 
         MesiState fill;
@@ -106,7 +106,7 @@ CmpSystem::handleUpgrade(Socket &s, CoreId c, BlockAddr block, Cycle now)
     Cycle base = now + lookup + to_bank;
     ZDEV_LAT(lat_, obs::LatComp::CoreLookup, lookup);
     ZDEV_LAT(lat_, obs::LatComp::Mesh, to_bank);
-    s.traffic.record(MsgType::Upgrade);
+    send(s, MsgType::Upgrade, block);
     base += s.llc.tagCycles();
     ZDEV_LAT(lat_, obs::LatComp::DirLookup, s.llc.tagCycles());
 
@@ -121,14 +121,14 @@ CmpSystem::handleUpgrade(Socket &s, CoreId c, BlockAddr block, Cycle now)
             mem_base += cfg_.interSocketCycles;
             ZDEV_LAT(lat_, obs::LatComp::InterSocket,
                      cfg_.interSocketCycles);
-            s.traffic.record(MsgType::GetDe);
+            send(s, MsgType::GetDe, block);
         }
         auto entry = extractEntryFromMemory(s, block, mem_base);
         if (!entry)
             panic("upgrade with no directory entry anywhere for block "
                   "%#llx", static_cast<unsigned long long>(block));
         ++proto_.corruptedResponses;
-        h.traffic.record(MsgType::DataRespCorrupted);
+        send(h, MsgType::DataRespCorrupted, block);
         base = h.dram.read(block, mem_base, true) + 1; // +1: extraction
         ZDEV_LAT(lat_, obs::LatComp::DeMemory, base - mem_base);
         if (h.id != s.id) {
@@ -160,13 +160,13 @@ CmpSystem::handleUpgrade(Socket &s, CoreId c, BlockAddr block, Cycle now)
         if (x == c || !entry.isSharer(x))
             continue;
         s.cores[x].invalidate(block, false);
-        s.traffic.record(MsgType::Inv);
-        s.traffic.record(MsgType::InvAck);
+        send(s, MsgType::Inv, block);
+        send(s, MsgType::InvAck, block);
         inv_done = std::max(inv_done,
                             base + meshBankToCore(s, block, x) +
                                 meshCoreToCore(s, x, c));
     }
-    s.traffic.record(MsgType::AckResp);
+    send(s, MsgType::AckResp, block);
     const Cycle back = meshBankToCore(s, block, c);
     ZDEV_LAT(lat_, obs::LatComp::Mesh, back);
     Cycle lat = std::max(base + back, inv_done);
@@ -212,9 +212,9 @@ CmpSystem::serveTracked(Socket &s, CoreId c, AccessType type,
                    o, txn_);
 
         if (type == AccessType::Store) {
-            s.traffic.record(MsgType::FwdGetX);
-            s.traffic.record(MsgType::DataResp);
-            s.traffic.record(MsgType::BusyClear);
+            send(s, MsgType::FwdGetX, block);
+            send(s, MsgType::DataResp, block);
+            send(s, MsgType::BusyClear, block);
             s.cores[o].invalidate(block, false);
             entry.makeOwned(c);
             if (cfg_.sockets > 1 && llc_global_shared) {
@@ -227,14 +227,14 @@ CmpSystem::serveTracked(Socket &s, CoreId c, AccessType type,
             fillCore(s, c, type, block, MesiState::Modified, now);
         } else {
             ++proto_.threeHopReads;
-            s.traffic.record(MsgType::FwdGetS);
-            s.traffic.record(MsgType::DataResp);
+            send(s, MsgType::FwdGetS, block);
+            send(s, MsgType::DataResp, block);
             // The busy-clear carries reconstruction bits when the entry
             // is fused in the LLC and must be spilled on the M/E -> S
             // transition (Section III-C2).
-            s.traffic.record(trk.where == TrackWhere::LlcFused
+            send(s, trk.where == TrackWhere::LlcFused
                                  ? MsgType::BusyClearBits
-                                 : MsgType::BusyClear);
+                                 : MsgType::BusyClear, block);
             const MesiState prev = s.cores[o].downgrade(block);
             entry.addSharer(c);
             sharingDegree_.record(entry.count());
@@ -275,14 +275,14 @@ CmpSystem::serveTracked(Socket &s, CoreId c, AccessType type,
             const Cycle back = meshBankToCore(s, block, c);
             ZDEV_LAT(lat_, obs::LatComp::Mesh, back);
             data_ready = base + read + back;
-            s.traffic.record(MsgType::DataResp);
+            send(s, MsgType::DataResp, block);
         } else {
             // No usable data in the LLC (absent, or corrupted by a
             // FuseAll fusion): combine the forward with the invalidation
             // of an elected sharer (Section III-C3).
             const CoreId x = entry.anySharer();
-            s.traffic.record(MsgType::FwdGetX);
-            s.traffic.record(MsgType::DataResp);
+            send(s, MsgType::FwdGetX, block);
+            send(s, MsgType::DataResp, block);
             const Cycle fwd = meshBankToCore(s, block, x);
             const Cycle resp = meshCoreToCore(s, x, c);
             ZDEV_LAT(lat_, obs::LatComp::Mesh, fwd + resp);
@@ -295,8 +295,8 @@ CmpSystem::serveTracked(Socket &s, CoreId c, AccessType type,
             if (!entry.isSharer(x))
                 continue;
             s.cores[x].invalidate(block, false);
-            s.traffic.record(MsgType::Inv);
-            s.traffic.record(MsgType::InvAck);
+            send(s, MsgType::Inv, block);
+            send(s, MsgType::InvAck, block);
             inv_done = std::max(inv_done,
                                 base + meshBankToCore(s, block, x) +
                                     meshCoreToCore(s, x, c));
@@ -335,7 +335,7 @@ CmpSystem::serveTracked(Socket &s, CoreId c, AccessType type,
         const Cycle back = meshBankToCore(s, block, c);
         ZDEV_LAT(lat_, obs::LatComp::Mesh, back);
         lat = base + read + back;
-        s.traffic.record(MsgType::DataResp);
+        send(s, MsgType::DataResp, block);
         if (trk.where == TrackWhere::LlcSpilled ||
             trk.where == TrackWhere::LlcFused) {
             s.llc.noteDeUpdate(); // sharer added off the critical path
@@ -346,9 +346,9 @@ CmpSystem::serveTracked(Socket &s, CoreId c, AccessType type,
         // becomes three hops (Section III-C3).
         const CoreId x = entry.anySharer();
         ++proto_.threeHopReads;
-        s.traffic.record(MsgType::FwdGetS);
-        s.traffic.record(MsgType::DataResp);
-        s.traffic.record(MsgType::BusyClear);
+        send(s, MsgType::FwdGetS, block);
+        send(s, MsgType::DataResp, block);
+        send(s, MsgType::BusyClear, block);
         const Cycle fwd = meshBankToCore(s, block, x);
         const Cycle resp = meshCoreToCore(s, x, c);
         ZDEV_LAT(lat_, obs::LatComp::Mesh, fwd + resp);
@@ -394,8 +394,8 @@ CmpSystem::serveSocketMiss(Socket &s, CoreId c, AccessType type,
         ++proto_.corruptedResponses;
         const Cycle mem_done = h.dram.read(block, base, true) + 1;
         ZDEV_LAT(lat_, obs::LatComp::DeMemory, mem_done - base);
-        s.traffic.record(MsgType::MemRead);
-        s.traffic.record(MsgType::DataRespCorrupted);
+        send(s, MsgType::MemRead, block);
+        send(s, MsgType::DataRespCorrupted, block);
         Tracking trk;
         trk.where = TrackWhere::None;
         trk.entry = *entry;
@@ -405,8 +405,8 @@ CmpSystem::serveSocketMiss(Socket &s, CoreId c, AccessType type,
             serveTracked(s, c, type, block, now, trk, probe, mem_done));
     }
 
-    s.traffic.record(MsgType::MemRead);
-    s.traffic.record(MsgType::MemReadResp);
+    send(s, MsgType::MemRead, block);
+    send(s, MsgType::MemReadResp, block);
     const Cycle mem_done = h.dram.read(block, base, false);
     ZDEV_TRACE(trc_, obs::TraceEventKind::MemRead, obs::TraceComp::Memory,
                h.id, c, block, base, mem_done - base, 0, txn_);
@@ -510,8 +510,8 @@ CmpSystem::applyInvalidation(Socket &s, const Invalidation &inv, Cycle now)
         if (prev == MesiState::Invalid)
             continue;
         noteDevInvalidation();
-        s.traffic.record(MsgType::Inv);
-        s.traffic.record(MsgType::InvAck);
+        send(s, MsgType::Inv, inv.block);
+        send(s, MsgType::InvAck, inv.block);
         if (prev == MesiState::Modified || prev == MesiState::Exclusive)
             ++proto_.devOwnedInvalidations;
         if (prev == MesiState::Modified)
@@ -521,7 +521,7 @@ CmpSystem::applyInvalidation(Socket &s, const Invalidation &inv, Cycle now)
         // The dirty block comes back with the DEV and lands in the LLC —
         // the effect that lets later requests be served from the LLC
         // (the freqmine observation in Section I-A1).
-        s.traffic.record(MsgType::PutM);
+        send(s, MsgType::PutM, inv.block);
         llcWritebackData(s, inv.block, true, now);
     }
     if (cfg_.sockets > 1) {

@@ -40,19 +40,19 @@ CmpSystem::handlePrivateEviction(Socket &s, CoreId c,
     // FuseAll retrieves the low bits from the last sharer with a special
     // acknowledgment (Section III-C3).
     if (st == MesiState::Modified) {
-        s.traffic.record(MsgType::PutM);
+        send(s, MsgType::PutM, block);
     } else if (st == MesiState::Exclusive) {
-        s.traffic.record(trk.where == TrackWhere::LlcFused
+        send(s, trk.where == TrackWhere::LlcFused
                              ? MsgType::PutEBits
-                             : MsgType::PutE);
-        s.traffic.record(MsgType::EvictAck);
+                             : MsgType::PutE, block);
+        send(s, MsgType::EvictAck, block);
     } else {
-        s.traffic.record(MsgType::PutS);
+        send(s, MsgType::PutS, block);
         if (!entry.live() && trk.where == TrackWhere::LlcFused &&
             cfg_.dirCachePolicy == DirCachePolicy::FuseAll) {
-            s.traffic.record(MsgType::EvictAckFetchBits);
+            send(s, MsgType::EvictAckFetchBits, block);
         } else {
-            s.traffic.record(MsgType::EvictAck);
+            send(s, MsgType::EvictAck, block);
         }
     }
 
@@ -88,9 +88,9 @@ CmpSystem::evictionWithoutEntry(Socket &s, CoreId c, BlockAddr block,
         // in the socket must come from the system-wide owner; execute
         // the baseline writeback-to-home flow. The full-block write also
         // restores the destroyed memory data.
-        s.traffic.record(MsgType::PutM);
+        send(s, MsgType::PutM, block);
         h.dram.write(block, t, false);
-        h.traffic.record(MsgType::MemWrite);
+        send(h, MsgType::MemWrite, block);
         h.memStore.clearSegment(block, s.id);
         if (h.memStore.destroyed(block)) {
             h.memStore.restoreData(block);
@@ -106,7 +106,7 @@ CmpSystem::evictionWithoutEntry(Socket &s, CoreId c, BlockAddr block,
     ++proto_.getDeFlows;
     ZDEV_TRACE(trc_, obs::TraceEventKind::GetDe, obs::TraceComp::Memory,
                s.id, c, block, t, 0, 0, txn_);
-    s.traffic.record(MsgType::GetDe);
+    send(s, MsgType::GetDe, block);
     auto entry = extractEntryFromMemory(s, block, t);
     if (!entry) {
         panic("eviction notice for block %#llx found no directory entry "
@@ -117,7 +117,7 @@ CmpSystem::evictionWithoutEntry(Socket &s, CoreId c, BlockAddr block,
     // GET_DE runs behind the eviction notice, off the requester's
     // critical path: account it as background entry-memory work.
     ZDEV_LAT_OFFPATH(lat_, obs::LatComp::DeMemory, t - de_start);
-    h.traffic.record(MsgType::DeResp);
+    send(h, MsgType::DeResp, block);
     if (!entry->isSharer(c))
         panic("GET_DE entry does not track the evicting core");
     entry->removeSharer(c);
@@ -125,9 +125,9 @@ CmpSystem::evictionWithoutEntry(Socket &s, CoreId c, BlockAddr block,
     if (entry->live()) {
         // Other cores in this socket still cache the block: write the
         // updated entry back into the memory segment.
-        s.traffic.record(MsgType::PutDe);
+        send(s, MsgType::PutDe, block);
         h.dram.write(block, t, true);
-        h.traffic.record(MsgType::MemWrite);
+        send(h, MsgType::MemWrite, block);
         h.memStore.storeSegment(block, s.id, *entry);
         return;
     }
@@ -155,9 +155,9 @@ CmpSystem::lastCopyInSocketGone(Socket &s, BlockAddr block, MesiState st,
             // System-wide last copy of a destroyed block: the block is
             // retrieved from the evicting core and overwrites the
             // corrupted memory block (Section III-D4).
-            s.traffic.record(MsgType::DataResp);
+            send(s, MsgType::DataResp, block);
             h.dram.write(block, now, true);
-            h.traffic.record(MsgType::MemWrite);
+            send(h, MsgType::MemWrite, block);
             h.memStore.clearBlock(block);
             h.memStore.restoreData(block);
             ++proto_.lastCopyRestores;
@@ -189,10 +189,10 @@ CmpSystem::handleLlcVictim(Socket &s, const LlcVictim &victim, Cycle now)
             Cycle t = now;
             if (h.id != s.id) {
                 t += cfg_.interSocketCycles;
-                s.traffic.record(MsgType::MemWrite);
+                send(s, MsgType::MemWrite, block);
             }
             h.dram.write(block, t, false);
-            h.traffic.record(MsgType::MemWrite);
+            send(h, MsgType::MemWrite, block);
             if (h.memStore.destroyed(block)) {
                 h.memStore.clearBlock(block);
                 h.memStore.restoreData(block);
@@ -211,7 +211,7 @@ CmpSystem::handleLlcVictim(Socket &s, const LlcVictim &victim, Cycle now)
             Tracking trk = peekTracking(s.id, block);
             if (!trk.found() && !h.memStore.hasSegment(block, s.id)) {
                 h.dram.write(block, now, true);
-                h.traffic.record(MsgType::MemWrite);
+                send(h, MsgType::MemWrite, block);
                 h.memStore.clearBlock(block);
                 h.memStore.restoreData(block);
                 ++proto_.lastCopyRestores;
@@ -234,11 +234,11 @@ CmpSystem::handleLlcVictim(Socket &s, const LlcVictim &victim, Cycle now)
             const MesiState prev = s.cores[x].invalidate(block, false);
             if (prev != MesiState::Invalid) {
                 noteInclusionInvalidation();
-                s.traffic.record(MsgType::Inv);
-                s.traffic.record(MsgType::InvAck);
+                send(s, MsgType::Inv, block);
+                send(s, MsgType::InvAck, block);
                 if (prev == MesiState::Modified) {
                     h.dram.write(block, now, false);
-                    h.traffic.record(MsgType::MemWrite);
+                    send(h, MsgType::MemWrite, block);
                     h.memStore.restoreData(block);
                 }
             }
@@ -259,7 +259,7 @@ CmpSystem::handleLlcVictim(Socket &s, const LlcVictim &victim, Cycle now)
             s.llc.invalidateLine(*probe.data);
             if (dirty) {
                 h.dram.write(block, now, false);
-                h.traffic.record(MsgType::MemWrite);
+                send(h, MsgType::MemWrite, block);
                 h.memStore.restoreData(block);
             }
         }
@@ -281,8 +281,8 @@ CmpSystem::inclusionInvalidate(Socket &s, BlockAddr block, Cycle now)
         const MesiState prev = s.cores[x].invalidate(block, false);
         if (prev != MesiState::Invalid) {
             noteInclusionInvalidation();
-            s.traffic.record(MsgType::Inv);
-            s.traffic.record(MsgType::InvAck);
+            send(s, MsgType::Inv, block);
+            send(s, MsgType::InvAck, block);
             if (prev == MesiState::Modified)
                 dirty = true;
         }
@@ -290,7 +290,7 @@ CmpSystem::inclusionInvalidate(Socket &s, BlockAddr block, Cycle now)
     if (dirty) {
         Socket &h = home(block);
         h.dram.write(block, now, false);
-        h.traffic.record(MsgType::MemWrite);
+        send(h, MsgType::MemWrite, block);
         h.memStore.restoreData(block);
     }
     DirEntry dead;

@@ -284,6 +284,25 @@ class CmpSystem
         return gcore % cfg_.coresPerSocket;
     }
 
+    /**
+     * Model one protocol message on socket @p s's interconnect: carve a
+     * Message from the mesh's pool, stamp it, account its wire bytes,
+     * and recycle it. Steady state touches no heap; under
+     * ZERODEV_ASSERTS the pool's outstanding counter proves the paths
+     * leak no messages (checked by the invariant sweep).
+     */
+    static void
+    send(Socket &s, MsgType t, BlockAddr block)
+    {
+        MessagePool &pool = s.mesh.msgPool();
+        Message *m = pool.acquire();
+        m->type = t;
+        m->src = s.id;
+        m->block = block;
+        s.traffic.record(t);
+        pool.release(m);
+    }
+
     /** Mesh latency from core tile to the block's home bank tile. */
     Cycle meshCoreToBank(Socket &s, CoreId c, BlockAddr block) const;
     /** Mesh latency from the home bank tile to a core tile. */

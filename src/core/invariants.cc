@@ -261,6 +261,20 @@ checkInvariants(const CmpSystem &sys)
         });
     }
 
+    // 8. Message-pool hygiene: between transactions every modelled
+    // message must have been returned to its socket's pool. The
+    // outstanding counter only exists under ZERODEV_ASSERTS (it reads 0
+    // otherwise, making this check a no-op in stripped builds).
+    for (SocketId s = 0; s < cfg.sockets; ++s) {
+        const std::uint64_t leaked = sys.mesh(s).msgPool().outstanding();
+        if (leaked != 0) {
+            out.push_back({"message-pool-leak",
+                           "socket " + std::to_string(s) + " has " +
+                               std::to_string(leaked) +
+                               " unreleased pool messages"});
+        }
+    }
+
     return out;
 }
 

@@ -31,7 +31,7 @@ CmpSystem::socketEvictionNotice(SocketId sid, BlockAddr block,
                                 bool restore_data, Cycle now)
 {
     Socket &h = home(block);
-    sockets_[sid]->traffic.record(MsgType::PutS);
+    send(*sockets_[sid], MsgType::PutS, block);
     SocketDirEntry &se = socketEntry(block);
     se.sharers.reset(sid);
     h.memStore.clearSegment(block, sid);
@@ -44,9 +44,9 @@ CmpSystem::socketEvictionNotice(SocketId sid, BlockAddr block,
             // System-wide last copy of a destroyed block: retrieve it
             // from the evicting cache and overwrite the corrupted
             // memory block (Section III-D4).
-            sockets_[sid]->traffic.record(MsgType::DataResp);
+            send(*sockets_[sid], MsgType::DataResp, block);
             h.dram.write(block, now, true);
-            h.traffic.record(MsgType::MemWrite);
+            send(h, MsgType::MemWrite, block);
             h.memStore.clearBlock(block);
             h.memStore.restoreData(block);
             ++proto_.lastCopyRestores;
@@ -84,8 +84,8 @@ CmpSystem::invalidateRemoteSharers(Socket &s, BlockAddr block, Cycle now)
             gs.llc.invalidateLine(*probe.data);
         if (probe.spilled)
             gs.llc.invalidateLine(*probe.spilled);
-        s.traffic.record(MsgType::Inv);
-        gs.traffic.record(MsgType::InvAck);
+        send(s, MsgType::Inv, block);
+        send(gs, MsgType::InvAck, block);
         se.sharers.reset(g);
     }
     if (any) {
@@ -126,7 +126,7 @@ CmpSystem::supplyFromSocket(Socket &f, AccessType type, BlockAddr block,
                 probe.data->globalShared = true;
                 f.llc.touchData(probe);
             }
-            f.traffic.record(MsgType::DataResp);
+            send(f, MsgType::DataResp, block);
             return now + internal;
         }
         panic("supplyFromSocket: socket %u has neither entry nor LLC "
@@ -167,7 +167,7 @@ CmpSystem::supplyFromSocket(Socket &f, AccessType type, BlockAddr block,
                 // The downgrade writes the dirty data back to home
                 // memory (baseline inter-socket sharing writeback).
                 h.dram.write(block, now, false);
-                h.traffic.record(MsgType::MemWrite);
+                send(h, MsgType::MemWrite, block);
             }
         }
         LlcProbe probe = f.llc.probe(block);
@@ -175,7 +175,7 @@ CmpSystem::supplyFromSocket(Socket &f, AccessType type, BlockAddr block,
             probe.data->globalShared = true;
         writeTracking(f, block, trk.where, entry, now);
     }
-    f.traffic.record(MsgType::DataResp);
+    send(f, MsgType::DataResp, block);
     return now + internal;
 }
 
@@ -191,8 +191,8 @@ CmpSystem::forwardToSharerSocket(Socket &s, CoreId c, AccessType type,
         panic("forward with no sharer socket");
     Socket &f = *sockets_[fid];
 
-    h.traffic.record(type == AccessType::Store ? MsgType::FwdGetX
-                                               : MsgType::FwdGetS);
+    send(h, type == AccessType::Store ? MsgType::FwdGetX
+                                               : MsgType::FwdGetS, block);
     Cycle t = now + cfg_.interSocketCycles; // home -> F
     ZDEV_LAT(lat_, obs::LatComp::InterSocket, cfg_.interSocketCycles);
 
@@ -207,7 +207,7 @@ CmpSystem::forwardToSharerSocket(Socket &s, CoreId c, AccessType type,
         // memory: DENF_NACK, home extracts F's entry and re-forwards it
         // with the request (Figure 15, steps 7-11).
         ++proto_.denfNacks;
-        f.traffic.record(MsgType::DenfNack);
+        send(f, MsgType::DenfNack, block);
         t += cfg_.interSocketCycles;            // F -> home NACK
         ZDEV_LAT(lat_, obs::LatComp::InterSocket, cfg_.interSocketCycles);
         auto fentry = h.memStore.loadSegment(block, fid);
@@ -216,7 +216,7 @@ CmpSystem::forwardToSharerSocket(Socket &s, CoreId c, AccessType type,
         const Cycle de_start = t;
         t = h.dram.read(block, t, true);        // read corrupted block
         ZDEV_LAT(lat_, obs::LatComp::DeMemory, t - de_start);
-        h.traffic.record(MsgType::FwdWithDe);
+        send(h, MsgType::FwdWithDe, block);
         t += cfg_.interSocketCycles;            // home -> F resend
         ZDEV_LAT(lat_, obs::LatComp::InterSocket, cfg_.interSocketCycles);
         h.memStore.clearSegment(block, fid);
@@ -243,12 +243,12 @@ CmpSystem::forwardToSharerSocket(Socket &s, CoreId c, AccessType type,
                 entry.state = DirState::Shared;
             }
             // The updated entry returns to its home memory segment.
-            f.traffic.record(MsgType::PutDe);
+            send(f, MsgType::PutDe, block);
             h.dram.write(block, t, true);
-            h.traffic.record(MsgType::MemWrite);
+            send(h, MsgType::MemWrite, block);
             h.memStore.storeSegment(block, fid, entry);
         }
-        f.traffic.record(MsgType::DataResp);
+        send(f, MsgType::DataResp, block);
         t += cfg_.interSocketCycles; // F -> requester data
         ZDEV_LAT(lat_, obs::LatComp::InterSocket, cfg_.interSocketCycles);
         return t;
@@ -269,8 +269,8 @@ CmpSystem::serveSocketMissMulti(Socket &s, CoreId c, AccessType type,
     if (h.id != s.id) {
         t += cfg_.interSocketCycles;
         ZDEV_LAT(lat_, obs::LatComp::InterSocket, cfg_.interSocketCycles);
-        s.traffic.record(type == AccessType::Store ? MsgType::GetX
-                                                   : MsgType::GetS);
+        send(s, type == AccessType::Store ? MsgType::GetX
+                                                   : MsgType::GetS, block);
     }
     t += 2; // socket-level directory cache lookup
     ZDEV_LAT(lat_, obs::LatComp::DirLookup, 2);
@@ -283,7 +283,7 @@ CmpSystem::serveSocketMissMulti(Socket &s, CoreId c, AccessType type,
         const Cycle de_start = t;
         t = h.dram.read(block, t, true);
         ZDEV_LAT(lat_, obs::LatComp::DeMemory, t - de_start);
-        h.traffic.record(MsgType::MemRead);
+        send(h, MsgType::MemRead, block);
     }
     SocketDirEntry &se = acc.entry;
 
@@ -315,8 +315,8 @@ CmpSystem::serveSocketMissMulti(Socket &s, CoreId c, AccessType type,
       case SocketDirState::Invalid: {
         const Cycle mem = h.dram.read(block, t, false);
         ZDEV_LAT(lat_, obs::LatComp::Dram, mem - t);
-        h.traffic.record(MsgType::MemRead);
-        h.traffic.record(MsgType::MemReadResp);
+        send(h, MsgType::MemRead, block);
+        send(h, MsgType::MemReadResp, block);
         const Cycle back = meshBankToCore(s, block, c);
         ZDEV_LAT(lat_, obs::LatComp::Mesh, back);
         Cycle done = mem + back;
@@ -359,8 +359,8 @@ CmpSystem::serveSocketMissMulti(Socket &s, CoreId c, AccessType type,
                     gs.llc.invalidateLine(*probe.data);
                 if (probe.spilled)
                     gs.llc.invalidateLine(*probe.spilled);
-                h.traffic.record(MsgType::Inv);
-                gs.traffic.record(MsgType::InvAck);
+                send(h, MsgType::Inv, block);
+                send(gs, MsgType::InvAck, block);
                 se.sharers.reset(g);
             }
             const Cycle mem = h.dram.read(block, t, false);
@@ -376,8 +376,8 @@ CmpSystem::serveSocketMissMulti(Socket &s, CoreId c, AccessType type,
             se.sharers.set(s.id);
             fill = MesiState::Shared;
         }
-        h.traffic.record(MsgType::MemRead);
-        h.traffic.record(MsgType::MemReadResp);
+        send(h, MsgType::MemRead, block);
+        send(h, MsgType::MemReadResp, block);
         const Cycle back = meshBankToCore(s, block, c);
         ZDEV_LAT(lat_, obs::LatComp::Mesh, back);
         done += back;
@@ -394,7 +394,7 @@ CmpSystem::serveSocketMissMulti(Socket &s, CoreId c, AccessType type,
         const SocketId fid = se.anySharerExcept(s.id);
         if (fid == static_cast<SocketId>(~0u))
             panic("socket-level Owned entry with no owner socket");
-        h.traffic.record(is_store ? MsgType::FwdGetX : MsgType::FwdGetS);
+        send(h, is_store ? MsgType::FwdGetX : MsgType::FwdGetS, block);
         ZDEV_LAT(lat_, obs::LatComp::InterSocket,
                  2ull * cfg_.interSocketCycles);
         Cycle done = supplyFromSocket(*sockets_[fid], type, block,
@@ -429,8 +429,8 @@ CmpSystem::serveSocketMissMulti(Socket &s, CoreId c, AccessType type,
                       s.id);
             Cycle done = h.dram.read(block, t, true) + 1;
             ZDEV_LAT(lat_, obs::LatComp::DeMemory, done - t);
-            h.traffic.record(MsgType::MemRead);
-            h.traffic.record(MsgType::DataRespCorrupted);
+            send(h, MsgType::MemRead, block);
+            send(h, MsgType::DataRespCorrupted, block);
             if (h.id != s.id) {
                 done += cfg_.interSocketCycles;
                 ZDEV_LAT(lat_, obs::LatComp::InterSocket,

@@ -37,7 +37,7 @@ SocketDirectory::install(BlockAddr block)
             }
             return 2;
         });
-        TagLine &vline = tags_.line(set, vway);
+        const TagLine &vline = tags_.line(set, vway);
         auto it = store_.find(vline.block);
         if (it != store_.end() && it->second.live()) {
             ++stats_.evictions;
@@ -53,13 +53,11 @@ SocketDirectory::install(BlockAddr block)
         } else if (it != store_.end()) {
             store_.erase(it); // dead entries just vanish
         }
-        vline.reset();
+        tags_.release(set, vway);
         free_way = {set, vway, true};
     }
-    TagLine &line = tags_.line(set, free_way.way);
-    line.valid = true;
-    line.tag = tag;
-    line.block = block;
+    tags_.occupy(set, free_way.way, tag);
+    tags_.line(set, free_way.way).block = block;
     tags_.touch(set, free_way.way);
 }
 
@@ -156,7 +154,6 @@ SocketDirectory::restore(SerialIn &in)
                   "socket directory backing mismatch"))
         return;
     tags_.restore(in, [](SerialIn &i, TagLine &l) {
-        l.valid = true;
         l.block = i.u64();
     });
     store_.clear();

@@ -90,13 +90,9 @@ class SocketDirectory
   private:
     struct TagLine
     {
-        std::uint64_t tag = 0;
-        std::uint64_t lastUse = 0;
-        bool valid = false;
         BlockAddr block = 0;
 
-        bool occupied() const { return valid; }
-        void reset() { valid = false; }
+        void reset() {}
     };
 
     /** Make room for @p block in the cache, evicting if needed. */

@@ -256,7 +256,7 @@ CmpSystem::writebackEntryToMemory(Socket &s, BlockAddr block,
                s.id, 0, block, now, 0,
                static_cast<std::uint32_t>(entry.count()), txn_);
     Socket &h = home(block);
-    s.traffic.record(MsgType::WbDe);
+    send(s, MsgType::WbDe, block);
     Cycle t = now;
     if (h.id != s.id)
         t += cfg_.interSocketCycles;
@@ -276,10 +276,10 @@ CmpSystem::writebackEntryToMemory(Socket &s, BlockAddr block,
         t = h.dram.read(block, t, true);
         // WB_DE is posted: the read-modify-write delays no requester.
         ZDEV_LAT_OFFPATH(lat_, obs::LatComp::DeMemory, t - de_start);
-        h.traffic.record(MsgType::MemRead);
+        send(h, MsgType::MemRead, block);
     }
     h.dram.write(block, t, true);
-    h.traffic.record(MsgType::MemWrite);
+    send(h, MsgType::MemWrite, block);
     h.memStore.storeSegment(block, s.id, entry);
 
     if (cfg_.sockets > 1) {

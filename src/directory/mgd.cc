@@ -70,7 +70,8 @@ MultiGrainDirectory::findRegionLine(BlockAddr b)
 }
 
 void
-MultiGrainDirectory::evictLine(Line &line, std::vector<Invalidation> &invs)
+MultiGrainDirectory::evictLine(const Line &line,
+                               std::vector<Invalidation> &invs)
 {
     if (line.isRegion) {
         ++stats_.regionEvictions;
@@ -93,7 +94,6 @@ MultiGrainDirectory::evictLine(Line &line, std::vector<Invalidation> &invs)
         }
     }
     ++orgStats_.entryEvictions;
-    line.reset();
 }
 
 MultiGrainDirectory::Line *
@@ -116,13 +116,12 @@ MultiGrainDirectory::allocLine(BlockAddr index_addr,
                 return pop > 8 ? 2 : pop > 2 ? 1 : 0;
             });
         evictLine(slice.array.line(set, vway), invs);
+        slice.array.release(set, vway);
         free_way = {set, vway, true};
     }
-    Line &line = slice.array.line(set, free_way.way);
-    line.valid = true;
-    line.tag = sa;
+    slice.array.occupy(set, free_way.way, sa);
     slice.array.touch(set, free_way.way);
-    return &line;
+    return &slice.array.line(set, free_way.way);
 }
 
 std::optional<DirEntry>
@@ -194,11 +193,11 @@ MultiGrainDirectory::set(BlockAddr block, const DirEntry &e,
 
     if (!e.live()) {
         if (bl)
-            bl->reset();
+            blockSlice(block).array.releaseAt(bl);
         if (in_region) {
             rl->presentMap &= ~(1u << off);
             if (rl->presentMap == 0)
-                rl->reset();
+                regionSlice(block).array.releaseAt(rl);
         }
         return;
     }
@@ -221,7 +220,7 @@ MultiGrainDirectory::set(BlockAddr block, const DirEntry &e,
         // Sharing broke the private region for this block.
         rl->presentMap &= ~(1u << off);
         if (rl->presentMap == 0)
-            rl->reset();
+            regionSlice(block).array.releaseAt(rl);
         ++stats_.regionBreaks;
         region_conflicted = true;
         rl = nullptr;
@@ -302,7 +301,6 @@ MultiGrainDirectory::restore(SerialIn &in)
         return;
     for (Slice &slice : slices_) {
         slice.array.restore(in, [](SerialIn &i, Line &l) {
-            l.valid = true;
             l.isRegion = i.b();
             l.base = i.u64();
             l.owner = i.u32();

@@ -69,21 +69,15 @@ class MultiGrainDirectory : public DirOrgBase
     /** A way holds either a block-grain or a region-grain entry. */
     struct Line
     {
-        std::uint64_t tag = 0;    //!< block tag or region tag
-        std::uint64_t lastUse = 0;
-        bool valid = false;
         bool isRegion = false;
         BlockAddr base = 0;       //!< block addr, or region base block
         CoreId owner = 0;         //!< region grain: owning core
         std::uint32_t presentMap = 0; //!< region grain: tracked blocks
         DirEntry payload;         //!< block grain
 
-        bool occupied() const { return valid; }
-
         void
         reset()
         {
-            valid = false;
             isRegion = false;
             presentMap = 0;
             payload.clear();
@@ -113,8 +107,19 @@ class MultiGrainDirectory : public DirOrgBase
     /** Allocate a line in @p b's set, evicting if needed. */
     Line *allocLine(BlockAddr b, std::vector<Invalidation> &invs);
 
-    /** Turn an evicted line into invalidation orders. */
-    void evictLine(Line &line, std::vector<Invalidation> &invs);
+    /** Turn an evicted line into invalidation orders (the caller frees
+     *  the way afterwards). */
+    void evictLine(const Line &line, std::vector<Invalidation> &invs);
+
+    /** Slice holding @p b's block-grain line. */
+    Slice &blockSlice(BlockAddr b) { return slices_[sliceOf(b)]; }
+
+    /** Slice holding the region-grain line covering @p b. */
+    Slice &
+    regionSlice(BlockAddr b)
+    {
+        return slices_[sliceOf(regionOf(b) / blocksPerRegion_)];
+    }
 
     std::uint32_t cores_;
     std::uint32_t numSlices_;

@@ -142,7 +142,7 @@ SecDir::collectPrivate(Slice &slice, BlockAddr block)
             merged.sharers.set(c);
             if (zone.line(pset, pref.way).owned)
                 merged.state = DirState::Owned;
-            zone.line(pset, pref.way).reset();
+            zone.release(pset, pref.way);
         }
     }
     if (merged.sharers.any() && merged.state != DirState::Owned)
@@ -167,7 +167,7 @@ SecDir::migrateToPrivate(Slice &slice, BlockAddr block,
             // Self-conflict inside core c's private partition: the
             // evicted entry invalidates c's copy of its block (a DEV).
             const std::uint32_t vway = zone.victimLru(pset);
-            PrivateLine &vline = zone.line(pset, vway);
+            const PrivateLine &vline = zone.line(pset, vway);
             Invalidation inv;
             inv.block = vline.block;
             inv.cores.set(c);
@@ -176,12 +176,11 @@ SecDir::migrateToPrivate(Slice &slice, BlockAddr block,
             ++stats_.privateEvictions;
             ++orgStats_.forcedInvalidations;
             ++orgStats_.entryEvictions;
-            vline.reset();
+            zone.release(pset, vway);
             free_way = {pset, vway, true};
         }
+        zone.occupy(pset, free_way.way, ptag);
         PrivateLine &line = zone.line(pset, free_way.way);
-        line.valid = true;
-        line.tag = ptag;
         line.block = block;
         line.owned = victim.state == DirState::Owned;
         zone.touch(pset, free_way.way);
@@ -199,20 +198,19 @@ SecDir::installShared(Slice &slice, BlockAddr block, const DirEntry &e,
     WayRef free_way = slice.shared.findFree(sset);
     if (!free_way.found) {
         const std::uint32_t vway = slice.shared.victimLru(sset);
-        SharedLine &vline = slice.shared.line(sset, vway);
+        const SharedLine &vline = slice.shared.line(sset, vway);
         // Cross-core conflict: migrate the victim into the private
         // partitions of its sharers instead of invalidating them.
         ++stats_.sharedEvictions;
         ++orgStats_.entryEvictions;
         const BlockAddr vblock = vline.block;
         const DirEntry ventry = vline.payload;
-        vline.reset();
+        slice.shared.release(sset, vway);
         migrateToPrivate(slice, vblock, ventry, invs);
         free_way = {sset, vway, true};
     }
+    slice.shared.occupy(sset, free_way.way, stag);
     SharedLine &line = slice.shared.line(sset, free_way.way);
-    line.valid = true;
-    line.tag = stag;
     line.block = block;
     line.payload = e;
     slice.shared.touch(sset, free_way.way);
@@ -231,7 +229,7 @@ SecDir::set(BlockAddr block, const DirEntry &e,
     WayRef ref = slice.shared.find(sset, stag);
     if (ref.found) {
         if (!e.live()) {
-            slice.shared.line(sset, ref.way).reset();
+            slice.shared.release(sset, ref.way);
             return;
         }
         slice.shared.line(sset, ref.way).payload = e;
@@ -311,13 +309,11 @@ SecDir::restore(SerialIn &in)
         return;
     for (Slice &slice : slices_) {
         slice.shared.restore(in, [](SerialIn &i, SharedLine &l) {
-            l.valid = true;
             l.block = i.u64();
             l.payload = loadEntry(i);
         });
         for (auto &zone : slice.priv) {
             zone.restore(in, [](SerialIn &i, PrivateLine &l) {
-                l.valid = true;
                 l.block = i.u64();
                 l.owned = i.b();
             });

@@ -77,26 +77,18 @@ class SecDir : public DirOrgBase
   private:
     struct SharedLine
     {
-        std::uint64_t tag = 0;
-        std::uint64_t lastUse = 0;
-        bool valid = false;
         BlockAddr block = 0;
         DirEntry payload;
 
-        bool occupied() const { return valid; }
-        void reset() { valid = false; payload.clear(); }
+        void reset() { payload.clear(); }
     };
 
     struct PrivateLine
     {
-        std::uint64_t tag = 0;
-        std::uint64_t lastUse = 0;
-        bool valid = false;
         BlockAddr block = 0;
         bool owned = false; //!< this core holds the block in M/E
 
-        bool occupied() const { return valid; }
-        void reset() { valid = false; owned = false; }
+        void reset() { owned = false; }
     };
 
     struct Slice

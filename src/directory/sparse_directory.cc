@@ -67,11 +67,10 @@ SparseDirectory::find(BlockAddr block)
 {
     ++stats_.lookups;
     if (unbounded_) {
-        auto it = map_.find(block);
-        if (it == map_.end())
-            return nullptr;
-        ++stats_.hits;
-        return &it->second;
+        DirEntry *e = map_.find(block);
+        if (e != nullptr)
+            ++stats_.hits;
+        return e;
     }
     Slice &slice = slices_[sliceOf(block)];
     const std::size_t set = setOf(block);
@@ -87,10 +86,8 @@ SparseDirectory::find(BlockAddr block)
 const DirEntry *
 SparseDirectory::peek(BlockAddr block) const
 {
-    if (unbounded_) {
-        auto it = map_.find(block);
-        return it == map_.end() ? nullptr : &it->second;
-    }
+    if (unbounded_)
+        return map_.find(block);
     const Slice &slice = slices_[sliceOf(block)];
     const std::size_t set = setOf(block);
     const WayRef ref = slice.array.find(set, tagOfBlock(block));
@@ -106,11 +103,11 @@ SparseDirectory::alloc(BlockAddr block, std::uint32_t domain)
     ++stats_.allocs;
 
     if (unbounded_) {
-        auto [it, inserted] = map_.try_emplace(block);
+        auto [entry, inserted] = map_.tryEmplace(block);
         if (!inserted)
             panic("directory entry for block %#llx already exists",
                   static_cast<unsigned long long>(block));
-        res.entry = &it->second;
+        res.entry = entry;
         ++live_;
         peak_ = std::max(peak_, live_);
         return res;
@@ -134,7 +131,7 @@ SparseDirectory::alloc(BlockAddr block, std::uint32_t domain)
     } else {
         for (std::uint32_t w = way_first; w < way_first + way_count;
              ++w) {
-            if (!slice.array.line(set, w).occupied()) {
+            if (!slice.array.occupiedAt(set, w)) {
                 free_way = {set, w, true};
                 break;
             }
@@ -152,20 +149,19 @@ SparseDirectory::alloc(BlockAddr block, std::uint32_t domain)
             tagPartitions_ == 0
                 ? slice.nru.victim(set)
                 : slice.nru.victimIn(set, way_first, way_count);
-        Line &vline = slice.array.line(set, victim);
+        const Line &vline = slice.array.line(set, victim);
         res.evictedVictim = true;
         res.victimBlock = vline.block;
         res.victimEntry = vline.payload;
         ++stats_.evictions;
-        vline.reset();
+        slice.array.release(set, victim);
         slice.nru.reset(set, victim);
         --live_;
         free_way = {set, victim, true};
     }
 
+    slice.array.occupy(set, free_way.way, tagOfBlock(block));
     Line &line = slice.array.line(set, free_way.way);
-    line.valid = true;
-    line.tag = tagOfBlock(block);
     line.block = block;
     line.payload.clear();
     slice.array.touch(set, free_way.way);
@@ -181,7 +177,7 @@ SparseDirectory::free(BlockAddr block)
 {
     ++stats_.frees;
     if (unbounded_) {
-        if (map_.erase(block) == 0)
+        if (!map_.erase(block))
             panic("freeing absent directory entry");
         --live_;
         return;
@@ -192,7 +188,7 @@ SparseDirectory::free(BlockAddr block)
     if (!ref.found)
         panic("freeing absent directory entry for block %#llx",
               static_cast<unsigned long long>(block));
-    slice.array.line(set, ref.way).reset();
+    slice.array.release(set, ref.way);
     slice.nru.reset(set, ref.way);
     --live_;
 }
@@ -216,15 +212,14 @@ SparseDirectory::save(SerialOut &out) const
         // regardless of the hash map's iteration order.
         std::vector<BlockAddr> keys;
         keys.reserve(map_.size());
-        for (const auto &[block, e] : map_) {
-            (void)e;
+        map_.forEach([&](BlockAddr block, const DirEntry &) {
             keys.push_back(block);
-        }
+        });
         std::sort(keys.begin(), keys.end());
         out.u64(keys.size());
         for (BlockAddr block : keys) {
             out.u64(block);
-            saveEntry(out, map_.at(block));
+            saveEntry(out, *map_.find(block));
         }
     } else {
         for (const Slice &slice : slices_) {
@@ -264,7 +259,6 @@ SparseDirectory::restore(SerialIn &in)
     } else {
         for (Slice &slice : slices_) {
             slice.array.restore(in, [](SerialIn &i, Line &l) {
-                l.valid = true;
                 l.block = i.u64();
                 l.payload = loadEntry(i);
             });

@@ -17,11 +17,11 @@
 #define ZERODEV_DIRECTORY_SPARSE_DIRECTORY_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/cache_array.hh"
 #include "cache/replacement.hh"
+#include "common/flat_table.hh"
 #include "common/types.hh"
 #include "directory/dir_entry.hh"
 
@@ -125,8 +125,7 @@ class SparseDirectory
     forEach(Fn &&fn) const
     {
         if (unbounded_) {
-            for (const auto &[block, e] : map_)
-                fn(block, e);
+            map_.forEach(fn);
             return;
         }
         for (const auto &slice : slices_) {
@@ -140,20 +139,10 @@ class SparseDirectory
   private:
     struct Line
     {
-        std::uint64_t tag = 0;
-        std::uint64_t lastUse = 0;
-        bool valid = false;
         BlockAddr block = 0;  //!< full block address for victim reporting
         DirEntry payload;
 
-        bool occupied() const { return valid; }
-
-        void
-        reset()
-        {
-            valid = false;
-            payload.clear();
-        }
+        void reset() { payload.clear(); }
     };
 
     struct Slice
@@ -187,7 +176,7 @@ class SparseDirectory
     unsigned tagShift_ = 0;
 
     std::vector<Slice> slices_;
-    std::unordered_map<BlockAddr, DirEntry> map_; //!< unbounded mode
+    FlatTable<DirEntry> map_; //!< unbounded mode
 
     std::uint64_t live_ = 0;
     std::uint64_t peak_ = 0;

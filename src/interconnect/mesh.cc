@@ -43,16 +43,19 @@ Mesh::averageHops() const
 void
 Mesh::save(SerialOut &out) const
 {
-    out.u64(stats_.traversals);
-    out.u64(stats_.hops);
+    // The totals are derived from the histogram but stay in the stream
+    // so the byte format (and old snapshots) remain valid.
+    const MeshStats s = stats();
+    out.u64(s.traversals);
+    out.u64(s.hops);
     hopHist_.save(out);
 }
 
 void
 Mesh::restore(SerialIn &in)
 {
-    stats_.traversals = in.u64();
-    stats_.hops = in.u64();
+    in.u64(); // traversals: derived, stream-compatible
+    in.u64(); // hops: derived, stream-compatible
     hopHist_.restore(in);
 }
 

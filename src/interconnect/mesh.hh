@@ -18,6 +18,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "interconnect/message.hh"
 
 namespace zerodev
 {
@@ -52,13 +53,17 @@ class Mesh
     latency(std::uint32_t from, std::uint32_t to) const
     {
         const std::uint32_t h = hops(from, to);
-        ++stats_.traversals;
-        stats_.hops += h;
         hopHist_.record(h);
         return static_cast<Cycle>(h) * hopCycles_;
     }
 
-    const MeshStats &stats() const { return stats_; }
+    /** Traversal totals, derived from the hop histogram (one histogram
+     *  update per traversal is the only hot-path accounting). */
+    MeshStats
+    stats() const
+    {
+        return {hopHist_.samples(), hopHist_.sum()};
+    }
 
     /** Per-traversal hop-count distribution (feeds the latency-probe
      *  reporting; a traversal's cycles are hops * hopCycles). */
@@ -66,12 +71,12 @@ class Mesh
 
     std::uint32_t hopCycles() const { return hopCycles_; }
 
-    void
-    clearStats()
-    {
-        stats_ = MeshStats{};
-        hopHist_.clear();
-    }
+    void clearStats() { hopHist_.clear(); }
+
+    /** The socket's message arena: every modelled protocol message is
+     *  carved from (and returned to) this pool. */
+    MessagePool &msgPool() { return pool_; }
+    const MessagePool &msgPool() const { return pool_; }
 
     /** Tile of core @p c (one core per tile). */
     std::uint32_t tileOfCore(CoreId c) const { return c % tiles_; }
@@ -92,10 +97,10 @@ class Mesh
     std::uint32_t cols_;
     std::uint32_t rows_;
     std::uint32_t hopCycles_;
-    mutable MeshStats stats_;
     /** Largest Manhattan distance in a kMaxCores-tile mesh is well
      *  under 64; exact buckets keep every percentile precise. */
     mutable Histogram hopHist_{64};
+    MessagePool pool_;
 };
 
 } // namespace zerodev

@@ -98,17 +98,8 @@ msgBytes(MsgType t, std::uint32_t cores)
 
 TrafficStats::TrafficStats(std::uint32_t cores) : cores_(cores)
 {
-}
-
-void
-TrafficStats::record(MsgType t)
-{
-    const auto i = static_cast<std::size_t>(t);
-    const std::uint32_t b = msgBytes(t, cores_);
-    counts_[i] += 1;
-    bytes_[i] += b;
-    totalBytes_ += b;
-    totalMsgs_ += 1;
+    for (std::size_t i = 0; i < kN; ++i)
+        byteTable_[i] = msgBytes(static_cast<MsgType>(i), cores_);
 }
 
 void
@@ -116,16 +107,14 @@ TrafficStats::clear()
 {
     counts_.fill(0);
     bytes_.fill(0);
-    totalBytes_ = 0;
-    totalMsgs_ = 0;
 }
 
 StatDump
 TrafficStats::report() const
 {
     StatDump d;
-    d.add("total_bytes", static_cast<double>(totalBytes_));
-    d.add("total_messages", static_cast<double>(totalMsgs_));
+    d.add("total_bytes", static_cast<double>(totalBytes()));
+    d.add("total_messages", static_cast<double>(totalMessages()));
     for (std::size_t i = 0; i < kN; ++i) {
         if (counts_[i] == 0)
             continue;
@@ -147,8 +136,10 @@ TrafficStats::save(SerialOut &out) const
         out.u64(counts_[i]);
         out.u64(bytes_[i]);
     }
-    out.u64(totalBytes_);
-    out.u64(totalMsgs_);
+    // Totals are derived from the per-type table but stay in the stream
+    // so the byte format (and old snapshots) remain valid.
+    out.u64(totalBytes());
+    out.u64(totalMessages());
 }
 
 void
@@ -160,8 +151,8 @@ TrafficStats::restore(SerialIn &in)
         counts_[i] = in.u64();
         bytes_[i] = in.u64();
     }
-    totalBytes_ = in.u64();
-    totalMsgs_ = in.u64();
+    in.u64(); // total bytes: derived, stream-compatible
+    in.u64(); // total messages: derived, stream-compatible
 }
 
 } // namespace zerodev

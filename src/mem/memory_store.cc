@@ -23,15 +23,15 @@ toString(SocketDirState s)
 bool
 MemoryStore::corrupted(BlockAddr block) const
 {
-    auto it = blocks_.find(block);
-    return it != blocks_.end() && it->second.anySegment();
+    const BlockMeta *m = blocks_.find(block);
+    return m != nullptr && m->anySegment();
 }
 
 bool
 MemoryStore::hasSegment(BlockAddr block, SocketId s) const
 {
-    auto it = blocks_.find(block);
-    return it != blocks_.end() && it->second.segments[s].has_value();
+    const BlockMeta *m = blocks_.find(block);
+    return m != nullptr && m->segments[s].has_value();
 }
 
 void
@@ -56,20 +56,20 @@ MemoryStore::restoreData(BlockAddr block)
 std::optional<DirEntry>
 MemoryStore::loadSegment(BlockAddr block, SocketId s) const
 {
-    auto it = blocks_.find(block);
-    if (it == blocks_.end())
+    const BlockMeta *m = blocks_.find(block);
+    if (m == nullptr)
         return std::nullopt;
-    return it->second.segments[s];
+    return m->segments[s];
 }
 
 void
 MemoryStore::clearSegment(BlockAddr block, SocketId s)
 {
-    auto it = blocks_.find(block);
-    if (it == blocks_.end() || !it->second.segments[s].has_value())
+    BlockMeta *m = blocks_.find(block);
+    if (m == nullptr || !m->segments[s].has_value())
         return;
-    it->second.segments[s].reset();
-    if (!it->second.anySegment())
+    m->segments[s].reset();
+    if (!m->anySegment())
         --corruptedCount_;
     maybeErase(block);
 }
@@ -77,12 +77,12 @@ MemoryStore::clearSegment(BlockAddr block, SocketId s)
 void
 MemoryStore::clearBlock(BlockAddr block)
 {
-    auto it = blocks_.find(block);
-    if (it == blocks_.end())
+    BlockMeta *m = blocks_.find(block);
+    if (m == nullptr)
         return;
-    if (it->second.anySegment())
+    if (m->anySegment())
         --corruptedCount_;
-    for (auto &seg : it->second.segments)
+    for (auto &seg : m->segments)
         seg.reset();
     maybeErase(block);
 }
@@ -90,11 +90,11 @@ MemoryStore::clearBlock(BlockAddr block)
 std::uint32_t
 MemoryStore::segmentCount(BlockAddr block) const
 {
-    auto it = blocks_.find(block);
-    if (it == blocks_.end())
+    const BlockMeta *m = blocks_.find(block);
+    if (m == nullptr)
         return 0;
     std::uint32_t n = 0;
-    for (const auto &seg : it->second.segments) {
+    for (const auto &seg : m->segments) {
         if (seg.has_value())
             ++n;
     }
@@ -104,8 +104,8 @@ MemoryStore::segmentCount(BlockAddr block) const
 bool
 MemoryStore::dirEvictBit(BlockAddr block) const
 {
-    auto it = blocks_.find(block);
-    return it != blocks_.end() && it->second.socketEntry.has_value();
+    const BlockMeta *m = blocks_.find(block);
+    return m != nullptr && m->socketEntry.has_value();
 }
 
 void
@@ -120,19 +120,19 @@ MemoryStore::storeSocketEntry(BlockAddr block, const SocketDirEntry &e)
 std::optional<SocketDirEntry>
 MemoryStore::loadSocketEntry(BlockAddr block) const
 {
-    auto it = blocks_.find(block);
-    if (it == blocks_.end())
+    const BlockMeta *m = blocks_.find(block);
+    if (m == nullptr)
         return std::nullopt;
-    return it->second.socketEntry;
+    return m->socketEntry;
 }
 
 void
 MemoryStore::clearSocketEntry(BlockAddr block)
 {
-    auto it = blocks_.find(block);
-    if (it == blocks_.end() || !it->second.socketEntry.has_value())
+    BlockMeta *m = blocks_.find(block);
+    if (m == nullptr || !m->socketEntry.has_value())
         return;
-    it->second.socketEntry.reset();
+    m->socketEntry.reset();
     --dirEvictCount_;
     maybeErase(block);
 }
@@ -140,9 +140,9 @@ MemoryStore::clearSocketEntry(BlockAddr block)
 void
 MemoryStore::maybeErase(BlockAddr block)
 {
-    auto it = blocks_.find(block);
-    if (it != blocks_.end() && it->second.empty())
-        blocks_.erase(it);
+    const BlockMeta *m = blocks_.find(block);
+    if (m != nullptr && m->empty())
+        blocks_.erase(block);
 }
 
 void
@@ -150,14 +150,13 @@ MemoryStore::save(SerialOut &out) const
 {
     std::vector<BlockAddr> keys;
     keys.reserve(blocks_.size());
-    for (const auto &[block, meta] : blocks_) {
-        (void)meta;
+    blocks_.forEach([&](BlockAddr block, const BlockMeta &) {
         keys.push_back(block);
-    }
+    });
     std::sort(keys.begin(), keys.end());
     out.u64(keys.size());
     for (BlockAddr block : keys) {
-        const BlockMeta &meta = blocks_.at(block);
+        const BlockMeta &meta = *blocks_.find(block);
         out.u64(block);
         for (const auto &seg : meta.segments) {
             out.b(seg.has_value());
@@ -168,7 +167,9 @@ MemoryStore::save(SerialOut &out) const
         if (meta.socketEntry)
             saveEntry(out, *meta.socketEntry);
     }
-    std::vector<BlockAddr> dead(destroyed_.begin(), destroyed_.end());
+    std::vector<BlockAddr> dead;
+    dead.reserve(destroyed_.size());
+    destroyed_.forEach([&](BlockAddr block) { dead.push_back(block); });
     std::sort(dead.begin(), dead.end());
     out.u64(dead.size());
     for (BlockAddr block : dead)

@@ -17,9 +17,8 @@
 #include <array>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "common/flat_table.hh"
 #include "common/types.hh"
 #include "directory/dir_entry.hh"
 
@@ -67,7 +66,7 @@ class MemoryStore
      *  restored by a full-block write. */
     bool destroyed(BlockAddr block) const
     {
-        return destroyed_.count(block) != 0;
+        return destroyed_.contains(block);
     }
 
     /** A full-block data write landed: the memory copy is valid again. */
@@ -81,8 +80,7 @@ class MemoryStore
     void
     forEachDestroyed(Fn &&fn) const
     {
-        for (BlockAddr b : destroyed_)
-            fn(b);
+        destroyed_.forEach(fn);
     }
 
     // --- Socket-level directory entry housed in memory (Sec. III-D5) ---
@@ -133,8 +131,8 @@ class MemoryStore
     /** Drop the map entry when nothing is housed any more. */
     void maybeErase(BlockAddr block);
 
-    std::unordered_map<BlockAddr, BlockMeta> blocks_;
-    std::unordered_set<BlockAddr> destroyed_;
+    FlatTable<BlockMeta> blocks_;
+    FlatSet destroyed_;
     std::uint64_t corruptedCount_ = 0;
     std::uint64_t dirEvictCount_ = 0;
 };

@@ -578,6 +578,8 @@ Differ::standardVariants(std::uint32_t cores)
                             R::SpLru, F::NonInclusive));
     v.push_back(zdevVariant("zdev-fpss", cores, 1, 0.125, P::Fpss,
                             R::DataLru, F::NonInclusive));
+    v.push_back(zdevVariant("zdev-fpss-splru", cores, 1, 0.125, P::Fpss,
+                            R::SpLru, F::NonInclusive));
     v.push_back(zdevVariant("zdev-fuseall", cores, 1, 0.125, P::FuseAll,
                             R::DataLru, F::NonInclusive));
     v.push_back(zdevVariant("zdev-nodir", cores, 1, 0.0, P::Fpss,

@@ -1,13 +1,15 @@
 /**
  * @file
- * Unit tests for the generic cache array, LRU victim classes and the
- * 1-bit NRU state used by the sparse directory.
+ * Unit tests for the generic cache array (SoA tag/LRU/occupancy layout),
+ * LRU victim classes and the 1-bit NRU state used by the sparse
+ * directory.
  */
 
 #include <gtest/gtest.h>
 
 #include "cache/cache_array.hh"
 #include "cache/replacement.hh"
+#include "common/bitops.hh"
 
 namespace zerodev
 {
@@ -16,20 +18,16 @@ namespace
 
 struct TestLine
 {
-    std::uint64_t tag = 0;
-    std::uint64_t lastUse = 0;
-    bool valid = false;
     int cls = 0;
 
-    bool occupied() const { return valid; }
-    void reset() { valid = false; }
+    void reset() { cls = 0; }
 };
 
 TEST(CacheArray, FindAndTouch)
 {
     CacheArray<TestLine> arr(4, 2);
-    arr.line(1, 0) = {42, 0, true, 0};
-    arr.line(1, 1) = {43, 0, true, 0};
+    arr.occupy(1, 0, 42);
+    arr.occupy(1, 1, 43);
 
     WayRef r = arr.find(1, 42);
     ASSERT_TRUE(r.found);
@@ -38,17 +36,55 @@ TEST(CacheArray, FindAndTouch)
     EXPECT_FALSE(arr.find(0, 42).found);
 
     // Predicate selects among same-tag lines.
-    arr.line(2, 0) = {7, 0, true, 1};
-    arr.line(2, 1) = {7, 0, true, 2};
+    arr.occupy(2, 0, 7);
+    arr.line(2, 0).cls = 1;
+    arr.occupy(2, 1, 7);
+    arr.line(2, 1).cls = 2;
     WayRef p = arr.find(2, 7, [](const TestLine &l) { return l.cls == 2; });
     ASSERT_TRUE(p.found);
     EXPECT_EQ(p.way, 1u);
 }
 
+TEST(CacheArray, OccupyReleaseAndRefOf)
+{
+    CacheArray<TestLine> arr(2, 4);
+    EXPECT_FALSE(arr.occupiedAt(0, 2));
+    arr.occupy(0, 2, 5);
+    EXPECT_TRUE(arr.occupiedAt(0, 2));
+    EXPECT_EQ(arr.tagAt(0, 2), 5u);
+    EXPECT_EQ(arr.occupiedCount(), 1u);
+
+    // refOf() recovers (set, way) from a payload pointer.
+    arr.line(0, 2).cls = 9;
+    const WayRef r = arr.refOf(&arr.line(0, 2));
+    EXPECT_EQ(r.set, 0u);
+    EXPECT_EQ(r.way, 2u);
+
+    // release() frees the way and resets the payload.
+    arr.releaseAt(&arr.line(0, 2));
+    EXPECT_FALSE(arr.occupiedAt(0, 2));
+    EXPECT_EQ(arr.line(0, 2).cls, 0);
+    EXPECT_EQ(arr.occupiedCount(), 0u);
+    EXPECT_FALSE(arr.find(0, 5).found);
+}
+
+TEST(CacheArray, FindFreeIsLowestWay)
+{
+    CacheArray<TestLine> arr(1, 4);
+    arr.occupy(0, 0, 1);
+    arr.occupy(0, 2, 3);
+    const WayRef free_way = arr.findFree(0);
+    ASSERT_TRUE(free_way.found);
+    EXPECT_EQ(free_way.way, 1u);
+    arr.occupy(0, 1, 2);
+    arr.occupy(0, 3, 4);
+    EXPECT_FALSE(arr.findFree(0).found);
+}
+
 TEST(CacheArray, VictimPrefersFreeWay)
 {
     CacheArray<TestLine> arr(1, 4);
-    arr.line(0, 0) = {1, 0, true, 0};
+    arr.occupy(0, 0, 1);
     arr.touch(0, 0);
     EXPECT_NE(arr.victimLru(0), 0u); // a free way exists
 }
@@ -57,7 +93,7 @@ TEST(CacheArray, VictimIsLru)
 {
     CacheArray<TestLine> arr(1, 4);
     for (std::uint32_t w = 0; w < 4; ++w) {
-        arr.line(0, w) = {w, 0, true, 0};
+        arr.occupy(0, w, w);
         arr.touch(0, w);
     }
     arr.touch(0, 0); // way 0 becomes MRU; way 1 is now LRU
@@ -68,7 +104,8 @@ TEST(CacheArray, VictimClassesDominateRecency)
 {
     CacheArray<TestLine> arr(1, 4);
     for (std::uint32_t w = 0; w < 4; ++w) {
-        arr.line(0, w) = {w, 0, true, w == 3 ? 0 : 1};
+        arr.occupy(0, w, w);
+        arr.line(0, w).cls = w == 3 ? 0 : 1;
         arr.touch(0, w);
     }
     // Way 3 is MRU but the only class-0 line: dataLRU-style selection
@@ -76,11 +113,24 @@ TEST(CacheArray, VictimClassesDominateRecency)
     EXPECT_EQ(arr.victim(0, [](const TestLine &l) { return l.cls; }), 3u);
 }
 
+TEST(CacheArray, VictimHonoursExcludedWay)
+{
+    CacheArray<TestLine> arr(1, 2);
+    arr.occupy(0, 0, 1);
+    arr.touch(0, 0);
+    // Way 1 is free but excluded: the occupied way 0 must be chosen.
+    EXPECT_EQ(arr.victimLru(0), 1u);
+    EXPECT_EQ(arr.victim(
+                  0, [](const TestLine &) { return 0; }, 1),
+              0u);
+}
+
 TEST(CacheArray, CountAndForEach)
 {
     CacheArray<TestLine> arr(2, 2);
-    arr.line(0, 0) = {1, 0, true, 0};
-    arr.line(1, 1) = {2, 0, true, 1};
+    arr.occupy(0, 0, 1);
+    arr.occupy(1, 1, 2);
+    arr.line(1, 1).cls = 1;
     EXPECT_EQ(arr.count([](const TestLine &) { return true; }), 2u);
     EXPECT_EQ(arr.count([](const TestLine &l) { return l.cls == 1; }), 1u);
     int seen = 0;
@@ -88,6 +138,35 @@ TEST(CacheArray, CountAndForEach)
         ++seen;
     });
     EXPECT_EQ(seen, 2);
+}
+
+TEST(CacheArray, NonPowerOfTwoTagMatchesDivision)
+{
+    // 6 sets exercises the multiply-shift reciprocal fallback; the tag
+    // must equal the exact division for representative addresses.
+    CacheArray<TestLine> arr(6, 2);
+    for (const std::uint64_t a :
+         {0ull, 1ull, 5ull, 6ull, 35ull, 36ull, 0x123456789abcull,
+          ~0ull, ~0ull - 5}) {
+        EXPECT_EQ(arr.tagOfAddr(a), a / 6) << "addr " << a;
+    }
+}
+
+TEST(MulShiftDiv, ExactForAwkwardDivisors)
+{
+    const std::uint64_t divisors[] = {1,    2,    3,
+                                      5,    6,    7,
+                                      12,   48,   1000,
+                                      (1ull << 33) - 1, 0x123456789ull};
+    for (const std::uint64_t d : divisors) {
+        const MulShiftDiv div(d);
+        const std::uint64_t samples[] = {0,     1,        d - 1,
+                                         d,     d + 1,    2 * d,
+                                         ~0ull, ~0ull - 1, ~0ull / 3,
+                                         1000000007ull};
+        for (const std::uint64_t n : samples)
+            EXPECT_EQ(div(n), n / d) << n << " / " << d;
+    }
 }
 
 TEST(CacheArray, IndexHelpers)

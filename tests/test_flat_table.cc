@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Unit tests for the open-addressed hash containers (FlatTable /
+ * FlatSet) that back MemoryStore and the unbounded SparseDirectory on
+ * the hot path, plus the MemoryStore snapshot properties the swap away
+ * from std::unordered_map must preserve: insert/erase/rehash
+ * determinism, backward-shift deletion under collision chains, and the
+ * sorted-key snapshot ordering that keeps serialize -> restore ->
+ * reserialize byte-identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/flat_table.hh"
+#include "common/rng.hh"
+#include "common/serialize.hh"
+#include "directory/dir_entry.hh"
+#include "mem/memory_store.hh"
+
+namespace zerodev
+{
+namespace
+{
+
+TEST(FlatTable, InsertFindEraseBasics)
+{
+    FlatTable<int> t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.find(42), nullptr);
+    EXPECT_FALSE(t.erase(42));
+
+    auto [v, inserted] = t.tryEmplace(42);
+    ASSERT_TRUE(inserted);
+    *v = 7;
+    EXPECT_EQ(t.size(), 1u);
+    ASSERT_NE(t.find(42), nullptr);
+    EXPECT_EQ(*t.find(42), 7);
+
+    auto [again, inserted2] = t.tryEmplace(42);
+    EXPECT_FALSE(inserted2);
+    EXPECT_EQ(*again, 7);
+    EXPECT_EQ(t.size(), 1u);
+
+    EXPECT_TRUE(t.erase(42));
+    EXPECT_EQ(t.find(42), nullptr);
+    EXPECT_TRUE(t.empty());
+}
+
+TEST(FlatTable, SubscriptDefaultConstructsOnce)
+{
+    FlatTable<std::uint64_t> t;
+    EXPECT_EQ(t[5], 0u);
+    t[5] = 99;
+    EXPECT_EQ(t[5], 99u);
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FlatTable, GrowsThroughManyRehashesWithoutLosingEntries)
+{
+    FlatTable<std::uint64_t> t;
+    const std::uint64_t n = 50000; // forces ~12 doublings from 16 slots
+    for (std::uint64_t k = 0; k < n; ++k)
+        *t.tryEmplace(k * 64).first = k ^ 0xabcdef;
+    ASSERT_EQ(t.size(), n);
+    for (std::uint64_t k = 0; k < n; ++k) {
+        const std::uint64_t *v = t.find(k * 64);
+        ASSERT_NE(v, nullptr) << "key " << k * 64;
+        EXPECT_EQ(*v, k ^ 0xabcdef);
+    }
+    EXPECT_EQ(t.find(1), nullptr); // off-stride keys stay absent
+}
+
+/** Model-based torture: a deterministic mix of insert/erase/find must
+ *  agree with std::map at every step, across several rehashes and heavy
+ *  backward-shift churn. Block-grained keys mimic the simulator's
+ *  strided address patterns (the worst case for a weak hash). */
+TEST(FlatTable, AgreesWithReferenceModelUnderChurn)
+{
+    FlatTable<std::uint64_t> t;
+    std::map<std::uint64_t, std::uint64_t> model;
+    Rng rng(0xf1a7);
+
+    for (int step = 0; step < 200000; ++step) {
+        const std::uint64_t key = rng.below(4096) * 64;
+        const std::uint64_t op = rng.below(10);
+        if (op < 6) { // insert-or-update
+            const std::uint64_t val = rng.below(1u << 30);
+            *t.tryEmplace(key).first = val;
+            model[key] = val;
+        } else if (op < 9) { // erase
+            EXPECT_EQ(t.erase(key), model.erase(key) == 1u);
+        } else { // lookup
+            const auto it = model.find(key);
+            const std::uint64_t *v = t.find(key);
+            if (it == model.end()) {
+                EXPECT_EQ(v, nullptr);
+            } else {
+                ASSERT_NE(v, nullptr);
+                EXPECT_EQ(*v, it->second);
+            }
+        }
+        ASSERT_EQ(t.size(), model.size());
+    }
+
+    // Final content matches exactly, via both directions.
+    std::size_t visited = 0;
+    t.forEach([&](std::uint64_t key, const std::uint64_t &val) {
+        ++visited;
+        const auto it = model.find(key);
+        ASSERT_NE(it, model.end()) << "stray key " << key;
+        EXPECT_EQ(val, it->second);
+    });
+    EXPECT_EQ(visited, model.size());
+}
+
+/** Dense erase order sweeping forward through a full table maximises
+ *  backward-shift chain work; every survivor must stay findable after
+ *  every single deletion. */
+TEST(FlatTable, BackwardShiftDeleteKeepsCollisionChainsIntact)
+{
+    FlatTable<std::uint64_t> t;
+    const std::uint64_t n = 3000;
+    for (std::uint64_t k = 0; k < n; ++k)
+        *t.tryEmplace(k).first = k + 1;
+    for (std::uint64_t dead = 0; dead < n; ++dead) {
+        ASSERT_TRUE(t.erase(dead));
+        EXPECT_EQ(t.find(dead), nullptr);
+        // Spot-check survivors around the deletion point (full scans
+        // after every erase would be quadratic).
+        for (std::uint64_t k = dead + 1; k < std::min(dead + 17, n); ++k) {
+            const std::uint64_t *v = t.find(k);
+            ASSERT_NE(v, nullptr) << "lost key " << k << " after erasing "
+                                  << dead;
+            EXPECT_EQ(*v, k + 1);
+        }
+    }
+    EXPECT_TRUE(t.empty());
+}
+
+TEST(FlatTable, IterationIsDeterministicForIdenticalOperationSequences)
+{
+    const auto build = [] {
+        FlatTable<std::uint64_t> t;
+        Rng rng(77);
+        for (int i = 0; i < 5000; ++i) {
+            const std::uint64_t key = rng.below(1024) * 64;
+            if (rng.below(3) == 0)
+                t.erase(key);
+            else
+                *t.tryEmplace(key).first = key * 3;
+        }
+        return t;
+    };
+    const FlatTable<std::uint64_t> a = build();
+    const FlatTable<std::uint64_t> b = build();
+    std::vector<std::uint64_t> seq_a, seq_b;
+    a.forEach([&](std::uint64_t k, const std::uint64_t &) {
+        seq_a.push_back(k);
+    });
+    b.forEach([&](std::uint64_t k, const std::uint64_t &) {
+        seq_b.push_back(k);
+    });
+    EXPECT_EQ(seq_a, seq_b); // same ops -> same slots -> same order
+}
+
+TEST(FlatTable, ClearResetsToEmpty)
+{
+    FlatTable<int> t;
+    for (std::uint64_t k = 0; k < 100; ++k)
+        t.tryEmplace(k);
+    t.clear();
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.find(5), nullptr);
+    EXPECT_TRUE(t.tryEmplace(5).second);
+}
+
+TEST(FlatSet, InsertEraseContains)
+{
+    FlatSet s;
+    EXPECT_TRUE(s.insert(10));
+    EXPECT_FALSE(s.insert(10));
+    EXPECT_TRUE(s.contains(10));
+    EXPECT_FALSE(s.contains(11));
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_TRUE(s.erase(10));
+    EXPECT_FALSE(s.erase(10));
+    EXPECT_TRUE(s.empty());
+}
+
+DirEntry
+entryFor(CoreId core)
+{
+    DirEntry e;
+    e.state = DirState::Owned;
+    e.sharers.set(core);
+    return e;
+}
+
+std::vector<std::uint8_t>
+storeBytes(const MemoryStore &m)
+{
+    SerialOut out;
+    m.save(out);
+    return out.data();
+}
+
+/** The snapshot contract the open-addressed swap must not disturb:
+ *  save() writes sorted block order, so two stores with the same
+ *  logical content — reached through different insertion/erase
+ *  histories, hence different physical slot layouts — serialize to the
+ *  same bytes, and restore -> reserialize is byte-identical. */
+TEST(MemoryStoreFlat, SortedSnapshotIsInsertionOrderIndependent)
+{
+    MemoryStore a, b;
+    const std::vector<BlockAddr> blocks = {0x40, 0x1000, 0x33c0, 0x80,
+                                           0x2440, 0x7fc0, 0x140};
+
+    for (const BlockAddr blk : blocks)
+        a.storeSegment(blk, 0, entryFor(1));
+    // b: reversed order, with extra churn that later gets undone.
+    for (auto it = blocks.rbegin(); it != blocks.rend(); ++it)
+        b.storeSegment(*it, 0, entryFor(1));
+    b.storeSegment(0x9999 * 64, 1, entryFor(2));
+    b.clearSegment(0x9999 * 64, 1);
+    b.restoreData(0x9999 * 64); // clears the destroyed bit again
+
+    EXPECT_EQ(storeBytes(a), storeBytes(b));
+}
+
+TEST(MemoryStoreFlat, RestoreReserializeIsByteIdentical)
+{
+    MemoryStore m;
+    Rng rng(0x5eed);
+    for (int i = 0; i < 2000; ++i) {
+        const BlockAddr blk = rng.below(512) * 64;
+        switch (rng.below(4)) {
+          case 0:
+            m.storeSegment(blk, rng.below(2), entryFor(rng.below(4)));
+            break;
+          case 1:
+            m.clearSegment(blk, rng.below(2));
+            break;
+          case 2:
+            m.storeSocketEntry(blk, SocketDirEntry{});
+            break;
+          default:
+            m.clearBlock(blk);
+            if (rng.below(2) == 0)
+                m.restoreData(blk);
+            break;
+        }
+    }
+    const std::vector<std::uint8_t> bytes = storeBytes(m);
+
+    MemoryStore copy;
+    SerialIn in(bytes);
+    copy.restore(in);
+    ASSERT_TRUE(in.exhausted()) << in.error();
+    EXPECT_EQ(storeBytes(copy), bytes);
+    EXPECT_EQ(copy.corruptedBlocks(), m.corruptedBlocks());
+    EXPECT_EQ(copy.destroyedBlocks(), m.destroyedBlocks());
+    EXPECT_EQ(copy.dirEvictBlocks(), m.dirEvictBlocks());
+}
+
+/** Segment lifecycle through the flat table: the map entry must vanish
+ *  exactly when the last housed thing is cleared (maybeErase), and the
+ *  destroyed-data bit must be tracked independently of the segments. */
+TEST(MemoryStoreFlat, SegmentLifecycleAndDestroyedBit)
+{
+    MemoryStore m;
+    const BlockAddr blk = 0x7c0;
+
+    EXPECT_FALSE(m.corrupted(blk));
+    m.storeSegment(blk, 0, entryFor(0));
+    m.storeSegment(blk, 1, entryFor(1));
+    EXPECT_TRUE(m.corrupted(blk));
+    EXPECT_TRUE(m.destroyed(blk)); // first WB_DE destroys the data
+    EXPECT_EQ(m.segmentCount(blk), 2u);
+
+    m.clearSegment(blk, 0);
+    EXPECT_TRUE(m.corrupted(blk));
+    m.clearSegment(blk, 1);
+    EXPECT_FALSE(m.corrupted(blk));
+    EXPECT_EQ(m.segmentCount(blk), 0u);
+    EXPECT_TRUE(m.destroyed(blk)); // stays destroyed until a data write
+
+    m.restoreData(blk);
+    EXPECT_FALSE(m.destroyed(blk));
+    EXPECT_EQ(m.destroyedBlocks(), 0u);
+}
+
+} // namespace
+} // namespace zerodev

@@ -27,6 +27,7 @@
 #include "sim/runner.hh"
 #include "sim/snapshot.hh"
 #include "test_util.hh"
+#include "verify/differ.hh"
 #include "workload/trace.hh"
 #include "workload/workload.hh"
 
@@ -272,6 +273,60 @@ TEST(Resume, SamplerSeriesIsPhaseAlignedAcrossRestore)
                 << "column " << ref.names()[c];
     }
     std::remove(ckpt.c_str());
+}
+
+TEST(Resume, ThirteenVariantCrossProductResumesBitIdentically)
+{
+    // The differ's full cross product — every directory organisation,
+    // ZeroDEV policy, replacement policy and LLC flavor, single- and
+    // two-socket — must satisfy the same resume contract: a run
+    // interrupted mid-stream and continued from its checkpoint produces
+    // the same RunResult and the same final system image as the
+    // uninterrupted run. This is the standing guard that the
+    // data-oriented hot-path layout (SoA arrays, pooled messages,
+    // open-addressed tables, derived stats) never leaks host-side state
+    // into simulated results.
+    const auto variants = verify::Differ::standardVariants(4);
+    ASSERT_GE(variants.size(), 13u);
+    const std::uint64_t perCore = 400;
+    const std::uint64_t k = 731; // mid-stream, not on a core boundary
+
+    for (const verify::Variant &v : variants) {
+        SCOPED_TRACE(v.name);
+        const Workload w = cannealOn(v.cfg);
+
+        RunConfig straight;
+        straight.accessesPerCore = perCore;
+        CmpSystem refSys(v.cfg);
+        const RunResult ref = run(refSys, w, straight);
+        const std::vector<std::uint8_t> refState = stateBytes(refSys);
+
+        const std::string ckpt = tmpPath("var_" + v.name + "_{n}.snap");
+        RunConfig leg1;
+        leg1.accessesPerCore = perCore;
+        leg1.snapshotEvery = k;
+        leg1.snapshotPath = ckpt;
+        CmpSystem sys1(v.cfg);
+        const RunResult r1 = run(sys1, w, leg1);
+        expectSameResult(r1, ref);
+        EXPECT_EQ(stateBytes(sys1), refState);
+
+        const std::string atK =
+            tmpPath("var_" + v.name + "_" + std::to_string(k) + ".snap");
+        RunConfig leg2;
+        leg2.accessesPerCore = perCore;
+        leg2.restorePath = atK;
+        CmpSystem sys2(v.cfg);
+        const RunResult r2 = run(sys2, w, leg2);
+        expectSameResult(r2, ref);
+        EXPECT_EQ(reportFor(v.cfg, r2), reportFor(v.cfg, ref));
+        EXPECT_EQ(stateBytes(sys2), refState);
+
+        for (std::uint64_t n = k; n <= perCore * 4; n += k)
+            std::remove(tmpPath("var_" + v.name + "_" +
+                                std::to_string(n) + ".snap")
+                            .c_str());
+    }
 }
 
 TEST(Resume, CheckpointFilesCarryRunnerStateAndValidate)
