@@ -18,6 +18,9 @@ namespace zerodev::bench
 namespace
 {
 
+/** Cooperative stop flag threaded into every run (setSweepStop). */
+const std::atomic<bool> *g_sweepStop = nullptr;
+
 std::uint64_t
 envOverride(const char *name, std::uint64_t dflt)
 {
@@ -98,6 +101,7 @@ runOne(const SystemConfig &cfg, const Workload &w, std::uint64_t accesses,
     RunConfig rc;
     rc.accessesPerCore = accesses;
     rc.telemetry = tj;
+    rc.stopRequest = g_sweepStop;
     obs::LatencyProfiler latency;
     if (with_latency && ckpt.empty())
         rc.latency = &latency;
@@ -109,6 +113,19 @@ runOne(const SystemConfig &cfg, const Workload &w, std::uint64_t accesses,
         }
     }
     RunResult res = run(sys, w, rc);
+    if (res.interrupted) {
+        // Preempted: the checkpoint (when one is configured) stays on
+        // disk for the resuming invocation; partial metrics are not a
+        // completed run, so nothing is reported.
+        if (tj) {
+            obs::JobCompletion c;
+            c.workload = res.workload;
+            c.failed = true;
+            c.error = "interrupted";
+            tj->complete(c);
+        }
+        return res;
+    }
     if (!ckpt.empty())
         std::remove(ckpt.c_str());
     if (tj)
@@ -256,10 +273,17 @@ BenchReporter::flush()
 }
 
 void
-BenchReporter::resetForTesting()
+BenchReporter::reset()
 {
     std::lock_guard<std::mutex> lock(mu_);
     runs_.clear();
+    pendingLabel_.clear();
+}
+
+void
+setSweepStop(const std::atomic<bool> *stop)
+{
+    g_sweepStop = stop;
 }
 
 std::uint64_t
@@ -293,7 +317,8 @@ runWorkload(const SystemConfig &cfg, const Workload &w,
     const std::size_t slot = rep.reserveSlot();
     RunResult res = runOne(cfg, w, accesses, true, ckpt,
                            beginTelemetryJob(cfg, w, accesses, slot));
-    rep.record(slot, cfg, res);
+    if (!res.interrupted)
+        rep.record(slot, cfg, res);
     return res;
 }
 
@@ -324,7 +349,7 @@ runSweep(const std::vector<SweepJob> &jobs)
         const SweepJob &j = jobs[i];
         RunResult res = runOne(j.cfg, j.w, j.accesses, report,
                                snapshotPathFor("job", i), tjs[i]);
-        if (report)
+        if (report && !res.interrupted)
             rep.record(slots[i], j.cfg, res);
         return res;
     });

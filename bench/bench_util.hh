@@ -10,6 +10,7 @@
 #ifndef ZERODEV_BENCH_BENCH_UTIL_HH
 #define ZERODEV_BENCH_BENCH_UTIL_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -68,9 +69,10 @@ class BenchReporter
      *  recordings). */
     void flush();
 
-    /** Tests only: drop staged entries and restart slot numbering so a
-     *  second sweep reproduces the same file names. */
-    void resetForTesting();
+    /** Drop staged entries and restart slot numbering so the next sweep
+     *  reproduces the same file names — used between tests and between
+     *  service-daemon jobs (each job is its own numbering space). */
+    void reset();
 
   private:
     BenchReporter() = default;
@@ -150,6 +152,18 @@ struct SweepJob
  * bit-identically; checkpoints are deleted as jobs complete.
  */
 std::vector<RunResult> runSweep(const std::vector<SweepJob> &jobs);
+
+/**
+ * Install a cooperative stop flag threaded into every subsequent
+ * runWorkload()/runSweep() run as RunConfig::stopRequest (nullptr
+ * removes it). When the flag flips true mid-run, each in-flight run
+ * checkpoints to its deterministic resume path (when ZERODEV_SNAPSHOT_DIR
+ * is active), returns with RunResult::interrupted set, and writes no
+ * report; re-running the same sweep later resumes bit-identically. Set
+ * from the driving thread before the sweep starts (the service daemon's
+ * preemption hook).
+ */
+void setSweepStop(const std::atomic<bool> *stop);
 
 /**
  * One generic tracked task of a sweep: work that drives its own

@@ -30,13 +30,15 @@
 #include <filesystem>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
-#include "common/parallel.hh"
 #include "obs/json.hh"
 #include "obs/report.hh"
-#include "obs/telemetry.hh"
+#include "service/client.hh"
+#include "service/protocol.hh"
 #include "verify/differ.hh"
+#include "verify/fuzz_batch.hh"
 #include "verify/shrink.hh"
 #include "workload/trace.hh"
 
@@ -59,7 +61,7 @@ const char *const kUsage =
     "subcommands:\n"
     "  run [--seeds N] [--minutes M] [--jobs J] [--accesses A]\n"
     "      [--cores C] [--out DIR] [--quick] [--plant-fault I,B,S]\n"
-    "      [--snapshot-every K]\n"
+    "      [--snapshot-every K] [--daemon SOCKET]\n"
     "      differentially fuzz the config cross product. Runs N seeds\n"
     "      (default 8), or waves of seeds until M minutes elapsed when\n"
     "      --minutes is given. On divergence the trace is ddmin-shrunk\n"
@@ -69,6 +71,11 @@ const char *const kUsage =
     "      (pipeline self-test only). --snapshot-every checkpoints the\n"
     "      lockstep state every K accesses and saves the last\n"
     "      pre-divergence checkpoint as divergence-seed<S>.ckpt.\n"
+    "      --daemon submits the batch to a zerodevd service socket\n"
+    "      instead of running in-process, polls it to completion, and\n"
+    "      copies fuzz-report.json into DIR; the report and exit code\n"
+    "      are identical to a direct run (--minutes is not available\n"
+    "      in daemon mode).\n"
     "  shrink <trace> [--out FILE] [--quick]\n"
     "      ddmin-shrink a diverging trace to a minimal repro\n"
     "      (FILE defaults to <trace>.min.trc)\n"
@@ -146,25 +153,6 @@ writeTrace(const std::string &path, std::uint32_t cores,
     return w.written() == records.size();
 }
 
-struct RunOptions
-{
-    std::uint64_t seeds = 8;
-    std::uint64_t minutes = 0; //!< 0 = fixed seed count
-    unsigned jobs = 0;         //!< 0 = library default
-    std::uint64_t accesses = 20000;
-    std::uint32_t cores = 4;
-    std::string outDir = ".";
-    bool quick = false;
-    FaultHook fault;
-    std::uint64_t snapshotEvery = 0;
-};
-
-struct SeedOutcome
-{
-    std::uint64_t seed = 0;
-    DifferResult result;
-};
-
 void
 printDivergence(const std::string &label, const Divergence &d)
 {
@@ -174,63 +162,126 @@ printDivergence(const std::string &label, const Divergence &d)
                 d.accessIndex, d.detail.c_str());
 }
 
-/** The machine-readable run summary consumed by CI. */
-std::string
-fuzzReport(const RunOptions &opt, const Differ &differ,
-           std::uint64_t seedsRun, double elapsedSec,
-           const SeedOutcome *bad, const ShrinkResult *shrunk,
-           const std::string &tracePath, const std::string &minPath,
-           const std::string &ckptPath)
+/**
+ * Daemon mode: submit the batch as a service fuzz job, poll it to a
+ * terminal state, and copy fuzz-report.json from the result document
+ * into the local output directory. Because the daemon executes through
+ * the same verify::runFuzzBatch engine, the report and exit code are
+ * identical to a direct run.
+ */
+int
+cmdDaemonRun(const FuzzBatchOptions &opt, const std::string &socket)
 {
-    obs::JsonWriter w;
-    w.beginObject();
-    obs::stampArtifact(w, "zerodev-fuzz-report-v1");
-    w.field("mode", opt.minutes ? "minutes" : "seeds");
-    w.field("seeds_run", seedsRun);
-    w.field("accesses_per_seed", opt.accesses);
-    w.field("cores", static_cast<std::uint64_t>(opt.cores));
-    w.field("elapsed_seconds", elapsedSec);
-    w.field("fault_planted", opt.fault.enabled);
-    w.key("variants").beginArray();
-    for (const Variant &v : differ.variants())
-        w.value(v.name);
-    w.endArray();
-    w.key("divergence");
-    if (!bad) {
-        w.null();
-    } else {
-        const Divergence &d = bad->result.divergence;
-        w.beginObject();
-        w.field("seed", bad->seed);
-        w.field("rule", d.rule);
-        w.field("instance", d.instance);
-        w.field("access_index", d.accessIndex);
-        w.field("detail", d.detail);
-        w.field("trace", tracePath);
-        if (!ckptPath.empty()) {
-            w.field("checkpoint", ckptPath);
-            w.field("checkpoint_access_index",
-                    bad->result.checkpoint.accessIndex);
-        }
-        if (shrunk && shrunk->shrunk()) {
-            w.field("shrunk_trace", minPath);
-            w.field("original_accesses",
-                    static_cast<std::uint64_t>(shrunk->originalSize));
-            w.field("shrunk_accesses",
-                    static_cast<std::uint64_t>(shrunk->trace.size()));
-            w.field("shrink_candidates", shrunk->candidatesTried);
-            w.field("shrink_hit_cap", shrunk->hitCandidateCap);
-        }
-        w.endObject();
+    obs::JsonWriter job;
+    job.beginObject();
+    job.field("type", "fuzz");
+    job.field("figure", "fuzz");
+    job.field("seeds", opt.seeds);
+    job.field("accesses", opt.accesses);
+    job.field("cores", static_cast<std::uint64_t>(opt.cores));
+    if (opt.quick)
+        job.field("quick", true);
+    if (opt.snapshotEvery)
+        job.field("snapshot_every", opt.snapshotEvery);
+    if (opt.fault.enabled) {
+        char buf[80];
+        std::snprintf(buf, sizeof(buf), "%zu,%" PRIu64 ",%" PRIu64,
+                      opt.fault.instance,
+                      static_cast<std::uint64_t>(opt.fault.block),
+                      static_cast<std::uint64_t>(
+                          opt.fault.afterStores));
+        job.field("fault", buf);
     }
-    w.endObject();
-    return w.str();
+    job.endObject();
+
+    service::ServiceClient client;
+    std::string err;
+    if (!client.connect(socket, &err)) {
+        std::fprintf(stderr, "fuzz_tool: %s\n", err.c_str());
+        return kExitRuntime;
+    }
+    const auto fetch = [&](const std::string &req)
+        -> std::optional<obs::JsonValue> {
+        auto resp = client.request(req, &err);
+        if (!resp) {
+            std::fprintf(stderr, "fuzz_tool: %s\n", err.c_str());
+            return std::nullopt;
+        }
+        const obs::JsonValue *ok = resp->find("ok");
+        if (!ok || !ok->isBool() || !ok->boolean) {
+            const std::string detail = resp->str("detail");
+            std::fprintf(stderr, "fuzz_tool: daemon error: %s%s%s\n",
+                         resp->str("error").c_str(),
+                         detail.empty() ? "" : ": ", detail.c_str());
+            return std::nullopt;
+        }
+        return resp;
+    };
+
+    const auto sub = fetch(service::rpcSubmitJson(job.str()));
+    if (!sub)
+        return kExitRuntime;
+    const std::string id = sub->str("id");
+    std::printf("fuzz: submitted %s to %s\n", id.c_str(),
+                socket.c_str());
+
+    std::string state;
+    for (;;) {
+        const auto st = fetch(service::rpcRequestJson("status", id));
+        if (!st)
+            return kExitRuntime;
+        state = st->str("state");
+        if (state == "DONE" || state == "FAILED" ||
+            state == "CANCELLED")
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    if (state != "DONE") {
+        std::fprintf(stderr, "fuzz_tool: job %s ended %s\n", id.c_str(),
+                     state.c_str());
+        return kExitRuntime;
+    }
+
+    const auto res = fetch(service::rpcRequestJson("result", id));
+    if (!res)
+        return kExitRuntime;
+    const obs::JsonValue *result = res->find("result");
+    const obs::JsonValue *report =
+        result ? result->find("fuzz_report") : nullptr;
+    if (!report) {
+        std::fprintf(stderr, "fuzz_tool: job %s has no fuzz report\n",
+                     id.c_str());
+        return kExitRuntime;
+    }
+
+    std::error_code ec;
+    std::filesystem::create_directories(opt.outDir, ec);
+    if (ec) {
+        std::fprintf(stderr, "fuzz_tool: cannot create %s: %s\n",
+                     opt.outDir.c_str(), ec.message().c_str());
+        return kExitRuntime;
+    }
+    const std::string reportPath = opt.outDir + "/fuzz-report.json";
+    if (!obs::writeTextFile(reportPath,
+                            obs::renderJson(*report) + "\n"))
+        return kExitRuntime;
+
+    int code = kExitOk;
+    if (const obs::JsonValue *ec2 = result->find("exit_code"))
+        code = static_cast<int>(ec2->number);
+    std::printf("fuzz: job %s DONE -> %s\n", id.c_str(),
+                reportPath.c_str());
+    if (code == kExitOk)
+        std::printf("no divergence\n");
+    return code;
 }
 
 int
 cmdRun(int argc, char **argv)
 {
-    RunOptions opt;
+    FuzzBatchOptions opt;
+    std::string daemonSocket;
+    bool minutesSet = false, jobsSet = false;
     for (int i = 2; i < argc; ++i) {
         const auto want = [&](const char *flag) {
             if (std::strcmp(argv[i], flag) != 0)
@@ -249,11 +300,15 @@ cmdRun(int argc, char **argv)
             if (!v)
                 return usage("run: --minutes needs a count");
             opt.minutes = *v;
+            minutesSet = true;
         } else if (want("--jobs")) {
             const auto v = parseCount(argv[++i]);
             if (!v || *v == 0)
                 return usage("run: --jobs needs a positive count");
             opt.jobs = static_cast<unsigned>(*v);
+            jobsSet = true;
+        } else if (want("--daemon")) {
+            daemonSocket = argv[++i];
         } else if (want("--accesses")) {
             const auto v = parseCount(argv[++i]);
             if (!v || *v == 0)
@@ -285,166 +340,29 @@ cmdRun(int argc, char **argv)
         }
     }
 
-    DifferOptions dopt;
-    dopt.snapshotCadence = opt.snapshotEvery;
-    Differ differ(opt.quick ? Differ::quickVariants(opt.cores)
-                            : Differ::standardVariants(opt.cores),
-                  dopt);
+    // Validate the fault's variant index here (the library fatal()s on
+    // a bad instance; the CLI owes a usage error instead).
     if (opt.fault.enabled) {
-        if (opt.fault.instance >= differ.variants().size())
+        const std::size_t variants =
+            (opt.quick ? Differ::quickVariants(opt.cores)
+                       : Differ::standardVariants(opt.cores))
+                .size();
+        if (opt.fault.instance >= variants)
             return usage("run: --plant-fault variant index out of range");
-        differ.setFaultHook(opt.fault);
     }
 
-    std::error_code ec;
-    std::filesystem::create_directories(opt.outDir, ec);
-    if (ec) {
-        std::fprintf(stderr, "fuzz_tool: cannot create %s: %s\n",
-                     opt.outDir.c_str(), ec.message().c_str());
-        return kExitRuntime;
+    if (!daemonSocket.empty()) {
+        if (minutesSet)
+            return usage("run: --minutes is not available with "
+                         "--daemon (submit a seed count)");
+        if (jobsSet)
+            return usage("run: --jobs is not available with --daemon "
+                         "(the daemon owns its parallelism)");
+        return cmdDaemonRun(opt, daemonSocket);
     }
 
-    const auto t0 = std::chrono::steady_clock::now();
-    const auto elapsed = [&] {
-        return std::chrono::duration<double>(
-                   std::chrono::steady_clock::now() - t0)
-            .count();
-    };
-    const auto runSeed = [&](std::uint64_t seed) {
-        SeedOutcome out;
-        out.seed = seed;
-        const auto stream =
-            fuzzStream(seed, differ.cores(), opt.accesses);
-        obs::TelemetrySink *sink = obs::TelemetrySink::fromEnv();
-        if (!sink) {
-            out.result = differ.run(stream);
-            return out;
-        }
-        // Live telemetry: a per-seed Differ (same variants, same fault
-        // hook) carries a progress hook feeding this seed's job.
-        obs::TelemetryJob *tj =
-            sink->beginJob("seed" + std::to_string(seed), "fuzz", "",
-                           stream.size());
-        DifferOptions sopt = differ.options();
-        sopt.progress = [tj](std::uint64_t done) {
-            tj->progress(done, 0);
-        };
-        Differ seedDiffer(differ.variants(), sopt);
-        seedDiffer.setFaultHook(differ.faultHook());
-        out.result = seedDiffer.run(stream);
-        obs::JobCompletion c;
-        c.workload = "fuzz";
-        c.accesses = out.result.accesses;
-        c.failed = !out.result.ok();
-        if (c.failed)
-            c.error = out.result.divergence.rule;
-        tj->complete(c);
-        return out;
-    };
-
-    std::printf("fuzz: %zu variants x %" PRIu64
-                " accesses/seed, %u cores%s\n",
-                differ.variants().size(), opt.accesses, opt.cores,
-                opt.fault.enabled ? " [fault planted]" : "");
-
-    std::vector<SeedOutcome> outcomes;
-    std::uint64_t nextSeed = 1;
-    bool timedOut = false;
-    while (true) {
-        // Seed-count mode runs one exact batch; time-budget mode keeps
-        // issuing waves of one-per-worker until the budget is spent.
-        std::uint64_t wave;
-        if (opt.minutes == 0) {
-            wave = opt.seeds - (nextSeed - 1);
-            if (wave == 0)
-                break;
-        } else {
-            if (elapsed() >= static_cast<double>(opt.minutes) * 60.0) {
-                timedOut = true;
-                break;
-            }
-            wave = opt.jobs ? opt.jobs : defaultJobs();
-        }
-        const std::uint64_t base = nextSeed;
-        auto batch = parallelMap(
-            static_cast<std::size_t>(wave),
-            [&](std::size_t i) { return runSeed(base + i); }, opt.jobs);
-        nextSeed += wave;
-        bool anyBad = false;
-        for (auto &o : batch) {
-            anyBad = anyBad || !o.result.ok();
-            outcomes.push_back(std::move(o));
-        }
-        if (anyBad)
-            break;
-    }
-
-    const SeedOutcome *bad = nullptr;
-    for (const auto &o : outcomes) {
-        if (!o.result.ok() && !bad)
-            bad = &o;
-    }
-
-    std::string tracePath, minPath, ckptPath;
-    ShrinkResult shrunk;
-    bool haveShrunk = false;
-    if (bad) {
-        printDivergence("seed " + std::to_string(bad->seed),
-                        bad->result.divergence);
-        const auto stream =
-            fuzzStream(bad->seed, differ.cores(), opt.accesses);
-        tracePath = opt.outDir + "/divergence-seed" +
-                    std::to_string(bad->seed) + ".trc";
-        if (!writeTrace(tracePath, differ.cores(), stream))
-            return kExitRuntime;
-        if (bad->result.checkpoint.valid) {
-            // The last lockstep state captured before the divergence:
-            // `fuzz_tool replay --restore` fast-forwards to it and
-            // re-runs only the tail.
-            ckptPath = opt.outDir + "/divergence-seed" +
-                       std::to_string(bad->seed) + ".ckpt";
-            std::string err;
-            if (!bad->result.checkpoint.save(ckptPath, &err)) {
-                std::fprintf(stderr, "fuzz_tool: %s\n", err.c_str());
-                return kExitRuntime;
-            }
-            std::printf("checkpoint at access %" PRIu64 ": %s\n",
-                        bad->result.checkpoint.accessIndex,
-                        ckptPath.c_str());
-        }
-        std::printf("wrote %s (%zu records); shrinking...\n",
-                    tracePath.c_str(), stream.size());
-        shrunk = shrinkTrace(differ, stream);
-        haveShrunk = shrunk.shrunk();
-        if (haveShrunk) {
-            minPath = opt.outDir + "/divergence-seed" +
-                      std::to_string(bad->seed) + ".min.trc";
-            if (!writeTrace(minPath, differ.cores(), shrunk.trace))
-                return kExitRuntime;
-            std::printf("shrunk %zu -> %zu records (%" PRIu64
-                        " candidates%s): %s\n",
-                        shrunk.originalSize, shrunk.trace.size(),
-                        shrunk.candidatesTried,
-                        shrunk.hitCandidateCap ? ", hit cap" : "",
-                        minPath.c_str());
-        }
-    }
-
-    const std::string report = fuzzReport(
-        opt, differ, outcomes.size(), elapsed(), bad,
-        haveShrunk ? &shrunk : nullptr, tracePath, minPath, ckptPath);
-    const std::string reportPath = opt.outDir + "/fuzz-report.json";
-    if (!obs::writeTextFile(reportPath, report + "\n"))
-        return kExitRuntime;
-
-    std::printf("%" PRIu64 " seed(s) in %.1fs%s -> %s\n",
-                static_cast<std::uint64_t>(outcomes.size()), elapsed(),
-                timedOut ? " (time budget reached)" : "",
-                reportPath.c_str());
-    if (bad)
-        return kExitDivergence;
-    std::printf("no divergence\n");
-    return kExitOk;
+    const FuzzBatchResult res = runFuzzBatch(opt);
+    return res.exitCode;
 }
 
 int

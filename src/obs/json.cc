@@ -166,6 +166,14 @@ JsonWriter::null()
     return *this;
 }
 
+JsonWriter &
+JsonWriter::raw(std::string_view json)
+{
+    comma();
+    out_ += json;
+    return *this;
+}
+
 const JsonValue *
 JsonValue::find(std::string_view key) const
 {
@@ -190,6 +198,41 @@ JsonValue::str(std::string_view key, const std::string &dflt) const
 {
     const JsonValue *v = find(key);
     return v && v->isString() ? v->string : dflt;
+}
+
+std::string
+renderJson(const JsonValue &v)
+{
+    switch (v.type) {
+      case JsonValue::Type::Null:
+        return "null";
+      case JsonValue::Type::Bool:
+        return v.boolean ? "true" : "false";
+      case JsonValue::Type::Number:
+        return jsonNumber(v.number);
+      case JsonValue::Type::String:
+        return '"' + jsonEscape(v.string) + '"';
+      case JsonValue::Type::Array: {
+        std::string out = "[";
+        for (std::size_t i = 0; i < v.array.size(); ++i) {
+            if (i)
+                out += ',';
+            out += renderJson(v.array[i]);
+        }
+        return out + ']';
+      }
+      case JsonValue::Type::Object: {
+        std::string out = "{";
+        for (std::size_t i = 0; i < v.object.size(); ++i) {
+            if (i)
+                out += ',';
+            out += '"' + jsonEscape(v.object[i].first) + "\":" +
+                   renderJson(v.object[i].second);
+        }
+        return out + '}';
+      }
+    }
+    return "null"; // unreachable
 }
 
 namespace

@@ -56,6 +56,11 @@ class JsonWriter
     JsonWriter &value(const char *v) { return value(std::string_view(v)); }
     JsonWriter &null();
 
+    /** Splice a pre-rendered JSON document in value position (e.g. an
+     *  artifact file embedded in an RPC response). The caller guarantees
+     *  @p json is itself valid JSON. */
+    JsonWriter &raw(std::string_view json);
+
     /** key() + value() in one call. */
     template <typename T>
     JsonWriter &
@@ -123,6 +128,11 @@ struct JsonValue
  */
 std::optional<JsonValue> parseJson(std::string_view text,
                                    std::string *err = nullptr);
+
+/** Render a parsed node back to compact JSON (object key order
+ *  preserved), so parse -> render -> parse round-trips — used to
+ *  persist submitted job specs verbatim in the service spool. */
+std::string renderJson(const JsonValue &v);
 
 /** Write @p content to @p path; returns false (and warns) on I/O error. */
 bool writeTextFile(const std::string &path, const std::string &content);

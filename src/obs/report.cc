@@ -6,6 +6,8 @@
 #include <cstring>
 
 #include <cmath>
+#include <map>
+#include <mutex>
 
 #include <sys/stat.h>
 #include <unistd.h>
@@ -56,13 +58,43 @@ stampArtifact(JsonWriter &w, std::string_view schema)
     w.field("commit", buildCommit());
 }
 
+namespace
+{
+
+std::mutex g_dirOverrideMu;
+std::map<std::string, std::string> g_dirOverrides;
+
+/** The active override for @p var, or "" when none is set. */
+std::string
+dirOverride(const char *var)
+{
+    std::lock_guard<std::mutex> lock(g_dirOverrideMu);
+    const auto it = g_dirOverrides.find(var);
+    return it == g_dirOverrides.end() ? std::string() : it->second;
+}
+
+} // namespace
+
+void
+setOutputDirOverride(const char *var, const std::string &dir)
+{
+    std::lock_guard<std::mutex> lock(g_dirOverrideMu);
+    if (dir.empty())
+        g_dirOverrides.erase(var);
+    else
+        g_dirOverrides[var] = dir;
+}
+
 std::string
 outputDirFromEnv(const char *var)
 {
-    const char *dir = std::getenv(var);
-    if (!dir || !*dir)
-        return {};
-    const std::string path(dir);
+    std::string path = dirOverride(var);
+    if (path.empty()) {
+        const char *dir = std::getenv(var);
+        if (!dir || !*dir)
+            return {};
+        path = dir;
+    }
     if (!makeDirs(path)) {
         std::fprintf(stderr,
                      "zerodev: cannot create %s directory '%s': %s\n",

@@ -53,6 +53,15 @@ void stampArtifact(JsonWriter &w, std::string_view schema);
 std::string outputDirFromEnv(const char *var);
 
 /**
+ * Process-local override for outputDirFromEnv(): when set (non-empty),
+ * @p var resolves to @p dir instead of the environment; an empty @p dir
+ * removes the override. The service daemon points ZERODEV_REPORT_DIR /
+ * ZERODEV_SNAPSHOT_DIR at per-job spool directories this way without
+ * the races of setenv() in a threaded process.
+ */
+void setOutputDirOverride(const char *var, const std::string &dir);
+
+/**
  * Canonical "key=value;" rendering of every SystemConfig field, in a
  * fixed order. Two configs produce the same string iff they describe
  * the same simulated machine.

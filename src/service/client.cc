@@ -1,0 +1,119 @@
+#include "service/client.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstring>
+
+namespace zerodev::service
+{
+
+ServiceClient::~ServiceClient()
+{
+    close();
+}
+
+bool
+ServiceClient::connect(const std::string &socketPath, std::string *err)
+{
+    close();
+    ::signal(SIGPIPE, SIG_IGN);
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof(addr.sun_path)) {
+        if (err)
+            *err = "socket path too long: " + socketPath;
+        return false;
+    }
+    std::memcpy(addr.sun_path, socketPath.c_str(),
+                socketPath.size() + 1);
+
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        if (err)
+            *err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (err)
+            *err = "connect " + socketPath + ": " +
+                   std::strerror(errno);
+        close();
+        return false;
+    }
+    return true;
+}
+
+std::optional<obs::JsonValue>
+ServiceClient::request(const std::string &json, std::string *err)
+{
+    if (fd_ < 0) {
+        if (err)
+            *err = "not connected";
+        return std::nullopt;
+    }
+    const std::string line = json + "\n";
+    std::size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n =
+            ::send(fd_, line.data() + off, line.size() - off, 0);
+        if (n <= 0) {
+            if (err)
+                *err = std::string("send: ") + std::strerror(errno);
+            return std::nullopt;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+
+    char tmp[4096];
+    for (;;) {
+        const std::size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            std::string resp = buf_.substr(0, nl);
+            buf_.erase(0, nl + 1);
+            std::string perr;
+            auto doc = obs::parseJson(resp, &perr);
+            if (!doc) {
+                if (err)
+                    *err = "bad response: " + perr;
+                return std::nullopt;
+            }
+            return doc;
+        }
+        const ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
+        if (n <= 0) {
+            if (err)
+                *err = n == 0 ? "connection closed by daemon"
+                              : std::string("recv: ") +
+                                    std::strerror(errno);
+            return std::nullopt;
+        }
+        buf_.append(tmp, static_cast<std::size_t>(n));
+    }
+}
+
+void
+ServiceClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buf_.clear();
+}
+
+std::optional<obs::JsonValue>
+rpcOnce(const std::string &socketPath, const std::string &json,
+        std::string *err)
+{
+    ServiceClient c;
+    if (!c.connect(socketPath, err))
+        return std::nullopt;
+    return c.request(json, err);
+}
+
+} // namespace zerodev::service

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Client side of `zerodev-rpc-v1`: connect to a zerodevd Unix-domain
+ * socket, exchange one JSON line per request, parse the response.
+ * Shared by zerodevctl and fuzz_tool's --daemon mode.
+ */
+
+#ifndef ZERODEV_SERVICE_CLIENT_HH
+#define ZERODEV_SERVICE_CLIENT_HH
+
+#include <optional>
+#include <string>
+
+#include "obs/json.hh"
+
+namespace zerodev::service
+{
+
+class ServiceClient
+{
+  public:
+    ServiceClient() = default;
+    ~ServiceClient();
+
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+
+    /** Connect to @p socketPath; false with a reason on failure. */
+    bool connect(const std::string &socketPath, std::string *err);
+
+    /**
+     * Send one request line and read one response line. Returns the
+     * parsed response object, or std::nullopt with a transport-level
+     * reason in @p err (a response with ok:false still parses).
+     */
+    std::optional<obs::JsonValue> request(const std::string &json,
+                                          std::string *err);
+
+    void close();
+    bool connected() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+    std::string buf_; //!< unconsumed bytes past the last newline
+};
+
+/** One-shot: connect, send, read, close. */
+std::optional<obs::JsonValue> rpcOnce(const std::string &socketPath,
+                                      const std::string &json,
+                                      std::string *err);
+
+} // namespace zerodev::service
+
+#endif // ZERODEV_SERVICE_CLIENT_HH

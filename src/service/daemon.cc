@@ -1,0 +1,593 @@
+#include "service/daemon.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "obs/telemetry.hh"
+
+namespace zerodev::service
+{
+
+namespace
+{
+
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::send(fd, data.data() + off, data.size() - off, 0);
+        if (n <= 0)
+            return false;
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+Daemon::Daemon(Options opt) : opt_(std::move(opt)), spool_(opt_.spoolDir)
+{
+    if (opt_.socketPath.empty())
+        opt_.socketPath = opt_.spoolDir + "/zerodevd.sock";
+    paused_ = opt_.startPaused;
+}
+
+Daemon::~Daemon()
+{
+    if (started_ && !joined_) {
+        requestShutdown();
+        serve();
+    }
+}
+
+bool
+Daemon::start(std::string *err)
+{
+    if (!spool_.init(err))
+        return false;
+
+    // Adopt whatever a previous daemon left behind. RUNNING jobs come
+    // back as QUEUED (Spool::loadAll) and re-run from their
+    // checkpoints; terminal jobs keep their results queryable.
+    std::size_t requeued = 0;
+    for (auto &p : spool_.loadAll()) {
+        JobRec rec;
+        rec.seq = p.seq;
+        rec.spec = std::move(p.spec);
+        rec.state = p.state;
+        rec.error = std::move(p.error);
+        if (p.seq >= nextSeq_)
+            nextSeq_ = p.seq + 1;
+        jobs_.emplace(p.id, std::move(rec));
+        if (p.state == JobState::Queued) {
+            queue_.push_back(p.id);
+            ++requeued;
+            spool_.writeState(p.id, JobState::Queued, "");
+        }
+    }
+    if (!jobs_.empty())
+        std::fprintf(stderr,
+                     "zerodevd: adopted %zu job(s) from spool, "
+                     "%zu queued\n",
+                     jobs_.size(), requeued);
+
+    // Never reuse the sequence number of an entry loadAll() skipped —
+    // a corrupt job's directory stays on disk as evidence, so new ids
+    // must not overwrite it.
+    std::error_code ec;
+    std::filesystem::directory_iterator it(spool_.jobsDir(), ec);
+    if (!ec) {
+        for (const auto &entry : it) {
+            std::uint64_t seq = 0;
+            if (std::sscanf(entry.path().filename().string().c_str(),
+                            "job%" SCNu64, &seq) == 1 &&
+                seq >= nextSeq_)
+                nextSeq_ = seq + 1;
+        }
+    }
+
+    ::signal(SIGPIPE, SIG_IGN);
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opt_.socketPath.size() >= sizeof(addr.sun_path)) {
+        if (err)
+            *err = "socket path too long: " + opt_.socketPath;
+        return false;
+    }
+    std::memcpy(addr.sun_path, opt_.socketPath.c_str(),
+                opt_.socketPath.size() + 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        if (err)
+            *err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    ::unlink(opt_.socketPath.c_str()); // stale socket from a crash
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd_, 64) != 0) {
+        if (err)
+            *err = "bind/listen " + opt_.socketPath + ": " +
+                   std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+
+    started_ = true;
+    execThread_ = std::thread(&Daemon::executorLoop, this);
+    acceptThread_ = std::thread(&Daemon::acceptLoop, this);
+    return true;
+}
+
+int
+Daemon::serve()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_; });
+    }
+
+    // Teardown order matters: stop accepting, let in-flight responses
+    // drain (SHUT_RD only — connection threads finish their current
+    // request, write the response, then see EOF), preempt the
+    // executor last so the running job checkpoints and re-queues.
+    acceptStop_.store(true);
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    {
+        std::lock_guard<std::mutex> lock(connMu_);
+        for (int fd : connFds_)
+            ::shutdown(fd, SHUT_RD);
+    }
+    for (auto &t : connThreads_)
+        if (t.joinable())
+            t.join();
+
+    execStop_.store(true);
+    cv_.notify_all();
+    if (execThread_.joinable())
+        execThread_.join();
+
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    ::unlink(opt_.socketPath.c_str());
+    joined_ = true;
+    return 0;
+}
+
+void
+Daemon::requestShutdown()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    draining_ = true;
+    execStop_.store(true);
+    cv_.notify_all();
+    idleCv_.notify_all();
+}
+
+void
+Daemon::pauseExecutor()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = true;
+}
+
+void
+Daemon::resumeExecutor()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+    cv_.notify_all();
+}
+
+void
+Daemon::acceptLoop()
+{
+    while (!acceptStop_.load()) {
+        pollfd p{};
+        p.fd = listenFd_;
+        p.events = POLLIN;
+        const int r = ::poll(&p, 1, 200);
+        if (acceptStop_.load())
+            return;
+        if (r <= 0)
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        std::lock_guard<std::mutex> lock(connMu_);
+        connFds_.push_back(fd);
+        connThreads_.emplace_back(&Daemon::serveConnection, this, fd);
+    }
+}
+
+void
+Daemon::closeConnFd(int fd)
+{
+    ::close(fd);
+    std::lock_guard<std::mutex> lock(connMu_);
+    for (auto it = connFds_.begin(); it != connFds_.end(); ++it) {
+        if (*it == fd) {
+            connFds_.erase(it);
+            break;
+        }
+    }
+}
+
+void
+Daemon::serveConnection(int fd)
+{
+    std::string buf;
+    char tmp[4096];
+    for (;;) {
+        std::size_t nl;
+        while ((nl = buf.find('\n')) != std::string::npos) {
+            std::string line = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.empty())
+                continue;
+            const std::string resp = handleLine(line) + "\n";
+            if (!writeAll(fd, resp)) {
+                closeConnFd(fd);
+                return;
+            }
+        }
+        if (buf.size() > kMaxRequestBytes) {
+            writeAll(fd, rpcErrorJson("bad-request",
+                                      "request too large") +
+                             "\n");
+            closeConnFd(fd);
+            return;
+        }
+        const ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
+        if (n <= 0) {
+            closeConnFd(fd);
+            return;
+        }
+        buf.append(tmp, static_cast<std::size_t>(n));
+    }
+}
+
+void
+Daemon::executorLoop()
+{
+    for (;;) {
+        std::string id;
+        JobSpec spec;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] {
+                return stopping_ || (!paused_ && !queue_.empty());
+            });
+            if (stopping_)
+                return;
+            id = queue_.front();
+            queue_.pop_front();
+            JobRec &j = jobs_[id];
+            j.state = JobState::Running;
+            runningId_ = id;
+            spec = j.spec;
+            // Reset the stop flag for this job under the same lock
+            // that proved !stopping_, so a concurrent shutdown or
+            // cancel can never have its request erased.
+            execStop_.store(j.cancelRequested);
+        }
+        // Persist RUNNING before executing: a SIGKILL from here on is
+        // recovered by loadAll()'s RUNNING -> QUEUED adoption.
+        spool_.writeState(id, JobState::Running, "");
+
+        JobOutcome out =
+            executeJob(spec, spool_.artifactsDir(id), &execStop_);
+
+        JobState st;
+        std::string error;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            JobRec &j = jobs_[id];
+            runningId_.clear();
+            if (out.interrupted) {
+                if (j.cancelRequested) {
+                    j.state = JobState::Cancelled;
+                    j.error = "cancelled";
+                } else {
+                    // Shutdown preemption: back to the front of the
+                    // queue so a restarted daemon resumes it first.
+                    j.state = JobState::Queued;
+                    queue_.push_front(id);
+                }
+            } else if (!out.ok) {
+                j.state = JobState::Failed;
+                j.error = out.error;
+            } else {
+                j.state = JobState::Done;
+            }
+            st = j.state;
+            error = j.error;
+        }
+        if (st == JobState::Done)
+            spool_.writeResult(id, out.resultJson);
+        spool_.writeState(id, st, error);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            idleCv_.notify_all();
+            cv_.notify_all();
+        }
+    }
+}
+
+std::string
+Daemon::handleLine(const std::string &line)
+{
+    RpcRequest req;
+    std::string err;
+    if (!parseRpcRequest(line, &req, &err))
+        return rpcErrorJson("bad-request", err);
+    if (req.op == "ping") {
+        obs::JsonWriter w;
+        beginRpcResponse(w, true);
+        w.endObject();
+        return w.str();
+    }
+    if (req.op == "submit")
+        return handleSubmit(req);
+    if (req.op == "status")
+        return handleStatus(req);
+    if (req.op == "result")
+        return handleResult(req);
+    if (req.op == "cancel")
+        return handleCancel(req);
+    if (req.op == "stats")
+        return handleStats();
+    if (req.op == "drain")
+        return handleDrain();
+    if (req.op == "shutdown")
+        return handleShutdown();
+    return rpcErrorJson("unknown-op", req.op);
+}
+
+std::string
+Daemon::handleSubmit(const RpcRequest &req)
+{
+    if (!req.hasJob)
+        return rpcErrorJson("bad-request", "submit needs a job object");
+    JobSpec spec;
+    std::string err;
+    if (!JobSpec::parse(req.job, &spec, &err))
+        return rpcErrorJson("bad-job", err);
+
+    std::string id;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (draining_ || stopping_)
+            return rpcErrorJson("draining",
+                                "daemon is draining, not accepting "
+                                "jobs");
+        if (queue_.size() >= opt_.maxQueued)
+            return rpcErrorJson("queue-full",
+                                "accept queue is at capacity (" +
+                                    std::to_string(opt_.maxQueued) +
+                                    ")",
+                                opt_.retryAfterMs);
+        id = Spool::idFor(nextSeq_++);
+        JobRec rec;
+        rec.seq = nextSeq_ - 1;
+        rec.spec = spec;
+        jobs_.emplace(id, std::move(rec));
+    }
+
+    if (!spool_.createJob(id, spec, &err)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        jobs_.erase(id);
+        return rpcErrorJson("spool-error", err);
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        JobRec &j = jobs_[id];
+        // A cancel can only race in after the id is returned, which
+        // happens below — but keep the check for belt and braces.
+        if (j.state == JobState::Queued) {
+            queue_.push_back(id);
+            cv_.notify_all();
+        }
+    }
+
+    obs::JsonWriter w;
+    beginRpcResponse(w, true);
+    w.field("id", id);
+    w.field("state", toString(JobState::Queued));
+    w.endObject();
+    return w.str();
+}
+
+std::string
+Daemon::handleStatus(const RpcRequest &req)
+{
+    if (req.id.empty())
+        return rpcErrorJson("bad-request", "status needs an id");
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(req.id);
+    if (it == jobs_.end())
+        return rpcErrorJson("unknown-job", req.id);
+    obs::JsonWriter w;
+    beginRpcResponse(w, true);
+    w.field("id", req.id);
+    w.field("type", toString(it->second.spec.type));
+    w.field("figure", it->second.spec.figure);
+    w.field("state", toString(it->second.state));
+    if (!it->second.error.empty())
+        w.field("error", it->second.error);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+Daemon::handleResult(const RpcRequest &req)
+{
+    if (req.id.empty())
+        return rpcErrorJson("bad-request", "result needs an id");
+    JobState st;
+    std::string error;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = jobs_.find(req.id);
+        if (it == jobs_.end())
+            return rpcErrorJson("unknown-job", req.id);
+        if (!isTerminal(it->second.state))
+            return rpcErrorJson("not-finished",
+                                toString(it->second.state));
+        st = it->second.state;
+        error = it->second.error;
+    }
+    obs::JsonWriter w;
+    beginRpcResponse(w, true);
+    w.field("id", req.id);
+    w.field("state", toString(st));
+    if (!error.empty())
+        w.field("error", error);
+    if (st == JobState::Done) {
+        const std::string result = spool_.readResult(req.id);
+        if (!result.empty())
+            w.key("result").raw(result);
+    }
+    w.endObject();
+    return w.str();
+}
+
+std::string
+Daemon::handleCancel(const RpcRequest &req)
+{
+    if (req.id.empty())
+        return rpcErrorJson("bad-request", "cancel needs an id");
+    bool persistCancelled = false;
+    std::string resp;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = jobs_.find(req.id);
+        if (it == jobs_.end())
+            return rpcErrorJson("unknown-job", req.id);
+        JobRec &j = it->second;
+        obs::JsonWriter w;
+        if (j.state == JobState::Queued) {
+            for (auto qit = queue_.begin(); qit != queue_.end(); ++qit) {
+                if (*qit == req.id) {
+                    queue_.erase(qit);
+                    break;
+                }
+            }
+            j.state = JobState::Cancelled;
+            j.error = "cancelled";
+            j.cancelRequested = true;
+            persistCancelled = true;
+            idleCv_.notify_all();
+            beginRpcResponse(w, true);
+            w.field("id", req.id);
+            w.field("state", toString(JobState::Cancelled));
+            w.endObject();
+            resp = w.str();
+        } else if (j.state == JobState::Running) {
+            j.cancelRequested = true;
+            execStop_.store(true);
+            beginRpcResponse(w, true);
+            w.field("id", req.id);
+            w.field("state", toString(JobState::Running));
+            w.field("cancel_requested", true);
+            w.endObject();
+            resp = w.str();
+        } else {
+            return rpcErrorJson("already-terminal",
+                                toString(j.state));
+        }
+    }
+    if (persistCancelled)
+        spool_.writeState(req.id, JobState::Cancelled, "cancelled");
+    return resp;
+}
+
+std::string
+Daemon::handleStats()
+{
+    std::size_t queued, done = 0, failed = 0, cancelled = 0;
+    bool running;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queued = queue_.size();
+        running = !runningId_.empty();
+        for (const auto &[id, j] : jobs_) {
+            (void)id;
+            if (j.state == JobState::Done)
+                ++done;
+            else if (j.state == JobState::Failed)
+                ++failed;
+            else if (j.state == JobState::Cancelled)
+                ++cancelled;
+        }
+    }
+    obs::JsonWriter w;
+    beginRpcResponse(w, true);
+    w.field("queued", static_cast<std::uint64_t>(queued));
+    w.field("running", static_cast<std::uint64_t>(running ? 1 : 0));
+    w.field("done", static_cast<std::uint64_t>(done));
+    w.field("failed", static_cast<std::uint64_t>(failed));
+    w.field("cancelled", static_cast<std::uint64_t>(cancelled));
+    w.field("max_queued",
+            static_cast<std::uint64_t>(opt_.maxQueued));
+    // Live zerodev-status-v1 from the telemetry sink, when publishing.
+    if (obs::TelemetrySink *sink = obs::TelemetrySink::fromEnv())
+        w.key("status").raw(sink->statusJson());
+    w.endObject();
+    return w.str();
+}
+
+std::string
+Daemon::handleDrain()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        draining_ = true;
+        idleCv_.wait(lock, [this] {
+            return stopping_ ||
+                   (queue_.empty() && runningId_.empty());
+        });
+        stopping_ = true;
+        cv_.notify_all();
+        idleCv_.notify_all();
+    }
+    obs::JsonWriter w;
+    beginRpcResponse(w, true);
+    w.field("drained", true);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+Daemon::handleShutdown()
+{
+    requestShutdown();
+    obs::JsonWriter w;
+    beginRpcResponse(w, true);
+    w.field("stopping", true);
+    w.endObject();
+    return w.str();
+}
+
+} // namespace zerodev::service

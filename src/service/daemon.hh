@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The zerodevd daemon: a Unix-domain stream server speaking
+ * `zerodev-rpc-v1` (service/protocol.hh), multiplexing submitted jobs
+ * onto the existing simulation engines via a per-job state machine
+ *
+ *     QUEUED -> RUNNING -> DONE | FAILED | CANCELLED
+ *
+ * with a bounded accept queue (submit rejects with `queue-full` +
+ * `retry_after_ms` back-pressure when full), cooperative cancellation
+ * and preemption (a SIGTERM'd daemon checkpoints the running job and
+ * re-queues it), and spool-backed crash recovery: a restarted daemon
+ * re-adopts every non-terminal job from its spool directory and
+ * resumes bit-identically from the checkpoints on disk.
+ *
+ * Threading: one accept thread, one connection thread per client, one
+ * executor thread running jobs strictly in submission order (each job
+ * fans out internally through the ThreadPool sweep engine). The class
+ * is usable in-process — tests drive handleLine() directly and run
+ * serve() on a thread.
+ */
+
+#ifndef ZERODEV_SERVICE_DAEMON_HH
+#define ZERODEV_SERVICE_DAEMON_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/jobspec.hh"
+#include "service/protocol.hh"
+#include "service/spool.hh"
+
+namespace zerodev::service
+{
+
+class Daemon
+{
+  public:
+    struct Options
+    {
+        std::string spoolDir;
+
+        /** Defaults to "<spool>/zerodevd.sock". */
+        std::string socketPath;
+
+        /** Bounded accept queue: QUEUED jobs beyond this are rejected
+         *  with the back-pressure error. */
+        std::size_t maxQueued = 64;
+
+        /** Suggested client retry delay in queue-full rejections. */
+        std::uint64_t retryAfterMs = 500;
+
+        /** Tests: hold the executor before its first job so queue
+         *  states can be observed deterministically. */
+        bool startPaused = false;
+    };
+
+    explicit Daemon(Options opt);
+    ~Daemon();
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /** Initialise the spool, adopt persisted jobs, bind the socket and
+     *  spawn the worker threads. False with a reason on failure. */
+    bool start(std::string *err);
+
+    /** Block until shutdown/drain completes, then tear down: join the
+     *  workers (preempting + re-queueing the running job), close the
+     *  socket. Returns the process exit code (0 on a clean stop). */
+    int serve();
+
+    /** Graceful stop from outside the RPC path (the SIGTERM handler):
+     *  equivalent to a `shutdown` request. */
+    void requestShutdown();
+
+    /** Dispatch one request line to one response line — the complete
+     *  RPC surface, also driven directly by tests. */
+    std::string handleLine(const std::string &line);
+
+    const std::string &socketPath() const { return opt_.socketPath; }
+
+    // Test hooks.
+    void pauseExecutor();
+    void resumeExecutor();
+
+  private:
+    struct JobRec
+    {
+        std::uint64_t seq = 0;
+        JobSpec spec;
+        JobState state = JobState::Queued;
+        std::string error;
+        bool cancelRequested = false;
+    };
+
+    void acceptLoop();
+    void serveConnection(int fd);
+    void executorLoop();
+
+    std::string handleSubmit(const RpcRequest &req);
+    std::string handleStatus(const RpcRequest &req);
+    std::string handleResult(const RpcRequest &req);
+    std::string handleCancel(const RpcRequest &req);
+    std::string handleStats();
+    std::string handleDrain();
+    std::string handleShutdown();
+
+    void closeConnFd(int fd);
+
+    Options opt_;
+    Spool spool_;
+
+    std::mutex mu_;
+    std::condition_variable cv_;     //!< executor + stop wakeups
+    std::condition_variable idleCv_; //!< drain waiters
+    std::map<std::string, JobRec> jobs_;
+    std::deque<std::string> queue_; //!< QUEUED ids, submission order
+    std::string runningId_;
+    std::uint64_t nextSeq_ = 1;
+    bool paused_ = false;
+    bool draining_ = false;
+    bool stopping_ = false;
+
+    /** Threaded into the engines as RunConfig::stopRequest. */
+    std::atomic<bool> execStop_{false};
+
+    int listenFd_ = -1;
+    std::atomic<bool> acceptStop_{false};
+    std::thread acceptThread_;
+    std::thread execThread_;
+    std::mutex connMu_;
+    std::vector<int> connFds_;
+    std::vector<std::thread> connThreads_;
+    bool started_ = false;
+    bool joined_ = false;
+};
+
+} // namespace zerodev::service
+
+#endif // ZERODEV_SERVICE_DAEMON_HH

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Service job specifications (`zerodev-job-v1`): the three workload
+ * shapes a zerodevd daemon accepts — a single run, a figure sweep, a
+ * differential fuzz batch — parsed from the submit RPC's "job" object
+ * into validated simulator configurations, plus the executor that runs
+ * a parsed spec through the exact same engines the one-shot tools use
+ * (bench_util::runSweep, verify::runFuzzBatch). Because both paths are
+ * one code path, a daemon-submitted job's artifacts are byte-identical
+ * to a direct invocation — the property the service CI jobs gate.
+ *
+ * Parsing is strict: unknown keys, out-of-range values and unknown
+ * enum/app names are rejected at submit time with a reason, so a bad
+ * spec can never reach the simulator's fatal() paths.
+ */
+
+#ifndef ZERODEV_SERVICE_JOBSPEC_HH
+#define ZERODEV_SERVICE_JOBSPEC_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "verify/fuzz_batch.hh"
+
+namespace zerodev::obs
+{
+struct JsonValue;
+} // namespace zerodev::obs
+
+namespace zerodev::service
+{
+
+/** The three job shapes (ISSUE: run / sweep / fuzz batch). */
+enum class JobType : std::uint8_t
+{
+    Run,
+    Sweep,
+    Fuzz,
+};
+
+/** Per-job lifecycle states (docs/SERVICE.md state machine). */
+enum class JobState : std::uint8_t
+{
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Cancelled,
+};
+
+const char *toString(JobType t);
+const char *toString(JobState s);
+bool jobTypeFromString(const std::string &s, JobType *out);
+bool jobStateFromString(const std::string &s, JobState *out);
+
+/** True for DONE / FAILED / CANCELLED. */
+bool isTerminal(JobState s);
+
+/** One validated (config, workload, length) run of a run/sweep job. */
+struct RunSpec
+{
+    SystemConfig cfg;
+    std::string app;            //!< application profile name
+    std::uint32_t threads = 8;  //!< workload thread / rate-copy count
+    std::uint64_t accesses = 0; //!< accesses per core
+};
+
+/** One parsed and validated job. */
+struct JobSpec
+{
+    JobType type = JobType::Run;
+
+    /** Figure slug ([A-Za-z0-9._-]): names report files and telemetry
+     *  jobs, exactly like bench banner() figures. */
+    std::string figure = "job";
+
+    /** Run: exactly one entry; Sweep: one per run. */
+    std::vector<RunSpec> runs;
+
+    /** Fuzz batches reuse the engine options directly (outDir / stop /
+     *  telemetryPrefix are filled in by the executor, not the spec). */
+    verify::FuzzBatchOptions fuzz;
+
+    /** The submitted "job" object re-rendered compactly — persisted
+     *  verbatim in the spool so a restarted daemon re-parses exactly
+     *  what was submitted. */
+    std::string rawJson;
+
+    /**
+     * Parse + validate a submit request's "job" object. On failure
+     * returns false with a reason in @p err; on success every config
+     * has been materialised and every name resolved.
+     */
+    static bool parse(const obs::JsonValue &job, JobSpec *out,
+                      std::string *err);
+};
+
+/** Terminal outcome of one executed job. */
+struct JobOutcome
+{
+    bool ok = false;
+
+    /** Preempted by the stop flag (shutdown or cancel): checkpoints
+     *  stay in the artifacts directory, nothing was reported, and the
+     *  job can re-run later to a bit-identical completion. */
+    bool interrupted = false;
+
+    std::string error; //!< reason when !ok && !interrupted
+
+    /** Fuzz batches: the engine's 0/1/4 exit code (a divergence is a
+     *  *finding* — the job itself is DONE with exit_code 4). */
+    int exitCode = 0;
+    bool divergence = false;
+
+    /** The stamped `zerodev-job-result-v1` document (terminal success
+     *  only). */
+    std::string resultJson;
+};
+
+/**
+ * Execute @p spec in the calling thread: reports, checkpoints and fuzz
+ * artifacts land in @p artifactsDir (routed via obs output-dir
+ * overrides), the stop flag is threaded into the engines for
+ * preemption, and per-run live telemetry publishes through the global
+ * sink. Exactly one job may execute per process at a time (the daemon
+ * serialises; run-local clients run one job).
+ */
+JobOutcome executeJob(const JobSpec &spec,
+                      const std::string &artifactsDir,
+                      const std::atomic<bool> *stop);
+
+} // namespace zerodev::service
+
+#endif // ZERODEV_SERVICE_JOBSPEC_HH

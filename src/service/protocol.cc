@@ -1,0 +1,94 @@
+#include "service/protocol.hh"
+
+#include <utility>
+
+#include "obs/report.hh"
+
+namespace zerodev::service
+{
+
+bool
+parseRpcRequest(const std::string &line, RpcRequest *out,
+                std::string *err)
+{
+    const auto fail = [err](const std::string &why) {
+        if (err)
+            *err = why;
+        return false;
+    };
+    if (line.size() > kMaxRequestBytes)
+        return fail("request exceeds " +
+                    std::to_string(kMaxRequestBytes) + " bytes");
+    std::string perr;
+    auto doc = obs::parseJson(line, &perr);
+    if (!doc)
+        return fail("invalid JSON: " + perr);
+    if (!doc->isObject())
+        return fail("request must be a JSON object");
+    out->op = doc->str("op");
+    if (out->op.empty())
+        return fail("missing op");
+    out->id = doc->str("id");
+    if (const obs::JsonValue *job = doc->find("job")) {
+        out->job = *job;
+        out->hasJob = true;
+    }
+    return true;
+}
+
+void
+beginRpcResponse(obs::JsonWriter &w, bool ok)
+{
+    w.beginObject();
+    obs::stampArtifact(w, kRpcSchema);
+    w.field("ok", ok);
+}
+
+std::string
+rpcErrorJson(const std::string &code, const std::string &detail,
+             std::uint64_t retryAfterMs)
+{
+    obs::JsonWriter w;
+    beginRpcResponse(w, false);
+    w.field("error", code);
+    if (!detail.empty())
+        w.field("detail", detail);
+    if (retryAfterMs)
+        w.field("retry_after_ms", retryAfterMs);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+rpcRequestJson(const std::string &op)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("op", op);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+rpcRequestJson(const std::string &op, const std::string &id)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("op", op);
+    w.field("id", id);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+rpcSubmitJson(const std::string &jobJson)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("op", "submit");
+    w.key("job").raw(jobJson);
+    w.endObject();
+    return w.str();
+}
+
+} // namespace zerodev::service

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The `zerodev-rpc-v1` wire protocol: one JSON object per line in each
+ * direction over a Unix-domain stream socket. Requests carry an "op"
+ * verb (submit / status / result / cancel / drain / shutdown / stats /
+ * ping), responses are stamped JSON documents (obs::stampArtifact) with
+ * an "ok" bool; failures carry an "error" code plus optional detail,
+ * and queue back-pressure rejections carry "retry_after_ms". The full
+ * spec lives in docs/SERVICE.md.
+ */
+
+#ifndef ZERODEV_SERVICE_PROTOCOL_HH
+#define ZERODEV_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.hh"
+
+namespace zerodev::service
+{
+
+/** Schema identifier stamped on every RPC response line. */
+inline constexpr const char *kRpcSchema = "zerodev-rpc-v1";
+
+/** Requests longer than this are rejected before parsing (a line
+ *  protocol needs a framing bound; job specs are small). */
+inline constexpr std::size_t kMaxRequestBytes = 1 << 20;
+
+/** A parsed request line. */
+struct RpcRequest
+{
+    std::string op;
+    std::string id;    //!< status / result / cancel
+    obs::JsonValue job; //!< submit payload (object)
+    bool hasJob = false;
+};
+
+/**
+ * Parse one request line. On failure returns false with a reason in
+ * @p err; the caller answers with rpcErrorJson("bad-request", err).
+ */
+bool parseRpcRequest(const std::string &line, RpcRequest *out,
+                     std::string *err);
+
+/** Begin a stamped response object: {"schema":...,"commit":...,"ok":..
+ *  — the caller adds fields and calls endObject(). */
+void beginRpcResponse(obs::JsonWriter &w, bool ok);
+
+/** A complete error response line (no trailing newline). A non-zero
+ *  @p retryAfterMs adds the back-pressure field. */
+std::string rpcErrorJson(const std::string &code,
+                         const std::string &detail = "",
+                         std::uint64_t retryAfterMs = 0);
+
+// --- client-side request builders ---
+
+/** {"op":...} — drain / shutdown / stats / ping. */
+std::string rpcRequestJson(const std::string &op);
+
+/** {"op":...,"id":...} — status / result / cancel. */
+std::string rpcRequestJson(const std::string &op, const std::string &id);
+
+/** {"op":"submit","job":<jobJson>} — @p jobJson must be a valid JSON
+ *  object rendering. */
+std::string rpcSubmitJson(const std::string &jobJson);
+
+} // namespace zerodev::service
+
+#endif // ZERODEV_SERVICE_PROTOCOL_HH

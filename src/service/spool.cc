@@ -1,0 +1,201 @@
+#include "service/spool.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "obs/json.hh"
+#include "obs/report.hh"
+
+namespace zerodev::service
+{
+
+namespace
+{
+
+/** writeTextFile + rename: either the old or the new document exists
+ *  at @p path after any crash, never a torn one. */
+bool
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    const std::string tmp = path + ".tmp";
+    if (!obs::writeTextFile(tmp, content))
+        return false;
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+Spool::Spool(std::string root) : root_(std::move(root)) {}
+
+bool
+Spool::init(std::string *err)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(jobsDir(), ec);
+    if (!ec)
+        std::filesystem::create_directories(telemetryDir(), ec);
+    if (ec) {
+        if (err)
+            *err = "cannot create spool " + root_ + ": " + ec.message();
+        return false;
+    }
+    return true;
+}
+
+std::string
+Spool::jobDir(const std::string &id) const
+{
+    return jobsDir() + "/" + id;
+}
+
+std::string
+Spool::artifactsDir(const std::string &id) const
+{
+    return jobDir(id) + "/artifacts";
+}
+
+std::string
+Spool::idFor(std::uint64_t seq)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "job%06" PRIu64, seq);
+    return buf;
+}
+
+bool
+Spool::createJob(const std::string &id, const JobSpec &spec,
+                 std::string *err)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(artifactsDir(id), ec);
+    if (ec) {
+        if (err)
+            *err = "cannot create job dir: " + ec.message();
+        return false;
+    }
+
+    obs::JsonWriter w;
+    w.beginObject();
+    obs::stampArtifact(w, "zerodev-job-v1");
+    w.field("id", id);
+    w.key("job").raw(spec.rawJson);
+    w.endObject();
+    if (!writeFileAtomic(jobDir(id) + "/job.json", w.str() + "\n")) {
+        if (err)
+            *err = "cannot persist job.json";
+        return false;
+    }
+    if (!writeState(id, JobState::Queued, "")) {
+        if (err)
+            *err = "cannot persist state.json";
+        return false;
+    }
+    return true;
+}
+
+bool
+Spool::writeState(const std::string &id, JobState state,
+                  const std::string &error)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    obs::stampArtifact(w, "zerodev-job-state-v1");
+    w.field("id", id);
+    w.field("state", toString(state));
+    if (!error.empty())
+        w.field("error", error);
+    w.endObject();
+    return writeFileAtomic(jobDir(id) + "/state.json", w.str() + "\n");
+}
+
+bool
+Spool::writeResult(const std::string &id, const std::string &resultJson)
+{
+    return writeFileAtomic(jobDir(id) + "/result.json",
+                           resultJson + "\n");
+}
+
+std::string
+Spool::readResult(const std::string &id) const
+{
+    const auto text = obs::readTextFile(jobDir(id) + "/result.json");
+    if (!text)
+        return {};
+    std::string out = *text;
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+        out.pop_back();
+    return out;
+}
+
+std::vector<PersistedJob>
+Spool::loadAll() const
+{
+    std::vector<PersistedJob> jobs;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(jobsDir(), ec);
+    if (ec)
+        return jobs;
+    for (const auto &entry : it) {
+        if (!entry.is_directory(ec))
+            continue;
+        const std::string id = entry.path().filename().string();
+        std::uint64_t seq = 0;
+        if (std::sscanf(id.c_str(), "job%" SCNu64, &seq) != 1) {
+            std::fprintf(stderr,
+                         "zerodevd: skipping foreign spool entry %s\n",
+                         id.c_str());
+            continue;
+        }
+
+        const auto jobText =
+            obs::readTextFile(jobDir(id) + "/job.json");
+        if (!jobText) {
+            std::fprintf(stderr,
+                         "zerodevd: skipping %s: no job.json\n",
+                         id.c_str());
+            continue;
+        }
+        std::string perr;
+        const auto doc = obs::parseJson(*jobText, &perr);
+        const obs::JsonValue *payload =
+            doc ? doc->find("job") : nullptr;
+        PersistedJob job;
+        if (!payload ||
+            !JobSpec::parse(*payload, &job.spec, &perr)) {
+            std::fprintf(stderr,
+                         "zerodevd: skipping %s: bad job.json (%s)\n",
+                         id.c_str(), perr.c_str());
+            continue;
+        }
+        job.id = id;
+        job.seq = seq;
+
+        if (const auto stateText =
+                obs::readTextFile(jobDir(id) + "/state.json")) {
+            if (const auto st = obs::parseJson(*stateText)) {
+                jobStateFromString(st->str("state"), &job.state);
+                job.error = st->str("error");
+            }
+        }
+        // A job persisted as RUNNING means the previous daemon died
+        // mid-run: re-queue it. The re-run resumes bit-identically
+        // from the checkpoints left in artifacts/.
+        if (job.state == JobState::Running)
+            job.state = JobState::Queued;
+        jobs.push_back(std::move(job));
+    }
+    std::sort(jobs.begin(), jobs.end(),
+              [](const PersistedJob &a, const PersistedJob &b) {
+                  return a.seq < b.seq;
+              });
+    return jobs;
+}
+
+} // namespace zerodev::service

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The zerodevd spool directory: everything a daemon needs to survive a
+ * crash lives here as plain files, so a restarted daemon re-adopts its
+ * queue and resumes interrupted work from the checkpoints the runs
+ * left behind (docs/SERVICE.md, "Spool layout").
+ *
+ *   <spool>/jobs/<id>/job.json    zerodev-job-v1 (the submitted spec)
+ *   <spool>/jobs/<id>/state.json  zerodev-job-state-v1 (atomic rename)
+ *   <spool>/jobs/<id>/result.json zerodev-job-result-v1 (terminal)
+ *   <spool>/jobs/<id>/artifacts/  run reports, .ckpt files, fuzz
+ *                                 traces — byte-identical to a direct
+ *                                 run of the same spec
+ *   <spool>/telemetry/            the daemon's TelemetrySink output
+ *
+ * state.json writes go through a temp file + rename, so a SIGKILL at
+ * any instant leaves either the old or the new state, never a torn
+ * document.
+ */
+
+#ifndef ZERODEV_SERVICE_SPOOL_HH
+#define ZERODEV_SERVICE_SPOOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/jobspec.hh"
+
+namespace zerodev::service
+{
+
+/** One job as recovered from the spool at daemon start. */
+struct PersistedJob
+{
+    std::string id;
+    std::uint64_t seq = 0; //!< numeric suffix of the id
+    JobSpec spec;
+    JobState state = JobState::Queued;
+    std::string error;
+};
+
+class Spool
+{
+  public:
+    explicit Spool(std::string root);
+
+    /** Create the directory skeleton; false with a reason on failure. */
+    bool init(std::string *err);
+
+    const std::string &root() const { return root_; }
+    std::string telemetryDir() const { return root_ + "/telemetry"; }
+    std::string jobsDir() const { return root_ + "/jobs"; }
+    std::string jobDir(const std::string &id) const;
+    std::string artifactsDir(const std::string &id) const;
+
+    /** "job%06u" for sequence number @p seq. */
+    static std::string idFor(std::uint64_t seq);
+
+    /** Create the job's directories and persist job.json (the stamped
+     *  envelope around the submitted spec) + an initial QUEUED state. */
+    bool createJob(const std::string &id, const JobSpec &spec,
+                   std::string *err);
+
+    /** Atomically rewrite state.json (temp file + rename). */
+    bool writeState(const std::string &id, JobState state,
+                    const std::string &error);
+
+    /** Persist the terminal result document. */
+    bool writeResult(const std::string &id,
+                     const std::string &resultJson);
+
+    /** Read back a job's result.json; empty when absent. */
+    std::string readResult(const std::string &id) const;
+
+    /**
+     * Scan jobs/ and recover every persisted job, sorted by sequence
+     * number. Unreadable entries are skipped with a warning — a
+     * corrupt job must not brick the daemon. RUNNING jobs are returned
+     * as QUEUED: the previous daemon died mid-run, and re-running
+     * resumes from the checkpoints in artifacts/.
+     */
+    std::vector<PersistedJob> loadAll() const;
+
+  private:
+    std::string root_;
+};
+
+} // namespace zerodev::service
+
+#endif // ZERODEV_SERVICE_SPOOL_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * zerodevd — the simulation-as-a-service daemon. Binds a Unix-domain
+ * socket inside (by default) its spool directory, serves zerodev-rpc-v1
+ * until drained or shut down, and checkpoints + re-queues the running
+ * job on SIGTERM/SIGINT so a restart resumes bit-identically.
+ * docs/SERVICE.md is the operator manual.
+ */
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "service/daemon.hh"
+
+namespace
+{
+
+constexpr const char *kUsage = R"(usage: zerodevd --spool DIR [options]
+
+Serve zerodev-rpc-v1 jobs over a Unix-domain socket.
+
+options:
+  --spool DIR           spool directory (required; created if missing)
+  --socket PATH         socket path (default: <spool>/zerodevd.sock)
+  --max-queued N        bounded accept queue depth (default: 64)
+  --snapshot-every N    checkpoint cadence in accesses per core for
+                        preemptible jobs (default: 5000; sets
+                        ZERODEV_SNAPSHOT_EVERY unless already set)
+  --help                show this help
+
+Telemetry publishes to <spool>/telemetry unless ZERODEV_TELEMETRY_DIR
+is already set. SIGTERM/SIGINT checkpoint the running job, persist the
+queue, and exit 0; a restarted daemon on the same spool re-adopts the
+queue and resumes interrupted jobs bit-identically.
+
+exit codes: 0 clean stop, 1 runtime failure, 2 usage error.
+)";
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void
+onSignal(int sig)
+{
+    g_signal = sig;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    zerodev::service::Daemon::Options opt;
+    std::string snapshotEvery = "5000";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "zerodevd: %s needs a value\n",
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(kUsage, stdout);
+            return 0;
+        } else if (arg == "--spool") {
+            opt.spoolDir = value("--spool");
+        } else if (arg == "--socket") {
+            opt.socketPath = value("--socket");
+        } else if (arg == "--max-queued") {
+            opt.maxQueued =
+                static_cast<std::size_t>(
+                    std::strtoull(value("--max-queued"), nullptr, 10));
+            if (opt.maxQueued == 0) {
+                std::fprintf(stderr,
+                             "zerodevd: --max-queued must be > 0\n");
+                return 2;
+            }
+        } else if (arg == "--snapshot-every") {
+            snapshotEvery = value("--snapshot-every");
+        } else {
+            std::fprintf(stderr, "zerodevd: unknown option %s\n%s",
+                         arg.c_str(), kUsage);
+            return 2;
+        }
+    }
+    if (opt.spoolDir.empty()) {
+        std::fprintf(stderr, "zerodevd: --spool is required\n%s",
+                     kUsage);
+        return 2;
+    }
+
+    // Default the checkpoint cadence and telemetry sink for service
+    // runs; explicit environment always wins so CI can steer both.
+    ::setenv("ZERODEV_SNAPSHOT_EVERY", snapshotEvery.c_str(), 0);
+    const std::string telemetryDir = opt.spoolDir + "/telemetry";
+    ::setenv("ZERODEV_TELEMETRY_DIR", telemetryDir.c_str(), 0);
+
+    zerodev::service::Daemon daemon(opt);
+    std::string err;
+    if (!daemon.start(&err)) {
+        std::fprintf(stderr, "zerodevd: %s\n", err.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "zerodevd: serving on %s (spool %s)\n",
+                 daemon.socketPath().c_str(), opt.spoolDir.c_str());
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    std::thread watcher([&daemon] {
+        while (g_signal == 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        if (g_signal > 0) {
+            std::fprintf(stderr,
+                         "zerodevd: signal %d, checkpointing and "
+                         "stopping\n",
+                         static_cast<int>(g_signal));
+            daemon.requestShutdown();
+        }
+    });
+
+    const int rc = daemon.serve();
+    g_signal = g_signal ? g_signal : -1; // release the watcher
+    watcher.join();
+    std::fprintf(stderr, "zerodevd: stopped\n");
+    return rc;
+}

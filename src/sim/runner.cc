@@ -58,7 +58,9 @@ class ObserverScope
     /** Latest simulated completion time seen (heartbeat payload). */
     Cycle horizon() const { return horizon_; }
 
-    /** Close out the run: final sample and wall-clock accounting. */
+    /** Close out the run: final sample and wall-clock accounting. With
+     *  ZERODEV_ZERO_WALL set (non-empty) the wall clock is zeroed so
+     *  reports of identical work render byte-identically. */
     void
     complete(RunResult &res)
     {
@@ -66,10 +68,13 @@ class ObserverScope
             sampler_->finish(res.cycles);
         if (latency_)
             res.latency = latency_->snapshot();
+        const char *zero = std::getenv("ZERODEV_ZERO_WALL");
         res.wallSeconds =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - start_)
-                .count();
+            (zero && *zero)
+                ? 0.0
+                : std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
     }
 
     ~ObserverScope()
@@ -304,6 +309,7 @@ run(CmpSystem &sys, const Workload &workload, const RunConfig &rc)
     // Issue in globally non-decreasing ready-time order: a linear scan
     // over <= 128 cores per transaction keeps the engine simple and is
     // far from the bottleneck.
+    bool interrupted = false;
     while (true) {
         std::uint32_t best = cores;
         Cycle best_t = ~0ull;
@@ -342,6 +348,19 @@ run(CmpSystem &sys, const Workload &workload, const RunConfig &rc)
                             checkpointPath(rc.snapshotPath, executed));
             next_snap += snap_every;
         }
+        // Cooperative preemption: poll every 256 transactions; park a
+        // final checkpoint so the run can resume bit-identically.
+        if (rc.stopRequest && (executed & 0xffu) == 0 &&
+            rc.stopRequest->load(std::memory_order_relaxed)) {
+            if (!rc.snapshotPath.empty()) {
+                writeCheckpoint(
+                    sys, kRunnerModeRun, state, &gens, executed,
+                    rc.sampler,
+                    checkpointPath(rc.snapshotPath, executed));
+            }
+            interrupted = true;
+            break;
+        }
         if (executed >= next_beat) {
             rc.telemetry->progress(executed, observers.horizon());
             if (rc.telemetry->stallSnapshotRequested()) {
@@ -379,6 +398,7 @@ run(CmpSystem &sys, const Workload &workload, const RunConfig &rc)
     res.inclusionByInducer = sys.protoStats().inclusionByInducer;
     res.accesses = sys.protoStats().accesses;
     res.system = sys.report();
+    res.interrupted = interrupted;
     observers.complete(res);
     return res;
 }

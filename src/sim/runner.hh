@@ -11,6 +11,7 @@
 #ifndef ZERODEV_SIM_RUNNER_HH
 #define ZERODEV_SIM_RUNNER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -90,6 +91,14 @@ struct RunConfig
      *  where the checkpoint was taken, so the completed run is
      *  bit-identical to an uninterrupted one. */
     std::string restorePath;
+
+    /** Optional cooperative stop request (service preemption): the
+     *  issue loop polls the flag at transaction boundaries and, when it
+     *  flips true, writes a final checkpoint to snapshotPath (when set,
+     *  regardless of cadence) and returns early with
+     *  RunResult::interrupted set. Resuming the checkpoint completes
+     *  the run bit-identically to an uninterrupted one. */
+    const std::atomic<bool> *stopRequest = nullptr;
 };
 
 /** Aggregated result of one run. */
@@ -118,8 +127,15 @@ struct RunResult
      *  including warm-up) — the work unit of the sim-rate metric. */
     std::uint64_t accesses = 0;
 
-    /** Host wall-clock seconds the run consumed (sim-rate profiling). */
+    /** Host wall-clock seconds the run consumed (sim-rate profiling).
+     *  Zeroed when the ZERODEV_ZERO_WALL environment variable is set to
+     *  a non-empty value, so two runs of the same work render
+     *  byte-identical reports (daemon-vs-direct CI gates). */
     double wallSeconds = 0.0;
+
+    /** True when the run stopped early at a RunConfig::stopRequest; the
+     *  partial metrics are not meaningful and must not be reported. */
+    bool interrupted = false;
 
     /** Host simulation rate in million accesses per second; 0 when the
      *  wall clock was zeroed (determinism comparisons). Informational

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The differential fuzz batch engine, factored out of the fuzz_tool CLI
+ * so the same code path serves one-shot runs and service jobs: the
+ * zerodevd daemon executes submitted fuzz batches through exactly this
+ * engine, which is what makes the daemon's `zerodev-fuzz-report-v1`
+ * documents byte-comparable with the direct tool's (the nightly
+ * daemon-shard gate).
+ *
+ * A batch runs waves of seeds through the config cross product
+ * (verify/differ.hh), ddmin-shrinks the first divergence to a minimal
+ * repro, writes the divergence trace / checkpoint / shrunk trace next
+ * to `fuzz-report.json` in the output directory, and reports through
+ * the shared 0/1/4 slice of the tool exit contract.
+ */
+
+#ifndef ZERODEV_VERIFY_FUZZ_BATCH_HH
+#define ZERODEV_VERIFY_FUZZ_BATCH_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "verify/differ.hh"
+
+namespace zerodev::verify
+{
+
+/** One differential fuzz batch (the fuzz_tool `run` options). */
+struct FuzzBatchOptions
+{
+    std::uint64_t seeds = 8;
+    std::uint64_t minutes = 0; //!< 0 = fixed seed count
+    unsigned jobs = 0;         //!< 0 = library default
+    std::uint64_t accesses = 20000;
+    std::uint32_t cores = 4;
+    std::string outDir = ".";
+    bool quick = false;
+    FaultHook fault; //!< must name a valid variant when enabled
+    std::uint64_t snapshotEvery = 0;
+
+    /** Cooperative cancellation, polled between seed waves: when the
+     *  flag flips true the batch stops issuing work, writes the report
+     *  covering the seeds that did run, and returns cancelled. */
+    const std::atomic<bool> *stop = nullptr;
+
+    /** Prepended to the per-seed telemetry job names ("seed<N>"), so a
+     *  daemon can namespace concurrent batches in status.json. */
+    std::string telemetryPrefix;
+};
+
+/** Outcome of one batch. */
+struct FuzzBatchResult
+{
+    /** 0 = no divergence, 1 = runtime (I/O) failure, 4 = divergence —
+     *  the fuzz-relevant slice of the shared tool exit contract. */
+    int exitCode = 0;
+
+    bool divergence = false;
+    bool cancelled = false; //!< stop flag fired before completion
+    bool timedOut = false;  //!< minutes budget exhausted (normal stop)
+    std::uint64_t seedsRun = 0;
+
+    /** The zerodev-fuzz-report-v1 document (also written to
+     *  reportPath), empty only on runtime failure before reporting. */
+    std::string report;
+    std::string reportPath; //!< "<outDir>/fuzz-report.json"
+};
+
+/**
+ * Execute one batch: create outDir, fuzz seed waves in parallel
+ * (zerodev::parallelMap), shrink + persist the first divergence, write
+ * the stamped report. Per-seed live-telemetry jobs are registered when
+ * ZERODEV_TELEMETRY_DIR is active. With ZERODEV_ZERO_WALL set, the
+ * report's elapsed_seconds renders as 0 so two runs of the same batch
+ * are byte-identical.
+ */
+FuzzBatchResult runFuzzBatch(const FuzzBatchOptions &opt);
+
+} // namespace zerodev::verify
+
+#endif // ZERODEV_VERIFY_FUZZ_BATCH_HH

@@ -16,12 +16,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
 #include <sys/wait.h>
+#include <thread>
 
 namespace
 {
@@ -60,6 +62,20 @@ int
 telemetryExit(const std::string &args, const std::string &env = "")
 {
     return runTool(TELEMETRY_TOOL_PATH, args, env);
+}
+
+/** Run zerodevctl with @p args, returning its exit status. */
+int
+ctlExit(const std::string &args)
+{
+    return runTool(ZERODEVCTL_PATH, args);
+}
+
+/** Run zerodevd with @p args, returning its exit status. */
+int
+daemonExit(const std::string &args)
+{
+    return runTool(ZERODEVD_PATH, args);
 }
 
 class CliTempFiles : public ::testing::Test
@@ -337,6 +353,86 @@ TEST_F(CliTempFiles, UnwritableSnapshotDirExitsTwoUpFront)
     EXPECT_EQ(telemetryExit("selftest-stall " + tele,
                             "ZERODEV_SNAPSHOT_DIR=/dev/null/x"),
               2);
+}
+
+TEST(ZerodevdCli, ExitContract)
+{
+    EXPECT_EQ(daemonExit("--help"), 0);
+    EXPECT_EQ(daemonExit(""), 2);          // --spool is required
+    EXPECT_EQ(daemonExit("--bogus"), 2);
+    EXPECT_EQ(daemonExit("--spool"), 2);   // missing value
+    EXPECT_EQ(daemonExit("--spool /tmp/x --max-queued 0"), 2);
+}
+
+TEST_F(CliTempFiles, ZerodevctlExitContract)
+{
+    EXPECT_EQ(ctlExit("--help"), 0);
+    EXPECT_EQ(ctlExit(""), 2);            // no verb
+    EXPECT_EQ(ctlExit("--socket"), 2);    // missing value
+    EXPECT_EQ(ctlExit("--socket /tmp/x.sock frobnicate"), 2);
+    EXPECT_EQ(ctlExit("status job000001"), 2); // no socket anywhere
+    EXPECT_EQ(ctlExit("--socket /tmp/x.sock submit"), 2);
+    EXPECT_EQ(ctlExit("run-local /missing.json"), 2); // needs --out
+
+    // A bad job file is a load failure (3), checked before connecting.
+    const std::string bad = path("bad.json");
+    std::ofstream(bad) << "{not json";
+    EXPECT_EQ(ctlExit("--socket /nonexistent.sock submit " + bad), 3);
+    EXPECT_EQ(ctlExit("run-local " + bad + " --out " +
+                      dirPath("rl-bad")),
+              3);
+
+    // A valid spec against a dead socket is a runtime failure (1).
+    const std::string job = path("job.json");
+    std::ofstream(job) << R"({"type":"run","figure":"cli","app":"fft",)"
+                       << R"("accesses":500,"threads":2})";
+    EXPECT_EQ(ctlExit("--socket /nonexistent.sock submit " + job), 1);
+    EXPECT_EQ(ctlExit("--socket /nonexistent.sock ping"), 1);
+
+    // run-local executes the service code path without a daemon.
+    const std::string out = dirPath("rl-ok");
+    EXPECT_EQ(ctlExit("run-local " + job + " --out " + out), 0);
+    EXPECT_TRUE(std::filesystem::exists(out + "/result.json"));
+    EXPECT_TRUE(std::filesystem::exists(out + "/cli_run0000.json"));
+}
+
+TEST_F(CliTempFiles, ZerodevServiceRoundTrip)
+{
+    const std::string spool = dirPath("spool");
+    const std::string sock = spool + "/zerodevd.sock";
+    const std::string job = path("svc-job.json");
+    std::ofstream(job) << R"({"type":"run","figure":"svc","app":"fft",)"
+                       << R"("accesses":500,"threads":2})";
+
+    // Start the daemon in the background and wait for its socket.
+    const std::string cmd = std::string(ZERODEVD_PATH) + " --spool " +
+                            spool + " >/dev/null 2>&1 &";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+    bool up = false;
+    for (int i = 0; i < 100 && !up; ++i) {
+        up = std::filesystem::exists(sock);
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    ASSERT_TRUE(up);
+
+    const std::string s = "--socket " + sock + " ";
+    EXPECT_EQ(ctlExit(s + "ping"), 0);
+    EXPECT_EQ(ctlExit(s + "submit " + job), 0);
+    EXPECT_EQ(ctlExit(s + "watch job000001"), 0);
+    EXPECT_EQ(ctlExit(s + "result job000001"), 0);
+    EXPECT_EQ(ctlExit(s + "status job000042"), 1); // unknown job
+    EXPECT_EQ(ctlExit(s + "stats"), 0);
+    EXPECT_EQ(ctlExit(s + "drain"), 0);
+
+    // A clean drain removes the socket on the way out.
+    bool down = false;
+    for (int i = 0; i < 100 && !down; ++i) {
+        down = !std::filesystem::exists(sock);
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    EXPECT_TRUE(down);
+    EXPECT_TRUE(std::filesystem::exists(
+        spool + "/jobs/job000001/result.json"));
 }
 
 } // namespace

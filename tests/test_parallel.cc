@@ -164,7 +164,7 @@ sweepInto(const fs::path &dir, unsigned job_count,
     fs::create_directories(dir);
     ASSERT_EQ(setenv("ZERODEV_REPORT_DIR", dir.c_str(), 1), 0)
         << "setenv failed";
-    bench::BenchReporter::instance().resetForTesting();
+    bench::BenchReporter::instance().reset();
     setJobs(job_count);
     out = bench::runSweep(determinismJobs());
     bench::BenchReporter::instance().flush();
