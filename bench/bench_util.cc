@@ -480,6 +480,17 @@ zdevEightCore(double ratio)
     return cfg;
 }
 
+SystemConfig
+backendEightCore(ProtocolKind protocol, double dir_ratio)
+{
+    SystemConfig cfg = makeEightCoreConfig();
+    cfg.protocol = protocol;
+    cfg.name = std::string("eight-core-") + toString(protocol);
+    if (protocol == ProtocolKind::PhasePriority)
+        cfg.directory.sizeRatio = dir_ratio;
+    return cfg;
+}
+
 const std::vector<std::string> &
 mainSuites()
 {

@@ -234,6 +234,12 @@ void banner(const std::string &figure, const std::string &what);
  *  ratio (0 = no sparse directory). */
 SystemConfig zdevEightCore(double ratio);
 
+/** The backend axis of the comparison benches: the standard eight-core
+ *  substrate running a rival protocol backend. @p dir_ratio sizes the
+ *  bounded phase-priority directory (DLS has none and ignores it). */
+SystemConfig backendEightCore(ProtocolKind protocol,
+                              double dir_ratio = 0.125);
+
 /** The suites of the paper's per-suite figures. */
 const std::vector<std::string> &mainSuites();
 

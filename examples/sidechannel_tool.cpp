@@ -11,10 +11,13 @@
  * writes one machine-readable `zerodev-leakage-v1` JSON report. The
  * verdict is the paper's isolation claim, CI-gated:
  *
- *  - every sparse baseline must LEAK (capacity >= 0.5 bits/trial —
- *    the replacement-induced DEV channel of PAPER.md Section I-A2),
- *  - every ZeroDEV flavour and the partitioned-tag variant must NOT
- *    (capacity <= 0.05 bits/trial),
+ *  - every replacement-managed directory must LEAK (capacity >= 0.5
+ *    bits/trial — the replacement-induced DEV channel of PAPER.md
+ *    Section I-A2): the sparse baselines and the phase-priority rival
+ *    backend,
+ *  - every ZeroDEV flavour, the partitioned-tag variant and the
+ *    directoryless DLS rival backend must NOT (capacity <= 0.05
+ *    bits/trial),
  *  - no trial may violate a system invariant (including
  *    eviction-provenance conservation).
  *
@@ -138,12 +141,19 @@ labVariants()
     return vars;
 }
 
-/** Only the replacement-managed sparse baselines carry the DEV
- *  channel; everything else is expected to isolate. */
+/**
+ * Only the replacement-managed directories carry the DEV channel: the
+ * sparse baselines and the phase-priority backend (bounded directory,
+ * priority-driven victim selection — a different replacement schedule,
+ * same channel). Everything else is expected to isolate, including the
+ * directoryless DLS backend: its "no directory" claim is measured here,
+ * not assumed (the dls-zero-dev invariant merely cross-checks it).
+ */
 bool
 expectsLeak(const std::string &variant)
 {
-    return variant == "sparse-1x" || variant == "sparse-8th";
+    return variant == "sparse-1x" || variant == "sparse-8th" ||
+           variant == "phasepri";
 }
 
 void

@@ -100,6 +100,17 @@ toString(DirOrg o)
     return "?";
 }
 
+const char *
+toString(ProtocolKind p)
+{
+    switch (p) {
+      case ProtocolKind::MesiZeroDev: return "mesi-zerodev";
+      case ProtocolKind::Dls: return "DLS";
+      case ProtocolKind::PhasePriority: return "phase-priority";
+    }
+    return "?";
+}
+
 std::uint64_t
 SystemConfig::dirEntries() const
 {
@@ -155,6 +166,40 @@ SystemConfig::validate() const
             fatal("%u tag partitions exceed %u cores per socket",
                   directory.tagPartitions, coresPerSocket);
         }
+    }
+    if (protocol == ProtocolKind::Dls) {
+        // DLS has no directory structure: the shared LLC serialises
+        // requests and holders are found by probing the cores, so every
+        // directory knob is meaningless and must stay at a value the
+        // backend can ignore safely.
+        if (sockets != 1)
+            fatal("the DLS backend is single-socket");
+        if (llcFlavor != LlcFlavor::NonInclusive)
+            fatal("the DLS backend requires the non-inclusive LLC flavour");
+        if (dirCachePolicy != DirCachePolicy::None)
+            fatal("the DLS backend cannot cache directory entries");
+        if (directory.tagPartitions != 0)
+            fatal("the DLS backend has no directory tags to partition");
+    }
+    if (protocol == ProtocolKind::PhasePriority) {
+        // Phase-priority keeps the MESI directory flows but swaps the
+        // organisation for its own priority-victim directory, driven
+        // through the generic DirOrg path.
+        if (sockets != 1)
+            fatal("the phase-priority backend is single-socket");
+        if (dirOrg != DirOrg::SparseNru) {
+            fatal("the phase-priority backend replaces the sparse-NRU "
+                  "organisation only");
+        }
+        if (llcFlavor != LlcFlavor::NonInclusive) {
+            fatal("the phase-priority backend requires the non-inclusive "
+                  "LLC flavour");
+        }
+        if (dirCachePolicy != DirCachePolicy::None)
+            fatal("the phase-priority backend cannot cache directory entries");
+        if (directory.tagPartitions != 0)
+            fatal("the phase-priority backend manages whole sets, not "
+                  "partitions");
     }
 }
 

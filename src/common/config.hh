@@ -125,6 +125,14 @@ struct SystemConfig
     LlcFlavor llcFlavor = LlcFlavor::NonInclusive;
 
     /**
+     * Coherence protocol backend. MesiZeroDev (the default) is the
+     * original MESI directory family and honours every field above; the
+     * rival backends (Dls, PhasePriority) are single-socket and restrict
+     * the directory knobs they ignore (see validate()).
+     */
+    ProtocolKind protocol = ProtocolKind::MesiZeroDev;
+
+    /**
      * ZeroDEV socket-level directory backing (Section III-D5): when true,
      * evicted socket-level entries are housed in memory blocks guarded by
      * a DirEvict bit (solution 2, constant 0.2% DRAM overhead); when

@@ -124,6 +124,28 @@ enum class DirOrg : std::uint8_t
 
 const char *toString(DirOrg o);
 
+/**
+ * Which coherence protocol backend a system instance runs.
+ *
+ * MesiZeroDev is the original MESI directory family (every DirOrg above,
+ * including the ZeroDEV LLC-caching flavours). Dls models a directoryless
+ * shared-LLC protocol where the LLC bank is the serialization point and
+ * holders are found by probing the cores — there is no directory structure
+ * at all, so it is the rival "other way to zero directory cost". The
+ * PhasePriority backend keeps the MESI directory flows but orders requests
+ * at each bank by access-phase priority (stores > loads > ifetches) and
+ * runs a bounded directory whose victim selection prefers entries last
+ * touched by low-priority phases.
+ */
+enum class ProtocolKind : std::uint8_t
+{
+    MesiZeroDev,    //!< MESI + ZeroDEV family (default, all DirOrg values)
+    Dls,            //!< directoryless shared LLC; broadcast-probe cores
+    PhasePriority,  //!< phase-priority queues + priority-victim directory
+};
+
+const char *toString(ProtocolKind p);
+
 } // namespace zerodev
 
 #endif // ZERODEV_COMMON_TYPES_HH

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 
+#include "coherence/backend.hh"
 #include "common/log.hh"
 #include "obs/latency.hh"
 #include "obs/trace.hh"
@@ -444,7 +445,7 @@ CmpSystem::fillCore(Socket &s, CoreId c, AccessType type, BlockAddr block,
 {
     const PrivateEviction ev = s.cores[c].fill(type, block, state);
     if (ev.valid)
-        handlePrivateEviction(s, c, ev, now);
+        backend_->privateEviction(s.id, c, ev, now);
 }
 
 void

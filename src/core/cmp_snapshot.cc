@@ -9,6 +9,7 @@
 
 #include <cstddef>
 
+#include "coherence/backend.hh"
 #include "common/serialize.hh"
 #include "core/cmp_system.hh"
 #include "obs/report.hh"
@@ -112,6 +113,12 @@ CmpSystem::saveState(SerialOut &out) const
     out.u64(txn_);
     out.u32(txnCore_);
     out.u64(txnBlock_);
+    // Backend extension: appended after everything else and only for
+    // backends that carry state, so stateless backends (the whole
+    // MESI+ZeroDEV family) leave every pre-backend stream — including
+    // the checked-in golden corpus — byte-identical.
+    if (backend_->hasState())
+        backend_->save(out);
 }
 
 void
@@ -150,6 +157,8 @@ CmpSystem::restoreState(SerialIn &in)
     txn_ = in.u64();
     txnCore_ = in.u32();
     txnBlock_ = in.u64();
+    if (backend_->hasState())
+        backend_->restore(in);
 }
 
 } // namespace zerodev

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "coherence/backend.hh"
 #include "common/bitops.hh"
 #include "common/log.hh"
 #include "directory/mgd.hh"
@@ -24,6 +25,8 @@ CmpSystem::Socket::Socket(const SystemConfig &cfg, SocketId sid)
         cores.emplace_back(cfg, c);
 }
 
+CmpSystem::~CmpSystem() = default;
+
 CmpSystem::CmpSystem(const SystemConfig &cfg) : cfg_(cfg)
 {
     cfg_.validate();
@@ -42,6 +45,9 @@ CmpSystem::CmpSystem(const SystemConfig &cfg) : cfg_(cfg)
         }
         sockets_.push_back(std::move(sock));
     }
+
+    // After the sockets: the backend may cache per-socket pointers.
+    backend_ = makeProtocolBackend(*this);
 
     // Eviction provenance: one attribution slot (and one process-wide
     // Prometheus series) per possible inducing core. Registration is
@@ -86,6 +92,8 @@ CmpSystem::noteInclusionInvalidation()
 std::unique_ptr<SparseDirectory>
 CmpSystem::buildSparseDir() const
 {
+    if (cfg_.protocol == ProtocolKind::Dls)
+        return nullptr; // DLS has no directory structure at all
     if (cfg_.dirOrg != DirOrg::ZeroDev)
         return nullptr;
     if (cfg_.directory.sizeRatio <= 0.0)
@@ -100,6 +108,14 @@ std::unique_ptr<DirOrgBase>
 CmpSystem::buildDirOrg() const
 {
     const std::uint64_t sets = floorPow2(cfg_.dirSetsPerSlice());
+    if (cfg_.protocol == ProtocolKind::Dls)
+        return nullptr; // DLS has no directory structure at all
+    if (cfg_.protocol == ProtocolKind::PhasePriority) {
+        // Same geometry as the sparse directory it replaces, but victim
+        // selection follows request-phase priority.
+        return std::make_unique<PhasePriorityOrg>(cfg_.llcBanks, sets,
+                                                  cfg_.directory.ways);
+    }
     switch (cfg_.dirOrg) {
       case DirOrg::ZeroDev:
         return nullptr;
@@ -180,7 +196,7 @@ CmpSystem::access(CoreId gcore, AccessType type, BlockAddr block,
                             now + pc.l1Cycles() + pc.l2Cycles());
       case CoreLookup::NeedUpgrade:
         return finishAccess(AccessClass::Upgrade, now,
-                            handleUpgrade(s, c, block, now));
+                            backend_->upgrade(s.id, c, block, now));
       case CoreLookup::Miss: {
         ++proto_.l2Misses;
         const std::uint64_t mem_before =
@@ -190,7 +206,7 @@ CmpSystem::access(CoreId gcore, AccessType type, BlockAddr block,
             proto_.classCount[static_cast<std::size_t>(
                 AccessClass::Corrupted)];
         const std::uint64_t three_before = proto_.threeHopReads;
-        const Cycle done = handleMiss(s, c, type, block, now);
+        const Cycle done = backend_->miss(s.id, c, type, block, now);
         // The flows tag Memory/Corrupted classes themselves; everything
         // else is a 2-hop or 3-hop uncore transaction.
         const bool tagged =
@@ -392,6 +408,9 @@ CmpSystem::report() const
         d.add(p + ".count", static_cast<double>(proto_.classCount[i]));
         d.add(p + ".mean", proto_.meanLatency(cls));
     }
+    // Backend-specific series: empty for the MESI+ZeroDev family, so
+    // every pre-backend report stays byte-identical.
+    backend_->reportStats(d);
     return d;
 }
 

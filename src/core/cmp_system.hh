@@ -48,6 +48,8 @@ class Tracer;
 class LatencyProfiler;
 } // namespace obs
 
+class ProtocolBackend;
+
 /** Where a block's in-socket directory entry currently lives. */
 enum class TrackWhere : std::uint8_t
 {
@@ -134,6 +136,7 @@ class CmpSystem
 {
   public:
     explicit CmpSystem(const SystemConfig &cfg);
+    ~CmpSystem(); //!< out-of-line: ProtocolBackend is incomplete here
 
     CmpSystem(const CmpSystem &) = delete;
     CmpSystem &operator=(const CmpSystem &) = delete;
@@ -251,7 +254,18 @@ class CmpSystem
     bool restoreSnapshot(const std::string &path,
                          std::string *err = nullptr);
 
+    /** The coherence protocol backend driving this system's misses,
+     *  upgrades and private evictions (selected by cfg.protocol). */
+    const ProtocolBackend &protocolBackend() const { return *backend_; }
+
   private:
+    /** Backends are part of the protocol engine: they drive the private
+     *  request/eviction machinery from outside this translation unit. */
+    friend class ProtocolBackend;
+    friend class MesiZeroDevBackend;
+    friend class DlsBackend;
+    friend class PhasePriorityBackend;
+
     struct Socket
     {
         Socket(const SystemConfig &cfg, SocketId id);
@@ -455,6 +469,8 @@ class CmpSystem
 
     SystemConfig cfg_;
     std::vector<std::unique_ptr<Socket>> sockets_;
+    /** Constructed after the sockets (it may cache per-socket pointers). */
+    std::unique_ptr<ProtocolBackend> backend_;
     ProtocolStats proto_;
     /** Per-inducing-core Prometheus series (process-wide registry;
      *  registration is idempotent, so every system shares them). */

@@ -27,7 +27,8 @@ checkInvariants(const CmpSystem &sys)
 {
     std::vector<Violation> out;
     const SystemConfig &cfg = sys.config();
-    const bool zerodev = cfg.dirOrg == DirOrg::ZeroDev;
+    const bool dls = cfg.protocol == ProtocolKind::Dls;
+    const bool zerodev = !dls && cfg.dirOrg == DirOrg::ZeroDev;
 
     auto violate = [&](const std::string &rule, const std::string &det) {
         out.push_back({rule, det});
@@ -53,10 +54,31 @@ checkInvariants(const CmpSystem &sys)
                 });
         }
 
+        // 1-DLS. The directoryless backend has no tracking state to
+        // audit; its own protocol rules replace the directory checks:
+        // single writer (an M owner is the sole holder) and, below once
+        // the LLC is scanned, writer exclusivity against the LLC.
+        if (dls) {
+            for (const auto &[block, holders] : cached) {
+                if (holders.owners > 1) {
+                    violate("single-owner",
+                            "block " + hex(block) +
+                                " has multiple M/E owners");
+                }
+                if (holders.owners == 1 && holders.cores.count() != 1) {
+                    violate("dls-swmr",
+                            "block " + hex(block) +
+                                " is owned M/E alongside other copies");
+                }
+            }
+        }
+
         // 1. Tracking completeness: every privately cached block has a
         // directory entry (in-socket or housed in home memory) whose
         // sharer vector matches the caching cores exactly.
         for (const auto &[block, holders] : cached) {
+            if (dls)
+                break; // no tracking exists; rules 1-DLS above apply
             Tracking trk = sys.peekTracking(s, block);
             DirEntry entry;
             if (trk.found()) {
@@ -128,6 +150,12 @@ checkInvariants(const CmpSystem &sys)
                 break;
               case LlcLineKind::FusedDe:
                 llc_data.insert(l.block);
+                if (dls) {
+                    violate("dls-no-directory-lines",
+                            "directoryless LLC holds a fused entry for " +
+                                hex(l.block));
+                    break;
+                }
                 check_entry(l.block, l.de, "fused-line");
                 if (zerodev &&
                     cfg.dirCachePolicy == DirCachePolicy::Fpss &&
@@ -138,6 +166,13 @@ checkInvariants(const CmpSystem &sys)
                 }
                 break;
               case LlcLineKind::SpilledDe:
+                if (dls) {
+                    violate("dls-no-directory-lines",
+                            "directoryless LLC holds a spilled entry "
+                            "for " +
+                                hex(l.block));
+                    break;
+                }
                 check_entry(l.block, l.de, "spilled-line");
                 break;
               case LlcLineKind::Invalid:
@@ -164,6 +199,18 @@ checkInvariants(const CmpSystem &sys)
                                 " co-resident with its block is not S");
                 }
             });
+        }
+
+        // 3-DLS. Writer exclusivity: a store removed the LLC data line,
+        // so an M/E holder and an LLC copy can never coexist.
+        if (dls) {
+            for (const auto &[block, holders] : cached) {
+                if (holders.owners > 0 && llc_data.count(block)) {
+                    violate("dls-llc-exclusion",
+                            "M/E block " + hex(block) +
+                                " still has an LLC data line");
+                }
+            }
         }
 
         // 4. Inclusion: every privately cached block is in the LLC.
@@ -229,6 +276,16 @@ checkInvariants(const CmpSystem &sys)
                         " DEV invalidations");
         }
 
+        // 6-DLS. No directory means no directory-induced invalidations
+        // of any kind, ever (the side-channel lab measures this).
+        if (dls && s == 0 &&
+            (sys.protoStats().devInvalidations != 0 ||
+             sys.protoStats().inclusionInvalidations != 0)) {
+            violate("dls-zero-dev",
+                    "directoryless backend delivered directory-induced "
+                    "invalidations");
+        }
+
         // 7. Memory-corruption safety: every destroyed home block (homed
         // at this socket) is still cached somewhere, or held dirty in
         // some LLC that will eventually write it back.
@@ -252,6 +309,15 @@ checkInvariants(const CmpSystem &sys)
     }
     for (SocketId h = 0; h < cfg.sockets; ++h) {
         sys.memStore(h).forEachDestroyed([&](BlockAddr b) {
+            if (dls) {
+                // DLS has no entry-to-memory flows: memory data can
+                // never be destroyed under the directoryless backend.
+                out.push_back({"dls-memory-intact",
+                               "memory block " + hex(b) +
+                                   " destroyed under the directoryless "
+                                   "backend"});
+                return;
+            }
             if (!recoverable.count(b)) {
                 out.push_back(
                     {"corruption-safety",

@@ -131,6 +131,68 @@ class SparseOrg : public DirOrgBase
     SparseDirectory dir_;
 };
 
+/**
+ * Bounded set-associative directory for the phase-priority backend: every
+ * entry remembers the access phase (0 = store/upgrade, 1 = load,
+ * 2 = ifetch) of the request that last touched it, and victim selection
+ * prefers entries last touched by the *lowest-priority* phase (highest
+ * phase number), breaking ties towards the oldest touch. The protocol
+ * backend stamps the current request phase with notePhase() before
+ * driving the generic lookup()/set() path.
+ *
+ * Geometry mirrors the sparse directory: one slice per LLC bank,
+ * power-of-two sets per slice, `ways` entries per set.
+ */
+class PhasePriorityOrg : public DirOrgBase
+{
+  public:
+    /** Lowest-priority phase; also the reset stamp for empty ways. */
+    static constexpr std::uint8_t kLowestPhase = 2;
+
+    PhasePriorityOrg(std::uint32_t slices, std::uint64_t sets_per_slice,
+                     std::uint32_t ways);
+
+    /** Stamp the phase of the request about to drive lookup()/set(). */
+    void notePhase(std::uint8_t phase) { phase_ = phase; }
+
+    std::optional<DirEntry> lookup(BlockAddr block) override;
+    std::optional<DirEntry> peek(BlockAddr block) const override;
+    using DirOrgBase::set;
+    void set(BlockAddr block, const DirEntry &e,
+             std::vector<Invalidation> &invs, CoreId requester) override;
+    std::uint64_t liveEntries() const override { return live_; }
+    std::uint64_t capacityEntries() const override
+    {
+        return static_cast<std::uint64_t>(slices_) * setsPerSlice_ * ways_;
+    }
+
+    void save(SerialOut &out) const override;
+    void restore(SerialIn &in) override;
+
+  private:
+    struct Line
+    {
+        BlockAddr block = 0;
+        DirEntry entry;
+        std::uint8_t phase = kLowestPhase; //!< phase of the last touch
+        std::uint64_t tick = 0;            //!< logical time of the last touch
+    };
+
+    std::size_t rowOf(BlockAddr block) const;
+    Line *find(BlockAddr block);
+    const Line *find(BlockAddr block) const;
+    void stamp(Line &l);
+
+    std::uint32_t slices_;
+    std::uint64_t setsPerSlice_;
+    std::uint32_t ways_;
+    std::uint32_t sliceShift_; //!< log2(slices_)
+    std::vector<Line> lines_;  //!< row-major: (slice * sets + set) * ways
+    std::uint64_t live_ = 0;
+    std::uint64_t tick_ = 0;
+    std::uint8_t phase_ = kLowestPhase;
+};
+
 } // namespace zerodev
 
 #endif // ZERODEV_DIRECTORY_DIR_ORG_HH

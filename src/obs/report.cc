@@ -252,6 +252,11 @@ configCanonicalString(const SystemConfig &cfg)
     kv(s, "socketDirZeroDev", cfg.socketDirZeroDev);
     kv(s, "socketDirSets", cfg.socketDirCacheSets);
     kv(s, "socketDirWays", std::uint64_t(cfg.socketDirCacheWays));
+    // Appended only for the rival backends so every pre-backend
+    // fingerprint (checked-in baselines, golden snapshots) is preserved
+    // verbatim for the MESI+ZeroDEV family.
+    if (cfg.protocol != ProtocolKind::MesiZeroDev)
+        kv(s, "protocol", std::string(toString(cfg.protocol)));
     return s;
 }
 
@@ -281,6 +286,8 @@ configToJson(JsonWriter &w, const SystemConfig &cfg)
     w.field("sockets", std::uint64_t(cfg.sockets));
     w.field("coresPerSocket", std::uint64_t(cfg.coresPerSocket));
     w.field("blockBytes", std::uint64_t(cfg.blockBytes));
+    if (cfg.protocol != ProtocolKind::MesiZeroDev)
+        w.field("protocol", toString(cfg.protocol));
 
     const auto cache = [&w](const char *name, const CacheConfig &c) {
         w.key(name).beginObject();

@@ -143,6 +143,20 @@ parseLlcRepl(const std::string &s, LlcReplPolicy *out)
     return true;
 }
 
+bool
+parseProtocol(const std::string &s, ProtocolKind *out)
+{
+    if (s == "mesi-zerodev")
+        *out = ProtocolKind::MesiZeroDev;
+    else if (s == "DLS" || s == "dls") // "dls" = the differ variant name
+        *out = ProtocolKind::Dls;
+    else if (s == "phase-priority" || s == "phasepri")
+        *out = ProtocolKind::PhasePriority;
+    else
+        return false;
+    return true;
+}
+
 /**
  * Materialise a "config" object: a named preset plus a restricted set
  * of safe knobs (the enums and ratios the figure benches sweep). Every
@@ -218,9 +232,36 @@ parseConfigSpec(const obs::JsonValue &spec, SystemConfig *out,
                 !parseLlcFlavor(value.string, &out->llcFlavor))
                 return fail(err, "config.llc_flavor must be "
                                  "non-inclusive, inclusive or EPD");
+        } else if (key == "protocol") {
+            if (!value.isString() ||
+                !parseProtocol(value.string, &out->protocol))
+                return fail(err, "config.protocol must be "
+                                 "mesi-zerodev, DLS or phase-priority");
         } else {
             return fail(err, "unknown config key: " + key);
         }
+    }
+
+    // The rival backends restrict the knobs they ignore; reject here
+    // with a reason rather than letting validate() fatal() later.
+    if (out->protocol != ProtocolKind::MesiZeroDev) {
+        const std::string proto = toString(out->protocol);
+        if (out->sockets != 1)
+            return fail(err, "config.protocol " + proto +
+                                 " is single-socket only");
+        if (out->llcFlavor != LlcFlavor::NonInclusive)
+            return fail(err, "config.protocol " + proto +
+                                 " requires a non-inclusive LLC");
+        if (out->dirCachePolicy != DirCachePolicy::None)
+            return fail(err, "config.protocol " + proto +
+                                 " takes no dir_cache_policy");
+        if (out->directory.tagPartitions != 0)
+            return fail(err, "config.protocol " + proto +
+                                 " takes no tag_partitions");
+        if (out->protocol == ProtocolKind::PhasePriority &&
+            out->dirOrg != DirOrg::SparseNru)
+            return fail(err, "config.protocol phase-priority requires "
+                             "dir_org sparse-NRU");
     }
     return true;
 }

@@ -210,7 +210,8 @@ Differ::Differ(std::vector<Variant> variants, DifferOptions opt)
     strictGroup_.assign(variants_.size(), -1);
     for (std::size_t i = 0; i < variants_.size(); ++i) {
         const SystemConfig &cfg = variants_[i].cfg;
-        const bool strict = cfg.sockets == 1 &&
+        const bool strict = cfg.protocol == ProtocolKind::MesiZeroDev &&
+                            cfg.sockets == 1 &&
                             cfg.llcFlavor == LlcFlavor::NonInclusive &&
                             (cfg.dirOrg == DirOrg::Unbounded ||
                              cfg.dirOrg == DirOrg::ZeroDev);
@@ -596,6 +597,24 @@ Differ::standardVariants(std::uint32_t cores)
         v.push_back(zdevVariant("zdev-fuseall-2s", cores, 2, 0.0,
                                 P::FuseAll, R::DataLru,
                                 F::NonInclusive));
+    }
+    // Rival protocol backends, appended last so the pre-backend variant
+    // indices (pinned by CI fault injection and checked-in repros) are
+    // preserved. Both join value-only equivalence classes: neither can
+    // match MESI private-cache states (DLS has no E state, phase-priority
+    // evicts on a different schedule), but the value oracle holds.
+    {
+        SystemConfig cfg = smallConfig(cores, 1);
+        cfg.protocol = ProtocolKind::Dls;
+        cfg.directory.sizeRatio = 1.0; // ignored: no directory exists
+        v.push_back({"dls", cfg});
+    }
+    {
+        SystemConfig cfg = smallConfig(cores, 1);
+        cfg.protocol = ProtocolKind::PhasePriority;
+        cfg.dirOrg = DirOrg::SparseNru;
+        cfg.directory.sizeRatio = 0.125; // bounded: DEVs are the point
+        v.push_back({"phasepri", cfg});
     }
     return v;
 }

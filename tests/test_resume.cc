@@ -275,11 +275,12 @@ TEST(Resume, SamplerSeriesIsPhaseAlignedAcrossRestore)
     std::remove(ckpt.c_str());
 }
 
-TEST(Resume, ThirteenVariantCrossProductResumesBitIdentically)
+TEST(Resume, FullVariantCrossProductResumesBitIdentically)
 {
     // The differ's full cross product — every directory organisation,
     // ZeroDEV policy, replacement policy and LLC flavor, single- and
-    // two-socket — must satisfy the same resume contract: a run
+    // two-socket, plus the rival protocol backends (DLS and
+    // phase-priority) — must satisfy the same resume contract: a run
     // interrupted mid-stream and continued from its checkpoint produces
     // the same RunResult and the same final system image as the
     // uninterrupted run. This is the standing guard that the
@@ -287,7 +288,7 @@ TEST(Resume, ThirteenVariantCrossProductResumesBitIdentically)
     // open-addressed tables, derived stats) never leaks host-side state
     // into simulated results.
     const auto variants = verify::Differ::standardVariants(4);
-    ASSERT_GE(variants.size(), 13u);
+    ASSERT_GE(variants.size(), 15u);
     const std::uint64_t perCore = 400;
     const std::uint64_t k = 731; // mid-stream, not on a core boundary
 

@@ -101,6 +101,42 @@ TEST(Sidechannel, ZeroDevIsolatesByConstruction)
     }
 }
 
+TEST(Sidechannel, DlsIsolatesBecauseNoDirectoryExists)
+{
+    const SystemConfig cfg = variantConfig("dls");
+    for (const auto kind : {attack::ScenarioKind::DirPrimeProbe,
+                            attack::ScenarioKind::DirOccupancy}) {
+        const attack::ScenarioResult r = runKind(cfg, kind);
+        const obs::LeakageEstimate est =
+            obs::estimateLeakage(r.secrets, r.observables);
+        // The rival's route to zero DEVs: nothing tracks sharers, so
+        // there is nothing for the attacker's prime to be evicted from.
+        EXPECT_LE(est.capacityBits, 0.05)
+            << "DLS must isolate under " << attack::toString(kind);
+        EXPECT_EQ(r.devInvalidations, 0u);
+        EXPECT_EQ(r.inclusionInvalidations, 0u);
+        EXPECT_EQ(r.invariantViolations, 0u);
+    }
+}
+
+TEST(Sidechannel, PhasePriorityLeaksThroughPriorityVictims)
+{
+    const SystemConfig cfg = variantConfig("phasepri");
+    for (const auto kind : {attack::ScenarioKind::DirPrimeProbe,
+                            attack::ScenarioKind::DirOccupancy}) {
+        const attack::ScenarioResult r = runKind(cfg, kind);
+        const obs::LeakageEstimate est =
+            obs::estimateLeakage(r.secrets, r.observables);
+        // The bounded phase-priority directory still evicts on
+        // conflicts, so the classic DEV channel stays wide open.
+        EXPECT_GE(est.capacityBits, 0.5)
+            << "phase-priority must leak under "
+            << attack::toString(kind);
+        EXPECT_GT(r.devInvalidations, 0u);
+        EXPECT_EQ(r.invariantViolations, 0u);
+    }
+}
+
 TEST(Sidechannel, PartitionedTagsIsolateDespiteSelfConflicts)
 {
     SystemConfig cfg = variantConfig("sparse-8th");

@@ -73,7 +73,7 @@ writeBytes(const std::string &path, const std::vector<std::uint8_t> &b)
 TEST(SnapshotRoundTrip, ByteIdenticalAcrossTheStandardCrossProduct)
 {
     const auto variants = verify::Differ::standardVariants(4);
-    ASSERT_GE(variants.size(), 13u);
+    ASSERT_GE(variants.size(), 15u);
     for (const verify::Variant &v : variants) {
         SCOPED_TRACE(v.name);
         CmpSystem sys(v.cfg);

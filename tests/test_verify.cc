@@ -48,7 +48,7 @@ patternStream(BlockAddr target, std::size_t len = 240)
 TEST(Differ, StandardVariantsAgreeOnFuzzStreams)
 {
     const auto variants = Differ::standardVariants(4);
-    ASSERT_GE(variants.size(), 10u);
+    ASSERT_GE(variants.size(), 15u); // incl. the dls/phasepri backends
     Differ differ(variants);
     for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
         const auto stream = fuzzStream(seed, 4, 6000);
@@ -59,6 +59,36 @@ TEST(Differ, StandardVariantsAgreeOnFuzzStreams)
             << res.divergence.instance
             << "]: " << res.divergence.detail;
         EXPECT_EQ(res.accesses, stream.size());
+        EXPECT_GT(res.sweeps, 0u);
+    }
+}
+
+TEST(Differ, RivalBackendsHoldTheValueOracle)
+{
+    // A focused cross-backend equivalence class: the MESI reference and
+    // the canonical ZeroDEV flavour against both rival protocol
+    // backends. Their private-cache states legitimately differ from
+    // MESI's (DLS has no E state, phase-priority evicts on a different
+    // schedule), so equivalence here is exactly what the value oracle
+    // checks: every load observes the last value stored.
+    const auto all = Differ::standardVariants(4);
+    std::vector<Variant> rivals;
+    for (const Variant &v : all) {
+        if (v.name == "unbounded" || v.name == "zdev-fpss" ||
+            v.name == "dls" || v.name == "phasepri") {
+            rivals.push_back(v);
+        }
+    }
+    ASSERT_EQ(rivals.size(), 4u);
+    Differ differ(rivals);
+    for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
+        const auto stream = fuzzStream(seed, 4, 6000);
+        const DifferResult res = differ.run(stream);
+        EXPECT_TRUE(res.ok())
+            << "seed " << seed << ": " << res.divergence.rule << " @ "
+            << res.divergence.accessIndex << " ["
+            << res.divergence.instance
+            << "]: " << res.divergence.detail;
         EXPECT_GT(res.sweeps, 0u);
     }
 }
